@@ -1,0 +1,84 @@
+//! Microbenchmarks of the substrates: codec throughput, DES event rate,
+//! fabric rebalancing and token-bucket accounting.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use splitserve_des::{Fabric, Sim, SimTime, TokenBucket};
+
+fn bench_codec(c: &mut Criterion) {
+    let records: Vec<(u64, f64)> = (0..10_000).map(|i| (i, i as f64 * 0.5)).collect();
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("encode_10k_kv", |b| {
+        b.iter(|| splitserve_codec::to_bytes(&records).expect("encode"))
+    });
+    let bytes = splitserve_codec::to_bytes(&records).expect("encode");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("decode_10k_kv", |b| {
+        b.iter(|| {
+            let v: Vec<(u64, f64)> = splitserve_codec::from_bytes(&bytes).expect("decode");
+            v
+        })
+    });
+    g.finish();
+}
+
+fn bench_des(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_and_run_10k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Sim::new(0);
+                for i in 0..10_000u64 {
+                    sim.schedule_at(SimTime::from_micros(i * 7 % 5_000), |_| {});
+                }
+                sim
+            },
+            |mut sim| sim.run(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    g.bench_function("200_flows_shared_link", |b| {
+        b.iter_batched(
+            || {
+                let sim = Sim::new(0);
+                let fabric = Fabric::new();
+                let link = fabric.add_link(1e9, "l");
+                (sim, fabric, link)
+            },
+            |(mut sim, fabric, link)| {
+                for i in 0..200u64 {
+                    fabric.start_flow(&mut sim, &[link], 1_000 + i * 10, |_| {});
+                }
+                sim.run();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_token_bucket(c: &mut Criterion) {
+    c.bench_function("token_bucket_100k_reserves", |b| {
+        b.iter_batched(
+            || TokenBucket::new(3_500.0, 500.0),
+            |mut tb| {
+                let mut t = SimTime::ZERO;
+                for i in 0..100_000u64 {
+                    t = SimTime::from_micros(i * 3);
+                    let _ = tb.reserve(t, 1.0);
+                }
+                tb
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_des, bench_fabric, bench_token_bucket);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Ablations beyond the paper: shuffle-store sweep, segue-threshold
+//! sweep, Lambda memory sweep.
+
+use splitserve_bench::experiments::{
+    ablation_cloudsort, ablation_controller, ablation_job_stream, ablation_lambda_memory,
+    ablation_segue_threshold, ablation_stores, Fidelity,
+};
+
+fn main() {
+    let f = Fidelity::from_args();
+    let seed = splitserve_bench::cli::seed_from_args();
+    splitserve_bench::cli::emit(&ablation_stores(f, seed));
+    splitserve_bench::cli::emit(&ablation_segue_threshold(f, seed));
+    splitserve_bench::cli::emit(&ablation_lambda_memory(f, seed));
+    splitserve_bench::cli::emit(&ablation_cloudsort(f, seed));
+    splitserve_bench::cli::emit(&ablation_controller(f, seed));
+    splitserve_bench::cli::emit(&ablation_job_stream(f, seed));
+}

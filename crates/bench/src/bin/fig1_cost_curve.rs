@@ -1,0 +1,12 @@
+//! Figure 1: cost of one vCPU on a m4.large vs a 1 536 MB Lambda.
+
+use splitserve_bench::experiments::{fig1, fig1_crossover_secs};
+
+fn main() {
+    let table = fig1();
+    splitserve_bench::cli::emit(&table);
+    println!(
+        "Lambda overtakes the m4.large vCPU after {:.1} s of continuous use.",
+        fig1_crossover_secs()
+    );
+}

@@ -1,0 +1,10 @@
+//! Figure 2: predicted executor demand over a workday with m ± 2σ bands,
+//! plus the provisioning-policy comparison the figure motivates.
+
+use splitserve_bench::experiments::fig2;
+
+fn main() {
+    let (series, policies) = fig2(splitserve_bench::cli::seed_from_args());
+    splitserve_bench::cli::emit(&series);
+    splitserve_bench::cli::emit(&policies);
+}

@@ -1,0 +1,14 @@
+//! Figure 4: offline PageRank profiling — execution time and cost vs
+//! degree of parallelism, (a) all-Lambda and (b) all-VM.
+
+use splitserve::ProfileMode;
+use splitserve_bench::experiments::{fig4, Fidelity};
+
+fn main() {
+    let f = Fidelity::from_args();
+    let seed = splitserve_bench::cli::seed_from_args();
+    for mode in [ProfileMode::LambdaOnly, ProfileMode::VmOnly] {
+        let table = fig4(mode, f, seed);
+        splitserve_bench::cli::emit(&table);
+    }
+}

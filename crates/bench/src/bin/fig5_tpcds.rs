@@ -1,0 +1,8 @@
+//! Figure 5: TPC-DS queries Q5, Q16, Q94 and Q95 across the scenarios.
+
+use splitserve_bench::experiments::{fig5, Fidelity};
+
+fn main() {
+    let table = fig5(Fidelity::from_args(), splitserve_bench::cli::seed_from_args());
+    splitserve_bench::cli::emit(&table);
+}

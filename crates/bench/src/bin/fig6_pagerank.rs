@@ -1,0 +1,8 @@
+//! Figure 6: PageRank (850k pages) across all eight scenarios.
+
+use splitserve_bench::experiments::{fig6, Fidelity};
+
+fn main() {
+    let table = fig6(Fidelity::from_args(), splitserve_bench::cli::seed_from_args());
+    splitserve_bench::cli::emit(&table);
+}

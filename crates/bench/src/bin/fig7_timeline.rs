@@ -1,0 +1,10 @@
+//! Figure 7: PageRank execution timelines for 16-VM, hybrid, and
+//! hybrid-with-segue runs.
+
+use splitserve_bench::experiments::{fig7, timeline_table, Fidelity};
+
+fn main() {
+    for tl in fig7(Fidelity::from_args(), splitserve_bench::cli::seed_from_args()) {
+        splitserve_bench::cli::emit(&timeline_table(&tl));
+    }
+}

@@ -1,0 +1,9 @@
+//! Figure 8: K-means performance and cost with error bars over
+//! independent trials.
+
+use splitserve_bench::experiments::{fig8, Fidelity};
+
+fn main() {
+    let table = fig8(Fidelity::from_args(), splitserve_bench::cli::seed_from_args());
+    splitserve_bench::cli::emit(&table);
+}

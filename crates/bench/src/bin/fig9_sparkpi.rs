@@ -1,0 +1,8 @@
+//! Figure 9: SparkPi (10¹⁰ darts) across the scenarios.
+
+use splitserve_bench::experiments::{fig9, Fidelity};
+
+fn main() {
+    let table = fig9(Fidelity::from_args(), splitserve_bench::cli::seed_from_args());
+    splitserve_bench::cli::emit(&table);
+}

@@ -1,0 +1,25 @@
+//! Shared argv handling for the figure binaries.
+//!
+//! Usage: `<binary> [--quick] [--csv] [--seed N]`
+
+use crate::report::Table;
+
+/// Parses `--seed N` (default 42).
+pub fn seed_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Prints a table as text, or CSV when `--csv` was passed.
+pub fn emit(table: &Table) {
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_text());
+    }
+    println!();
+}

@@ -1,0 +1,797 @@
+//! One function per paper figure: each builds the workload, runs the
+//! scenarios, and returns result tables. The binaries in `src/bin` are
+//! thin wrappers; the integration tests run the `quick` variants.
+
+use splitserve::{
+    evaluate_policy, profile_sweep, run_scenario, DayModel, DriverProgram, ProfileMode,
+    ProvisionPolicy, Scenario, ScenarioResult, ScenarioSpec,
+};
+use splitserve_cloud::{
+    fig1_crossover, fig1_vcpu_cost_at, CloudSpec, InstanceType, M4_10XLARGE, M4_16XLARGE,
+    M4_4XLARGE, M4_LARGE, M4_XLARGE,
+};
+use splitserve_des::SimDuration;
+use splitserve_engine::{EngineEvent, EngineEventKind};
+use splitserve_workloads::{KMeans, PageRank, SparkPi, TpcdsLoad, TpcdsQuery};
+
+use crate::report::{mean_sd, secs, usd, Table};
+
+/// Experiment fidelity: `paper` runs the full published configuration;
+/// `quick` shrinks inputs and trial counts for CI and criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Full paper-scale configuration.
+    Paper,
+    /// Reduced configuration (~seconds of host time).
+    Quick,
+}
+
+impl Fidelity {
+    /// Parses `--quick` from argv.
+    pub fn from_args() -> Fidelity {
+        if std::env::args().any(|a| a == "--quick") {
+            Fidelity::Quick
+        } else {
+            Fidelity::Paper
+        }
+    }
+}
+
+// ---------------------------------------------------------------- Fig 1
+
+/// Figure 1: cost of one vCPU via a m4.large VM vs a 1 536 MB Lambda, as a
+/// function of time-in-use.
+pub fn fig1() -> Table {
+    let mut t = Table::new(
+        "Figure 1: cost of one vCPU (m4.large vs 1536 MB Lambda)",
+        &["time_s", "vm_usd", "lambda_usd"],
+    );
+    let mut ts: Vec<f64> = Vec::new();
+    let mut x = 0.1;
+    while x <= 300.0 {
+        ts.push(x);
+        x += if x < 5.0 { 0.1 } else { 5.0 };
+    }
+    for s in ts {
+        let (vm, la) = fig1_vcpu_cost_at(&M4_LARGE, SimDuration::from_secs_f64(s));
+        t.push(vec![format!("{s:.1}"), format!("{vm:.7}"), format!("{la:.7}")]);
+    }
+    t
+}
+
+/// The Figure 1 crossover point (seconds after which the Lambda costs
+/// more than the VM vCPU).
+pub fn fig1_crossover_secs() -> f64 {
+    fig1_crossover(&M4_LARGE, SimDuration::from_secs(7_200))
+        .expect("crossover exists")
+        .as_secs_f64()
+}
+
+// ---------------------------------------------------------------- Fig 2
+
+/// Figure 2: predicted demand bands and a realized path over a workday,
+/// plus the provisioning-policy comparison the figure motivates.
+pub fn fig2(seed: u64) -> (Table, Table) {
+    let model = DayModel::default();
+    let series = model.series(288, seed); // 5-minute samples
+    let mut t = Table::new(
+        "Figure 2: workday executor demand (m ± 2σ bands, realized w)",
+        &["t_hours", "mean", "lo", "hi", "realized"],
+    );
+    for p in &series {
+        t.push(vec![
+            format!("{:.2}", p.t_hours),
+            format!("{:.1}", p.mean),
+            format!("{:.1}", p.lo),
+            format!("{:.1}", p.hi),
+            format!("{:.1}", p.realized),
+        ]);
+    }
+    let mut pol = Table::new(
+        "Figure 2 (policies): conservative m+2σ vs lean m",
+        &[
+            "policy",
+            "shortfall_frac",
+            "shortfall_core_h",
+            "provisioned_core_h",
+            "idle_core_h",
+        ],
+    );
+    for (name, policy) in [
+        ("m(t)+2σ(t)", ProvisionPolicy::MeanPlusSigma(2.0)),
+        ("m(t)", ProvisionPolicy::Mean),
+    ] {
+        let o = evaluate_policy(&series, policy);
+        pol.push(vec![
+            name.into(),
+            format!("{:.3}", o.shortfall_frac),
+            format!("{:.1}", o.shortfall_core_hours),
+            format!("{:.1}", o.provisioned_core_hours),
+            format!("{:.1}", o.idle_core_hours),
+        ]);
+    }
+    (t, pol)
+}
+
+// ---------------------------------------------------------------- Fig 4
+
+/// Figure 4 input sizes: (label, pages).
+pub fn fig4_sizes(f: Fidelity) -> Vec<(&'static str, u64)> {
+    match f {
+        Fidelity::Paper => vec![("small", 25_000), ("medium", 50_000), ("large", 100_000)],
+        Fidelity::Quick => vec![("small", 4_000), ("large", 12_000)],
+    }
+}
+
+/// Figure 4 parallelism ladder.
+pub fn fig4_ladder(f: Fidelity) -> Vec<u32> {
+    match f {
+        Fidelity::Paper => vec![1, 2, 4, 8, 16, 32, 64, 128],
+        Fidelity::Quick => vec![1, 2, 4, 8],
+    }
+}
+
+/// Figure 4: PageRank profiling — execution time and cost vs degree of
+/// parallelism, all-Lambda (a) or all-VM (b).
+pub fn fig4(mode: ProfileMode, f: Fidelity, seed: u64) -> Table {
+    let which = match mode {
+        ProfileMode::LambdaOnly => "(a) Lambda-based executors",
+        ProfileMode::VmOnly => "(b) VM-based executors",
+    };
+    let mut t = Table::new(
+        format!("Figure 4{which}: PageRank profiling"),
+        &["size", "pages", "parallelism", "exec_s", "cost_usd"],
+    );
+    let spec = ScenarioSpec {
+        master_type: M4_XLARGE,
+        seed,
+        ..ScenarioSpec::default()
+    };
+    for (label, pages) in fig4_sizes(f) {
+        let factory = move |p: u32| -> Box<dyn DriverProgram> {
+            Box::new(PageRank::new(pages, 3, p as usize, seed).with_contrib_cost(1.0e-4))
+        };
+        let points = profile_sweep(mode, &fig4_ladder(f), &spec, &factory);
+        for pt in points {
+            t.push(vec![
+                label.into(),
+                pages.to_string(),
+                pt.parallelism.to_string(),
+                secs(pt.execution_secs),
+                usd(pt.cost_usd),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------- Fig 5
+
+/// Figure 5's seven scenarios (no segue: the queries finish in about a
+/// minute, so "no tasks needed segueing").
+pub fn fig5_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::SparkSmallVm,
+        Scenario::SparkRVm,
+        Scenario::SparkAutoscale,
+        Scenario::QuboleLambda,
+        Scenario::SsRVm,
+        Scenario::SsRLambda,
+        Scenario::SsHybrid,
+    ]
+}
+
+/// The cluster spec of the TPC-DS experiment: R = 32, r = 8, workers and
+/// master/HDFS on m4.10xlarge ("to get similar dedicated EBS bandwidth").
+pub fn fig5_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        required_cores: 32,
+        available_cores: 8,
+        worker_type: M4_10XLARGE,
+        master_type: M4_10XLARGE,
+        seed,
+        ..ScenarioSpec::default()
+    }
+}
+
+/// Figure 5: the four TPC-DS queries across the scenarios. Each row also
+/// reports the slowdown normalized to `Spark 32 VM`.
+pub fn fig5(f: Fidelity, seed: u64) -> Table {
+    let mut t = Table::new(
+        "Figure 5: TPC-DS Q5/Q16/Q94/Q95 (SF 8, R=32, r=8)",
+        &["query", "scenario", "exec_s", "vs_Spark_R_VM", "cost_usd", "tasks_vm", "tasks_la"],
+    );
+    let spec = fig5_spec(seed);
+    for query in [TpcdsQuery::Q5, TpcdsQuery::Q16, TpcdsQuery::Q94, TpcdsQuery::Q95] {
+        let factory = move || -> Box<dyn DriverProgram> {
+            Box::new(match f {
+                Fidelity::Paper => TpcdsLoad::paper_config(query, seed),
+                Fidelity::Quick => TpcdsLoad {
+                    shuffle_partitions: 32,
+                    ..TpcdsLoad::tiny(query, seed)
+                },
+            })
+        };
+        let mut baseline = None;
+        for scenario in fig5_scenarios() {
+            let r = run_scenario(scenario, &spec, &factory);
+            if scenario == Scenario::SparkRVm {
+                baseline = Some(r.execution_secs);
+            }
+            push_scenario_row(&mut t, &query.to_string(), &r, baseline);
+        }
+    }
+    t
+}
+
+fn push_scenario_row(t: &mut Table, workload: &str, r: &ScenarioResult, baseline: Option<f64>) {
+    let rel = baseline
+        .map(|b| format!("{:.2}x", r.execution_secs / b))
+        .unwrap_or_else(|| "-".into());
+    t.push(vec![
+        workload.to_string(),
+        r.label.clone(),
+        secs(r.execution_secs),
+        rel,
+        usd(r.cost_usd),
+        r.tasks_on_vm.to_string(),
+        r.tasks_on_lambda.to_string(),
+    ]);
+}
+
+// ---------------------------------------------------------------- Fig 6
+
+/// The PageRank cluster: R = 16, r = 3, workers on m4.4xlarge, master +
+/// single HDFS node colocated on an m4.xlarge (750 Mbps EBS — the
+/// bottleneck the paper discusses).
+pub fn fig6_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        required_cores: 16,
+        available_cores: 3,
+        worker_type: M4_4XLARGE,
+        master_type: M4_XLARGE,
+        segue_existing_cores_at: Some(SimDuration::from_secs(45)),
+        lambda_timeout: SimDuration::from_secs(30),
+        seed,
+        ..ScenarioSpec::default()
+    }
+}
+
+/// The Figure 6 PageRank workload (850 000 pages; scaled down in quick
+/// mode).
+pub fn fig6_workload(f: Fidelity, seed: u64) -> PageRank {
+    match f {
+        // Contribution cost calibrated so the 16-core vanilla baseline
+        // lands near the paper's ~100 s job duration.
+        Fidelity::Paper => PageRank::new(850_000, 3, 16, seed).with_contrib_cost(2.0e-4),
+        Fidelity::Quick => PageRank::new(40_000, 3, 16, seed).with_contrib_cost(2.0e-4),
+    }
+}
+
+/// Figure 6: PageRank across all eight scenarios.
+pub fn fig6(f: Fidelity, seed: u64) -> Table {
+    let mut t = Table::new(
+        "Figure 6: PageRank (850k pages, R=16, r=3)",
+        &["workload", "scenario", "exec_s", "vs_Spark_R_VM", "cost_usd", "tasks_vm", "tasks_la"],
+    );
+    let spec = fig6_spec(seed);
+    let factory = move || -> Box<dyn DriverProgram> { Box::new(fig6_workload(f, seed)) };
+    let mut baseline = None;
+    for scenario in Scenario::all() {
+        let r = run_scenario(scenario, &spec, &factory);
+        if scenario == Scenario::SparkRVm {
+            baseline = Some(r.execution_secs);
+        }
+        push_scenario_row(&mut t, "PageRank", &r, baseline);
+    }
+    t
+}
+
+// ---------------------------------------------------------------- Fig 7
+
+/// One executor's lane in a timeline.
+#[derive(Debug, Clone)]
+pub struct TimelineLane {
+    /// Executor id.
+    pub executor: String,
+    /// `vm` or `lambda`.
+    pub kind: String,
+    /// First task start (seconds).
+    pub first_start: f64,
+    /// Last task end (seconds).
+    pub last_end: f64,
+    /// Tasks completed on this executor.
+    pub tasks: u64,
+}
+
+/// A rendered execution timeline for one scenario run.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// The scenario label.
+    pub label: String,
+    /// Job completion time.
+    pub finished_at: f64,
+    /// When the segue marker fired, if it did.
+    pub segue_at: Option<f64>,
+    /// Stage completion instants.
+    pub stage_completions: Vec<f64>,
+    /// Per-executor lanes.
+    pub lanes: Vec<TimelineLane>,
+}
+
+/// Extracts a [`Timeline`] from a scenario's event log.
+pub fn timeline_of(r: &ScenarioResult) -> Timeline {
+    use std::collections::BTreeMap;
+    let mut lanes: BTreeMap<String, TimelineLane> = BTreeMap::new();
+    let mut kinds: BTreeMap<String, String> = BTreeMap::new();
+    let mut segue_at = None;
+    let mut stage_completions = Vec::new();
+    let events: &[EngineEvent] = &r.events;
+    for e in events {
+        let at = e.at.as_secs_f64();
+        match &e.kind {
+            EngineEventKind::ExecutorRegistered { exec, kind } => {
+                kinds.insert(exec.0.clone(), kind.to_string());
+            }
+            EngineEventKind::TaskStarted { exec, .. } => {
+                let lane = lanes.entry(exec.0.clone()).or_insert_with(|| TimelineLane {
+                    executor: exec.0.clone(),
+                    kind: kinds.get(&exec.0).cloned().unwrap_or_default(),
+                    first_start: at,
+                    last_end: at,
+                    tasks: 0,
+                });
+                lane.first_start = lane.first_start.min(at);
+            }
+            EngineEventKind::TaskFinished { exec, .. } => {
+                if let Some(lane) = lanes.get_mut(&exec.0) {
+                    lane.last_end = lane.last_end.max(at);
+                    lane.tasks += 1;
+                }
+            }
+            EngineEventKind::StageCompleted { .. } => stage_completions.push(at),
+            EngineEventKind::Marker(m) if m == "segue commences" => segue_at = Some(at),
+            _ => {}
+        }
+    }
+    Timeline {
+        label: r.label.clone(),
+        finished_at: r.execution_secs,
+        segue_at,
+        stage_completions,
+        lanes: lanes.into_values().collect(),
+    }
+}
+
+/// Figure 7: the three PageRank timelines — 16 VM cores, 3 VM + 13 La, and
+/// 3 VM + 13 La with segue at 45 s.
+pub fn fig7(f: Fidelity, seed: u64) -> Vec<Timeline> {
+    let spec = fig6_spec(seed);
+    let factory = move || -> Box<dyn DriverProgram> { Box::new(fig6_workload(f, seed)) };
+    [
+        Scenario::SparkRVm,
+        Scenario::SsHybrid,
+        Scenario::SsHybridSegue,
+    ]
+    .iter()
+    .map(|s| timeline_of(&run_scenario(*s, &spec, &factory)))
+    .collect()
+}
+
+/// Renders a timeline as a table.
+pub fn timeline_table(tl: &Timeline) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 7 timeline: {} (finished {}s, segue {}, {} stages)",
+            tl.label,
+            secs(tl.finished_at),
+            tl.segue_at.map(|s| format!("{}s", secs(s))).unwrap_or_else(|| "n/a".into()),
+            tl.stage_completions.len(),
+        ),
+        &["executor", "kind", "first_task_s", "last_task_s", "tasks"],
+    );
+    for lane in &tl.lanes {
+        t.push(vec![
+            lane.executor.clone(),
+            lane.kind.clone(),
+            secs(lane.first_start),
+            secs(lane.last_end),
+            lane.tasks.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------- Fig 8
+
+/// The K-means cluster spec: R = 16, r = 4.
+pub fn fig8_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        required_cores: 16,
+        available_cores: 4,
+        worker_type: M4_4XLARGE,
+        master_type: M4_XLARGE,
+        seed,
+        ..ScenarioSpec::default()
+    }
+}
+
+/// Figure 8 scenario set (the paper presents the hybrid as the case where
+/// all-Lambda beats it; segue is n/a at these durations).
+pub fn fig8_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::SparkSmallVm,
+        Scenario::SparkRVm,
+        Scenario::SparkAutoscale,
+        Scenario::QuboleLambda,
+        Scenario::SsRVm,
+        Scenario::SsRLambda,
+        Scenario::SsHybrid,
+    ]
+}
+
+/// Figure 8: K-means performance *and* cost with error bars from
+/// independent trials (the paper: 15 trials, ±1 sample sd).
+pub fn fig8(f: Fidelity, base_seed: u64) -> Table {
+    let trials = match f {
+        Fidelity::Paper => 15,
+        Fidelity::Quick => 3,
+    };
+    let mut t = Table::new(
+        "Figure 8: K-means (R=16, r=4), mean ± sd over trials",
+        &["scenario", "exec_s_mean", "exec_s_sd", "cost_usd_mean", "cost_usd_sd"],
+    );
+    for scenario in fig8_scenarios() {
+        let mut times = Vec::new();
+        let mut costs = Vec::new();
+        for trial in 0..trials {
+            let seed = base_seed + trial as u64;
+            let spec = fig8_spec(seed);
+            let factory = move || -> Box<dyn DriverProgram> {
+                Box::new(match f {
+                    Fidelity::Paper => KMeans::paper_config(16, seed),
+                    Fidelity::Quick => KMeans {
+                        parallelism: 16,
+                        ..KMeans::small(20_000, 16, seed)
+                    },
+                })
+            };
+            let r = run_scenario(scenario, &spec, &factory);
+            times.push(r.execution_secs);
+            costs.push(r.cost_usd);
+        }
+        let (tm, ts_) = mean_sd(&times);
+        let (cm, cs) = mean_sd(&costs);
+        t.push(vec![
+            scenario.label(16, 4),
+            secs(tm),
+            format!("{ts_:.2}"),
+            usd(cm),
+            format!("{cs:.5}"),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------- Fig 9
+
+/// The SparkPi cluster spec: R = 64 on an m4.16xlarge, r = 4.
+pub fn fig9_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        required_cores: 64,
+        available_cores: 4,
+        worker_type: M4_16XLARGE,
+        master_type: M4_XLARGE,
+        seed,
+        ..ScenarioSpec::default()
+    }
+}
+
+/// Figure 9 scenario set ("we did not assess the Lambdas-segue-to-VMs
+/// setup … because the job finished under 1 minute").
+pub fn fig9_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::SparkSmallVm,
+        Scenario::SparkRVm,
+        Scenario::QuboleLambda,
+        Scenario::SsRVm,
+        Scenario::SsRLambda,
+        Scenario::SsHybrid,
+    ]
+}
+
+/// Figure 9: SparkPi (10¹⁰ darts, 64 executors) across scenarios.
+pub fn fig9(f: Fidelity, seed: u64) -> Table {
+    let mut t = Table::new(
+        "Figure 9: SparkPi (1e10 darts, R=64, r=4)",
+        &["workload", "scenario", "exec_s", "vs_Spark_R_VM", "cost_usd", "tasks_vm", "tasks_la"],
+    );
+    let spec = fig9_spec(seed);
+    let factory = move || -> Box<dyn DriverProgram> {
+        Box::new(match f {
+            Fidelity::Paper => SparkPi::paper_config(64, seed),
+            Fidelity::Quick => SparkPi {
+                parallelism: 64,
+                tasks: 128,
+                darts: 200_000_000,
+                real_darts_cap_per_task: 50_000,
+                ..SparkPi::paper_config(64, seed)
+            },
+        })
+    };
+    let mut baseline = None;
+    for scenario in fig9_scenarios() {
+        let r = run_scenario(scenario, &spec, &factory);
+        if scenario == Scenario::SparkRVm {
+            baseline = Some(r.execution_secs);
+        }
+        push_scenario_row(&mut t, "SparkPi", &r, baseline);
+    }
+    t
+}
+
+/// Ablation: the same hybrid PageRank run over each shuffle substrate —
+/// the design-choice comparison behind the paper's §4.3 store discussion.
+pub fn ablation_stores(f: Fidelity, seed: u64) -> Table {
+    use splitserve::{Deployment, ShuffleStoreKind};
+    use splitserve_des::Sim;
+    let mut t = Table::new(
+        "Ablation: shuffle substrate under the hybrid (r VM + Δ La)",
+        &["store", "exec_s", "cost_usd", "throttle_wait_s"],
+    );
+    for store in [
+        ShuffleStoreKind::Hdfs,
+        ShuffleStoreKind::S3,
+        ShuffleStoreKind::Sqs,
+        ShuffleStoreKind::Redis,
+    ] {
+        let mut sim = Sim::new(seed);
+        let spec = fig6_spec(seed);
+        let d = Deployment::with_engine_config(
+            &mut sim,
+            spec.cloud.clone(),
+            store,
+            spec.master_type.clone(),
+            spec.engine.clone(),
+        );
+        d.add_vm_workers(&mut sim, spec.worker_type.clone(), 3);
+        d.add_lambda_executors(&mut sim, 13);
+        let w = fig6_workload(f, seed);
+        let finished = std::rc::Rc::new(std::cell::Cell::new(None));
+        let fin = std::rc::Rc::clone(&finished);
+        let d2 = d.clone();
+        w.submit(
+            &mut sim,
+            d.engine(),
+            Box::new(move |sim| {
+                fin.set(Some(sim.now().as_secs_f64()));
+                d2.shutdown(sim);
+            }),
+        );
+        sim.run();
+        let stats = d.engine().store().stats();
+        t.push(vec![
+            store.to_string(),
+            secs(finished.get().expect("completed")),
+            usd(d.cloud().total_cost()),
+            format!("{:.1}", stats.throttle_wait_secs),
+        ]);
+    }
+    t
+}
+
+/// Ablation: segue threshold (`spark.lambda.executor.timeout`) sweep.
+pub fn ablation_segue_threshold(f: Fidelity, seed: u64) -> Table {
+    let mut t = Table::new(
+        "Ablation: spark.lambda.executor.timeout sweep (hybrid + segue)",
+        &["timeout_s", "exec_s", "cost_usd", "tasks_la"],
+    );
+    for timeout in [10u64, 30, 60, 120, 300] {
+        let spec = ScenarioSpec {
+            lambda_timeout: SimDuration::from_secs(timeout),
+            ..fig6_spec(seed)
+        };
+        let factory = move || -> Box<dyn DriverProgram> { Box::new(fig6_workload(f, seed)) };
+        let r = run_scenario(Scenario::SsHybridSegue, &spec, &factory);
+        t.push(vec![
+            timeout.to_string(),
+            secs(r.execution_secs),
+            usd(r.cost_usd),
+            r.tasks_on_lambda.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Ablation: Lambda memory-size sweep on the all-Lambda scenario.
+pub fn ablation_lambda_memory(f: Fidelity, seed: u64) -> Table {
+    let mut t = Table::new(
+        "Ablation: Lambda memory size (all-Lambda K-means)",
+        &["memory_mb", "exec_s", "cost_usd"],
+    );
+    for mem in [768u64, 1024, 1536, 2048, 3008] {
+        let spec = ScenarioSpec {
+            lambda_memory_mb: mem,
+            ..fig8_spec(seed)
+        };
+        let factory = move || -> Box<dyn DriverProgram> {
+            Box::new(match f {
+                Fidelity::Paper => KMeans::paper_config(16, seed),
+                Fidelity::Quick => KMeans {
+                    parallelism: 16,
+                    ..KMeans::small(20_000, 16, seed)
+                },
+            })
+        };
+        let r = run_scenario(Scenario::SsRLambda, &spec, &factory);
+        t.push(vec![mem.to_string(), secs(r.execution_secs), usd(r.cost_usd)]);
+    }
+    t
+}
+
+/// Ablation: a CloudSort-style job over each shared shuffle substrate —
+/// the paper's §2 point that per-request S3 pricing explodes for
+/// shuffle-write-heavy jobs while HDFS (tenant-owned) adds none.
+pub fn ablation_cloudsort(f: Fidelity, seed: u64) -> Table {
+    use splitserve::{Deployment, ShuffleStoreKind};
+    use splitserve_cloud::Category;
+    use splitserve_des::Sim;
+    use splitserve_workloads::CloudSort;
+    let records = match f {
+        Fidelity::Paper => 400_000u64,
+        Fidelity::Quick => 40_000u64,
+    };
+    let mut t = Table::new(
+        "Ablation: CloudSort shuffle-cost by substrate",
+        &["store", "exec_s", "total_usd", "request_usd", "requests"],
+    );
+    for store in [ShuffleStoreKind::Hdfs, ShuffleStoreKind::S3, ShuffleStoreKind::Sqs] {
+        let mut sim = Sim::new(seed);
+        let d = Deployment::new(
+            &mut sim,
+            CloudSpec::default(),
+            store,
+            M4_XLARGE,
+        );
+        d.add_lambda_executors(&mut sim, 16);
+        let w = CloudSort::new(records, 64, seed);
+        let finished = std::rc::Rc::new(std::cell::Cell::new(None));
+        let fin = std::rc::Rc::clone(&finished);
+        let d2 = d.clone();
+        w.submit(
+            &mut sim,
+            d.engine(),
+            Box::new(move |sim| {
+                fin.set(Some(sim.now().as_secs_f64()));
+                d2.shutdown(sim);
+            }),
+        );
+        sim.run();
+        let stats = d.engine().store().stats();
+        let request_usd = d.cloud().cost_for(Category::S3Put)
+            + d.cloud().cost_for(Category::S3Get)
+            + d.cloud().cost_for(Category::SqsRequest);
+        t.push(vec![
+            store.to_string(),
+            secs(finished.get().expect("completed")),
+            usd(d.cloud().total_cost()),
+            format!("{request_usd:.5}"),
+            (stats.puts + stats.gets).to_string(),
+        ]);
+    }
+    t
+}
+
+/// Ablation: the scripted hybrid (launch Δ Lambdas up front) vs the
+/// closed-loop dynamic-allocation controller that discovers the backlog
+/// by itself — the autonomous version of the launching facility.
+pub fn ablation_controller(f: Fidelity, seed: u64) -> Table {
+    use splitserve::{start_allocator, AllocatorConfig, Deployment};
+    use splitserve_des::Sim;
+    let mut t = Table::new(
+        "Ablation: scripted hybrid vs dynamic-allocation controller",
+        &["mode", "exec_s", "cost_usd", "lambdas_used"],
+    );
+    let spec = fig6_spec(seed);
+
+    // Scripted: the Fig. 6 hybrid scenario.
+    let factory = move || -> Box<dyn DriverProgram> { Box::new(fig6_workload(f, seed)) };
+    let scripted = run_scenario(Scenario::SsHybrid, &spec, &factory);
+    t.push(vec![
+        "scripted (r VM + Δ La)".into(),
+        secs(scripted.execution_secs),
+        usd(scripted.cost_usd),
+        "13".into(),
+    ]);
+
+    // Controller: start with just the r VM cores; the allocator bridges.
+    let mut sim = Sim::new(seed);
+    let d = Deployment::with_engine_config(
+        &mut sim,
+        spec.cloud.clone(),
+        splitserve::ShuffleStoreKind::Hdfs,
+        spec.master_type.clone(),
+        spec.engine.clone(),
+    );
+    d.add_vm_workers(&mut sim, spec.worker_type.clone(), spec.available_cores);
+    let handle = start_allocator(
+        &mut sim,
+        &d,
+        AllocatorConfig {
+            max_lambdas: spec.required_cores - spec.available_cores,
+            ..AllocatorConfig::default()
+        },
+    );
+    let w = fig6_workload(f, seed);
+    let finished = std::rc::Rc::new(std::cell::Cell::new(None));
+    let fin = std::rc::Rc::clone(&finished);
+    let d2 = d.clone();
+    let h2 = handle.clone();
+    w.submit(
+        &mut sim,
+        d.engine(),
+        Box::new(move |sim| {
+            fin.set(Some(sim.now().as_secs_f64()));
+            h2.stop();
+            d2.shutdown(sim);
+        }),
+    );
+    sim.run();
+    t.push(vec![
+        "controller (auto La)".into(),
+        secs(finished.get().expect("completed")),
+        usd(d.cloud().total_cost()),
+        handle.lambdas_launched().to_string(),
+    ]);
+    t
+}
+
+/// Ablation: a bursty job stream against a fixed VM pool, with and
+/// without SplitServe's Lambda bridging — the inter-job composition of
+/// paper §4.1 (Fig. 2's lean-provisioning story, measured end to end).
+pub fn ablation_job_stream(f: Fidelity, seed: u64) -> Table {
+    use splitserve::{run_job_stream, StreamJob, StreamPolicy};
+    use splitserve_workloads::PageRank;
+    let mut t = Table::new(
+        "Ablation: bursty job stream — fixed VM pool vs SplitServe bridging",
+        &["policy", "slo_attainment", "mean_latency_s", "cost_usd", "lambdas"],
+    );
+    let (pages, slo) = match f {
+        Fidelity::Paper => (120_000u64, 60.0),
+        Fidelity::Quick => (15_000u64, 12.0),
+    };
+    // Three bursts of three overlapping 8-core jobs.
+    let jobs: Vec<StreamJob> = (0..9)
+        .map(|i| StreamJob {
+            arrive_at_secs: (i / 3) as f64 * 240.0 + (i % 3) as f64 * 3.0,
+            cores: 8,
+            slo_secs: slo,
+        })
+        .collect();
+    let spec = ScenarioSpec {
+        seed,
+        ..ScenarioSpec::default()
+    };
+    let workload = move |cores: u32| -> Box<dyn DriverProgram> {
+        Box::new(PageRank::new(pages, 3, cores as usize * 2, seed).with_contrib_cost(2.0e-4))
+    };
+    for policy in [StreamPolicy::VmPoolOnly, StreamPolicy::SplitServe] {
+        let out = run_job_stream(policy, 8, M4_4XLARGE, &spec, &jobs, &workload);
+        t.push(vec![
+            policy.to_string(),
+            format!("{:.2}", out.slo_attainment()),
+            secs(out.mean_latency()),
+            usd(out.cost_usd),
+            out.lambdas_launched.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Resolves the worker instance for `cores` (documentation helper).
+pub fn worker_for_cores(cores: u32) -> InstanceType {
+    splitserve_cloud::fewest_instances_for_cores(cores)
+        .into_iter()
+        .next()
+        .expect("non-empty fleet")
+}

@@ -1,0 +1,162 @@
+//! The billing ledger: every dollar the simulated tenant spends lands here.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use splitserve_des::SimTime;
+
+/// What a charge was for. Categories mirror the cost components the paper
+/// reports: VM time, Lambda time, Lambda invocations, and storage-service
+/// requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// EC2 instance run time.
+    VmCompute,
+    /// Lambda GB-seconds.
+    LambdaCompute,
+    /// Lambda per-request fee.
+    LambdaInvocation,
+    /// S3 PUT/POST/LIST requests.
+    S3Put,
+    /// S3 GET requests.
+    S3Get,
+    /// SQS send/receive requests.
+    SqsRequest,
+    /// Storage capacity charges (S3/EBS GB-months, prorated).
+    Storage,
+    /// Anything else.
+    Other,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::VmCompute => "vm-compute",
+            Category::LambdaCompute => "lambda-compute",
+            Category::LambdaInvocation => "lambda-invocation",
+            Category::S3Put => "s3-put",
+            Category::S3Get => "s3-get",
+            Category::SqsRequest => "sqs-request",
+            Category::Storage => "storage",
+            Category::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One ledger line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Charge {
+    /// When the charge was finalized.
+    pub at: SimTime,
+    /// What kind of spend.
+    pub category: Category,
+    /// Amount in USD.
+    pub usd: f64,
+    /// Human-readable description (resource id etc.).
+    pub note: String,
+}
+
+/// An append-only record of spend with per-category rollups.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    charges: Vec<Charge>,
+    totals: BTreeMap<Category, f64>,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Records a charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `usd` is negative or not finite — refunds don't exist in
+    /// this model and NaNs would silently poison totals.
+    pub fn charge(&mut self, at: SimTime, category: Category, usd: f64, note: impl Into<String>) {
+        assert!(usd.is_finite() && usd >= 0.0, "invalid charge: {usd}");
+        *self.totals.entry(category).or_insert(0.0) += usd;
+        self.charges.push(Charge {
+            at,
+            category,
+            usd,
+            note: note.into(),
+        });
+    }
+
+    /// Total spend across all categories.
+    pub fn total(&self) -> f64 {
+        self.totals.values().sum()
+    }
+
+    /// Spend in one category.
+    pub fn total_for(&self, category: Category) -> f64 {
+        self.totals.get(&category).copied().unwrap_or(0.0)
+    }
+
+    /// Per-category rollup, in category order.
+    pub fn by_category(&self) -> Vec<(Category, f64)> {
+        self.totals.iter().map(|(c, v)| (*c, *v)).collect()
+    }
+
+    /// Every individual charge, in the order recorded.
+    pub fn charges(&self) -> &[Charge] {
+        &self.charges
+    }
+
+    /// Number of charges recorded.
+    pub fn len(&self) -> usize {
+        self.charges.len()
+    }
+
+    /// `true` when nothing has been charged.
+    pub fn is_empty(&self) -> bool {
+        self.charges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate_per_category() {
+        let mut l = Ledger::new();
+        l.charge(SimTime::ZERO, Category::VmCompute, 1.0, "vm-1");
+        l.charge(SimTime::from_secs(5), Category::VmCompute, 2.0, "vm-2");
+        l.charge(SimTime::from_secs(6), Category::S3Get, 0.5, "get");
+        assert_eq!(l.total_for(Category::VmCompute), 3.0);
+        assert_eq!(l.total_for(Category::S3Get), 0.5);
+        assert_eq!(l.total_for(Category::SqsRequest), 0.0);
+        assert_eq!(l.total(), 3.5);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn rollup_is_ordered_and_complete() {
+        let mut l = Ledger::new();
+        l.charge(SimTime::ZERO, Category::S3Put, 0.1, "");
+        l.charge(SimTime::ZERO, Category::LambdaCompute, 0.2, "");
+        let roll = l.by_category();
+        assert_eq!(roll.len(), 2);
+        assert_eq!(roll[0].0, Category::LambdaCompute);
+        assert_eq!(roll[1].0, Category::S3Put);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid charge")]
+    fn negative_charge_panics() {
+        Ledger::new().charge(SimTime::ZERO, Category::Other, -1.0, "refund");
+    }
+
+    #[test]
+    fn empty_ledger_reports_zero() {
+        let l = Ledger::new();
+        assert!(l.is_empty());
+        assert_eq!(l.total(), 0.0);
+        assert!(l.charges().is_empty());
+    }
+}

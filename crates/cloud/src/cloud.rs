@@ -1,0 +1,805 @@
+//! The cloud component: VM and Lambda lifecycles wired to the fabric and
+//! the billing ledger.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use splitserve_des::{Dist, Fabric, LinkId, Sim, SimDuration, SimTime};
+
+use crate::billing::{Category, Charge, Ledger};
+use crate::instance::InstanceType;
+use crate::pricing;
+
+/// Identifies a VM within a [`Cloud`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VmId(u64);
+
+/// Identifies a Lambda container within a [`Cloud`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LambdaId(u64);
+
+impl std::fmt::Display for VmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vm-{}", self.0)
+    }
+}
+
+impl std::fmt::Display for LambdaId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lambda-{}", self.0)
+    }
+}
+
+/// VM lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmState {
+    /// Requested, still booting.
+    Booting,
+    /// Ready to run executors; billing accrues.
+    Running,
+    /// Terminated; billing finalized.
+    Terminated,
+}
+
+/// Lambda lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LambdaState {
+    /// Invoked, container starting.
+    Starting,
+    /// Running user code; billing accrues; lifetime clock ticking.
+    Running,
+    /// Returned gracefully; container parked in the warm pool.
+    Released,
+    /// Hit the platform's hard lifetime limit and was destroyed.
+    Killed,
+}
+
+/// Tunable knobs of the simulated cloud. Defaults reflect the measurements
+/// the paper relies on: ~2 minute VM boots, ~100 ms warm Lambda starts, the
+/// 15-minute Lambda lifetime, and Lambda network bandwidth proportional to
+/// memory with noticeable jitter.
+#[derive(Debug, Clone)]
+pub struct CloudSpec {
+    /// VM boot delay in seconds.
+    pub vm_boot: Dist,
+    /// Warm-start delay for Lambdas in seconds.
+    pub lambda_warm_start: Dist,
+    /// Cold-start delay for Lambdas in seconds.
+    pub lambda_cold_start: Dist,
+    /// Hard kill timer per Lambda invocation.
+    pub lambda_lifetime: SimDuration,
+    /// Network bandwidth (bytes/s) of a Lambda at the maximum memory size;
+    /// scales linearly down with smaller allocations.
+    pub lambda_net_bytes_per_sec_at_max: f64,
+    /// Per-container multiplicative jitter on Lambda bandwidth
+    /// ("unreliable and proportional to memory", §5.2).
+    pub lambda_net_jitter: Dist,
+    /// Containers pre-warmed at simulation start (the paper's premise is
+    /// warm-start autoscaling).
+    pub prewarmed_lambdas: usize,
+}
+
+impl Default for CloudSpec {
+    fn default() -> Self {
+        CloudSpec {
+            vm_boot: Dist::normal(110.0, 15.0).clamped(60.0, 300.0),
+            lambda_warm_start: Dist::normal(0.15, 0.05).clamped(0.05, 0.6),
+            lambda_cold_start: Dist::log_normal_mean_sd(2.5, 1.0).clamped(0.8, 12.0),
+            lambda_lifetime: pricing::LAMBDA_LIFETIME,
+            // ~600 Mbps at 3 008 MB per the "Peeking Behind the Curtains"
+            // measurements the paper cites.
+            lambda_net_bytes_per_sec_at_max: 600.0e6 / 8.0,
+            lambda_net_jitter: Dist::log_normal_mean_sd(1.0, 0.25).clamped(0.3, 2.0),
+            prewarmed_lambdas: 1_024,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Vm {
+    itype: InstanceType,
+    state: VmState,
+    nic: LinkId,
+    ebs: LinkId,
+    started_at: Option<SimTime>,
+}
+
+/// Callback fired when the platform's lifetime limit kills a Lambda.
+type KillCallback = Box<dyn FnOnce(&mut Sim, LambdaId)>;
+
+struct Lambda {
+    memory_mb: u64,
+    state: LambdaState,
+    nic: LinkId,
+    started_at: Option<SimTime>,
+    kill_event: Option<splitserve_des::EventId>,
+    on_killed: Option<KillCallback>,
+}
+
+struct Inner {
+    spec: CloudSpec,
+    vms: Vec<Vm>,
+    lambdas: Vec<Lambda>,
+    warm_pool: usize,
+    cold_starts: u64,
+    warm_starts: u64,
+    ledger: Ledger,
+}
+
+/// Cloneable handle to the simulated cloud.
+///
+/// # Examples
+///
+/// ```
+/// use splitserve_cloud::{Cloud, CloudSpec, M4_LARGE};
+/// use splitserve_des::{Fabric, Sim};
+///
+/// let mut sim = Sim::new(0);
+/// let cloud = Cloud::new(CloudSpec::default(), Fabric::new());
+/// let vm = cloud.provision_vm_ready(&mut sim, M4_LARGE);
+/// assert_eq!(cloud.vm_cores(vm), 2);
+/// ```
+#[derive(Clone)]
+pub struct Cloud {
+    inner: Rc<RefCell<Inner>>,
+    fabric: Fabric,
+}
+
+impl std::fmt::Debug for Cloud {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Cloud")
+            .field("vms", &inner.vms.len())
+            .field("lambdas", &inner.lambdas.len())
+            .field("warm_pool", &inner.warm_pool)
+            .field("total_cost", &inner.ledger.total())
+            .finish()
+    }
+}
+
+impl Cloud {
+    /// Creates a cloud over an existing fabric.
+    pub fn new(spec: CloudSpec, fabric: Fabric) -> Self {
+        let warm = spec.prewarmed_lambdas;
+        Cloud {
+            inner: Rc::new(RefCell::new(Inner {
+                spec,
+                vms: Vec::new(),
+                lambdas: Vec::new(),
+                warm_pool: warm,
+                cold_starts: 0,
+                warm_starts: 0,
+                ledger: Ledger::new(),
+            })),
+            fabric,
+        }
+    }
+
+    /// The fabric this cloud places links on.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    // ----- VMs -------------------------------------------------------
+
+    /// Requests a new VM. `on_ready` fires after the sampled boot delay.
+    /// Billing accrues from readiness until [`Cloud::terminate_vm`].
+    pub fn request_vm(
+        &self,
+        sim: &mut Sim,
+        itype: InstanceType,
+        on_ready: impl FnOnce(&mut Sim, VmId) + 'static,
+    ) -> VmId {
+        let boot_secs = {
+            let inner = self.inner.borrow();
+            inner.spec.vm_boot.clone()
+        }
+        .sample(sim.rng());
+        let id = self.add_vm(itype, VmState::Booting);
+        let cloud = self.clone();
+        sim.schedule_in(SimDuration::from_secs_f64(boot_secs), move |sim| {
+            let still_wanted = {
+                let mut inner = cloud.inner.borrow_mut();
+                let vm = &mut inner.vms[id.0 as usize];
+                if vm.state == VmState::Booting {
+                    vm.state = VmState::Running;
+                    vm.started_at = Some(sim.now());
+                    true
+                } else {
+                    false // terminated while booting
+                }
+            };
+            if still_wanted {
+                on_ready(sim, id);
+            }
+        });
+        id
+    }
+
+    /// Provisions a VM that is *already running* at the current instant —
+    /// used for the cores a job finds free on arrival. Billing accrues from
+    /// now.
+    pub fn provision_vm_ready(&self, sim: &mut Sim, itype: InstanceType) -> VmId {
+        let id = self.add_vm(itype, VmState::Running);
+        self.inner.borrow_mut().vms[id.0 as usize].started_at = Some(sim.now());
+        id
+    }
+
+    fn add_vm(&self, itype: InstanceType, state: VmState) -> VmId {
+        let nic = self.fabric.add_link(
+            itype.net_bytes_per_sec,
+            format!("{}-nic", itype.name),
+        );
+        let ebs = self.fabric.add_link(
+            itype.ebs_bytes_per_sec,
+            format!("{}-ebs", itype.name),
+        );
+        let mut inner = self.inner.borrow_mut();
+        let id = VmId(inner.vms.len() as u64);
+        inner.vms.push(Vm {
+            itype,
+            state,
+            nic,
+            ebs,
+            started_at: None,
+        });
+        id
+    }
+
+    /// Terminates a VM and finalizes its bill (per-second, 60 s minimum).
+    /// Terminating a still-booting VM cancels it free of charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM was already terminated.
+    pub fn terminate_vm(&self, sim: &mut Sim, id: VmId) {
+        let mut inner = self.inner.borrow_mut();
+        let now = sim.now();
+        let vm = &mut inner.vms[id.0 as usize];
+        assert_ne!(vm.state, VmState::Terminated, "double terminate of {id}");
+        let charge = match (vm.state, vm.started_at) {
+            (VmState::Running, Some(start)) => {
+                Some(pricing::vm_cost(&vm.itype, now.saturating_since(start)))
+            }
+            _ => None,
+        };
+        vm.state = VmState::Terminated;
+        let name = vm.itype.name;
+        if let Some(usd) = charge {
+            inner
+                .ledger
+                .charge(now, Category::VmCompute, usd, format!("{id} {name}"));
+        }
+    }
+
+    /// The VM's lifecycle state.
+    pub fn vm_state(&self, id: VmId) -> VmState {
+        self.inner.borrow().vms[id.0 as usize].state
+    }
+
+    /// The VM's instance type.
+    pub fn vm_type(&self, id: VmId) -> InstanceType {
+        self.inner.borrow().vms[id.0 as usize].itype.clone()
+    }
+
+    /// Number of vCPUs (executor cores) on the VM.
+    pub fn vm_cores(&self, id: VmId) -> u32 {
+        self.inner.borrow().vms[id.0 as usize].itype.vcpus
+    }
+
+    /// The VM's network link.
+    pub fn vm_nic(&self, id: VmId) -> LinkId {
+        self.inner.borrow().vms[id.0 as usize].nic
+    }
+
+    /// The VM's dedicated EBS (disk) link.
+    pub fn vm_ebs(&self, id: VmId) -> LinkId {
+        self.inner.borrow().vms[id.0 as usize].ebs
+    }
+
+    // ----- Lambdas ---------------------------------------------------
+
+    /// Invokes a Lambda with `memory_mb` of memory.
+    ///
+    /// `on_ready` fires after a warm or cold start depending on pool state;
+    /// `on_killed` fires if the container hits the platform lifetime limit
+    /// before [`Cloud::release_lambda`] is called. The invocation fee is
+    /// charged immediately; compute is billed on release/kill at 100 ms
+    /// granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory_mb` exceeds the platform maximum (3 008 MB).
+    pub fn invoke_lambda(
+        &self,
+        sim: &mut Sim,
+        memory_mb: u64,
+        on_ready: impl FnOnce(&mut Sim, LambdaId) + 'static,
+        on_killed: impl FnOnce(&mut Sim, LambdaId) + 'static,
+    ) -> LambdaId {
+        assert!(
+            memory_mb <= pricing::LAMBDA_MAX_MEMORY_MB,
+            "lambda memory {memory_mb} MB exceeds platform max"
+        );
+        let (start_dist, lifetime) = {
+            let mut inner = self.inner.borrow_mut();
+            let now = sim.now();
+            inner.ledger.charge(
+                now,
+                Category::LambdaInvocation,
+                pricing::LAMBDA_USD_PER_INVOCATION,
+                "invoke",
+            );
+            let warm = inner.warm_pool > 0;
+            if warm {
+                inner.warm_pool -= 1;
+                inner.warm_starts += 1;
+            } else {
+                inner.cold_starts += 1;
+            }
+            let d = if warm {
+                inner.spec.lambda_warm_start.clone()
+            } else {
+                inner.spec.lambda_cold_start.clone()
+            };
+            (d, inner.spec.lambda_lifetime)
+        };
+        let start_secs = start_dist.sample(sim.rng());
+
+        // Bandwidth ∝ memory, with per-container jitter.
+        let (bw, jitter) = {
+            let inner = self.inner.borrow();
+            let base = inner.spec.lambda_net_bytes_per_sec_at_max * memory_mb as f64
+                / pricing::LAMBDA_MAX_MEMORY_MB as f64;
+            (base, inner.spec.lambda_net_jitter.clone())
+        };
+        let bw = (bw * jitter.sample(sim.rng())).max(1.0);
+        let nic = self.fabric.add_link(bw, format!("lambda-{memory_mb}mb-nic"));
+
+        let id = {
+            let mut inner = self.inner.borrow_mut();
+            let id = LambdaId(inner.lambdas.len() as u64);
+            inner.lambdas.push(Lambda {
+                memory_mb,
+                state: LambdaState::Starting,
+                nic,
+                started_at: None,
+                kill_event: None,
+                on_killed: Some(Box::new(on_killed)),
+            });
+            id
+        };
+
+        let cloud = self.clone();
+        sim.schedule_in(SimDuration::from_secs_f64(start_secs), move |sim| {
+            {
+                let mut inner = cloud.inner.borrow_mut();
+                let lam = &mut inner.lambdas[id.0 as usize];
+                if lam.state != LambdaState::Starting {
+                    return; // released/aborted before the container came up
+                }
+                lam.state = LambdaState::Running;
+                lam.started_at = Some(sim.now());
+            }
+            // Arm the platform's hard lifetime kill.
+            let cloud2 = cloud.clone();
+            let kill = sim.schedule_in(lifetime, move |sim| cloud2.kill_lambda(sim, id));
+            cloud.inner.borrow_mut().lambdas[id.0 as usize].kill_event = Some(kill);
+            on_ready(sim, id);
+        });
+        id
+    }
+
+    fn kill_lambda(&self, sim: &mut Sim, id: LambdaId) {
+        let cb = {
+            let mut inner = self.inner.borrow_mut();
+            let now = sim.now();
+            let lam = &mut inner.lambdas[id.0 as usize];
+            if lam.state != LambdaState::Running {
+                return;
+            }
+            lam.state = LambdaState::Killed;
+            let runtime = now.saturating_since(lam.started_at.expect("running lambda started"));
+            let usd = pricing::lambda_compute_cost(lam.memory_mb, runtime);
+            let cb = lam.on_killed.take();
+            inner
+                .ledger
+                .charge(now, Category::LambdaCompute, usd, format!("{id} killed"));
+            cb
+        };
+        if let Some(cb) = cb {
+            cb(sim, id);
+        }
+    }
+
+    /// Gracefully releases a Lambda: finalizes its bill and parks the
+    /// container in the warm pool. Releasing an already-killed container is
+    /// a no-op (the kill callback already ran).
+    pub fn release_lambda(&self, sim: &mut Sim, id: LambdaId) {
+        let kill_event = {
+            let mut inner = self.inner.borrow_mut();
+            let now = sim.now();
+            let lam = &mut inner.lambdas[id.0 as usize];
+            match lam.state {
+                LambdaState::Running => {
+                    lam.state = LambdaState::Released;
+                    let runtime =
+                        now.saturating_since(lam.started_at.expect("running lambda started"));
+                    let usd = pricing::lambda_compute_cost(lam.memory_mb, runtime);
+                    let ev = lam.kill_event.take();
+                    let mem = lam.memory_mb;
+                    inner.ledger.charge(
+                        now,
+                        Category::LambdaCompute,
+                        usd,
+                        format!("{id} {mem}MB released"),
+                    );
+                    inner.warm_pool += 1;
+                    ev
+                }
+                LambdaState::Starting => {
+                    // Released before it even started: bill one quantum.
+                    lam.state = LambdaState::Released;
+                    let usd = pricing::lambda_compute_cost(
+                        lam.memory_mb,
+                        pricing::LAMBDA_BILLING_QUANTUM,
+                    );
+                    inner.ledger.charge(
+                        now,
+                        Category::LambdaCompute,
+                        usd,
+                        format!("{id} aborted"),
+                    );
+                    inner.warm_pool += 1;
+                    None
+                }
+                LambdaState::Released | LambdaState::Killed => None,
+            }
+        };
+        if let Some(ev) = kill_event {
+            sim.cancel(ev);
+        }
+    }
+
+    /// The Lambda's lifecycle state.
+    pub fn lambda_state(&self, id: LambdaId) -> LambdaState {
+        self.inner.borrow().lambdas[id.0 as usize].state
+    }
+
+    /// The Lambda's network link.
+    pub fn lambda_nic(&self, id: LambdaId) -> LinkId {
+        self.inner.borrow().lambdas[id.0 as usize].nic
+    }
+
+    /// The Lambda's memory allocation in MB.
+    pub fn lambda_memory_mb(&self, id: LambdaId) -> u64 {
+        self.inner.borrow().lambdas[id.0 as usize].memory_mb
+    }
+
+    /// The fraction of one vCPU this Lambda receives.
+    pub fn lambda_cpu_share(&self, id: LambdaId) -> f64 {
+        pricing::lambda_cpu_share(self.lambda_memory_mb(id))
+    }
+
+    /// When this Lambda became ready, if it has.
+    pub fn lambda_started_at(&self, id: LambdaId) -> Option<SimTime> {
+        self.inner.borrow().lambdas[id.0 as usize].started_at
+    }
+
+    /// Counts of (warm, cold) starts so far.
+    pub fn start_counts(&self) -> (u64, u64) {
+        let inner = self.inner.borrow();
+        (inner.warm_starts, inner.cold_starts)
+    }
+
+    // ----- Billing ---------------------------------------------------
+
+    /// Records an arbitrary charge (used by the storage services).
+    pub fn charge(&self, at: SimTime, category: Category, usd: f64, note: impl Into<String>) {
+        self.inner.borrow_mut().ledger.charge(at, category, usd, note);
+    }
+
+    /// Total *finalized* spend so far.
+    pub fn total_cost(&self) -> f64 {
+        self.inner.borrow().ledger.total()
+    }
+
+    /// Finalized spend in one category.
+    pub fn cost_for(&self, category: Category) -> f64 {
+        self.inner.borrow().ledger.total_for(category)
+    }
+
+    /// Per-category rollup of finalized spend.
+    pub fn cost_by_category(&self) -> Vec<(Category, f64)> {
+        self.inner.borrow().ledger.by_category()
+    }
+
+    /// All individual charges recorded so far.
+    pub fn ledger_charges(&self) -> Vec<Charge> {
+        self.inner.borrow().ledger.charges().to_vec()
+    }
+
+    /// Finalized spend *plus* the accrued cost of everything still running
+    /// at `now` — the number an experiment reads at job completion.
+    pub fn accrued_cost(&self, now: SimTime) -> f64 {
+        let inner = self.inner.borrow();
+        let mut total = inner.ledger.total();
+        for vm in &inner.vms {
+            if vm.state == VmState::Running {
+                if let Some(start) = vm.started_at {
+                    total += pricing::vm_cost(&vm.itype, now.saturating_since(start));
+                }
+            }
+        }
+        for lam in &inner.lambdas {
+            if lam.state == LambdaState::Running {
+                if let Some(start) = lam.started_at {
+                    total +=
+                        pricing::lambda_compute_cost(lam.memory_mb, now.saturating_since(start));
+                }
+            }
+        }
+        total
+    }
+
+    /// Terminates every running VM and releases every running Lambda,
+    /// finalizing all bills — called at the end of an experiment.
+    pub fn shutdown_all(&self, sim: &mut Sim) {
+        let vm_ids: Vec<VmId> = {
+            let inner = self.inner.borrow();
+            (0..inner.vms.len() as u64)
+                .map(VmId)
+                .filter(|id| inner.vms[id.0 as usize].state != VmState::Terminated)
+                .collect()
+        };
+        for id in vm_ids {
+            self.terminate_vm(sim, id);
+        }
+        let lambda_ids: Vec<LambdaId> = {
+            let inner = self.inner.borrow();
+            (0..inner.lambdas.len() as u64)
+                .map(LambdaId)
+                .filter(|id| {
+                    matches!(
+                        inner.lambdas[id.0 as usize].state,
+                        LambdaState::Running | LambdaState::Starting
+                    )
+                })
+                .collect()
+        };
+        for id in lambda_ids {
+            self.release_lambda(sim, id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{M4_LARGE, M4_XLARGE};
+    use std::cell::Cell;
+
+    fn quiet_spec() -> CloudSpec {
+        CloudSpec {
+            vm_boot: Dist::constant(110.0),
+            lambda_warm_start: Dist::constant(0.1),
+            lambda_cold_start: Dist::constant(3.0),
+            lambda_net_jitter: Dist::constant(1.0),
+            ..CloudSpec::default()
+        }
+    }
+
+    #[test]
+    fn vm_boot_delay_applies() {
+        let mut sim = Sim::new(0);
+        let cloud = Cloud::new(quiet_spec(), Fabric::new());
+        let ready_at = Rc::new(Cell::new(-1.0));
+        let r = Rc::clone(&ready_at);
+        cloud.request_vm(&mut sim, M4_LARGE, move |sim, _id| {
+            r.set(sim.now().as_secs_f64());
+        });
+        sim.run();
+        assert_eq!(ready_at.get(), 110.0);
+    }
+
+    #[test]
+    fn vm_billing_from_ready_to_terminate_with_minimum() {
+        let mut sim = Sim::new(0);
+        let cloud = Cloud::new(quiet_spec(), Fabric::new());
+        let vm = cloud.provision_vm_ready(&mut sim, M4_LARGE);
+        // Terminate after 30 s → 60 s minimum billed.
+        let c = cloud.clone();
+        sim.schedule_in(SimDuration::from_secs(30), move |sim| {
+            c.terminate_vm(sim, vm);
+        });
+        sim.run();
+        let expect = 0.10 / 60.0; // one minute of m4.large
+        assert!((cloud.total_cost() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn terminate_while_booting_is_free() {
+        let mut sim = Sim::new(0);
+        let cloud = Cloud::new(quiet_spec(), Fabric::new());
+        let fired = Rc::new(Cell::new(false));
+        let f = Rc::clone(&fired);
+        let vm = cloud.request_vm(&mut sim, M4_XLARGE, move |_, _| f.set(true));
+        let c = cloud.clone();
+        sim.schedule_in(SimDuration::from_secs(10), move |sim| {
+            c.terminate_vm(sim, vm);
+        });
+        sim.run();
+        assert!(!fired.get(), "on_ready must not fire after cancel");
+        assert_eq!(cloud.total_cost(), 0.0);
+        assert_eq!(cloud.vm_state(vm), VmState::Terminated);
+    }
+
+    #[test]
+    fn lambda_warm_start_then_release_bills_quantum() {
+        let mut sim = Sim::new(0);
+        let cloud = Cloud::new(quiet_spec(), Fabric::new());
+        let ready_at = Rc::new(Cell::new(-1.0));
+        let r = Rc::clone(&ready_at);
+        let cloud2 = cloud.clone();
+        cloud.invoke_lambda(
+            &mut sim,
+            1_536,
+            move |sim, id| {
+                r.set(sim.now().as_secs_f64());
+                // run 0.25 s then release
+                let c = cloud2.clone();
+                sim.schedule_in(SimDuration::from_millis(250), move |sim| {
+                    c.release_lambda(sim, id);
+                });
+            },
+            |_, _| panic!("must not be killed"),
+        );
+        sim.run();
+        assert!((ready_at.get() - 0.1).abs() < 1e-9);
+        // 0.25 s rounds to 0.3 s of 1.5 GB + invocation fee.
+        let expect = pricing::LAMBDA_USD_PER_GB_SEC * 1.5 * 0.3 + pricing::LAMBDA_USD_PER_INVOCATION;
+        assert!(
+            (cloud.total_cost() - expect).abs() < 1e-12,
+            "got {} expect {expect}",
+            cloud.total_cost()
+        );
+    }
+
+    #[test]
+    fn lambda_lifetime_kill_fires_callback() {
+        let mut sim = Sim::new(0);
+        let cloud = Cloud::new(quiet_spec(), Fabric::new());
+        let killed_at = Rc::new(Cell::new(-1.0));
+        let k = Rc::clone(&killed_at);
+        cloud.invoke_lambda(
+            &mut sim,
+            1_536,
+            |_, _| {}, // never released
+            move |sim, _| k.set(sim.now().as_secs_f64()),
+        );
+        sim.run();
+        // ready at 0.1 s + 900 s lifetime
+        assert!((killed_at.get() - 900.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn release_cancels_lifetime_kill() {
+        let mut sim = Sim::new(0);
+        let cloud = Cloud::new(quiet_spec(), Fabric::new());
+        let cloud2 = cloud.clone();
+        cloud.invoke_lambda(
+            &mut sim,
+            1_536,
+            move |sim, id| {
+                let c = cloud2.clone();
+                sim.schedule_in(SimDuration::from_secs(10), move |sim| {
+                    c.release_lambda(sim, id);
+                });
+            },
+            |_, _| panic!("kill must be cancelled by release"),
+        );
+        sim.run();
+        assert!(sim.now().as_secs_f64() < 900.0);
+    }
+
+    #[test]
+    fn warm_pool_exhaustion_causes_cold_starts() {
+        let mut sim = Sim::new(0);
+        let spec = CloudSpec {
+            prewarmed_lambdas: 2,
+            ..quiet_spec()
+        };
+        let cloud = Cloud::new(spec, Fabric::new());
+        let mut ready = Vec::new();
+        for _ in 0..3 {
+            let r = Rc::new(Cell::new(-1.0));
+            ready.push(Rc::clone(&r));
+            cloud.invoke_lambda(
+                &mut sim,
+                1_536,
+                move |sim, _| r.set(sim.now().as_secs_f64()),
+                |_, _| {},
+            );
+        }
+        sim.run_until(SimTime::from_secs(30));
+        assert!((ready[0].get() - 0.1).abs() < 1e-9);
+        assert!((ready[1].get() - 0.1).abs() < 1e-9);
+        assert!((ready[2].get() - 3.0).abs() < 1e-9, "third start is cold");
+        assert_eq!(cloud.start_counts(), (2, 1));
+    }
+
+    #[test]
+    fn released_lambda_rewarms_pool() {
+        let mut sim = Sim::new(0);
+        let spec = CloudSpec {
+            prewarmed_lambdas: 1,
+            ..quiet_spec()
+        };
+        let cloud = Cloud::new(spec, Fabric::new());
+        let cloud2 = cloud.clone();
+        cloud.invoke_lambda(
+            &mut sim,
+            1_536,
+            move |sim, id| {
+                let c = cloud2.clone();
+                sim.schedule_in(SimDuration::from_secs(1), move |sim| {
+                    c.release_lambda(sim, id);
+                    // Re-invoke: should be warm again.
+                    let c2 = c.clone();
+                    c.invoke_lambda(sim, 1_536, move |sim2, id2| {
+                        c2.release_lambda(sim2, id2);
+                    }, |_, _| {});
+                });
+            },
+            |_, _| {},
+        );
+        sim.run();
+        assert_eq!(cloud.start_counts(), (2, 0));
+    }
+
+    #[test]
+    fn lambda_bandwidth_scales_with_memory() {
+        let mut sim = Sim::new(0);
+        let cloud = Cloud::new(quiet_spec(), Fabric::new());
+        let big = cloud.invoke_lambda(&mut sim, 3_008, |_, _| {}, |_, _| {});
+        let small = cloud.invoke_lambda(&mut sim, 752, |_, _| {}, |_, _| {});
+        let f = cloud.fabric();
+        let bw_big = f.link_capacity(cloud.lambda_nic(big));
+        let bw_small = f.link_capacity(cloud.lambda_nic(small));
+        assert!((bw_big / bw_small - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accrued_cost_counts_running_resources() {
+        let mut sim = Sim::new(0);
+        let cloud = Cloud::new(quiet_spec(), Fabric::new());
+        cloud.provision_vm_ready(&mut sim, M4_LARGE);
+        sim.run_until(SimTime::from_secs(120));
+        assert_eq!(cloud.total_cost(), 0.0, "nothing finalized yet");
+        let accrued = cloud.accrued_cost(sim.now());
+        let expect = 0.10 / 3600.0 * 120.0;
+        assert!((accrued - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shutdown_all_finalizes_everything() {
+        let mut sim = Sim::new(0);
+        let cloud = Cloud::new(quiet_spec(), Fabric::new());
+        cloud.provision_vm_ready(&mut sim, M4_LARGE);
+        cloud.invoke_lambda(&mut sim, 1_536, |_, _| {}, |_, _| {});
+        sim.run_until(SimTime::from_secs(10));
+        cloud.shutdown_all(&mut sim);
+        sim.run();
+        assert!(cloud.total_cost() > 0.0);
+        let accrued = cloud.accrued_cost(sim.now());
+        assert!((accrued - cloud.total_cost()).abs() < 1e-12, "nothing left accruing");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds platform max")]
+    fn oversized_lambda_rejected() {
+        let mut sim = Sim::new(0);
+        let cloud = Cloud::new(quiet_spec(), Fabric::new());
+        cloud.invoke_lambda(&mut sim, 4_096, |_, _| {}, |_, _| {});
+    }
+}

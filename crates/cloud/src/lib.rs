@@ -1,0 +1,56 @@
+//! # splitserve-cloud — the simulated IaaS/FaaS substrate
+//!
+//! Models the two AWS services whose *timing and pricing asymmetry* the
+//! SplitServe paper exploits:
+//!
+//! - **VMs** (EC2 m4 family): minutes-long boot delays, per-second billing
+//!   with a 60-second minimum, generous per-node memory and dedicated
+//!   EBS/network bandwidth ([`InstanceType`], [`Cloud::request_vm`]).
+//! - **Cloud functions** (Lambda): ~100 ms warm starts, 100 ms-granularity
+//!   GB-second billing plus an invocation fee, ≤3 GB memory, a hard
+//!   15-minute lifetime, and network bandwidth proportional to memory with
+//!   per-container jitter ([`Cloud::invoke_lambda`]).
+//!
+//! Every resource's spend lands in a [`Ledger`] so experiments can report
+//! the same cost columns the paper does (Figures 1 and 8).
+//!
+//! # Examples
+//!
+//! ```
+//! use splitserve_cloud::{Cloud, CloudSpec, M4_LARGE};
+//! use splitserve_des::{Fabric, Sim};
+//!
+//! let mut sim = Sim::new(1);
+//! let cloud = Cloud::new(CloudSpec::default(), Fabric::new());
+//!
+//! // A job arrives: two cores are free on a VM, three more come from Lambdas.
+//! let vm = cloud.provision_vm_ready(&mut sim, M4_LARGE);
+//! for _ in 0..3 {
+//!     cloud.invoke_lambda(&mut sim, 1536, |_sim, id| {
+//!         // executor registration would happen here
+//!         let _ = id;
+//!     }, |_sim, _id| { /* lifetime kill */ });
+//! }
+//! sim.run();
+//! assert_eq!(cloud.vm_cores(vm), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod billing;
+mod cloud;
+mod instance;
+mod pricing;
+
+pub use billing::{Category, Charge, Ledger};
+pub use cloud::{Cloud, CloudSpec, LambdaId, LambdaState, VmId, VmState};
+pub use instance::{
+    fewest_instances_for_cores, m4_family, InstanceType, M4_10XLARGE, M4_16XLARGE, M4_2XLARGE,
+    M4_4XLARGE, M4_8XLARGE, M4_LARGE, M4_XLARGE,
+};
+pub use pricing::{
+    fig1_crossover, fig1_vcpu_cost_at, lambda_compute_cost, lambda_cost, lambda_cpu_share,
+    vm_cost, LAMBDA_BILLING_QUANTUM, LAMBDA_LIFETIME, LAMBDA_MAX_MEMORY_MB, LAMBDA_MB_PER_VCPU,
+    LAMBDA_TMP_BYTES, LAMBDA_USD_PER_GB_SEC, LAMBDA_USD_PER_INVOCATION, S3_USD_PER_GET,
+    S3_USD_PER_PUT, SQS_USD_PER_REQUEST, VM_BILLING_QUANTUM, VM_MINIMUM_BILLED,
+};

@@ -1,0 +1,347 @@
+//! The deserializer half of the format.
+
+use serde::de::{self, DeserializeSeed, Visitor};
+
+use crate::error::{Error, Result};
+use crate::varint;
+
+/// Deserializes a value of type `T` from `bytes`, requiring the whole input
+/// to be consumed.
+///
+/// # Errors
+///
+/// Returns an error on malformed input or if trailing bytes remain.
+///
+/// # Examples
+///
+/// ```
+/// let bytes = splitserve_codec::to_bytes(&vec![1u8, 2, 3]).expect("encode");
+/// let v: Vec<u8> = splitserve_codec::from_bytes(&bytes).expect("decode");
+/// assert_eq!(v, vec![1, 2, 3]);
+/// ```
+pub fn from_bytes<'de, T: de::Deserialize<'de>>(bytes: &'de [u8]) -> Result<T> {
+    let mut de = Deserializer { input: bytes };
+    let value = T::deserialize(&mut de)?;
+    if de.input.is_empty() {
+        Ok(value)
+    } else {
+        Err(Error::TrailingBytes(de.input.len()))
+    }
+}
+
+/// Deserializes a value from the front of `*bytes`, advancing the slice.
+/// Used to stream records out of a shuffle block.
+///
+/// # Errors
+///
+/// Returns an error on malformed input.
+pub fn from_bytes_seq<'de, T: de::Deserialize<'de>>(bytes: &mut &'de [u8]) -> Result<T> {
+    let mut de = Deserializer { input: bytes };
+    let value = T::deserialize(&mut de)?;
+    *bytes = de.input;
+    Ok(value)
+}
+
+struct Deserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Deserializer<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8]> {
+        if self.input.len() < n {
+            return Err(Error::UnexpectedEof);
+        }
+        let (head, rest) = self.input.split_at(n);
+        self.input = rest;
+        Ok(head)
+    }
+
+    fn read_byte(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn read_u64(&mut self) -> Result<u64> {
+        varint::read_u64(&mut self.input)
+    }
+
+    fn read_i64(&mut self) -> Result<i64> {
+        varint::read_i64(&mut self.input)
+    }
+
+    fn read_len(&mut self) -> Result<usize> {
+        let n = self.read_u64()?;
+        // A length can never exceed the remaining bytes (each element
+        // occupies at least one byte except zero-sized ones, which are
+        // bounded elsewhere); this guards against absurd allocations.
+        if n > (self.input.len() as u64).saturating_mul(8).saturating_add(64) {
+            return Err(Error::LengthOverflow(n));
+        }
+        Ok(n as usize)
+    }
+}
+
+macro_rules! de_signed {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+            let v = self.read_i64()?;
+            let v = <$ty>::try_from(v)
+                .map_err(|_| Error::Message(format!("integer {v} out of range")))?;
+            visitor.$visit(v)
+        }
+    };
+}
+
+macro_rules! de_unsigned {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+            let v = self.read_u64()?;
+            let v = <$ty>::try_from(v)
+                .map_err(|_| Error::Message(format!("integer {v} out of range")))?;
+            visitor.$visit(v)
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error::AnyUnsupported)
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error::AnyUnsupported)
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.read_byte()? {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(Error::InvalidBool(b)),
+        }
+    }
+
+    de_signed!(deserialize_i8, visit_i8, i8);
+    de_signed!(deserialize_i16, visit_i16, i16);
+    de_signed!(deserialize_i32, visit_i32, i32);
+
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let v = self.read_i64()?;
+        visitor.visit_i64(v)
+    }
+
+    de_unsigned!(deserialize_u8, visit_u8, u8);
+    de_unsigned!(deserialize_u16, visit_u16, u16);
+    de_unsigned!(deserialize_u32, visit_u32, u32);
+
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let v = self.read_u64()?;
+        visitor.visit_u64(v)
+    }
+
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let b = self.take(4)?;
+        visitor.visit_f32(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let b = self.take(8)?;
+        visitor.visit_f64(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let scalar = self.read_u64()?;
+        let scalar =
+            u32::try_from(scalar).map_err(|_| Error::InvalidChar(u32::MAX))?;
+        let c = char::from_u32(scalar).ok_or(Error::InvalidChar(scalar))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.read_len()?;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| Error::InvalidUtf8)?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.read_len()?;
+        let bytes = self.take(len)?;
+        visitor.visit_borrowed_bytes(bytes)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.read_byte()? {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(Error::InvalidOptionTag(b)),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.read_len()?;
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.read_len()?;
+        visitor.visit_map(Counted { de: self, left: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_seq(Counted {
+            de: self,
+            left: fields.len(),
+        })
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error::AnyUnsupported)
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    left: usize,
+}
+
+impl<'a, 'de> de::SeqAccess<'de> for Counted<'a, 'de> {
+    type Error = Error;
+
+    fn next_element_seed<T: DeserializeSeed<'de>>(&mut self, seed: T) -> Result<Option<T::Value>> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+impl<'a, 'de> de::MapAccess<'de> for Counted<'a, 'de> {
+    type Error = Error;
+
+    fn next_key_seed<K: DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = Error;
+    type Variant = Self;
+
+    fn variant_seed<V: DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, Self)> {
+        let index = self.de.read_u64()?;
+        let index = u32::try_from(index)
+            .map_err(|_| Error::Message(format!("variant index {index} out of range")))?;
+        let value = seed.deserialize(de::value::U32Deserializer::<Error>::new(index))?;
+        Ok((value, self))
+    }
+}
+
+impl<'a, 'de> de::VariantAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = Error;
+
+    fn unit_variant(self) -> Result<()> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
+        visitor.visit_seq(Counted { de: self.de, left: len })
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_seq(Counted {
+            de: self.de,
+            left: fields.len(),
+        })
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type shared by the serializer and deserializer.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding the SplitServe binary format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A custom message from serde (e.g. a `Serialize` impl failed).
+    Message(String),
+    /// Input ended before the value was fully decoded.
+    UnexpectedEof,
+    /// A varint ran past its maximum width (corrupt input).
+    VarintOverflow,
+    /// A length prefix was implausibly large for the remaining input.
+    LengthOverflow(u64),
+    /// Decoded bytes were not valid UTF-8 where a string was expected.
+    InvalidUtf8,
+    /// Decoded scalar was not a valid `char`.
+    InvalidChar(u32),
+    /// A boolean byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// An `Option` tag byte was neither 0 nor 1.
+    InvalidOptionTag(u8),
+    /// The format is not self-describing, so `deserialize_any` is unsupported.
+    AnyUnsupported,
+    /// Sequences serialized through this format must know their length.
+    UnknownLength,
+    /// Trailing bytes remained after the value was decoded.
+    TrailingBytes(usize),
+}
+
+/// Convenience alias for codec results.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Message(m) => write!(f, "{m}"),
+            Error::UnexpectedEof => write!(f, "unexpected end of input"),
+            Error::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            Error::LengthOverflow(n) => write!(f, "length prefix {n} exceeds remaining input"),
+            Error::InvalidUtf8 => write!(f, "invalid UTF-8 in decoded string"),
+            Error::InvalidChar(c) => write!(f, "invalid char scalar {c:#x}"),
+            Error::InvalidBool(b) => write!(f, "invalid bool byte {b}"),
+            Error::InvalidOptionTag(b) => write!(f, "invalid option tag {b}"),
+            Error::AnyUnsupported => {
+                write!(f, "format is not self-describing; deserialize_any unsupported")
+            }
+            Error::UnknownLength => write!(f, "sequence length must be known up front"),
+            Error::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}

@@ -1,0 +1,194 @@
+//! # splitserve-codec — compact binary serde format
+//!
+//! The wire format used to serialize shuffle records into storage blocks in
+//! the SplitServe reproduction. It is a bincode-style, non-self-describing
+//! binary format: LEB128 varints for integers (zigzag for signed),
+//! little-endian IEEE floats, length-prefixed strings/bytes/sequences, and
+//! variant indices for enums. It exists because no serde *format* crate is
+//! available in the offline dependency set.
+//!
+//! # Examples
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! struct Edge {
+//!     src: u64,
+//!     dst: u64,
+//!     weight: f64,
+//! }
+//!
+//! # fn main() -> Result<(), splitserve_codec::Error> {
+//! let e = Edge { src: 3, dst: 7, weight: 0.5 };
+//! let bytes = splitserve_codec::to_bytes(&e)?;
+//! let back: Edge = splitserve_codec::from_bytes(&bytes)?;
+//! assert_eq!(back, e);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod de;
+mod error;
+mod ser;
+mod varint;
+
+pub use de::{from_bytes, from_bytes_seq};
+pub use error::{Error, Result};
+pub use ser::{to_bytes, to_writer};
+
+/// Encoded size of `value` in bytes, computed by serializing it.
+///
+/// # Errors
+///
+/// Same as [`to_bytes`].
+pub fn encoded_len<T: serde::Serialize + ?Sized>(value: &T) -> Result<usize> {
+    to_bytes(value).map(|b| b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn roundtrip<T>(v: &T)
+    where
+        T: Serialize + for<'de> Deserialize<'de> + PartialEq + std::fmt::Debug,
+    {
+        let bytes = crate::to_bytes(v).expect("encode");
+        let back: T = crate::from_bytes(&bytes).expect("decode");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(&true);
+        roundtrip(&false);
+        roundtrip(&0u8);
+        roundtrip(&u64::MAX);
+        roundtrip(&i64::MIN);
+        roundtrip(&-1i32);
+        roundtrip(&3.25f32);
+        roundtrip(&f64::NEG_INFINITY);
+        roundtrip(&'λ');
+        roundtrip(&"hello world".to_string());
+        roundtrip(&String::new());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(&vec![1u32, 2, 3]);
+        roundtrip(&Vec::<u32>::new());
+        roundtrip(&Some(42u64));
+        roundtrip(&Option::<u64>::None);
+        roundtrip(&(1u8, "pair".to_string(), 2.5f64));
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        m.insert("b".to_string(), 2u32);
+        roundtrip(&m);
+        roundtrip(&vec![vec![1u8], vec![], vec![2, 3]]);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Shape {
+        Unit,
+        New(u32),
+        Tuple(u32, String),
+        Struct { x: f64, y: f64 },
+    }
+
+    #[test]
+    fn enums_roundtrip() {
+        roundtrip(&Shape::Unit);
+        roundtrip(&Shape::New(7));
+        roundtrip(&Shape::Tuple(1, "t".into()));
+        roundtrip(&Shape::Struct { x: 1.0, y: -2.0 });
+        roundtrip(&vec![Shape::Unit, Shape::New(1)]);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Nested {
+        id: u64,
+        tags: Vec<String>,
+        inner: Option<Box<Nested>>,
+    }
+
+    #[test]
+    fn nested_structs_roundtrip() {
+        roundtrip(&Nested {
+            id: 1,
+            tags: vec!["a".into(), "b".into()],
+            inner: Some(Box::new(Nested {
+                id: 2,
+                tags: vec![],
+                inner: None,
+            })),
+        });
+    }
+
+    #[test]
+    fn varints_keep_small_records_small() {
+        // A (u64 key, f64 value) record with a small key: 1 + 8 bytes.
+        let n = crate::encoded_len(&(5u64, 1.0f64)).expect("len");
+        assert_eq!(n, 9);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = crate::to_bytes(&1u32).expect("encode");
+        bytes.push(0);
+        let r: Result<u32, _> = crate::from_bytes(&bytes);
+        assert!(matches!(r, Err(crate::Error::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = crate::to_bytes(&"hello").expect("encode");
+        let r: Result<String, _> = crate::from_bytes(&bytes[..bytes.len() - 1]);
+        assert!(matches!(r, Err(crate::Error::UnexpectedEof)));
+    }
+
+    #[test]
+    fn absurd_length_prefix_rejected() {
+        // Sequence claiming u64::MAX elements with 2 bytes of input.
+        let mut bytes = Vec::new();
+        super::varint_write_for_test(&mut bytes, u64::MAX / 2);
+        let r: Result<Vec<u8>, _> = crate::from_bytes(&bytes);
+        assert!(matches!(r, Err(crate::Error::LengthOverflow(_))));
+    }
+
+    #[test]
+    fn streaming_decode_advances() {
+        let mut buf = Vec::new();
+        crate::to_writer(&mut buf, &(1u32, 2u32)).expect("encode");
+        crate::to_writer(&mut buf, &(3u32, 4u32)).expect("encode");
+        let mut slice = buf.as_slice();
+        let a: (u32, u32) = crate::from_bytes_seq(&mut slice).expect("decode");
+        let b: (u32, u32) = crate::from_bytes_seq(&mut slice).expect("decode");
+        assert_eq!(a, (1, 2));
+        assert_eq!(b, (3, 4));
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        let r: Result<bool, _> = crate::from_bytes(&[2]);
+        assert!(matches!(r, Err(crate::Error::InvalidBool(2))));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        // len=2, bytes = invalid UTF-8
+        let bytes = [2u8, 0xff, 0xfe];
+        let r: Result<String, _> = crate::from_bytes(&bytes);
+        assert!(matches!(r, Err(crate::Error::InvalidUtf8)));
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn varint_write_for_test(out: &mut Vec<u8>, v: u64) {
+    varint::write_u64(out, v)
+}

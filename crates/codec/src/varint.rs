@@ -1,0 +1,129 @@
+//! LEB128 variable-length integers with zigzag encoding for signed values.
+
+use crate::error::{Error, Result};
+
+/// Appends `v` to `out` as an LEB128 varint (1–10 bytes).
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `v` zigzag-encoded so small-magnitude negatives stay short.
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, zigzag(v));
+}
+
+/// Maps signed to unsigned preserving small magnitudes: 0,-1,1,-2 → 0,1,2,3.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Reads an LEB128 varint from the front of `input`, advancing it.
+///
+/// # Errors
+///
+/// [`Error::UnexpectedEof`] if input ends mid-varint;
+/// [`Error::VarintOverflow`] if more than 64 bits are encoded.
+pub fn read_u64(input: &mut &[u8]) -> Result<u64> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = input.split_first().ok_or(Error::UnexpectedEof)?;
+        *input = rest;
+        if shift == 63 && byte > 1 {
+            return Err(Error::VarintOverflow);
+        }
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(Error::VarintOverflow);
+        }
+    }
+}
+
+/// Reads a zigzag-encoded signed varint.
+///
+/// # Errors
+///
+/// Same as [`read_u64`].
+pub fn read_i64(input: &mut &[u8]) -> Result<i64> {
+    read_u64(input).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        let mut s = buf.as_slice();
+        let got = read_u64(&mut s).expect("roundtrip");
+        assert!(s.is_empty(), "leftover bytes");
+        got
+    }
+
+    #[test]
+    fn u64_roundtrip_edges() {
+        for v in [0, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            assert_eq!(roundtrip_u(v), v);
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn zigzag_pairs() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+        for v in [-5i64, 0, 5, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn i64_roundtrip() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -123_456_789] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut s = buf.as_slice();
+            assert_eq!(read_i64(&mut s).expect("roundtrip"), v);
+        }
+    }
+
+    #[test]
+    fn eof_mid_varint_errors() {
+        let mut s: &[u8] = &[0x80];
+        assert_eq!(read_u64(&mut s), Err(Error::UnexpectedEof));
+    }
+
+    #[test]
+    fn overlong_varint_errors() {
+        // 11 continuation bytes cannot fit in 64 bits.
+        let bytes = [0xffu8; 11];
+        let mut s = bytes.as_slice();
+        assert_eq!(read_u64(&mut s), Err(Error::VarintOverflow));
+    }
+}

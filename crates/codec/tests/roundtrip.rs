@@ -1,0 +1,99 @@
+//! Property-based roundtrip tests: for every value serde can describe,
+//! `from_bytes(to_bytes(v)) == v`.
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+enum Record {
+    Empty,
+    Scalar(i64),
+    Pair(u64, f64),
+    Labeled { name: String, values: Vec<f32> },
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    prop_oneof![
+        Just(Record::Empty),
+        any::<i64>().prop_map(Record::Scalar),
+        (any::<u64>(), any::<f64>().prop_filter("NaN breaks PartialEq", |f| !f.is_nan()))
+            .prop_map(|(k, v)| Record::Pair(k, v)),
+        (
+            "[a-z]{0,12}",
+            prop::collection::vec(
+                any::<f32>().prop_filter("NaN breaks PartialEq", |f| !f.is_nan()),
+                0..8
+            )
+        )
+            .prop_map(|(name, values)| Record::Labeled { name, values }),
+    ]
+}
+
+fn roundtrip<T>(v: &T) -> T
+where
+    T: Serialize + for<'de> Deserialize<'de>,
+{
+    let bytes = splitserve_codec::to_bytes(v).expect("encode");
+    splitserve_codec::from_bytes(&bytes).expect("decode")
+}
+
+proptest! {
+    #[test]
+    fn u64_roundtrips(v in any::<u64>()) {
+        prop_assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn i64_roundtrips(v in any::<i64>()) {
+        prop_assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn f64_roundtrips_bitwise(v in any::<f64>()) {
+        prop_assert_eq!(roundtrip(&v).to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn strings_roundtrip(s in "\\PC{0,64}") {
+        prop_assert_eq!(roundtrip(&s), s);
+    }
+
+    #[test]
+    fn byte_vectors_roundtrip(v in prop::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn maps_roundtrip(m in prop::collection::btree_map(any::<u32>(), "[a-z]{0,8}", 0..32)) {
+        prop_assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn records_roundtrip(r in prop::collection::vec(arb_record(), 0..32)) {
+        prop_assert_eq!(roundtrip(&r), r);
+    }
+
+    #[test]
+    fn options_and_nesting_roundtrip(v in prop::collection::vec(
+        prop::option::of((any::<u16>(), prop::collection::vec(any::<i32>(), 0..4))), 0..16
+    )) {
+        prop_assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn nested_map_of_records_roundtrips(
+        m in prop::collection::btree_map("[a-z]{1,4}", prop::collection::vec(arb_record(), 0..4), 0..8)
+    ) {
+        let got: BTreeMap<String, Vec<Record>> = roundtrip(&m);
+        prop_assert_eq!(got, m);
+    }
+
+    /// Arbitrary garbage input never panics — it either decodes or errors.
+    #[test]
+    fn fuzz_decoding_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _: Result<Vec<Record>, _> = splitserve_codec::from_bytes(&bytes);
+        let _: Result<(String, u64, f64), _> = splitserve_codec::from_bytes(&bytes);
+        let _: Result<BTreeMap<u32, String>, _> = splitserve_codec::from_bytes(&bytes);
+    }
+}

@@ -1,0 +1,241 @@
+//! A dynamic-allocation controller: the closed-loop version of the
+//! launching facility.
+//!
+//! Spark's `ExecutorAllocationManager` grows and shrinks the executor set
+//! with the task backlog (paper §3: "dynamic allocation … lets an
+//! application start with a predefined minimum number of executors, which
+//! can grow … as and when the resources become available; if an executor
+//! is idle for some time, it is killed"). SplitServe's twist is *what* it
+//! grows with: the controller here bridges backlog with Lambdas
+//! immediately, and retires them once idle past `idle_timeout` — billing
+//! stops and the container goes back to the warm pool.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use splitserve_des::{Sim, SimDuration};
+use splitserve_engine::ExecutorKind;
+
+use crate::deploy::Deployment;
+
+/// Controller knobs.
+#[derive(Debug, Clone)]
+pub struct AllocatorConfig {
+    /// Hard cap on concurrently live Lambda executors.
+    pub max_lambdas: u32,
+    /// How often the control loop runs.
+    pub check_interval: SimDuration,
+    /// Idle Lambdas older than this are drained (Spark's
+    /// `spark.dynamicAllocation.executorIdleTimeout`).
+    pub idle_timeout: SimDuration,
+    /// Backlog-to-executor ratio: one new Lambda per this many pending
+    /// tasks beyond current capacity.
+    pub tasks_per_executor: u32,
+}
+
+impl Default for AllocatorConfig {
+    fn default() -> Self {
+        AllocatorConfig {
+            max_lambdas: 64,
+            check_interval: SimDuration::from_millis(500),
+            idle_timeout: SimDuration::from_secs(5),
+            tasks_per_executor: 2,
+        }
+    }
+}
+
+/// Handle to a running allocation controller.
+#[derive(Debug, Clone)]
+pub struct AllocatorHandle {
+    active: Rc<Cell<bool>>,
+    launched: Rc<Cell<u32>>,
+}
+
+impl AllocatorHandle {
+    /// Stops the control loop at its next tick.
+    pub fn stop(&self) {
+        self.active.set(false);
+    }
+
+    /// Total Lambda executors this controller has launched.
+    pub fn lambdas_launched(&self) -> u32 {
+        self.launched.get()
+    }
+}
+
+/// Starts the control loop on `deployment`. The loop runs until
+/// [`AllocatorHandle::stop`] — schedule jobs before or after; the
+/// controller reacts to whatever backlog appears.
+pub fn start_allocator(
+    sim: &mut Sim,
+    deployment: &Deployment,
+    cfg: AllocatorConfig,
+) -> AllocatorHandle {
+    let handle = AllocatorHandle {
+        active: Rc::new(Cell::new(true)),
+        launched: Rc::new(Cell::new(0)),
+    };
+    tick(sim, deployment.clone(), cfg, handle.clone());
+    handle
+}
+
+fn tick(sim: &mut Sim, d: Deployment, cfg: AllocatorConfig, handle: AllocatorHandle) {
+    if !handle.active.get() {
+        return;
+    }
+    let engine = d.engine().clone();
+    let pending = engine.pending_tasks();
+    let execs = engine.executors();
+    let live_lambdas: Vec<_> = execs
+        .iter()
+        .filter(|e| e.kind == ExecutorKind::Lambda && e.alive && !e.draining)
+        .collect();
+    let live_total = execs.iter().filter(|e| e.alive && !e.draining).count() as u32;
+
+    if pending > 0 {
+        // Scale out: one Lambda per `tasks_per_executor` of backlog beyond
+        // what the live executors will absorb.
+        let want = (pending as u32).div_ceil(cfg.tasks_per_executor);
+        let deficit = want.saturating_sub(live_total);
+        let room = cfg.max_lambdas.saturating_sub(live_lambdas.len() as u32);
+        let add = deficit.min(room);
+        if add > 0 {
+            d.add_lambda_executors(sim, add);
+            handle.launched.set(handle.launched.get() + add);
+        }
+    } else {
+        // Scale in: retire Lambdas idle past the timeout.
+        let now = sim.now();
+        for e in &live_lambdas {
+            if !e.busy && now.saturating_since(e.idle_since) >= cfg.idle_timeout {
+                d.drain_lambda_executor(sim, &e.id);
+            }
+        }
+    }
+
+    let interval = cfg.check_interval;
+    let h = handle.clone();
+    sim.schedule_in(interval, move |sim| tick(sim, d, cfg, h));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::ShuffleStoreKind;
+    use splitserve_cloud::{CloudSpec, M4_XLARGE};
+    use splitserve_des::Dist;
+    use splitserve_engine::Dataset;
+    use std::cell::RefCell;
+
+    fn quiet_cloud() -> CloudSpec {
+        CloudSpec {
+            lambda_warm_start: Dist::constant(0.1),
+            lambda_net_jitter: Dist::constant(1.0),
+            ..CloudSpec::default()
+        }
+    }
+
+    fn burst_job(width: usize) -> Dataset<(u64, u64)> {
+        Dataset::<u64>::generate(width, |p| (0..2_000u64).map(|i| i + p as u64).collect())
+            .map_with_cost(|x| (*x % 4, 1u64), Some(5e-4))
+            .reduce_by_key(4, |a, b| a + b)
+    }
+
+    #[test]
+    fn allocator_scales_out_for_backlog_and_back_in_when_idle() {
+        let mut sim = Sim::new(21);
+        let d = Deployment::new(&mut sim, quiet_cloud(), ShuffleStoreKind::Hdfs, M4_XLARGE);
+        let handle = start_allocator(
+            &mut sim,
+            &d,
+            AllocatorConfig {
+                max_lambdas: 8,
+                idle_timeout: SimDuration::from_secs(3),
+                ..AllocatorConfig::default()
+            },
+        );
+        let done_at = Rc::new(RefCell::new(None));
+        let da = Rc::clone(&done_at);
+        d.engine()
+            .submit_job(&mut sim, burst_job(16).node(), move |sim, _| {
+                *da.borrow_mut() = Some(sim.now().as_secs_f64());
+            });
+        // Run well past job completion + idle timeout.
+        sim.run_until(splitserve_des::SimTime::from_secs(120));
+        handle.stop();
+        sim.run();
+
+        assert!(done_at.borrow().is_some(), "job completed");
+        assert!(
+            handle.lambdas_launched() >= 4,
+            "backlog must have triggered scale-out: {}",
+            handle.lambdas_launched()
+        );
+        // After the idle timeout every Lambda is drained and released.
+        let live = d
+            .engine()
+            .executors()
+            .iter()
+            .filter(|e| e.alive)
+            .count();
+        assert_eq!(live, 0, "idle lambdas must be retired");
+        // And billing stopped at release: cost stays bounded even though
+        // the sim ran to 120 s.
+        let lambda_cost = d
+            .cloud()
+            .cost_for(splitserve_cloud::Category::LambdaCompute);
+        assert!(lambda_cost > 0.0);
+        let done = done_at.borrow().expect("done");
+        let worst_case = handle.lambdas_launched() as f64
+            * splitserve_cloud::lambda_compute_cost(
+                1536,
+                SimDuration::from_secs_f64(done + 4.0),
+            );
+        assert!(
+            lambda_cost <= worst_case,
+            "cost {lambda_cost} exceeds bound {worst_case}"
+        );
+    }
+
+    #[test]
+    fn allocator_respects_the_lambda_cap() {
+        let mut sim = Sim::new(22);
+        let d = Deployment::new(&mut sim, quiet_cloud(), ShuffleStoreKind::Hdfs, M4_XLARGE);
+        let handle = start_allocator(
+            &mut sim,
+            &d,
+            AllocatorConfig {
+                max_lambdas: 3,
+                ..AllocatorConfig::default()
+            },
+        );
+        d.engine()
+            .submit_job(&mut sim, burst_job(64).node(), |_, _| {});
+        sim.run_until(splitserve_des::SimTime::from_secs(10));
+        let live_lambdas = d
+            .engine()
+            .executors()
+            .iter()
+            .filter(|e| e.kind == ExecutorKind::Lambda && e.alive)
+            .count();
+        assert!(live_lambdas <= 3, "cap violated: {live_lambdas}");
+        handle.stop();
+        sim.run_until(splitserve_des::SimTime::from_secs(2_000));
+    }
+
+    #[test]
+    fn stopped_allocator_stops_reacting() {
+        let mut sim = Sim::new(23);
+        let d = Deployment::new(&mut sim, quiet_cloud(), ShuffleStoreKind::Hdfs, M4_XLARGE);
+        let handle = start_allocator(&mut sim, &d, AllocatorConfig::default());
+        handle.stop();
+        d.engine()
+            .submit_job(&mut sim, burst_job(8).node(), |_, _| {});
+        sim.run_until(splitserve_des::SimTime::from_secs(5));
+        assert_eq!(
+            handle.lambdas_launched(),
+            0,
+            "stopped controller must not launch"
+        );
+    }
+}

@@ -1,0 +1,476 @@
+//! The deployment layer: SplitServe's **launching facility** and
+//! **VM/Lambda system state** (paper §4.2–4.3).
+//!
+//! A [`Deployment`] glues the simulated cloud, a shuffle store and the
+//! engine together, and tracks where every executor runs — the state the
+//! paper adds to `StandAloneSchedulerBackend` so it "may launch executors
+//! on both VMs and Lambdas and divide a single job's tasks across them".
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use splitserve_cloud::{Cloud, CloudSpec, InstanceType, LambdaId, VmId};
+use splitserve_des::{Fabric, Sim};
+use splitserve_engine::{Engine, EngineConfig, ExecutorDesc, ExecutorId};
+use splitserve_storage::{
+    BlockStore, HdfsSpec, HdfsStore, LocalDiskStore, RedisSpec, RedisStore, S3Spec, S3Store,
+    SqsSpec, SqsStore,
+};
+
+/// Which substrate holds intermediate shuffle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShuffleStoreKind {
+    /// Executor-local disk (vanilla Spark dynamic allocation).
+    Local,
+    /// SplitServe's shared HDFS layer, colocated with the master.
+    Hdfs,
+    /// S3 (Qubole Spark-on-Lambda).
+    S3,
+    /// SQS queues (Flint).
+    Sqs,
+    /// A VM-backed Redis (Locus).
+    Redis,
+}
+
+impl std::fmt::Display for ShuffleStoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ShuffleStoreKind::Local => "local",
+            ShuffleStoreKind::Hdfs => "hdfs",
+            ShuffleStoreKind::S3 => "s3",
+            ShuffleStoreKind::Sqs => "sqs",
+            ShuffleStoreKind::Redis => "redis",
+        };
+        f.write_str(s)
+    }
+}
+
+struct Inner {
+    lambda_execs: HashMap<ExecutorId, LambdaId>,
+    worker_vms: Vec<VmId>,
+    next_lambda: u64,
+    next_vm_exec: u64,
+    lambda_memory_mb: u64,
+}
+
+/// A running SplitServe deployment: cloud + store + engine + the
+/// executor-location state.
+///
+/// # Examples
+///
+/// ```
+/// use splitserve::{Deployment, ShuffleStoreKind};
+/// use splitserve_cloud::{CloudSpec, M4_XLARGE};
+/// use splitserve_des::Sim;
+///
+/// let mut sim = Sim::new(1);
+/// let d = Deployment::new(&mut sim, CloudSpec::default(), ShuffleStoreKind::Hdfs, M4_XLARGE);
+/// assert_eq!(d.engine().active_executors(), 0);
+/// ```
+#[derive(Clone)]
+pub struct Deployment {
+    fabric: Fabric,
+    cloud: Cloud,
+    engine: Engine,
+    store_kind: ShuffleStoreKind,
+    master_vm: VmId,
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("store", &self.store_kind)
+            .field("executors", &self.engine.active_executors())
+            .finish()
+    }
+}
+
+impl Deployment {
+    /// Creates a deployment: provisions the master VM (long-running, per
+    /// the paper's footnote: "the Spark master must itself be on a VM"),
+    /// builds the chosen shuffle store (HDFS is colocated with the master,
+    /// sharing its NIC and EBS bandwidth — the paper's setup), and starts
+    /// an engine over it.
+    pub fn new(
+        sim: &mut Sim,
+        cloud_spec: CloudSpec,
+        store_kind: ShuffleStoreKind,
+        master_type: InstanceType,
+    ) -> Self {
+        Self::with_engine_config(sim, cloud_spec, store_kind, master_type, EngineConfig::default())
+    }
+
+    /// Like [`Deployment::new`] with a custom engine configuration.
+    pub fn with_engine_config(
+        sim: &mut Sim,
+        cloud_spec: CloudSpec,
+        store_kind: ShuffleStoreKind,
+        master_type: InstanceType,
+        engine_cfg: EngineConfig,
+    ) -> Self {
+        let fabric = Fabric::new();
+        let cloud = Cloud::new(cloud_spec, fabric.clone());
+        let master_vm = cloud.provision_vm_ready(sim, master_type);
+        let store: Rc<dyn BlockStore> = match store_kind {
+            ShuffleStoreKind::Local => Rc::new(LocalDiskStore::new(fabric.clone())),
+            ShuffleStoreKind::Hdfs => {
+                let hdfs = HdfsStore::new(HdfsSpec::default(), fabric.clone());
+                hdfs.add_datanode(cloud.vm_nic(master_vm), cloud.vm_ebs(master_vm));
+                Rc::new(hdfs)
+            }
+            ShuffleStoreKind::S3 => {
+                Rc::new(S3Store::new(S3Spec::default(), fabric.clone(), cloud.clone()))
+            }
+            ShuffleStoreKind::Sqs => {
+                Rc::new(SqsStore::new(SqsSpec::default(), fabric.clone(), cloud.clone()))
+            }
+            ShuffleStoreKind::Redis => {
+                // Locus-style: a dedicated large VM hosts the store and is
+                // billed for the whole run.
+                let redis_vm = cloud.provision_vm_ready(sim, splitserve_cloud::M4_4XLARGE);
+                Rc::new(RedisStore::new(
+                    RedisSpec::default(),
+                    fabric.clone(),
+                    cloud.vm_nic(redis_vm),
+                ))
+            }
+        };
+        let engine = Engine::new(engine_cfg, store);
+        Deployment {
+            fabric,
+            cloud,
+            engine,
+            store_kind,
+            master_vm,
+            inner: Rc::new(RefCell::new(Inner {
+                lambda_execs: HashMap::new(),
+                worker_vms: Vec::new(),
+                next_lambda: 0,
+                next_vm_exec: 0,
+                lambda_memory_mb: 1_536,
+            })),
+        }
+    }
+
+    /// The network fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The simulated cloud (billing lives here).
+    pub fn cloud(&self) -> &Cloud {
+        &self.cloud
+    }
+
+    /// The engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Which shuffle substrate this deployment uses.
+    pub fn store_kind(&self) -> ShuffleStoreKind {
+        self.store_kind
+    }
+
+    /// The master's VM (hosts the driver, and HDFS when selected).
+    pub fn master_vm(&self) -> VmId {
+        self.master_vm
+    }
+
+    /// The first worker VM provisioned, if any — where "cores freeing up
+    /// on an existing VM" materialize during a segue.
+    pub fn first_worker_vm(&self) -> Option<VmId> {
+        self.inner.borrow().worker_vms.first().copied()
+    }
+
+    /// Sets the memory size used for subsequently launched Lambda
+    /// executors (default 1 536 MB = one vCPU).
+    pub fn set_lambda_memory_mb(&self, mb: u64) {
+        self.inner.borrow_mut().lambda_memory_mb = mb;
+    }
+
+    /// Provisions a ready VM of `itype` and registers `cores` executors on
+    /// it (one core each). Returns the VM id and the executor ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` exceeds the instance's vCPUs.
+    pub fn add_vm_workers(
+        &self,
+        sim: &mut Sim,
+        itype: InstanceType,
+        cores: u32,
+    ) -> (VmId, Vec<ExecutorId>) {
+        assert!(
+            cores <= itype.vcpus,
+            "{} cores requested on {} ({} vCPUs)",
+            cores,
+            itype.name,
+            itype.vcpus
+        );
+        let vm = self.cloud.provision_vm_ready(sim, itype);
+        self.inner.borrow_mut().worker_vms.push(vm);
+        let execs = self.add_executors_on_vm(sim, vm, cores);
+        (vm, execs)
+    }
+
+    /// Registers `cores` additional executors on an existing, running VM —
+    /// the "executor on an existing VM becomes available" segue target.
+    pub fn add_executors_on_vm(&self, sim: &mut Sim, vm: VmId, cores: u32) -> Vec<ExecutorId> {
+        let itype = self.cloud.vm_type(vm);
+        let nic = self.cloud.vm_nic(vm);
+        let ebs = self.cloud.vm_ebs(vm);
+        let mem_per_core = itype.memory_mb / u64::from(itype.vcpus);
+        let mut ids = Vec::new();
+        for _ in 0..cores {
+            let n = {
+                let mut inner = self.inner.borrow_mut();
+                let n = inner.next_vm_exec;
+                inner.next_vm_exec += 1;
+                n
+            };
+            let desc = ExecutorDesc::vm(format!("e-vm-{n:04}"), nic, ebs, mem_per_core);
+            ids.push(desc.id.clone());
+            self.engine.register_executor(sim, desc);
+        }
+        ids
+    }
+
+    /// Requests a *new* VM (with its minutes-long boot) and registers
+    /// `cores` executors when it becomes ready — VM-based autoscaling.
+    /// `on_ready` receives the new executor ids.
+    pub fn request_vm_workers(
+        &self,
+        sim: &mut Sim,
+        itype: InstanceType,
+        cores: u32,
+        on_ready: impl FnOnce(&mut Sim, Vec<ExecutorId>) + 'static,
+    ) {
+        assert!(cores <= itype.vcpus, "too many cores for {}", itype.name);
+        let this = self.clone();
+        self.cloud.request_vm(sim, itype, move |sim, vm| {
+            this.inner.borrow_mut().worker_vms.push(vm);
+            let ids = this.add_executors_on_vm(sim, vm, cores);
+            on_ready(sim, ids);
+        });
+    }
+
+    /// The launching facility's core move: bridge a shortfall of `count`
+    /// cores with Lambda-based executors *right now* (paper §4.2). Each
+    /// Lambda registers as an executor when its container is ready
+    /// (~100 ms warm); if the platform later kills it (15-minute
+    /// lifetime), the engine sees an abrupt executor loss.
+    pub fn add_lambda_executors(&self, sim: &mut Sim, count: u32) -> Vec<ExecutorId> {
+        let memory_mb = self.inner.borrow().lambda_memory_mb;
+        let mut ids = Vec::new();
+        for _ in 0..count {
+            let n = {
+                let mut inner = self.inner.borrow_mut();
+                let n = inner.next_lambda;
+                inner.next_lambda += 1;
+                n
+            };
+            let exec_id = ExecutorId(format!("lambda-{n:04}"));
+            ids.push(exec_id.clone());
+            let this_ready = self.clone();
+            let this_kill = self.clone();
+            let exec_ready = exec_id.clone();
+            let exec_kill = exec_id.clone();
+            let lambda = self.cloud.invoke_lambda(
+                sim,
+                memory_mb,
+                move |sim, lambda| {
+                    let desc = ExecutorDesc::lambda(
+                        exec_ready.0.clone(),
+                        this_ready.cloud.lambda_nic(lambda),
+                        memory_mb,
+                    );
+                    this_ready.engine.register_executor(sim, desc);
+                },
+                move |sim, _lambda| {
+                    this_kill.engine.kill_executor(sim, &exec_kill);
+                },
+            );
+            self.inner.borrow_mut().lambda_execs.insert(exec_id, lambda);
+        }
+        ids
+    }
+
+    /// Executor ids of all Lambdas launched so far (registration order).
+    pub fn lambda_executors(&self) -> Vec<ExecutorId> {
+        let inner = self.inner.borrow();
+        let mut v: Vec<ExecutorId> = inner.lambda_execs.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Gracefully drains one Lambda executor: the engine stops offering it
+    /// tasks, it finishes its current one, and the underlying Lambda is
+    /// released (billing stops, container re-warms) — the segue that
+    /// avoids Spark's execution rollback.
+    pub fn drain_lambda_executor(&self, sim: &mut Sim, exec: &ExecutorId) {
+        let Some(lambda) = self.inner.borrow().lambda_execs.get(exec).copied() else {
+            return;
+        };
+        let cloud = self.cloud.clone();
+        self.engine.drain_executor(sim, exec, move |sim, _| {
+            cloud.release_lambda(sim, lambda);
+        });
+    }
+
+    /// Drains every Lambda executor (the end state of a full segue).
+    pub fn drain_all_lambdas(&self, sim: &mut Sim) {
+        for exec in self.lambda_executors() {
+            self.drain_lambda_executor(sim, &exec);
+        }
+    }
+
+    /// Ends the run: terminates all VMs and releases all Lambdas so the
+    /// bill is final.
+    pub fn shutdown(&self, sim: &mut Sim) {
+        self.cloud.shutdown_all(sim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitserve_cloud::M4_XLARGE;
+    use splitserve_des::{Dist, SimDuration, SimTime};
+    use splitserve_engine::{collect_partitions, Dataset};
+    use std::cell::RefCell;
+
+    fn quiet_cloud() -> CloudSpec {
+        CloudSpec {
+            vm_boot: Dist::constant(110.0),
+            lambda_warm_start: Dist::constant(0.1),
+            lambda_cold_start: Dist::constant(3.0),
+            lambda_net_jitter: Dist::constant(1.0),
+            ..CloudSpec::default()
+        }
+    }
+
+    fn run_sum_job(sim: &mut Sim, d: &Deployment) -> Vec<(u64, u64)> {
+        let ds = Dataset::parallelize((0..1_000u64).map(|i| (i % 8, 1u64)).collect(), 8)
+            .reduce_by_key(4, |a, b| a + b);
+        let out = Rc::new(RefCell::new(None));
+        let o = Rc::clone(&out);
+        d.engine().submit_job(sim, ds.node(), move |_, r| {
+            *o.borrow_mut() = Some(collect_partitions::<(u64, u64)>(&r.partitions));
+        });
+        sim.run();
+        let mut rows = out.borrow_mut().take().expect("job done");
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn vm_only_deployment_runs_jobs() {
+        let mut sim = Sim::new(0);
+        let d = Deployment::new(&mut sim, quiet_cloud(), ShuffleStoreKind::Hdfs, M4_XLARGE);
+        d.add_vm_workers(&mut sim, M4_XLARGE, 4);
+        let rows = run_sum_job(&mut sim, &d);
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|(_, c)| *c == 125));
+    }
+
+    #[test]
+    fn lambda_only_deployment_runs_jobs() {
+        let mut sim = Sim::new(0);
+        let d = Deployment::new(&mut sim, quiet_cloud(), ShuffleStoreKind::Hdfs, M4_XLARGE);
+        d.add_lambda_executors(&mut sim, 4);
+        let rows = run_sum_job(&mut sim, &d);
+        assert_eq!(rows.len(), 8);
+        // Lambdas actually did the work.
+        let execs = d.engine().executors();
+        assert!(execs.iter().all(|e| e.id.0.starts_with("lambda-")));
+        assert!(execs.iter().any(|e| e.tasks_done > 0));
+    }
+
+    #[test]
+    fn hybrid_splits_one_job_across_vms_and_lambdas() {
+        let mut sim = Sim::new(0);
+        let d = Deployment::new(&mut sim, quiet_cloud(), ShuffleStoreKind::Hdfs, M4_XLARGE);
+        d.add_vm_workers(&mut sim, M4_XLARGE, 2);
+        d.add_lambda_executors(&mut sim, 2);
+        // A wider, slower job so every executor gets work.
+        let ds = Dataset::<u64>::generate(16, |p| {
+            (0..50_000u64).map(|i| i + p as u64).collect()
+        })
+        .map(|x| (x % 5, *x))
+        .reduce_by_key(4, |a, b| a + b);
+        let out = Rc::new(RefCell::new(None));
+        let o = Rc::clone(&out);
+        d.engine().submit_job(&mut sim, ds.node(), move |_, r| {
+            *o.borrow_mut() = Some(r.metrics);
+        });
+        sim.run();
+        let metrics = out.borrow_mut().take().expect("job done");
+        assert!(metrics.tasks_on_vm > 0, "VMs must run tasks");
+        assert!(metrics.tasks_on_lambda > 0, "Lambdas must run tasks");
+    }
+
+    #[test]
+    fn drained_lambda_is_released_and_rewarmed() {
+        let mut sim = Sim::new(0);
+        let d = Deployment::new(&mut sim, quiet_cloud(), ShuffleStoreKind::Hdfs, M4_XLARGE);
+        d.add_lambda_executors(&mut sim, 2);
+        sim.run_until(SimTime::from_secs(1));
+        let (warm_before, _) = d.cloud().start_counts();
+        d.drain_all_lambdas(&mut sim);
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(d.engine().active_executors(), 0);
+        // Released Lambdas returned to the warm pool: invoking again is warm.
+        d.add_lambda_executors(&mut sim, 1);
+        sim.run_until(SimTime::from_secs(3));
+        let (warm_after, cold) = d.cloud().start_counts();
+        assert_eq!(warm_after, warm_before + 1);
+        assert_eq!(cold, 0);
+    }
+
+    #[test]
+    fn lambda_lifetime_kill_reaches_engine() {
+        let mut sim = Sim::new(0);
+        let spec = CloudSpec {
+            lambda_lifetime: SimDuration::from_secs(5),
+            ..quiet_cloud()
+        };
+        let d = Deployment::new(&mut sim, spec, ShuffleStoreKind::Hdfs, M4_XLARGE);
+        d.add_lambda_executors(&mut sim, 1);
+        sim.run_until(SimTime::from_secs(60));
+        let execs = d.engine().executors();
+        assert_eq!(execs.len(), 1);
+        assert!(!execs[0].alive, "lifetime kill must mark executor dead");
+    }
+
+    #[test]
+    fn request_vm_workers_arrive_after_boot() {
+        let mut sim = Sim::new(0);
+        let d = Deployment::new(&mut sim, quiet_cloud(), ShuffleStoreKind::Hdfs, M4_XLARGE);
+        let arrived = Rc::new(RefCell::new(None));
+        let a = Rc::clone(&arrived);
+        d.request_vm_workers(&mut sim, M4_XLARGE, 4, move |sim, ids| {
+            *a.borrow_mut() = Some((sim.now().as_secs_f64(), ids.len()));
+        });
+        sim.run();
+        let (at, n) = arrived.borrow_mut().take().expect("vm arrived");
+        assert_eq!(at, 110.0);
+        assert_eq!(n, 4);
+        assert_eq!(d.engine().active_executors(), 4);
+    }
+
+    #[test]
+    fn redis_deployment_provisions_backing_vm() {
+        let mut sim = Sim::new(0);
+        let d = Deployment::new(&mut sim, quiet_cloud(), ShuffleStoreKind::Redis, M4_XLARGE);
+        d.add_vm_workers(&mut sim, M4_XLARGE, 2);
+        let rows = run_sum_job(&mut sim, &d);
+        assert_eq!(rows.len(), 8);
+        // Master + Redis VM + worker accrue cost.
+        d.shutdown(&mut sim);
+        let vm_cost = d.cloud().cost_for(splitserve_cloud::Category::VmCompute);
+        assert!(vm_cost > 0.0);
+    }
+}

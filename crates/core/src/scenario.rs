@@ -1,0 +1,459 @@
+//! The paper's evaluation scenarios (§5.1 "Metrics and Scenarios"): eight
+//! ways a latency-critical job can meet the cluster, from vanilla Spark on
+//! too-few VMs to SplitServe's hybrid-with-segue.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use splitserve_cloud::{CloudSpec, InstanceType, M4_4XLARGE, M4_XLARGE};
+use splitserve_des::{Sim, SimDuration};
+use splitserve_engine::{Engine, EngineConfig, EngineEvent, JobMetrics};
+use splitserve_storage::StoreStats;
+
+use crate::deploy::{Deployment, ShuffleStoreKind};
+use crate::segue::{arm_segue, ReplacementSource, SegueConfig};
+
+/// A workload's driver program: submits one or more jobs to the engine and
+/// signals completion. Implementations live in `splitserve-workloads`.
+pub trait DriverProgram {
+    /// Workload name for tables ("PageRank", "K-means", "TPC-DS Q95", …).
+    fn name(&self) -> String;
+
+    /// The job's natural degree of parallelism (number of reduce/result
+    /// partitions it was configured for).
+    fn parallelism(&self) -> usize;
+
+    /// Submits the workload; must call `done` exactly once when every job
+    /// has finished.
+    fn submit(&self, sim: &mut Sim, engine: &Engine, done: Box<dyn FnOnce(&mut Sim)>);
+}
+
+/// The eight evaluation scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// `Spark r VM`: vanilla Spark stuck on the `r < R` cores it found.
+    SparkSmallVm,
+    /// `Spark R VM`: vanilla Spark with all `R` cores already provisioned
+    /// — the no-autoscaling best case.
+    SparkRVm,
+    /// `Spark r/R autoscale`: start on `r` cores, request the missing VMs
+    /// after a detection delay, absorb them when they boot.
+    SparkAutoscale,
+    /// `Qubole R La`: everything on Lambdas, shuffling through S3.
+    QuboleLambda,
+    /// `SS R VM`: SplitServe with all cores on VMs (measures SplitServe's
+    /// own overhead vs `Spark R VM` — the HDFS shuffle detour).
+    SsRVm,
+    /// `SS R La`: SplitServe all-Lambda, shuffling through HDFS.
+    SsRLambda,
+    /// `SS r VM / Δ La`: the hybrid — `r` VM cores plus `Δ = R - r`
+    /// Lambdas, no segue.
+    SsHybrid,
+    /// `SS r VM / Δ La Segue`: the hybrid plus segue to VM cores that
+    /// become available mid-job.
+    SsHybridSegue,
+}
+
+impl Scenario {
+    /// All scenarios in the paper's presentation order.
+    pub fn all() -> [Scenario; 8] {
+        [
+            Scenario::SparkSmallVm,
+            Scenario::SparkRVm,
+            Scenario::SparkAutoscale,
+            Scenario::QuboleLambda,
+            Scenario::SsRVm,
+            Scenario::SsRLambda,
+            Scenario::SsHybrid,
+            Scenario::SsHybridSegue,
+        ]
+    }
+
+    /// The paper's label for this scenario given `R` and `r`.
+    pub fn label(&self, required: u32, available: u32) -> String {
+        let delta = required - available;
+        match self {
+            Scenario::SparkSmallVm => format!("Spark {available} VM"),
+            Scenario::SparkRVm => format!("Spark {required} VM"),
+            Scenario::SparkAutoscale => format!("Spark {available}/{required} autoscale"),
+            Scenario::QuboleLambda => format!("Qubole {required} La"),
+            Scenario::SsRVm => format!("SS {required} VM"),
+            Scenario::SsRLambda => format!("SS {required} La"),
+            Scenario::SsHybrid => format!("SS {available} VM / {delta} La"),
+            Scenario::SsHybridSegue => format!("SS {available} VM / {delta} La Segue"),
+        }
+    }
+
+    /// The shuffle substrate this scenario uses.
+    pub fn store_kind(&self) -> ShuffleStoreKind {
+        match self {
+            Scenario::SparkSmallVm | Scenario::SparkRVm | Scenario::SparkAutoscale => {
+                ShuffleStoreKind::Local
+            }
+            Scenario::QuboleLambda => ShuffleStoreKind::S3,
+            Scenario::SsRVm
+            | Scenario::SsRLambda
+            | Scenario::SsHybrid
+            | Scenario::SsHybridSegue => ShuffleStoreKind::Hdfs,
+        }
+    }
+}
+
+/// Cluster and policy parameters shared by a scenario sweep.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// `R`: the cores the job needs to meet its SLO.
+    pub required_cores: u32,
+    /// `r`: the cores free on VMs when the job arrives.
+    pub available_cores: u32,
+    /// Instance type hosting VM executors.
+    pub worker_type: InstanceType,
+    /// Instance type hosting the master (and HDFS, when used).
+    pub master_type: InstanceType,
+    /// Memory per Lambda executor.
+    pub lambda_memory_mb: u64,
+    /// `spark.lambda.executor.timeout` for the segue scenario.
+    pub lambda_timeout: SimDuration,
+    /// How long the autoscaler takes to decide it needs more VMs.
+    pub autoscale_detect_delay: SimDuration,
+    /// For the segue scenario: when cores free up on an existing VM; if
+    /// `None`, a fresh VM is requested in the background at job start.
+    pub segue_existing_cores_at: Option<SimDuration>,
+    /// Cloud model parameters.
+    pub cloud: CloudSpec,
+    /// Engine parameters.
+    pub engine: EngineConfig,
+    /// Simulation seed (vary for error bars).
+    pub seed: u64,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            required_cores: 16,
+            available_cores: 4,
+            worker_type: M4_4XLARGE,
+            master_type: M4_XLARGE,
+            lambda_memory_mb: 1_536,
+            lambda_timeout: SimDuration::from_secs(60),
+            autoscale_detect_delay: SimDuration::from_secs(5),
+            segue_existing_cores_at: Some(SimDuration::from_secs(45)),
+            cloud: CloudSpec::default(),
+            engine: EngineConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// What one scenario run produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Which scenario ran.
+    pub scenario: Scenario,
+    /// The paper-style label.
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// Job(s) wall-clock execution time in (virtual) seconds.
+    pub execution_secs: f64,
+    /// Total marginal cost in USD (VMs + Lambdas + storage requests).
+    pub cost_usd: f64,
+    /// Per-job metrics, submission order.
+    pub jobs: Vec<JobMetrics>,
+    /// Task completions on VM executors.
+    pub tasks_on_vm: u64,
+    /// Task completions on Lambda executors.
+    pub tasks_on_lambda: u64,
+    /// Tasks re-run due to failures or rollback.
+    pub tasks_recomputed: u64,
+    /// Store traffic counters.
+    pub store_stats: StoreStats,
+    /// The full engine event log (timelines).
+    pub events: Vec<EngineEvent>,
+}
+
+impl ScenarioResult {
+    /// Slowdown of this run relative to a baseline execution time.
+    pub fn slowdown_vs(&self, baseline_secs: f64) -> f64 {
+        self.execution_secs / baseline_secs
+    }
+}
+
+/// Runs `scenario` with the given spec and workload.
+///
+/// The workload is built fresh inside the run (datasets are per-run), the
+/// deployment is constructed per the scenario, the driver program is
+/// submitted at t=0, and on completion all resources are shut down so the
+/// bill is final.
+pub fn run_scenario(
+    scenario: Scenario,
+    spec: &ScenarioSpec,
+    workload: &dyn Fn() -> Box<dyn DriverProgram>,
+) -> ScenarioResult {
+    let mut sim = Sim::new(spec.seed);
+    let d = Deployment::with_engine_config(
+        &mut sim,
+        spec.cloud.clone(),
+        scenario.store_kind(),
+        spec.master_type.clone(),
+        spec.engine.clone(),
+    );
+    d.set_lambda_memory_mb(spec.lambda_memory_mb);
+    let big_r = spec.required_cores;
+    let small_r = spec.available_cores.min(big_r);
+    let delta = big_r - small_r;
+
+    // Initial executors.
+    match scenario {
+        Scenario::SparkRVm | Scenario::SsRVm => provision_vm_cores(&mut sim, &d, spec, big_r),
+        Scenario::SparkSmallVm | Scenario::SparkAutoscale => {
+            provision_vm_cores(&mut sim, &d, spec, small_r)
+        }
+        Scenario::QuboleLambda | Scenario::SsRLambda => {
+            d.add_lambda_executors(&mut sim, big_r);
+        }
+        Scenario::SsHybrid | Scenario::SsHybridSegue => {
+            provision_vm_cores(&mut sim, &d, spec, small_r);
+            d.add_lambda_executors(&mut sim, delta);
+        }
+    }
+
+    // Scenario-specific control actions.
+    match scenario {
+        Scenario::SparkAutoscale => {
+            // After the detection delay, request VMs for the missing cores.
+            let d2 = d.clone();
+            let itype = spec.worker_type.clone();
+            sim.schedule_in(spec.autoscale_detect_delay, move |sim| {
+                let mut remaining = delta;
+                while remaining > 0 {
+                    let batch = remaining.min(itype.vcpus);
+                    remaining -= batch;
+                    d2.request_vm_workers(sim, itype.clone(), batch, |_, _| {});
+                }
+            });
+        }
+        Scenario::SsHybridSegue => {
+            let replacement = match spec.segue_existing_cores_at {
+                Some(at) => ReplacementSource::ExistingVmCores {
+                    cores: delta,
+                    available_in: at,
+                },
+                None => ReplacementSource::NewVms {
+                    itype: spec.worker_type.clone(),
+                    cores: delta,
+                },
+            };
+            arm_segue(
+                &mut sim,
+                &d,
+                SegueConfig {
+                    lambda_timeout: spec.lambda_timeout,
+                    replacement,
+                },
+            );
+        }
+        _ => {}
+    }
+
+    // Run the workload.
+    let program = workload();
+    let name = program.name();
+    let finished_at: Rc<RefCell<Option<f64>>> = Rc::new(RefCell::new(None));
+    let f = Rc::clone(&finished_at);
+    let d2 = d.clone();
+    let start = sim.now();
+    program.submit(
+        &mut sim,
+        d.engine(),
+        Box::new(move |sim| {
+            *f.borrow_mut() = Some(sim.now().saturating_since(start).as_secs_f64());
+            d2.shutdown(sim);
+        }),
+    );
+    sim.run();
+
+    let execution_secs = finished_at
+        .borrow()
+        .expect("workload must complete — deadlocked scenario?");
+    let jobs = d.engine().completed_job_metrics();
+    let tasks_on_vm = jobs.iter().map(|j| j.tasks_on_vm).sum();
+    let tasks_on_lambda = jobs.iter().map(|j| j.tasks_on_lambda).sum();
+    let tasks_recomputed = jobs.iter().map(|j| j.tasks_recomputed).sum();
+    ScenarioResult {
+        scenario,
+        label: scenario.label(big_r, small_r),
+        workload: name,
+        execution_secs,
+        cost_usd: d.cloud().total_cost(),
+        jobs,
+        tasks_on_vm,
+        tasks_on_lambda,
+        tasks_recomputed,
+        store_stats: d.engine().store().stats(),
+        events: d.engine().event_log().snapshot(),
+    }
+}
+
+/// Provisions `cores` VM executor cores using as few `worker_type`
+/// instances as possible.
+fn provision_vm_cores(sim: &mut Sim, d: &Deployment, spec: &ScenarioSpec, cores: u32) {
+    let mut remaining = cores;
+    while remaining > 0 {
+        let batch = remaining.min(spec.worker_type.vcpus);
+        d.add_vm_workers(sim, spec.worker_type.clone(), batch);
+        remaining -= batch;
+    }
+}
+
+/// Convenience: run every scenario in `scenarios` and return the results
+/// in order.
+pub fn run_scenarios(
+    scenarios: &[Scenario],
+    spec: &ScenarioSpec,
+    workload: &dyn Fn() -> Box<dyn DriverProgram>,
+) -> Vec<ScenarioResult> {
+    scenarios
+        .iter()
+        .map(|s| run_scenario(*s, spec, workload))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitserve_des::Dist;
+    use splitserve_engine::{collect_partitions, Dataset};
+
+    /// A small shuffle-light test workload.
+    struct TestLoad {
+        parallelism: usize,
+        work_per_record: f64,
+    }
+
+    impl DriverProgram for TestLoad {
+        fn name(&self) -> String {
+            "test-load".into()
+        }
+        fn parallelism(&self) -> usize {
+            self.parallelism
+        }
+        fn submit(&self, sim: &mut Sim, engine: &Engine, done: Box<dyn FnOnce(&mut Sim)>) {
+            let parts = self.parallelism;
+            let ds = Dataset::<u64>::generate(parts * 4, |p| {
+                (0..5_000u64).map(|i| i + p as u64).collect()
+            })
+            .map_with_cost(|x| (*x % 32, 1u64), Some(self.work_per_record))
+            .reduce_by_key(parts, |a, b| a + b);
+            engine.submit_job(sim, ds.node(), move |sim, out| {
+                let rows = collect_partitions::<(u64, u64)>(&out.partitions);
+                assert_eq!(rows.len(), 32, "workload result must be correct");
+                done(sim);
+            });
+        }
+    }
+
+    fn quiet_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            required_cores: 8,
+            available_cores: 2,
+            cloud: CloudSpec {
+                vm_boot: Dist::constant(110.0),
+                lambda_warm_start: Dist::constant(0.12),
+                lambda_cold_start: Dist::constant(3.0),
+                lambda_net_jitter: Dist::constant(1.0),
+                ..CloudSpec::default()
+            },
+            ..ScenarioSpec::default()
+        }
+    }
+
+    fn load() -> Box<dyn Fn() -> Box<dyn DriverProgram>> {
+        Box::new(|| {
+            Box::new(TestLoad {
+                parallelism: 8,
+                work_per_record: 2e-4,
+            })
+        })
+    }
+
+    #[test]
+    fn all_eight_scenarios_complete() {
+        let spec = quiet_spec();
+        let results = run_scenarios(&Scenario::all(), &spec, &load());
+        assert_eq!(results.len(), 8);
+        for r in &results {
+            assert!(r.execution_secs > 0.0, "{}: no time elapsed", r.label);
+            assert!(r.cost_usd > 0.0, "{}: no cost", r.label);
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_convention() {
+        assert_eq!(Scenario::SparkSmallVm.label(32, 8), "Spark 8 VM");
+        assert_eq!(Scenario::SparkRVm.label(32, 8), "Spark 32 VM");
+        assert_eq!(Scenario::QuboleLambda.label(32, 8), "Qubole 32 La");
+        assert_eq!(Scenario::SsHybrid.label(32, 8), "SS 8 VM / 24 La");
+        assert_eq!(
+            Scenario::SsHybridSegue.label(16, 3),
+            "SS 3 VM / 13 La Segue"
+        );
+    }
+
+    #[test]
+    fn under_provisioned_is_slower_than_full() {
+        let spec = quiet_spec();
+        let full = run_scenario(Scenario::SparkRVm, &spec, &load());
+        let small = run_scenario(Scenario::SparkSmallVm, &spec, &load());
+        assert!(
+            small.execution_secs > full.execution_secs * 2.0,
+            "8 vs 2 cores: {} vs {}",
+            small.execution_secs,
+            full.execution_secs
+        );
+    }
+
+    #[test]
+    fn hybrid_beats_vm_autoscale_for_latency_critical_jobs() {
+        let spec = quiet_spec();
+        let auto = run_scenario(Scenario::SparkAutoscale, &spec, &load());
+        let hybrid = run_scenario(Scenario::SsHybrid, &spec, &load());
+        assert!(
+            hybrid.execution_secs < auto.execution_secs,
+            "hybrid {} vs autoscale {}",
+            hybrid.execution_secs,
+            auto.execution_secs
+        );
+        assert!(hybrid.tasks_on_lambda > 0 && hybrid.tasks_on_vm > 0);
+    }
+
+    #[test]
+    fn ss_r_vm_is_close_to_spark_r_vm() {
+        let spec = quiet_spec();
+        let spark = run_scenario(Scenario::SparkRVm, &spec, &load());
+        let ss = run_scenario(Scenario::SsRVm, &spec, &load());
+        let ratio = ss.execution_secs / spark.execution_secs;
+        assert!(
+            ratio < 1.8,
+            "SS overhead should be modest (paper: ≤1.6x worst case): {ratio}"
+        );
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic() {
+        let spec = quiet_spec();
+        let a = run_scenario(Scenario::SsHybrid, &spec, &load());
+        let b = run_scenario(Scenario::SsHybrid, &spec, &load());
+        assert_eq!(a.execution_secs, b.execution_secs);
+        assert_eq!(a.cost_usd, b.cost_usd);
+        assert_eq!(a.events.len(), b.events.len());
+    }
+
+    #[test]
+    fn qubole_uses_s3_and_pays_request_costs() {
+        let spec = quiet_spec();
+        let q = run_scenario(Scenario::QuboleLambda, &spec, &load());
+        assert_eq!(q.tasks_on_vm, 0, "Qubole runs everything on Lambdas");
+        assert!(q.store_stats.puts > 0);
+    }
+}

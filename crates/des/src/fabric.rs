@@ -1,0 +1,491 @@
+//! A fluid-flow network fabric with max–min fair bandwidth sharing.
+//!
+//! Nodes' NICs and disks are modeled as [`Link`]s with a fixed capacity in
+//! bytes/second. A [`Flow`] is a bulk transfer that traverses one or more
+//! links; at any instant every active flow receives its *max–min fair*
+//! rate (computed by water-filling across all links it touches). When flows
+//! start or finish, rates are recomputed and the simulated completion times
+//! of the remaining flows are rescheduled.
+//!
+//! This is the standard fluid approximation for bulk data movement in
+//! cluster simulators: it captures the contention effects the SplitServe
+//! paper measures (e.g. the single HDFS node's 750 Mbps EBS pipe shared by
+//! 16 shuffling executors) without per-packet simulation.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::sim::{EventId, Sim};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a link within a [`Fabric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(usize);
+
+/// Identifies an in-flight flow within a [`Fabric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(u64);
+
+struct Link {
+    capacity: f64, // bytes per second
+    label: String,
+    active: Vec<u64>, // flow ids (kept sorted-by-insertion; deterministic)
+}
+
+/// Completion continuation of a flow.
+type FlowComplete = Box<dyn FnOnce(&mut Sim)>;
+
+struct Flow {
+    total: f64,     // bytes
+    remaining: f64, // bytes
+    rate: f64,      // bytes per second
+    last_update: SimTime,
+    links: Vec<LinkId>,
+    event: Option<EventId>,
+    on_complete: Option<FlowComplete>,
+}
+
+#[derive(Default)]
+struct Inner {
+    links: Vec<Link>,
+    flows: HashMap<u64, Flow>,
+    order: Vec<u64>, // deterministic iteration order of live flows
+    next_flow: u64,
+    bytes_completed: f64,
+}
+
+/// A cloneable handle to the shared flow-network state.
+///
+/// # Examples
+///
+/// ```
+/// use splitserve_des::{Fabric, Sim};
+/// use std::{cell::Cell, rc::Rc};
+///
+/// let mut sim = Sim::new(0);
+/// let fabric = Fabric::new();
+/// let nic = fabric.add_link(100.0, "nic"); // 100 B/s
+/// let done = Rc::new(Cell::new(0.0));
+/// let d = Rc::clone(&done);
+/// fabric.start_flow(&mut sim, &[nic], 200, move |sim| {
+///     d.set(sim.now().as_secs_f64());
+/// });
+/// sim.run();
+/// assert_eq!(done.get(), 2.0); // 200 bytes at 100 B/s
+/// ```
+#[derive(Clone, Default)]
+pub struct Fabric {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Fabric")
+            .field("links", &inner.links.len())
+            .field("active_flows", &inner.flows.len())
+            .finish()
+    }
+}
+
+impl Fabric {
+    /// Creates an empty fabric.
+    pub fn new() -> Self {
+        Fabric::default()
+    }
+
+    /// Adds a link with `capacity` bytes/second and a debugging label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not strictly positive and finite.
+    pub fn add_link(&self, capacity: f64, label: impl Into<String>) -> LinkId {
+        assert!(
+            capacity > 0.0 && capacity.is_finite(),
+            "link capacity must be positive and finite: {capacity}"
+        );
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.links.len();
+        inner.links.push(Link {
+            capacity,
+            label: label.into(),
+            active: Vec::new(),
+        });
+        LinkId(id)
+    }
+
+    /// The capacity of `link` in bytes/second.
+    pub fn link_capacity(&self, link: LinkId) -> f64 {
+        self.inner.borrow().links[link.0].capacity
+    }
+
+    /// The label given to `link` at creation.
+    pub fn link_label(&self, link: LinkId) -> String {
+        self.inner.borrow().links[link.0].label.clone()
+    }
+
+    /// Number of flows currently in flight.
+    pub fn active_flows(&self) -> usize {
+        self.inner.borrow().flows.len()
+    }
+
+    /// Total bytes delivered by completed flows so far.
+    pub fn bytes_completed(&self) -> f64 {
+        self.inner.borrow().bytes_completed
+    }
+
+    /// The instantaneous rate of `flow` in bytes/second, or `None` if it
+    /// already completed or was cancelled.
+    pub fn flow_rate(&self, flow: FlowId) -> Option<f64> {
+        self.inner.borrow().flows.get(&flow.0).map(|f| f.rate)
+    }
+
+    /// Starts a bulk transfer of `bytes` across `links`, invoking
+    /// `on_complete` when the last byte arrives.
+    ///
+    /// A flow spanning several links (e.g. the sender's NIC and the
+    /// receiver's NIC) is bottlenecked by whichever gives it the smallest
+    /// fair share. An empty `links` slice means an uncontended local move,
+    /// which completes immediately at the current instant.
+    pub fn start_flow(
+        &self,
+        sim: &mut Sim,
+        links: &[LinkId],
+        bytes: u64,
+        on_complete: impl FnOnce(&mut Sim) + 'static,
+    ) -> FlowId {
+        if links.is_empty() || bytes == 0 {
+            let mut inner = self.inner.borrow_mut();
+            inner.bytes_completed += bytes as f64;
+            drop(inner);
+            sim.schedule_now(on_complete);
+            // A pseudo-id that is never live; cancel on it is a no-op.
+            return FlowId(u64::MAX);
+        }
+        let id = {
+            let mut inner = self.inner.borrow_mut();
+            let id = inner.next_flow;
+            inner.next_flow += 1;
+            let now = sim.now();
+            inner.flows.insert(
+                id,
+                Flow {
+                    total: bytes as f64,
+                    remaining: bytes as f64,
+                    rate: 0.0,
+                    last_update: now,
+                    links: links.to_vec(),
+                    event: None,
+                    on_complete: Some(Box::new(on_complete)),
+                },
+            );
+            inner.order.push(id);
+            for l in links {
+                inner.links[l.0].active.push(id);
+            }
+            id
+        };
+        self.rebalance(sim);
+        FlowId(id)
+    }
+
+    /// Cancels an in-flight flow without invoking its completion callback.
+    /// Returns `true` if the flow was still live.
+    pub fn cancel_flow(&self, sim: &mut Sim, flow: FlowId) -> bool {
+        let existed = {
+            let mut inner = self.inner.borrow_mut();
+            let now = sim.now();
+            inner.settle(now);
+            match inner.remove_flow(flow.0) {
+                Some(f) => {
+                    if let Some(ev) = f.event {
+                        sim.cancel(ev);
+                    }
+                    true
+                }
+                None => false,
+            }
+        };
+        if existed {
+            self.rebalance(sim);
+        }
+        existed
+    }
+
+    /// Called by the completion event of `flow_id`.
+    fn complete(&self, sim: &mut Sim, flow_id: u64) {
+        let cb = {
+            let mut inner = self.inner.borrow_mut();
+            let now = sim.now();
+            inner.settle(now);
+            match inner.remove_flow(flow_id) {
+                Some(mut f) => {
+                    inner.bytes_completed += f.total;
+                    f.on_complete.take()
+                }
+                None => None,
+            }
+        };
+        self.rebalance(sim);
+        if let Some(cb) = cb {
+            cb(sim);
+        }
+    }
+
+    /// Recomputes max–min fair rates and reschedules completion events.
+    fn rebalance(&self, sim: &mut Sim) {
+        let schedule: Vec<(u64, SimTime)> = {
+            let mut inner = self.inner.borrow_mut();
+            let now = sim.now();
+            inner.settle(now);
+            inner.water_fill();
+
+            let mut schedule = Vec::new();
+            let order = inner.order.clone();
+            for id in order {
+                let flow = inner.flows.get_mut(&id).expect("live flow in order list");
+                if let Some(ev) = flow.event.take() {
+                    sim.cancel(ev);
+                }
+                debug_assert!(flow.rate > 0.0, "water-fill left a flow with zero rate");
+                let secs = (flow.remaining / flow.rate).max(0.0);
+                let at = now + SimDuration::from_secs_f64(secs);
+                schedule.push((id, at));
+            }
+            schedule
+        };
+        for (id, at) in schedule {
+            let handle = self.clone();
+            let ev = sim.schedule_at(at, move |sim| handle.complete(sim, id));
+            self.inner
+                .borrow_mut()
+                .flows
+                .get_mut(&id)
+                .expect("flow vanished while scheduling")
+                .event = Some(ev);
+        }
+    }
+}
+
+impl Inner {
+    /// Advances every flow's `remaining` to `now` at its current rate.
+    fn settle(&mut self, now: SimTime) {
+        for id in &self.order {
+            let f = self.flows.get_mut(id).expect("live flow in order list");
+            let dt = now.saturating_since(f.last_update).as_secs_f64();
+            f.remaining = (f.remaining - f.rate * dt).max(0.0);
+            f.last_update = now;
+        }
+    }
+
+    fn remove_flow(&mut self, id: u64) -> Option<Flow> {
+        let f = self.flows.remove(&id)?;
+        self.order.retain(|x| *x != id);
+        for l in &f.links {
+            self.links[l.0].active.retain(|x| *x != id);
+        }
+        Some(f)
+    }
+
+    /// Progressive-filling (water-filling) max–min fair allocation.
+    fn water_fill(&mut self) {
+        let mut residual: Vec<f64> = self.links.iter().map(|l| l.capacity).collect();
+        let mut unfrozen_on: Vec<usize> = self.links.iter().map(|l| l.active.len()).collect();
+        let mut frozen: HashMap<u64, f64> = HashMap::new();
+
+        while frozen.len() < self.flows.len() {
+            // Bottleneck link: smallest per-flow share among links that
+            // still carry unfrozen flows.
+            let mut best: Option<(usize, f64)> = None;
+            for (li, _link) in self.links.iter().enumerate() {
+                if unfrozen_on[li] == 0 {
+                    continue;
+                }
+                let share = residual[li] / unfrozen_on[li] as f64;
+                match best {
+                    Some((_, s)) if s <= share => {}
+                    _ => best = Some((li, share)),
+                }
+            }
+            let (bottleneck, share) =
+                best.expect("unfrozen flows remain but no link carries them");
+            // Freeze every unfrozen flow crossing the bottleneck at `share`.
+            let to_freeze: Vec<u64> = self.links[bottleneck]
+                .active
+                .iter()
+                .copied()
+                .filter(|id| !frozen.contains_key(id))
+                .collect();
+            debug_assert!(!to_freeze.is_empty());
+            for id in to_freeze {
+                frozen.insert(id, share);
+                for l in &self.flows[&id].links {
+                    residual[l.0] = (residual[l.0] - share).max(0.0);
+                    unfrozen_on[l.0] -= 1;
+                }
+            }
+        }
+
+        for (id, rate) in frozen {
+            self.flows
+                .get_mut(&id)
+                .expect("frozen flow is live")
+                .rate = rate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn finish_log() -> (
+        Rc<RefCell<Vec<(u32, f64)>>>,
+        impl Fn(u32) -> Box<dyn FnOnce(&mut Sim)>,
+    ) {
+        let log: Rc<RefCell<Vec<(u32, f64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let l = Rc::clone(&log);
+        let make = move |tag: u32| -> Box<dyn FnOnce(&mut Sim)> {
+            let l = Rc::clone(&l);
+            Box::new(move |sim: &mut Sim| l.borrow_mut().push((tag, sim.now().as_secs_f64())))
+        };
+        (log, make)
+    }
+
+    #[test]
+    fn single_flow_full_rate() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new();
+        let link = fabric.add_link(1000.0, "l");
+        let (log, make) = finish_log();
+        fabric.start_flow(&mut sim, &[link], 5000, make(1));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![(1, 5.0)]);
+        assert!((fabric.bytes_completed() - 5000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_flows_share_equally() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new();
+        let link = fabric.add_link(1000.0, "l");
+        let (log, make) = finish_log();
+        fabric.start_flow(&mut sim, &[link], 1000, make(1));
+        fabric.start_flow(&mut sim, &[link], 1000, make(2));
+        sim.run();
+        // Both at 500 B/s → both finish at t=2.
+        let log = log.borrow();
+        assert_eq!(log.len(), 2);
+        for (_, t) in log.iter() {
+            assert!((t - 2.0).abs() < 1e-3, "finish at {t}");
+        }
+    }
+
+    #[test]
+    fn departing_flow_speeds_up_survivor() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new();
+        let link = fabric.add_link(1000.0, "l");
+        let (log, make) = finish_log();
+        fabric.start_flow(&mut sim, &[link], 1000, make(1)); // small
+        fabric.start_flow(&mut sim, &[link], 3000, make(2)); // large
+        sim.run();
+        // Phase 1: both at 500 B/s until small finishes at t=2 (1000 B).
+        // Large has 2000 B left, now at 1000 B/s → finishes at t=4.
+        let log = log.borrow();
+        assert!((log[0].1 - 2.0).abs() < 1e-3, "small at {}", log[0].1);
+        assert!((log[1].1 - 4.0).abs() < 1e-3, "large at {}", log[1].1);
+    }
+
+    #[test]
+    fn max_min_respects_multi_link_bottleneck() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new();
+        let big = fabric.add_link(1000.0, "big");
+        let small = fabric.add_link(100.0, "small");
+        let (log, make) = finish_log();
+        // Flow A crosses both links: bottlenecked at 100 B/s.
+        fabric.start_flow(&mut sim, &[big, small], 100, make(1));
+        // Flow B crosses only the big link: gets the residual 900 B/s.
+        fabric.start_flow(&mut sim, &[big], 900, make(2));
+        sim.run();
+        let log = log.borrow();
+        assert!((log[0].1 - 1.0).abs() < 1e-3 || (log[1].1 - 1.0).abs() < 1e-3);
+        for (_, t) in log.iter() {
+            assert!((t - 1.0).abs() < 1e-3, "finish at {t}");
+        }
+    }
+
+    #[test]
+    fn empty_links_complete_immediately() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new();
+        let (log, make) = finish_log();
+        fabric.start_flow(&mut sim, &[], 10_000, make(1));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![(1, 0.0)]);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new();
+        let link = fabric.add_link(10.0, "l");
+        let (log, make) = finish_log();
+        fabric.start_flow(&mut sim, &[link], 0, make(7));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![(7, 0.0)]);
+    }
+
+    #[test]
+    fn cancel_suppresses_completion_and_frees_bandwidth() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new();
+        let link = fabric.add_link(1000.0, "l");
+        let (log, make) = finish_log();
+        let doomed = fabric.start_flow(&mut sim, &[link], 10_000, make(1));
+        fabric.start_flow(&mut sim, &[link], 1000, make(2));
+        // Cancel the big flow at t=0 (before running): survivor gets full rate.
+        assert!(fabric.cancel_flow(&mut sim, doomed));
+        assert!(!fabric.cancel_flow(&mut sim, doomed));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![(2, 1.0)]);
+    }
+
+    #[test]
+    fn arriving_flow_slows_existing_one() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new();
+        let link = fabric.add_link(100.0, "l");
+        let (log, make) = finish_log();
+        fabric.start_flow(&mut sim, &[link], 1000, make(1));
+        // At t=5, half transferred; a second flow arrives.
+        let f2 = fabric.clone();
+        let cb = make(2);
+        sim.schedule_at(SimTime::from_secs(5), move |sim| {
+            f2.start_flow(sim, &[link], 500, cb);
+        });
+        sim.run();
+        // Flow 1: 500 B at t=5 → 500 left at 50 B/s → t=15.
+        // Flow 2: 500 B at 50 B/s → t=15 too.
+        let log = log.borrow();
+        for (_, t) in log.iter() {
+            assert!((t - 15.0).abs() < 1e-3, "finish at {t}");
+        }
+    }
+
+    #[test]
+    fn rates_are_work_conserving() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new();
+        let link = fabric.add_link(1000.0, "l");
+        let f1 = fabric.start_flow(&mut sim, &[link], 100_000, |_| {});
+        let f2 = fabric.start_flow(&mut sim, &[link], 100_000, |_| {});
+        let r1 = fabric.flow_rate(f1).expect("flow 1 live");
+        let r2 = fabric.flow_rate(f2).expect("flow 2 live");
+        assert!((r1 + r2 - 1000.0).abs() < 1e-9, "sum {}", r1 + r2);
+    }
+}

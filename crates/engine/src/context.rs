@@ -1,0 +1,160 @@
+//! Per-task execution context: shuffle inputs and CPU-work accounting.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use crate::config::WorkModel;
+use crate::node::ShuffleId;
+
+/// Handed to [`PlanNode::compute`](crate::PlanNode::compute): provides the
+/// fetched shuffle inputs and accumulates the task's CPU work and memory
+/// footprint, from which the scheduler derives the task's virtual duration.
+#[derive(Debug)]
+pub struct TaskContext {
+    shuffle_in: HashMap<ShuffleId, Vec<Bytes>>,
+    work: WorkModel,
+    cpu_secs: f64,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+impl TaskContext {
+    /// Creates a context with the given fetched shuffle inputs.
+    pub fn new(work: WorkModel, shuffle_in: HashMap<ShuffleId, Vec<Bytes>>) -> Self {
+        let bytes_in = shuffle_in
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|b| b.len() as u64)
+            .sum();
+        TaskContext {
+            shuffle_in,
+            work,
+            cpu_secs: 0.0,
+            bytes_in,
+            bytes_out: 0,
+        }
+    }
+
+    /// An empty context (source stages with no shuffle inputs).
+    pub fn empty(work: WorkModel) -> Self {
+        TaskContext::new(work, HashMap::new())
+    }
+
+    /// The fetched blocks for shuffle `id` (one per upstream map task that
+    /// produced a non-empty bucket for this partition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler did not fetch that shuffle for this task —
+    /// an engine invariant violation, not a user error.
+    pub fn shuffle_input(&mut self, id: ShuffleId) -> Vec<Bytes> {
+        self.shuffle_in
+            .remove(&id)
+            .unwrap_or_else(|| panic!("shuffle {id} not fetched for this task"))
+    }
+
+    /// The work model in force (operators read its rates).
+    pub fn work_model(&self) -> &WorkModel {
+        &self.work
+    }
+
+    /// Charges raw CPU seconds (reference-core).
+    pub fn charge_secs(&mut self, secs: f64) {
+        debug_assert!(secs >= 0.0 && secs.is_finite());
+        self.cpu_secs += secs;
+    }
+
+    /// Charges `n` records of narrow-operator work.
+    pub fn charge_records(&mut self, n: u64) {
+        self.cpu_secs += n as f64 * self.work.record_secs;
+    }
+
+    /// Charges `n` records of combine/merge work.
+    pub fn charge_combine(&mut self, n: u64) {
+        self.cpu_secs += n as f64 * self.work.combine_secs_per_record;
+    }
+
+    /// Charges a source scan of `n` bytes and counts them as task input.
+    pub fn charge_scan(&mut self, n: u64) {
+        self.cpu_secs += n as f64 * self.work.scan_secs_per_byte;
+        self.bytes_in += n;
+    }
+
+    /// Charges serialization of `n` bytes and counts them as task output.
+    pub fn charge_ser(&mut self, n: u64) {
+        self.cpu_secs += n as f64 * self.work.ser_secs_per_byte;
+        self.bytes_out += n;
+    }
+
+    /// Charges deserialization of `n` bytes.
+    pub fn charge_deser(&mut self, n: u64) {
+        self.cpu_secs += n as f64 * self.work.deser_secs_per_byte;
+    }
+
+    /// Total CPU seconds charged so far.
+    pub fn cpu_secs(&self) -> f64 {
+        self.cpu_secs
+    }
+
+    /// The task's working-set estimate in bytes (inputs + outputs), used
+    /// for the GC-pressure model.
+    pub fn working_set_bytes(&self) -> u64 {
+        self.bytes_in + self.bytes_out
+    }
+
+    /// Bytes read by this task (shuffle fetches + source scans).
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in
+    }
+
+    /// Bytes produced by this task (shuffle writes).
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut ctx = TaskContext::empty(WorkModel::default());
+        ctx.charge_records(1_000_000);
+        let after_records = ctx.cpu_secs();
+        assert!((after_records - 0.2).abs() < 1e-9, "1M records ≈ 0.2 s");
+        ctx.charge_secs(1.0);
+        assert!((ctx.cpu_secs() - after_records - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn working_set_tracks_in_and_out() {
+        let mut ctx = TaskContext::empty(WorkModel::default());
+        ctx.charge_scan(1_000);
+        ctx.charge_ser(500);
+        assert_eq!(ctx.bytes_in(), 1_000);
+        assert_eq!(ctx.bytes_out(), 500);
+        assert_eq!(ctx.working_set_bytes(), 1_500);
+    }
+
+    #[test]
+    fn shuffle_input_counts_toward_bytes_in() {
+        let mut m = HashMap::new();
+        m.insert(
+            ShuffleId(0),
+            vec![Bytes::from_static(b"abcd"), Bytes::from_static(b"ef")],
+        );
+        let mut ctx = TaskContext::new(WorkModel::default(), m);
+        assert_eq!(ctx.bytes_in(), 6);
+        let blocks = ctx.shuffle_input(ShuffleId(0));
+        assert_eq!(blocks.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not fetched")]
+    fn missing_shuffle_input_panics() {
+        let mut ctx = TaskContext::empty(WorkModel::default());
+        ctx.shuffle_input(ShuffleId(9));
+    }
+}

@@ -1,0 +1,165 @@
+//! The untyped plan layer: lineage nodes, dependencies and shuffle edges.
+//!
+//! A job is a DAG of [`PlanNode`]s mirroring Spark's RDD graph. Narrow
+//! dependencies are computed by recursive calls within one task
+//! (pipelining); [`ShuffleDep`] edges are the stage boundaries where data
+//! is partitioned by key, serialized and moved through the block store.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::context::TaskContext;
+
+/// A computed partition: `Rc<Vec<T>>` behind `Any`. Cheap to clone and
+/// share between pipelined operators.
+pub type PartitionData = Rc<dyn Any>;
+
+/// Identifies a plan node within a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+/// Identifies a shuffle (stage boundary) within a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShuffleId(pub u64);
+
+impl std::fmt::Display for ShuffleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shuffle-{}", self.0)
+    }
+}
+
+thread_local! {
+    static NEXT_NODE: Cell<u64> = const { Cell::new(0) };
+    static NEXT_SHUFFLE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocates a fresh node id (process-unique).
+pub fn next_node_id() -> NodeId {
+    NEXT_NODE.with(|c| {
+        let v = c.get();
+        c.set(v + 1);
+        NodeId(v)
+    })
+}
+
+/// Allocates a fresh shuffle id (process-unique).
+pub fn next_shuffle_id() -> ShuffleId {
+    NEXT_SHUFFLE.with(|c| {
+        let v = c.get();
+        c.set(v + 1);
+        ShuffleId(v)
+    })
+}
+
+/// One serialized shuffle bucket produced by a map task: the bytes bound
+/// for one reduce partition, plus how many records they contain.
+#[derive(Debug, Clone)]
+pub struct ShuffleBucket {
+    /// Serialized records.
+    pub bytes: Vec<u8>,
+    /// Record count (for metrics and cost accounting).
+    pub records: u64,
+}
+
+/// The map side of a shuffle, type-erased: takes the parent's computed
+/// partition, applies any map-side combine, partitions by key and
+/// serializes — returning one bucket per reduce partition. Charges its
+/// CPU work to the context.
+pub type Partitioner = Rc<dyn Fn(&mut TaskContext, PartitionData) -> Vec<ShuffleBucket>>;
+
+/// A wide (shuffle) dependency: the child reads `parent`'s output
+/// re-partitioned into `num_partitions` buckets by `partitioner`.
+pub struct ShuffleDep {
+    /// The shuffle's id (names its blocks in the store).
+    pub id: ShuffleId,
+    /// The map-side plan.
+    pub parent: Rc<dyn PlanNode>,
+    /// Number of reduce partitions.
+    pub num_partitions: usize,
+    /// Type-erased map-side work (see [`Partitioner`]).
+    pub partitioner: Partitioner,
+}
+
+impl std::fmt::Debug for ShuffleDep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShuffleDep")
+            .field("id", &self.id)
+            .field("parent", &self.parent.id())
+            .field("num_partitions", &self.num_partitions)
+            .finish()
+    }
+}
+
+/// A dependency edge in the plan DAG.
+#[derive(Clone)]
+pub enum Dep {
+    /// Same-stage dependency: child's `compute` calls parent's `compute`.
+    Narrow(Rc<dyn PlanNode>),
+    /// Stage boundary: child reads the shuffle's blocks.
+    Shuffle(Rc<ShuffleDep>),
+}
+
+impl std::fmt::Debug for Dep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Dep::Narrow(p) => write!(f, "Narrow({:?})", p.id()),
+            Dep::Shuffle(d) => write!(f, "Shuffle({:?})", d.id),
+        }
+    }
+}
+
+/// A lineage node. Implementations are the operator library in
+/// [`crate::ops`]; workloads interact through the typed
+/// [`Dataset`](crate::Dataset) wrapper instead.
+pub trait PlanNode {
+    /// This node's id.
+    fn id(&self) -> NodeId;
+    /// Human-readable operator name for logs ("map", "reduceByKey", …).
+    fn label(&self) -> &str;
+    /// Number of partitions this node produces.
+    fn num_partitions(&self) -> usize;
+    /// Dependency edges.
+    fn deps(&self) -> Vec<Dep>;
+    /// Computes partition `part`, performing the *real* data
+    /// transformation and charging its CPU work to `ctx`.
+    fn compute(&self, ctx: &mut TaskContext, part: usize) -> PartitionData;
+}
+
+/// Walks the narrow-dependency closure of `node` (the nodes that execute
+/// within its stage) and returns every [`ShuffleDep`] feeding that stage.
+pub fn input_shuffles(node: &Rc<dyn PlanNode>) -> Vec<Rc<ShuffleDep>> {
+    let mut out = Vec::new();
+    let mut stack = vec![Rc::clone(node)];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n.id()) {
+            continue;
+        }
+        for d in n.deps() {
+            match d {
+                Dep::Narrow(p) => stack.push(p),
+                Dep::Shuffle(s) => out.push(s),
+            }
+        }
+    }
+    // Deterministic order.
+    out.sort_by_key(|s| s.id);
+    out.dedup_by_key(|s| s.id);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let a = next_node_id();
+        let b = next_node_id();
+        assert!(b > a);
+        let s1 = next_shuffle_id();
+        let s2 = next_shuffle_id();
+        assert!(s2 > s1);
+    }
+}

@@ -1,0 +1,987 @@
+//! The typed operator library: [`Dataset<T>`] and its plan-node
+//! implementations.
+//!
+//! Narrow operators (`map`, `filter`, `flat_map`, …) pipeline inside one
+//! task by recursively computing their parent. Wide operators
+//! (`reduce_by_key`, `group_by_key`, `join`) introduce [`ShuffleDep`]s:
+//! their map side partitions records by key hash, optionally applies
+//! map-side combine, and serializes buckets with `splitserve-codec`; their
+//! reduce side deserializes and merges. All transformations do *real* work
+//! on real data — the context only accounts the CPU seconds.
+
+use std::collections::hash_map::DefaultHasher;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::context::TaskContext;
+use crate::node::{
+    next_node_id, next_shuffle_id, Dep, NodeId, Partitioner, PartitionData, PlanNode,
+    ShuffleBucket, ShuffleDep,
+};
+
+/// A typed, lazily-evaluated distributed dataset — the engine's RDD.
+///
+/// Cloning a `Dataset` clones the handle, not the data.
+///
+/// # Examples
+///
+/// ```
+/// use splitserve_engine::Dataset;
+///
+/// let nums = Dataset::parallelize((0..100u64).collect::<Vec<_>>(), 4);
+/// let evens = nums.filter(|n| n % 2 == 0).map(|n| n * 10);
+/// assert_eq!(evens.num_partitions(), 4);
+/// ```
+pub struct Dataset<T> {
+    node: Rc<dyn PlanNode>,
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Dataset<T> {
+    fn clone(&self) -> Self {
+        Dataset {
+            node: Rc::clone(&self.node),
+            _t: PhantomData,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Dataset<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Dataset<{}>({} x{})",
+            std::any::type_name::<T>(),
+            self.node.label(),
+            self.node.num_partitions()
+        )
+    }
+}
+
+/// Deterministic key→partition hashing (std's SipHash with fixed keys, so
+/// every run partitions identically).
+pub fn bucket_of<K: Hash>(key: &K, num_partitions: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % num_partitions as u64) as usize
+}
+
+fn rows<T: 'static>(data: &PartitionData) -> &Vec<T> {
+    data.downcast_ref::<Vec<T>>()
+        .expect("partition type mismatch: engine invariant violated")
+}
+
+fn wrap<T: 'static>(v: Vec<T>) -> PartitionData {
+    Rc::new(v)
+}
+
+impl<T: 'static> Dataset<T> {
+    pub(crate) fn from_node(node: Rc<dyn PlanNode>) -> Self {
+        Dataset {
+            node,
+            _t: PhantomData,
+        }
+    }
+
+    /// The underlying plan node (for job submission).
+    pub fn node(&self) -> Rc<dyn PlanNode> {
+        Rc::clone(&self.node)
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.node.num_partitions()
+    }
+
+    /// Distributes driver-resident data over `partitions` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    pub fn parallelize(data: Vec<T>, partitions: usize) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        let total = data.len();
+        let mut parts: Vec<Vec<T>> = (0..partitions).map(|_| Vec::new()).collect();
+        let chunk = total.div_ceil(partitions).max(1);
+        for (i, x) in data.into_iter().enumerate() {
+            parts[(i / chunk).min(partitions - 1)].push(x);
+        }
+        let parts: Vec<Rc<Vec<T>>> = parts.into_iter().map(Rc::new).collect();
+        Dataset::from_node(Rc::new(ParallelizeNode {
+            id: next_node_id(),
+            parts,
+            bytes_per_record: std::mem::size_of::<T>().max(8) as u64,
+        }))
+    }
+
+    /// Creates a dataset whose partitions are generated on the executors by
+    /// `gen(partition_index)` — the way workload inputs are materialized
+    /// without the driver holding them. `gen` must be deterministic in its
+    /// argument.
+    pub fn generate(partitions: usize, gen: impl Fn(usize) -> Vec<T> + 'static) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        Dataset::from_node(Rc::new(GenerateNode {
+            id: next_node_id(),
+            partitions,
+            gen: Rc::new(gen),
+            bytes_per_record: std::mem::size_of::<T>().max(8) as u64,
+        }))
+    }
+
+    /// Element-wise transformation.
+    pub fn map<U: 'static>(&self, f: impl Fn(&T) -> U + 'static) -> Dataset<U> {
+        self.map_with_cost(f, None)
+    }
+
+    /// Like [`Dataset::map`] but charging `cost_secs_per_record` instead of
+    /// the default narrow-operator rate — for compute-heavy user functions
+    /// (distance computations, parsing, …).
+    pub fn map_with_cost<U: 'static>(
+        &self,
+        f: impl Fn(&T) -> U + 'static,
+        cost_secs_per_record: Option<f64>,
+    ) -> Dataset<U> {
+        Dataset::from_node(Rc::new(MapNode {
+            id: next_node_id(),
+            parent: self.node(),
+            f: Rc::new(f),
+            cost: cost_secs_per_record,
+        }))
+    }
+
+    /// Keeps the records for which `f` is true.
+    pub fn filter(&self, f: impl Fn(&T) -> bool + 'static) -> Dataset<T>
+    where
+        T: Clone,
+    {
+        Dataset::from_node(Rc::new(FilterNode {
+            id: next_node_id(),
+            parent: self.node(),
+            f: Rc::new(f),
+        }))
+    }
+
+    /// Maps each record to zero or more outputs.
+    pub fn flat_map<U: 'static>(&self, f: impl Fn(&T) -> Vec<U> + 'static) -> Dataset<U> {
+        Dataset::from_node(Rc::new(FlatMapNode {
+            id: next_node_id(),
+            parent: self.node(),
+            f: Rc::new(f),
+        }))
+    }
+
+    /// Whole-partition transformation with direct access to the context
+    /// for custom cost accounting.
+    pub fn map_partitions<U: 'static>(
+        &self,
+        f: impl Fn(&mut TaskContext, &[T]) -> Vec<U> + 'static,
+    ) -> Dataset<U> {
+        Dataset::from_node(Rc::new(MapPartitionsNode {
+            id: next_node_id(),
+            parent: self.node(),
+            f: Rc::new(f),
+        }))
+    }
+
+    /// Pairs each record with a key.
+    pub fn key_by<K: 'static>(&self, f: impl Fn(&T) -> K + 'static) -> Dataset<(K, T)>
+    where
+        T: Clone,
+    {
+        self.map(move |t| (f(t), t.clone()))
+    }
+
+    /// Concatenates two datasets (partitions are appended, no shuffle).
+    pub fn union(&self, other: &Dataset<T>) -> Dataset<T> {
+        Dataset::from_node(Rc::new(UnionNode::<T> {
+            id: next_node_id(),
+            parents: vec![self.node(), other.node()],
+            _t: PhantomData,
+        }))
+    }
+
+    /// Memoizes computed partitions so repeated jobs over the same lineage
+    /// skip recomputation (an idealized `.cache()`: the cache is not
+    /// invalidated by executor loss — documented simplification).
+    pub fn cache(&self) -> Dataset<T> {
+        let n = self.num_partitions();
+        Dataset::from_node(Rc::new(CacheNode::<T> {
+            id: next_node_id(),
+            parent: self.node(),
+            slots: RefCell::new(vec![None; n]),
+            _t: PhantomData,
+        }))
+    }
+}
+
+/// Bound bundle for keys crossing a shuffle.
+pub trait ShuffleKey: Ord + Hash + Clone + Serialize + DeserializeOwned + 'static {}
+impl<K: Ord + Hash + Clone + Serialize + DeserializeOwned + 'static> ShuffleKey for K {}
+
+/// Bound bundle for values crossing a shuffle.
+pub trait ShuffleValue: Clone + Serialize + DeserializeOwned + 'static {}
+impl<V: Clone + Serialize + DeserializeOwned + 'static> ShuffleValue for V {}
+
+impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
+    /// Merges values per key with `f`, shuffling into `partitions`
+    /// partitions. Applies map-side combine (Spark's `reduceByKey`).
+    pub fn reduce_by_key(
+        &self,
+        partitions: usize,
+        f: impl Fn(&V, &V) -> V + 'static,
+    ) -> Dataset<(K, V)> {
+        let f: CombineFn<V> = Rc::new(f);
+        let dep = Rc::new(ShuffleDep {
+            id: next_shuffle_id(),
+            parent: self.node(),
+            num_partitions: partitions,
+            partitioner: make_partitioner::<K, V>(partitions, Some(Rc::clone(&f))),
+        });
+        let merge: MergeFn<(K, V)> = Rc::new(move |ctx: &mut TaskContext, blocks: Vec<Bytes>| {
+            let mut acc: BTreeMap<K, V> = BTreeMap::new();
+            for (k, v) in decode_blocks::<K, V>(ctx, blocks) {
+                match acc.remove(&k) {
+                    Some(prev) => {
+                        ctx.charge_combine(1);
+                        acc.insert(k, f(&prev, &v));
+                    }
+                    None => {
+                        acc.insert(k, v);
+                    }
+                }
+            }
+            acc.into_iter().collect::<Vec<(K, V)>>()
+        });
+        Dataset::from_node(Rc::new(ShuffledNode {
+            id: next_node_id(),
+            label: "reduceByKey",
+            dep,
+            merge,
+        }))
+    }
+
+    /// Groups all values per key (Spark's `groupByKey`; no map-side
+    /// combine, so it shuffles every record).
+    pub fn group_by_key(&self, partitions: usize) -> Dataset<(K, Vec<V>)> {
+        let dep = Rc::new(ShuffleDep {
+            id: next_shuffle_id(),
+            parent: self.node(),
+            num_partitions: partitions,
+            partitioner: make_partitioner::<K, V>(partitions, None),
+        });
+        let merge: MergeFn<(K, Vec<V>)> = Rc::new(move |ctx: &mut TaskContext, blocks: Vec<Bytes>| {
+            let mut acc: BTreeMap<K, Vec<V>> = BTreeMap::new();
+            for (k, v) in decode_blocks::<K, V>(ctx, blocks) {
+                ctx.charge_combine(1);
+                acc.entry(k).or_default().push(v);
+            }
+            acc.into_iter().collect::<Vec<(K, Vec<V>)>>()
+        });
+        Dataset::from_node(Rc::new(ShuffledNode {
+            id: next_node_id(),
+            label: "groupByKey",
+            dep,
+            merge,
+        }))
+    }
+
+    /// Inner hash join on the key, shuffling both sides into `partitions`
+    /// co-partitioned buckets.
+    pub fn join<W: ShuffleValue>(
+        &self,
+        other: &Dataset<(K, W)>,
+        partitions: usize,
+    ) -> Dataset<(K, (V, W))> {
+        let left = Rc::new(ShuffleDep {
+            id: next_shuffle_id(),
+            parent: self.node(),
+            num_partitions: partitions,
+            partitioner: make_partitioner::<K, V>(partitions, None),
+        });
+        let right = Rc::new(ShuffleDep {
+            id: next_shuffle_id(),
+            parent: other.node(),
+            num_partitions: partitions,
+            partitioner: make_partitioner::<K, W>(partitions, None),
+        });
+        Dataset::from_node(Rc::new(JoinNode::<K, V, W> {
+            id: next_node_id(),
+            left,
+            right,
+            _t: PhantomData,
+        }))
+    }
+
+    /// Transforms values, keeping keys (no shuffle).
+    pub fn map_values<U: 'static>(&self, f: impl Fn(&V) -> U + 'static) -> Dataset<(K, U)> {
+        self.map(move |(k, v)| (k.clone(), f(v)))
+    }
+}
+
+/// Extracts and concatenates the typed records of a job's output
+/// partitions (the driver-side half of `collect()`).
+///
+/// # Panics
+///
+/// Panics if the partitions hold a different record type.
+pub fn collect_partitions<T: Clone + 'static>(parts: &[PartitionData]) -> Vec<T> {
+    let mut out = Vec::new();
+    for p in parts {
+        out.extend(rows::<T>(p).iter().cloned());
+    }
+    out
+}
+
+// ----- map-side shuffle machinery -------------------------------------
+
+fn decode_blocks<K: ShuffleKey, V: ShuffleValue>(
+    ctx: &mut TaskContext,
+    blocks: Vec<Bytes>,
+) -> Vec<(K, V)> {
+    let mut out = Vec::new();
+    for block in blocks {
+        ctx.charge_deser(block.len() as u64);
+        let mut slice: &[u8] = &block;
+        while !slice.is_empty() {
+            let rec: (K, V) = splitserve_codec::from_bytes_seq(&mut slice)
+                .expect("corrupt shuffle block: engine invariant violated");
+            out.push(rec);
+        }
+    }
+    out
+}
+
+/// Commutative/associative combiner used by map-side and reduce-side
+/// aggregation.
+type CombineFn<V> = Rc<dyn Fn(&V, &V) -> V>;
+
+fn make_partitioner<K: ShuffleKey, V: ShuffleValue>(
+    num: usize,
+    combine: Option<CombineFn<V>>,
+) -> Partitioner {
+    Rc::new(move |ctx: &mut TaskContext, data: PartitionData| {
+        let records = rows::<(K, V)>(&data);
+        ctx.charge_records(records.len() as u64);
+        let mut buckets: Vec<ShuffleBucket> = (0..num)
+            .map(|_| ShuffleBucket {
+                bytes: Vec::new(),
+                records: 0,
+            })
+            .collect();
+        match &combine {
+            Some(f) => {
+                // Map-side combine: one BTreeMap per bucket.
+                let mut maps: Vec<BTreeMap<&K, V>> = (0..num).map(|_| BTreeMap::new()).collect();
+                for (k, v) in records {
+                    let b = bucket_of(k, num);
+                    match maps[b].remove(k) {
+                        Some(prev) => {
+                            ctx.charge_combine(1);
+                            maps[b].insert(k, f(&prev, v));
+                        }
+                        None => {
+                            maps[b].insert(k, v.clone());
+                        }
+                    }
+                }
+                for (b, m) in maps.into_iter().enumerate() {
+                    for (k, v) in m {
+                        splitserve_codec::to_writer(&mut buckets[b].bytes, &(k, &v))
+                            .expect("serializing shuffle record");
+                        buckets[b].records += 1;
+                    }
+                }
+            }
+            None => {
+                for (k, v) in records {
+                    let b = bucket_of(k, num);
+                    splitserve_codec::to_writer(&mut buckets[b].bytes, &(k, v))
+                        .expect("serializing shuffle record");
+                    buckets[b].records += 1;
+                }
+            }
+        }
+        for b in &buckets {
+            ctx.charge_ser(b.bytes.len() as u64);
+        }
+        buckets
+    })
+}
+
+// ----- node implementations --------------------------------------------
+
+struct ParallelizeNode<T> {
+    id: NodeId,
+    parts: Vec<Rc<Vec<T>>>,
+    bytes_per_record: u64,
+}
+
+impl<T: 'static> PlanNode for ParallelizeNode<T> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> &str {
+        "parallelize"
+    }
+    fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+    fn deps(&self) -> Vec<Dep> {
+        Vec::new()
+    }
+    fn compute(&self, ctx: &mut TaskContext, part: usize) -> PartitionData {
+        let p = &self.parts[part];
+        ctx.charge_scan(p.len() as u64 * self.bytes_per_record);
+        Rc::clone(p) as PartitionData
+    }
+}
+
+struct GenerateNode<T> {
+    id: NodeId,
+    partitions: usize,
+    gen: Rc<dyn Fn(usize) -> Vec<T>>,
+    bytes_per_record: u64,
+}
+
+impl<T: 'static> PlanNode for GenerateNode<T> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> &str {
+        "generate"
+    }
+    fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+    fn deps(&self) -> Vec<Dep> {
+        Vec::new()
+    }
+    fn compute(&self, ctx: &mut TaskContext, part: usize) -> PartitionData {
+        let v = (self.gen)(part);
+        ctx.charge_scan(v.len() as u64 * self.bytes_per_record);
+        wrap(v)
+    }
+}
+
+struct MapNode<T, U> {
+    id: NodeId,
+    parent: Rc<dyn PlanNode>,
+    f: Rc<dyn Fn(&T) -> U>,
+    cost: Option<f64>,
+}
+
+impl<T: 'static, U: 'static> PlanNode for MapNode<T, U> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> &str {
+        "map"
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn deps(&self) -> Vec<Dep> {
+        vec![Dep::Narrow(Rc::clone(&self.parent))]
+    }
+    fn compute(&self, ctx: &mut TaskContext, part: usize) -> PartitionData {
+        let input = self.parent.compute(ctx, part);
+        let rows = rows::<T>(&input);
+        match self.cost {
+            Some(c) => ctx.charge_secs(rows.len() as f64 * c),
+            None => ctx.charge_records(rows.len() as u64),
+        }
+        wrap(rows.iter().map(|t| (self.f)(t)).collect::<Vec<U>>())
+    }
+}
+
+struct FilterNode<T> {
+    id: NodeId,
+    parent: Rc<dyn PlanNode>,
+    f: Rc<dyn Fn(&T) -> bool>,
+}
+
+impl<T: Clone + 'static> PlanNode for FilterNode<T> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> &str {
+        "filter"
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn deps(&self) -> Vec<Dep> {
+        vec![Dep::Narrow(Rc::clone(&self.parent))]
+    }
+    fn compute(&self, ctx: &mut TaskContext, part: usize) -> PartitionData {
+        let input = self.parent.compute(ctx, part);
+        let rows = rows::<T>(&input);
+        ctx.charge_records(rows.len() as u64);
+        wrap(
+            rows.iter()
+                .filter(|t| (self.f)(t))
+                .cloned()
+                .collect::<Vec<T>>(),
+        )
+    }
+}
+
+/// Per-record expansion function of `flat_map`.
+type FlatMapFn<T, U> = Rc<dyn Fn(&T) -> Vec<U>>;
+
+struct FlatMapNode<T, U> {
+    id: NodeId,
+    parent: Rc<dyn PlanNode>,
+    f: FlatMapFn<T, U>,
+}
+
+impl<T: 'static, U: 'static> PlanNode for FlatMapNode<T, U> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> &str {
+        "flatMap"
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn deps(&self) -> Vec<Dep> {
+        vec![Dep::Narrow(Rc::clone(&self.parent))]
+    }
+    fn compute(&self, ctx: &mut TaskContext, part: usize) -> PartitionData {
+        let input = self.parent.compute(ctx, part);
+        let rows = rows::<T>(&input);
+        let mut out = Vec::new();
+        for t in rows {
+            out.extend((self.f)(t));
+        }
+        ctx.charge_records(rows.len() as u64 + out.len() as u64);
+        wrap(out)
+    }
+}
+
+/// Whole-partition transformation of `map_partitions`.
+type MapPartitionsFn<T, U> = Rc<dyn Fn(&mut TaskContext, &[T]) -> Vec<U>>;
+
+struct MapPartitionsNode<T, U> {
+    id: NodeId,
+    parent: Rc<dyn PlanNode>,
+    f: MapPartitionsFn<T, U>,
+}
+
+impl<T: 'static, U: 'static> PlanNode for MapPartitionsNode<T, U> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> &str {
+        "mapPartitions"
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn deps(&self) -> Vec<Dep> {
+        vec![Dep::Narrow(Rc::clone(&self.parent))]
+    }
+    fn compute(&self, ctx: &mut TaskContext, part: usize) -> PartitionData {
+        let input = self.parent.compute(ctx, part);
+        let rows = rows::<T>(&input);
+        wrap((self.f)(ctx, rows))
+    }
+}
+
+struct UnionNode<T> {
+    id: NodeId,
+    parents: Vec<Rc<dyn PlanNode>>,
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T: 'static> PlanNode for UnionNode<T> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> &str {
+        "union"
+    }
+    fn num_partitions(&self) -> usize {
+        self.parents.iter().map(|p| p.num_partitions()).sum()
+    }
+    fn deps(&self) -> Vec<Dep> {
+        self.parents
+            .iter()
+            .map(|p| Dep::Narrow(Rc::clone(p)))
+            .collect()
+    }
+    fn compute(&self, ctx: &mut TaskContext, part: usize) -> PartitionData {
+        let mut idx = part;
+        for p in &self.parents {
+            if idx < p.num_partitions() {
+                return p.compute(ctx, idx);
+            }
+            idx -= p.num_partitions();
+        }
+        panic!("union partition {part} out of range");
+    }
+}
+
+struct CacheNode<T> {
+    id: NodeId,
+    parent: Rc<dyn PlanNode>,
+    slots: RefCell<Vec<Option<PartitionData>>>,
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T: 'static> PlanNode for CacheNode<T> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> &str {
+        "cache"
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn deps(&self) -> Vec<Dep> {
+        vec![Dep::Narrow(Rc::clone(&self.parent))]
+    }
+    fn compute(&self, ctx: &mut TaskContext, part: usize) -> PartitionData {
+        if let Some(hit) = &self.slots.borrow()[part] {
+            return Rc::clone(hit);
+        }
+        let data = self.parent.compute(ctx, part);
+        self.slots.borrow_mut()[part] = Some(Rc::clone(&data));
+        data
+    }
+}
+
+/// Reduce-side merge: decodes this partition's blocks and merges records.
+type MergeFn<C> = Rc<dyn Fn(&mut TaskContext, Vec<Bytes>) -> Vec<C>>;
+
+struct ShuffledNode<C> {
+    id: NodeId,
+    label: &'static str,
+    dep: Rc<ShuffleDep>,
+    merge: MergeFn<C>,
+}
+
+impl<C: 'static> PlanNode for ShuffledNode<C> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> &str {
+        self.label
+    }
+    fn num_partitions(&self) -> usize {
+        self.dep.num_partitions
+    }
+    fn deps(&self) -> Vec<Dep> {
+        vec![Dep::Shuffle(Rc::clone(&self.dep))]
+    }
+    fn compute(&self, ctx: &mut TaskContext, _part: usize) -> PartitionData {
+        let blocks = ctx.shuffle_input(self.dep.id);
+        wrap((self.merge)(ctx, blocks))
+    }
+}
+
+type JoinMarker<K, V, W> = PhantomData<fn() -> (K, V, W)>;
+
+struct JoinNode<K, V, W> {
+    id: NodeId,
+    left: Rc<ShuffleDep>,
+    right: Rc<ShuffleDep>,
+    _t: JoinMarker<K, V, W>,
+}
+
+impl<K: ShuffleKey, V: ShuffleValue, W: ShuffleValue> PlanNode for JoinNode<K, V, W> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> &str {
+        "join"
+    }
+    fn num_partitions(&self) -> usize {
+        self.left.num_partitions
+    }
+    fn deps(&self) -> Vec<Dep> {
+        vec![Dep::Shuffle(Rc::clone(&self.left)), Dep::Shuffle(Rc::clone(&self.right))]
+    }
+    fn compute(&self, ctx: &mut TaskContext, _part: usize) -> PartitionData {
+        let left_blocks = ctx.shuffle_input(self.left.id);
+        let right_blocks = ctx.shuffle_input(self.right.id);
+        let left = decode_blocks::<K, V>(ctx, left_blocks);
+        let right = decode_blocks::<K, W>(ctx, right_blocks);
+        let mut table: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        for (k, v) in left {
+            ctx.charge_combine(1);
+            table.entry(k).or_default().push(v);
+        }
+        let mut out: Vec<(K, (V, W))> = Vec::new();
+        for (k, w) in right {
+            ctx.charge_combine(1);
+            if let Some(vs) = table.get(&k) {
+                for v in vs {
+                    out.push((k.clone(), (v.clone(), w.clone())));
+                }
+            }
+        }
+        wrap(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkModel;
+    use crate::node::input_shuffles;
+
+    fn ctx() -> TaskContext {
+        TaskContext::empty(WorkModel::default())
+    }
+
+    fn compute_all<T: Clone + 'static>(ds: &Dataset<T>) -> Vec<T> {
+        let node = ds.node();
+        let parts: Vec<PartitionData> = (0..node.num_partitions())
+            .map(|p| node.compute(&mut ctx(), p))
+            .collect();
+        collect_partitions(&parts)
+    }
+
+    #[test]
+    fn parallelize_splits_evenly() {
+        let ds = Dataset::parallelize((0..10u32).collect(), 3);
+        let node = ds.node();
+        let sizes: Vec<usize> = (0..3)
+            .map(|p| rows::<u32>(&node.compute(&mut ctx(), p)).len())
+            .collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|s| *s >= 2), "balanced-ish: {sizes:?}");
+        assert_eq!(compute_all(&ds), (0..10u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn narrow_ops_pipeline() {
+        let ds = Dataset::parallelize((0..100i64).collect(), 4)
+            .filter(|x| x % 2 == 0)
+            .map(|x| x * 3)
+            .flat_map(|x| vec![*x, -*x]);
+        let got = compute_all(&ds);
+        assert_eq!(got.len(), 100);
+        assert!(got.contains(&294) && got.contains(&-294));
+    }
+
+    #[test]
+    fn generate_is_lazy_and_deterministic() {
+        let ds = Dataset::<u64>::generate(4, |p| vec![p as u64; p + 1]);
+        let got = compute_all(&ds);
+        assert_eq!(got, vec![0, 1, 1, 2, 2, 2, 3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn union_concatenates_partitions() {
+        let a = Dataset::parallelize(vec![1u8, 2], 1);
+        let b = Dataset::parallelize(vec![3u8, 4], 2);
+        let u = a.union(&b);
+        assert_eq!(u.num_partitions(), 3);
+        assert_eq!(compute_all(&u), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cache_memoizes_partitions() {
+        use std::cell::Cell;
+        let calls = Rc::new(Cell::new(0u32));
+        let c = Rc::clone(&calls);
+        let ds = Dataset::<u32>::generate(2, move |p| {
+            c.set(c.get() + 1);
+            vec![p as u32]
+        })
+        .cache();
+        let node = ds.node();
+        node.compute(&mut ctx(), 0);
+        node.compute(&mut ctx(), 0);
+        node.compute(&mut ctx(), 1);
+        assert_eq!(calls.get(), 2, "partition 0 computed once");
+    }
+
+    #[test]
+    fn bucket_of_is_deterministic_and_in_range() {
+        for k in 0u64..1000 {
+            let b = bucket_of(&k, 7);
+            assert!(b < 7);
+            assert_eq!(b, bucket_of(&k, 7));
+        }
+    }
+
+    /// Drives the map side and reduce side of a shuffle by hand (the
+    /// scheduler normally does this through the block store).
+    fn run_shuffle<K: ShuffleKey, C: Clone + 'static>(
+        ds: &Dataset<(K, C)>,
+        shuffled: &Dataset<(K, C)>,
+    ) -> Vec<(K, C)>
+    where
+        C: ShuffleValue,
+    {
+        let _ = ds;
+        let node = shuffled.node();
+        let deps = input_shuffles(&node);
+        assert_eq!(deps.len(), 1);
+        let dep = &deps[0];
+        let maps = dep.parent.num_partitions();
+        let reduces = dep.num_partitions;
+        // map side
+        let mut buckets: Vec<Vec<Bytes>> = vec![Vec::new(); reduces];
+        for m in 0..maps {
+            let mut c = ctx();
+            let data = dep.parent.compute(&mut c, m);
+            let bs = (dep.partitioner)(&mut c, data);
+            for (r, b) in bs.into_iter().enumerate() {
+                if !b.bytes.is_empty() {
+                    buckets[r].push(Bytes::from(b.bytes));
+                }
+            }
+        }
+        // reduce side
+        let mut out = Vec::new();
+        for (r, blocks) in buckets.into_iter().enumerate() {
+            let mut inputs = std::collections::HashMap::new();
+            inputs.insert(dep.id, blocks);
+            let mut c = TaskContext::new(WorkModel::default(), inputs);
+            let part = node.compute(&mut c, r);
+            out.extend(rows::<(K, C)>(&part).iter().cloned());
+        }
+        out
+    }
+
+    #[test]
+    fn reduce_by_key_sums_correctly() {
+        let data: Vec<(u64, u64)> = (0..1000).map(|i| (i % 10, 1u64)).collect();
+        let ds = Dataset::parallelize(data, 8);
+        let red = ds.reduce_by_key(4, |a, b| a + b);
+        let mut got = run_shuffle(&ds, &red);
+        got.sort();
+        assert_eq!(got.len(), 10);
+        for (_k, v) in got {
+            assert_eq!(v, 100);
+        }
+    }
+
+    #[test]
+    fn map_side_combine_shrinks_buckets() {
+        // With combine, each bucket carries at most #distinct-keys records.
+        let data: Vec<(u64, u64)> = (0..1000).map(|i| (i % 4, 1u64)).collect();
+        let ds = Dataset::parallelize(data, 1);
+        let red = ds.reduce_by_key(2, |a, b| a + b);
+        let deps = input_shuffles(&red.node());
+        let mut c = ctx();
+        let data = deps[0].parent.compute(&mut c, 0);
+        let buckets = (deps[0].partitioner)(&mut c, data);
+        let total_records: u64 = buckets.iter().map(|b| b.records).sum();
+        assert_eq!(total_records, 4, "combined down to one record per key");
+    }
+
+    #[test]
+    fn group_by_key_collects_all_values() {
+        let data: Vec<(String, u32)> = vec![
+            ("a".into(), 1),
+            ("b".into(), 2),
+            ("a".into(), 3),
+            ("b".into(), 4),
+            ("a".into(), 5),
+        ];
+        let ds = Dataset::parallelize(data, 2);
+        let grouped = ds.group_by_key(3);
+        let node = grouped.node();
+        let deps = input_shuffles(&node);
+        let dep = &deps[0];
+        let mut buckets: Vec<Vec<Bytes>> = vec![Vec::new(); 3];
+        for m in 0..dep.parent.num_partitions() {
+            let mut c = ctx();
+            let d = dep.parent.compute(&mut c, m);
+            for (r, b) in (dep.partitioner)(&mut c, d).into_iter().enumerate() {
+                if !b.bytes.is_empty() {
+                    buckets[r].push(Bytes::from(b.bytes));
+                }
+            }
+        }
+        let mut all: Vec<(String, Vec<u32>)> = Vec::new();
+        for (r, blocks) in buckets.into_iter().enumerate() {
+            let mut inputs = std::collections::HashMap::new();
+            inputs.insert(dep.id, blocks);
+            let mut c = TaskContext::new(WorkModel::default(), inputs);
+            let part = node.compute(&mut c, r);
+            all.extend(rows::<(String, Vec<u32>)>(&part).iter().cloned());
+        }
+        all.sort();
+        assert_eq!(all.len(), 2);
+        let a = &all[0];
+        assert_eq!(a.0, "a");
+        let mut vals = a.1.clone();
+        vals.sort();
+        assert_eq!(vals, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn join_produces_matching_pairs() {
+        let left: Vec<(u32, String)> = vec![(1, "x".into()), (2, "y".into()), (3, "z".into())];
+        let right: Vec<(u32, u64)> = vec![(1, 10), (1, 11), (3, 30), (4, 40)];
+        let l = Dataset::parallelize(left, 2);
+        let r = Dataset::parallelize(right, 2);
+        let joined = l.join(&r, 2);
+        let node = joined.node();
+        let deps = input_shuffles(&node);
+        assert_eq!(deps.len(), 2);
+        // run both map sides
+        let mut per_dep_buckets: Vec<Vec<Vec<Bytes>>> = Vec::new();
+        for dep in &deps {
+            let mut buckets: Vec<Vec<Bytes>> = vec![Vec::new(); dep.num_partitions];
+            for m in 0..dep.parent.num_partitions() {
+                let mut c = ctx();
+                let d = dep.parent.compute(&mut c, m);
+                for (rr, b) in (dep.partitioner)(&mut c, d).into_iter().enumerate() {
+                    if !b.bytes.is_empty() {
+                        buckets[rr].push(Bytes::from(b.bytes));
+                    }
+                }
+            }
+            per_dep_buckets.push(buckets);
+        }
+        let mut all: Vec<(u32, (String, u64))> = Vec::new();
+        for part in 0..2 {
+            let mut inputs = std::collections::HashMap::new();
+            for (di, dep) in deps.iter().enumerate() {
+                inputs.insert(dep.id, per_dep_buckets[di][part].clone());
+            }
+            let mut c = TaskContext::new(WorkModel::default(), inputs);
+            let p = node.compute(&mut c, part);
+            all.extend(rows::<(u32, (String, u64))>(&p).iter().cloned());
+        }
+        all.sort();
+        assert_eq!(
+            all,
+            vec![
+                (1, ("x".into(), 10)),
+                (1, ("x".into(), 11)),
+                (3, ("z".into(), 30)),
+            ]
+        );
+    }
+
+    #[test]
+    fn shuffle_work_is_charged() {
+        let data: Vec<(u64, u64)> = (0..100).map(|i| (i, i)).collect();
+        let ds = Dataset::parallelize(data, 1);
+        let red = ds.reduce_by_key(2, |a, b| a + b);
+        let deps = input_shuffles(&red.node());
+        let mut c = ctx();
+        let d = deps[0].parent.compute(&mut c, 0);
+        let before = c.cpu_secs();
+        (deps[0].partitioner)(&mut c, d);
+        assert!(c.cpu_secs() > before, "partitioner must charge CPU");
+        assert!(c.bytes_out() > 0, "serialized bytes counted as output");
+    }
+}

@@ -1,0 +1,495 @@
+//! Extended operator library: aggregations, distinct, co-group and a
+//! range-partitioned sort — the rest of the RDD API surface a Spark user
+//! would expect, built on the same shuffle machinery as `ops`.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use crate::context::TaskContext;
+use crate::node::{
+    next_node_id, next_shuffle_id, Dep, NodeId, Partitioner, PartitionData, PlanNode, ShuffleDep,
+};
+use crate::ops::{bucket_of, Dataset, ShuffleKey, ShuffleValue};
+
+fn rows<T: 'static>(data: &PartitionData) -> &Vec<T> {
+    data.downcast_ref::<Vec<T>>()
+        .expect("partition type mismatch: engine invariant violated")
+}
+
+fn decode_blocks<K: ShuffleKey, V: ShuffleValue>(
+    ctx: &mut TaskContext,
+    blocks: Vec<Bytes>,
+) -> Vec<(K, V)> {
+    let mut out = Vec::new();
+    for block in blocks {
+        ctx.charge_deser(block.len() as u64);
+        let mut slice: &[u8] = &block;
+        while !slice.is_empty() {
+            let rec: (K, V) = splitserve_codec::from_bytes_seq(&mut slice)
+                .expect("corrupt shuffle block: engine invariant violated");
+            out.push(rec);
+        }
+    }
+    out
+}
+
+/// A serializable record usable as a sort key with a total order.
+pub trait SortKey: ShuffleKey {}
+impl<K: ShuffleKey> SortKey for K {}
+
+/// The output of [`Dataset::cogroup`]: per key, the full value lists from
+/// both sides.
+pub type Cogrouped<K, V, W> = Dataset<(K, (Vec<V>, Vec<W>))>;
+
+impl<T: Clone + 'static> Dataset<T> {
+    /// Counts all records (runs when the job executes; the count arrives
+    /// as the single record of the single result partition).
+    pub fn count(&self) -> Dataset<u64> {
+        self.map(|_| (0u8, 1u64))
+            .collect_into_single(|acc, n| acc + n, 0)
+    }
+}
+
+impl<T: 'static> Dataset<(u8, T)> {
+    /// Internal helper: single-partition fold via one shuffle. Exposed
+    /// through `count`/`sum_values`.
+    fn collect_into_single<A>(
+        &self,
+        fold: impl Fn(A, T) -> A + 'static,
+        init: A,
+    ) -> Dataset<A>
+    where
+        T: ShuffleValue,
+        A: Clone + 'static,
+    {
+        let dep = Rc::new(ShuffleDep {
+            id: next_shuffle_id(),
+            parent: self.node(),
+            num_partitions: 1,
+            partitioner: make_untyped_partitioner::<u8, T>(1),
+        });
+        let fold = Rc::new(fold);
+        Dataset::from_node(Rc::new(FoldNode {
+            id: next_node_id(),
+            dep,
+            init,
+            fold,
+        }))
+    }
+}
+
+struct FoldNode<T, A> {
+    id: NodeId,
+    dep: Rc<ShuffleDep>,
+    init: A,
+    fold: Rc<dyn Fn(A, T) -> A>,
+}
+
+impl<T: ShuffleValue, A: Clone + 'static> PlanNode for FoldNode<T, A> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> &str {
+        "fold"
+    }
+    fn num_partitions(&self) -> usize {
+        1
+    }
+    fn deps(&self) -> Vec<Dep> {
+        vec![Dep::Shuffle(Rc::clone(&self.dep))]
+    }
+    fn compute(&self, ctx: &mut TaskContext, _part: usize) -> PartitionData {
+        let blocks = ctx.shuffle_input(self.dep.id);
+        let records = decode_blocks::<u8, T>(ctx, blocks);
+        ctx.charge_combine(records.len() as u64);
+        let mut acc = self.init.clone();
+        for (_, v) in records {
+            acc = (self.fold)(acc, v);
+        }
+        Rc::new(vec![acc])
+    }
+}
+
+fn make_untyped_partitioner<K: ShuffleKey, V: ShuffleValue>(num: usize) -> Partitioner {
+    Rc::new(move |ctx, data| {
+        let records = rows::<(K, V)>(&data);
+        ctx.charge_records(records.len() as u64);
+        let mut buckets: Vec<crate::node::ShuffleBucket> = (0..num)
+            .map(|_| crate::node::ShuffleBucket {
+                bytes: Vec::new(),
+                records: 0,
+            })
+            .collect();
+        for (k, v) in records {
+            let b = bucket_of(k, num);
+            splitserve_codec::to_writer(&mut buckets[b].bytes, &(k, v))
+                .expect("serializing shuffle record");
+            buckets[b].records += 1;
+        }
+        for b in &buckets {
+            ctx.charge_ser(b.bytes.len() as u64);
+        }
+        buckets
+    })
+}
+
+impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
+    /// Spark's `aggregateByKey`: per-key fold into an accumulator type
+    /// `A`, with map-side partial aggregation (`seq`) and reduce-side
+    /// accumulator merging (`comb`).
+    pub fn aggregate_by_key<A>(
+        &self,
+        partitions: usize,
+        init: A,
+        seq: impl Fn(&A, &V) -> A + 'static,
+        comb: impl Fn(&A, &A) -> A + 'static,
+    ) -> Dataset<(K, A)>
+    where
+        A: ShuffleValue,
+    {
+        // Map side: fold raw values into accumulators, then shuffle the
+        // (K, A) pairs with combiner `comb`.
+        let init2 = init.clone();
+        let seq = Rc::new(seq);
+        let pre: Dataset<(K, A)> = self.map_partitions(move |ctx, records: &[(K, V)]| {
+            ctx.charge_combine(records.len() as u64);
+            let mut acc: BTreeMap<&K, A> = BTreeMap::new();
+            for (k, v) in records {
+                let a = acc.remove(k).unwrap_or_else(|| init2.clone());
+                acc.insert(k, seq(&a, v));
+            }
+            acc.into_iter().map(|(k, a)| (k.clone(), a)).collect()
+        });
+        pre.reduce_by_key(partitions, comb)
+    }
+
+    /// Distinct keys (drops values), one record per key.
+    pub fn distinct_keys(&self, partitions: usize) -> Dataset<K> {
+        self.map(|(k, _)| (k.clone(), ()))
+            .reduce_by_key(partitions, |_, _| ())
+            .map(|(k, _)| k.clone())
+    }
+
+    /// Spark's `cogroup`: for every key present on either side, the full
+    /// value lists from both datasets.
+    pub fn cogroup<W: ShuffleValue>(
+        &self,
+        other: &Dataset<(K, W)>,
+        partitions: usize,
+    ) -> Cogrouped<K, V, W> {
+        let left = Rc::new(ShuffleDep {
+            id: next_shuffle_id(),
+            parent: self.node(),
+            num_partitions: partitions,
+            partitioner: make_untyped_partitioner::<K, V>(partitions),
+        });
+        let right = Rc::new(ShuffleDep {
+            id: next_shuffle_id(),
+            parent: other.node(),
+            num_partitions: partitions,
+            partitioner: make_untyped_partitioner::<K, W>(partitions),
+        });
+        Dataset::from_node(Rc::new(CogroupNode::<K, V, W> {
+            id: next_node_id(),
+            left,
+            right,
+            _t: std::marker::PhantomData,
+        }))
+    }
+
+    /// Globally sorts by key via range partitioning: partition `i` holds
+    /// keys ≤ partition `i+1`'s, each partition internally sorted —
+    /// Spark's `sortByKey`, the heart of CloudSort-style workloads.
+    ///
+    /// Range bounds are derived from a deterministic sample of the keys
+    /// (provided by the caller via `bounds`, typically from
+    /// [`sample_sort_bounds`]).
+    pub fn sort_by_key(&self, bounds: Vec<K>) -> Dataset<(K, V)> {
+        let partitions = bounds.len() + 1;
+        let bounds = Rc::new(bounds);
+        let b2 = Rc::clone(&bounds);
+        let dep = Rc::new(ShuffleDep {
+            id: next_shuffle_id(),
+            parent: self.node(),
+            num_partitions: partitions,
+            partitioner: Rc::new(move |ctx: &mut TaskContext, data: PartitionData| {
+                let records = rows::<(K, V)>(&data);
+                ctx.charge_records(records.len() as u64);
+                let mut buckets: Vec<crate::node::ShuffleBucket> = (0..partitions)
+                    .map(|_| crate::node::ShuffleBucket {
+                        bytes: Vec::new(),
+                        records: 0,
+                    })
+                    .collect();
+                for (k, v) in records {
+                    let b = match b2.binary_search(k) {
+                        Ok(i) => i,
+                        Err(i) => i,
+                    };
+                    splitserve_codec::to_writer(&mut buckets[b].bytes, &(k, v))
+                        .expect("serializing shuffle record");
+                    buckets[b].records += 1;
+                }
+                for b in &buckets {
+                    ctx.charge_ser(b.bytes.len() as u64);
+                }
+                buckets
+            }),
+        });
+        Dataset::from_node(Rc::new(SortedNode {
+            id: next_node_id(),
+            dep,
+            _t: std::marker::PhantomData::<fn() -> (K, V)>,
+        }))
+    }
+}
+
+type CogroupMarker<K, V, W> = std::marker::PhantomData<fn() -> (K, V, W)>;
+
+struct CogroupNode<K, V, W> {
+    id: NodeId,
+    left: Rc<ShuffleDep>,
+    right: Rc<ShuffleDep>,
+    _t: CogroupMarker<K, V, W>,
+}
+
+impl<K: ShuffleKey, V: ShuffleValue, W: ShuffleValue> PlanNode for CogroupNode<K, V, W> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> &str {
+        "cogroup"
+    }
+    fn num_partitions(&self) -> usize {
+        self.left.num_partitions
+    }
+    fn deps(&self) -> Vec<Dep> {
+        vec![
+            Dep::Shuffle(Rc::clone(&self.left)),
+            Dep::Shuffle(Rc::clone(&self.right)),
+        ]
+    }
+    fn compute(&self, ctx: &mut TaskContext, _part: usize) -> PartitionData {
+        let lb = ctx.shuffle_input(self.left.id);
+        let rb = ctx.shuffle_input(self.right.id);
+        let left = decode_blocks::<K, V>(ctx, lb);
+        let right = decode_blocks::<K, W>(ctx, rb);
+        ctx.charge_combine((left.len() + right.len()) as u64);
+        let mut groups: BTreeMap<K, (Vec<V>, Vec<W>)> = BTreeMap::new();
+        for (k, v) in left {
+            groups.entry(k).or_default().0.push(v);
+        }
+        for (k, w) in right {
+            groups.entry(k).or_default().1.push(w);
+        }
+        Rc::new(groups.into_iter().collect::<Vec<(K, (Vec<V>, Vec<W>))>>())
+    }
+}
+
+struct SortedNode<K, V> {
+    id: NodeId,
+    dep: Rc<ShuffleDep>,
+    _t: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<K: ShuffleKey, V: ShuffleValue> PlanNode for SortedNode<K, V> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn label(&self) -> &str {
+        "sortByKey"
+    }
+    fn num_partitions(&self) -> usize {
+        self.dep.num_partitions
+    }
+    fn deps(&self) -> Vec<Dep> {
+        vec![Dep::Shuffle(Rc::clone(&self.dep))]
+    }
+    fn compute(&self, ctx: &mut TaskContext, _part: usize) -> PartitionData {
+        let blocks = ctx.shuffle_input(self.dep.id);
+        let mut records = decode_blocks::<K, V>(ctx, blocks);
+        let n = records.len() as u64;
+        // n log n comparison charge.
+        ctx.charge_combine(n.max(1).ilog2() as u64 * n);
+        records.sort_by(|a, b| a.0.cmp(&b.0));
+        Rc::new(records)
+    }
+}
+
+/// Derives `partitions - 1` range bounds for [`Dataset::sort_by_key`] from
+/// a caller-provided key sample (deterministic: sort + equi-spaced picks).
+pub fn sample_sort_bounds<K: Ord + Clone>(mut sample: Vec<K>, partitions: usize) -> Vec<K> {
+    assert!(partitions > 0, "need at least one partition");
+    if partitions == 1 || sample.is_empty() {
+        return Vec::new();
+    }
+    sample.sort();
+    let n = sample.len();
+    (1..partitions)
+        .map(|i| sample[(i * n / partitions).min(n - 1)].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkModel;
+
+    fn ctx() -> TaskContext {
+        TaskContext::empty(WorkModel::default())
+    }
+
+    /// Runs an arbitrary one-or-two-shuffle plan to completion by hand.
+    fn run_plan<T: Clone + 'static>(ds: &Dataset<T>) -> Vec<T> {
+        // Breadth-first over stages using the engine's own builder.
+        let graph = crate::stage::build_stages(ds.node());
+        let mut tracker = crate::tracker::MapOutputTracker::new();
+        let mut store: std::collections::HashMap<(u64, usize, usize), Bytes> =
+            std::collections::HashMap::new();
+        for stage in &graph.stages {
+            // Stage order is topological.
+            match &stage.kind {
+                crate::stage::StageKind::ShuffleMap(dep) => {
+                    tracker.register_shuffle(dep.id, stage.num_tasks);
+                    for part in 0..stage.num_tasks {
+                        let mut c = task_ctx(&stage.input_shuffles, part, &tracker, &store);
+                        let data = stage.terminal.compute(&mut c, part);
+                        let buckets = (dep.partitioner)(&mut c, data);
+                        let sizes: Vec<u64> =
+                            buckets.iter().map(|b| b.bytes.len() as u64).collect();
+                        for (r, b) in buckets.into_iter().enumerate() {
+                            if !b.bytes.is_empty() {
+                                store.insert((dep.id.0, part, r), Bytes::from(b.bytes));
+                            }
+                        }
+                        tracker.register_output(
+                            dep.id,
+                            part,
+                            crate::tracker::MapStatus {
+                                executor: crate::executor::ExecutorId("t".into()),
+                                sizes,
+                            },
+                        );
+                    }
+                }
+                crate::stage::StageKind::Result => {
+                    let mut out = Vec::new();
+                    for part in 0..stage.num_tasks {
+                        let mut c = task_ctx(&stage.input_shuffles, part, &tracker, &store);
+                        let data = stage.terminal.compute(&mut c, part);
+                        out.extend(rows::<T>(&data).iter().cloned());
+                    }
+                    return out;
+                }
+            }
+        }
+        unreachable!("graph always ends in a result stage")
+    }
+
+    fn task_ctx(
+        inputs: &[Rc<ShuffleDep>],
+        part: usize,
+        tracker: &crate::tracker::MapOutputTracker,
+        store: &std::collections::HashMap<(u64, usize, usize), Bytes>,
+    ) -> TaskContext {
+        let mut m = std::collections::HashMap::new();
+        for dep in inputs {
+            let blocks: Vec<Bytes> = tracker
+                .inputs_for_reduce(dep.id, part)
+                .into_iter()
+                .map(|(mi, _, _)| store[&(dep.id.0, mi, part)].clone())
+                .collect();
+            m.insert(dep.id, blocks);
+        }
+        TaskContext::new(WorkModel::default(), m)
+    }
+
+    #[test]
+    fn count_counts() {
+        let ds = Dataset::parallelize((0..777u32).collect(), 5).filter(|x| x % 3 == 0);
+        let got = run_plan(&ds.count());
+        assert_eq!(got, vec![259]);
+    }
+
+    #[test]
+    fn aggregate_by_key_computes_means() {
+        let data: Vec<(u32, f64)> = (0..100).map(|i| (i % 4, i as f64)).collect();
+        let ds = Dataset::parallelize(data.clone(), 6);
+        let agg = ds.aggregate_by_key(
+            3,
+            (0.0f64, 0u64),
+            |acc, v| (acc.0 + v, acc.1 + 1),
+            |a, b| (a.0 + b.0, a.1 + b.1),
+        );
+        let mut got = run_plan(&agg);
+        got.sort_by_key(|(k, _)| *k);
+        assert_eq!(got.len(), 4);
+        for (k, (sum, n)) in got {
+            assert_eq!(n, 25);
+            let expect: f64 = data
+                .iter()
+                .filter(|(kk, _)| *kk == k)
+                .map(|(_, v)| v)
+                .sum();
+            assert!((sum - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distinct_keys_dedups() {
+        let data: Vec<(u16, ())> = (0..1000).map(|i| (i % 37, ())).collect();
+        let ds = Dataset::parallelize(data, 4);
+        let mut got = run_plan(&ds.distinct_keys(3));
+        got.sort();
+        assert_eq!(got, (0..37u16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cogroup_pairs_full_value_lists() {
+        let left: Vec<(u8, u32)> = vec![(1, 10), (1, 11), (2, 20)];
+        let right: Vec<(u8, String)> = vec![(1, "a".into()), (3, "c".into())];
+        let l = Dataset::parallelize(left, 2);
+        let r = Dataset::parallelize(right, 2);
+        let mut got = run_plan(&l.cogroup(&r, 2));
+        got.sort_by_key(|(k, _)| *k);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], (1, (vec![10, 11], vec!["a".into()])));
+        assert_eq!(got[1], (2, (vec![20], vec![])));
+        assert_eq!(got[2], (3, (vec![], vec!["c".into()])));
+    }
+
+    #[test]
+    fn sort_by_key_totally_orders_across_partitions() {
+        let data: Vec<(u64, u64)> = (0..2_000).map(|i| ((i * 7919) % 5_000, i)).collect();
+        let ds = Dataset::parallelize(data.clone(), 8);
+        let sample: Vec<u64> = data.iter().step_by(10).map(|(k, _)| *k).collect();
+        let bounds = sample_sort_bounds(sample, 4);
+        assert_eq!(bounds.len(), 3);
+        let sorted = ds.sort_by_key(bounds);
+        // run_plan concatenates partition 0..n in order: globally sorted.
+        let got = run_plan(&sorted);
+        assert_eq!(got.len(), 2_000);
+        for w in got.windows(2) {
+            assert!(w[0].0 <= w[1].0, "global order violated");
+        }
+        // Same multiset.
+        let mut keys: Vec<u64> = got.iter().map(|(k, _)| *k).collect();
+        let mut expect: Vec<u64> = data.iter().map(|(k, _)| *k).collect();
+        keys.sort();
+        expect.sort();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn sample_sort_bounds_are_monotone() {
+        let bounds = sample_sort_bounds((0..100u32).rev().collect(), 5);
+        assert_eq!(bounds.len(), 4);
+        for w in bounds.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(sample_sort_bounds(Vec::<u32>::new(), 4).is_empty());
+        assert!(sample_sort_bounds(vec![1u32, 2], 1).is_empty());
+    }
+}

@@ -1,0 +1,1186 @@
+//! The engine: DAG scheduling, task execution, shuffle I/O and fault
+//! recovery, driven entirely by simulation events.
+//!
+//! This is the component SplitServe modifies in Spark — the
+//! `DAGScheduler`/`CoarseGrainedSchedulerBackend` pair. It:
+//!
+//! - splits a job into stages and submits them as parents complete;
+//! - assigns tasks to registered executors (VM- or Lambda-backed alike);
+//! - runs each task's *real* computation, charging virtual time for CPU
+//!   (scaled by core speed and GC pressure) and for shuffle I/O through
+//!   the block store;
+//! - recovers from executor loss: failed tasks are re-queued, and when the
+//!   shuffle store does not survive executor death (local disk), lost map
+//!   outputs trigger the rollback cascade of parent-stage resubmission;
+//! - supports *graceful draining* — the mechanism SplitServe's segueing
+//!   facility relies on: a draining executor takes no new tasks, finishes
+//!   its current one, and decommissions when idle.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use splitserve_des::{Sim, SimDuration, SimTime};
+use splitserve_storage::{BlockId, BlockStore, StoreError};
+
+use crate::config::EngineConfig;
+use crate::context::TaskContext;
+use crate::events::{EngineEventKind, EventLog, JobId};
+use crate::executor::{ExecutorDesc, ExecutorId, ExecutorKind};
+use crate::metrics::{JobMetrics, JobOutput};
+use crate::node::{PartitionData, PlanNode, ShuffleBucket, ShuffleId};
+use crate::stage::{build_stages, StageGraph, StageId, StageKind};
+use crate::tracker::{MapOutputTracker, MapStatus};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct AttemptId(u64);
+
+/// Callback invoked when a draining executor finally leaves the cluster.
+type DrainCallback = Box<dyn FnOnce(&mut Sim, ExecutorId)>;
+
+struct ExecMeta {
+    desc: ExecutorDesc,
+    alive: bool,
+    draining: bool,
+    running: Option<AttemptId>,
+    registered_at: SimTime,
+    idle_since: SimTime,
+    tasks_done: u64,
+    on_drained: Option<DrainCallback>,
+}
+
+#[derive(Debug, Clone)]
+struct AttemptInfo {
+    job: JobId,
+    stage: StageId,
+    part: usize,
+    exec: ExecutorId,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StageState {
+    Waiting,
+    Running,
+    Done,
+}
+
+#[derive(Default)]
+struct StageStatus {
+    state: Option<StageState>, // None until initialized
+    queued: HashSet<usize>,
+    running: HashSet<usize>,
+}
+
+/// Driver-side completion callback of a job.
+type JobDoneCallback = Box<dyn FnOnce(&mut Sim, JobOutput)>;
+
+struct JobState {
+    graph: StageGraph,
+    status: Vec<StageStatus>,
+    result_parts: Vec<Option<PartitionData>>,
+    on_done: Option<JobDoneCallback>,
+    metrics: JobMetrics,
+    done: bool,
+}
+
+struct Inner {
+    cfg: EngineConfig,
+    executors: BTreeMap<ExecutorId, ExecMeta>,
+    jobs: BTreeMap<u64, JobState>,
+    attempts: HashMap<AttemptId, AttemptInfo>,
+    pending: VecDeque<(JobId, StageId, usize)>,
+    next_job: u64,
+    next_attempt: u64,
+    tracker: MapOutputTracker,
+    driver_free_at: SimTime,
+}
+
+/// A snapshot of one executor's state, for policy layers (SplitServe's
+/// launching and segueing facilities live above this API).
+#[derive(Debug, Clone)]
+pub struct ExecutorInfo {
+    /// The executor.
+    pub id: ExecutorId,
+    /// VM- or Lambda-backed.
+    pub kind: ExecutorKind,
+    /// When it registered.
+    pub registered_at: SimTime,
+    /// Still accepting/running work.
+    pub alive: bool,
+    /// In graceful-drain mode.
+    pub draining: bool,
+    /// Currently executing a task.
+    pub busy: bool,
+    /// When the executor last became idle (its registration time if it
+    /// has never run a task). Meaningful only when `busy` is false.
+    pub idle_since: SimTime,
+    /// Tasks completed so far.
+    pub tasks_done: u64,
+}
+
+/// The Spark-like engine. Cloneable handle; all state is shared.
+///
+/// # Examples
+///
+/// ```
+/// use splitserve_des::{Fabric, Sim};
+/// use splitserve_engine::{collect_partitions, Dataset, Engine, EngineConfig, ExecutorDesc};
+/// use splitserve_storage::LocalDiskStore;
+/// use std::rc::Rc;
+///
+/// let mut sim = Sim::new(0);
+/// let fabric = Fabric::new();
+/// let store = Rc::new(LocalDiskStore::new(fabric.clone()));
+/// let engine = Engine::new(EngineConfig::default(), store);
+///
+/// let nic = fabric.add_link(1e9, "nic");
+/// let disk = fabric.add_link(1e9, "disk");
+/// engine.register_executor(&mut sim, ExecutorDesc::vm("exec-0", nic, disk, 8192));
+///
+/// let sums = Dataset::parallelize((0..1000u64).map(|i| (i % 4, i)).collect(), 4)
+///     .reduce_by_key(2, |a, b| a + b);
+/// let out = std::rc::Rc::new(std::cell::RefCell::new(None));
+/// let o = Rc::clone(&out);
+/// engine.submit_job(&mut sim, sums.node(), move |_sim, output| {
+///     *o.borrow_mut() = Some(collect_partitions::<(u64, u64)>(&output.partitions));
+/// });
+/// sim.run();
+/// let mut rows = out.borrow_mut().take().expect("job finished");
+/// rows.sort();
+/// assert_eq!(rows.len(), 4);
+/// ```
+#[derive(Clone)]
+pub struct Engine {
+    inner: Rc<RefCell<Inner>>,
+    store: Rc<dyn BlockStore>,
+    log: EventLog,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Engine")
+            .field("executors", &inner.executors.len())
+            .field("jobs", &inner.jobs.len())
+            .field("pending_tasks", &inner.pending.len())
+            .field("store", &self.store.kind())
+            .finish()
+    }
+}
+
+enum ComputePayload {
+    MapOut(Vec<ShuffleBucket>),
+    ResultOut(PartitionData),
+}
+
+impl Engine {
+    /// Creates an engine over the given shuffle store.
+    pub fn new(cfg: EngineConfig, store: Rc<dyn BlockStore>) -> Self {
+        let log = EventLog::new(cfg.event_log);
+        Engine {
+            inner: Rc::new(RefCell::new(Inner {
+                cfg,
+                executors: BTreeMap::new(),
+                jobs: BTreeMap::new(),
+                attempts: HashMap::new(),
+                pending: VecDeque::new(),
+                next_job: 0,
+                next_attempt: 0,
+                tracker: MapOutputTracker::new(),
+                driver_free_at: SimTime::ZERO,
+            })),
+            store,
+            log,
+        }
+    }
+
+    /// The engine's event log.
+    pub fn event_log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// The shuffle store in use.
+    pub fn store(&self) -> &Rc<dyn BlockStore> {
+        &self.store
+    }
+
+    // ----- executors ---------------------------------------------------
+
+    /// Registers an executor and immediately offers it pending work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already registered.
+    pub fn register_executor(&self, sim: &mut Sim, desc: ExecutorDesc) {
+        self.store.register_executor(&desc.id.0, desc.client_loc());
+        {
+            let mut inner = self.inner.borrow_mut();
+            let id = desc.id.clone();
+            let kind = desc.kind;
+            assert!(
+                !inner.executors.contains_key(&id),
+                "duplicate executor {id}"
+            );
+            inner.executors.insert(
+                id.clone(),
+                ExecMeta {
+                    desc,
+                    alive: true,
+                    draining: false,
+                    running: None,
+                    registered_at: sim.now(),
+                    idle_since: sim.now(),
+                    tasks_done: 0,
+                    on_drained: None,
+                },
+            );
+            self.log
+                .push(sim.now(), EngineEventKind::ExecutorRegistered { exec: id, kind });
+        }
+        self.dispatch(sim);
+    }
+
+    /// Snapshot of all executors (registration order by id).
+    pub fn executors(&self) -> Vec<ExecutorInfo> {
+        let inner = self.inner.borrow();
+        inner
+            .executors
+            .iter()
+            .map(|(id, m)| ExecutorInfo {
+                id: id.clone(),
+                kind: m.desc.kind,
+                registered_at: m.registered_at,
+                alive: m.alive,
+                draining: m.draining,
+                busy: m.running.is_some(),
+                idle_since: m.idle_since,
+                tasks_done: m.tasks_done,
+            })
+            .collect()
+    }
+
+    /// Snapshot of one executor.
+    pub fn executor_info(&self, id: &ExecutorId) -> Option<ExecutorInfo> {
+        self.executors().into_iter().find(|e| &e.id == id)
+    }
+
+    /// Number of tasks waiting in the dispatch queue (the backlog a
+    /// dynamic-allocation controller reacts to).
+    pub fn pending_tasks(&self) -> usize {
+        self.inner.borrow().pending.len()
+    }
+
+    /// Whether any submitted job has not completed yet.
+    pub fn has_active_jobs(&self) -> bool {
+        self.inner.borrow().jobs.values().any(|j| !j.done)
+    }
+
+    /// Number of live, non-draining executors.
+    pub fn active_executors(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner
+            .executors
+            .values()
+            .filter(|m| m.alive && !m.draining)
+            .count()
+    }
+
+    /// Puts an executor into graceful-drain mode: it takes no new tasks,
+    /// finishes any current one, and `on_drained` fires when it leaves the
+    /// cluster. This is the decommission path that does **not** roll back
+    /// execution — provided the shuffle store survives executor loss.
+    pub fn drain_executor(
+        &self,
+        sim: &mut Sim,
+        id: &ExecutorId,
+        on_drained: impl FnOnce(&mut Sim, ExecutorId) + 'static,
+    ) {
+        let finish_now = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(meta) = inner.executors.get_mut(id) else {
+                return;
+            };
+            if !meta.alive || meta.draining {
+                return;
+            }
+            meta.draining = true;
+            meta.on_drained = Some(Box::new(on_drained));
+            self.log
+                .push(sim.now(), EngineEventKind::ExecutorDraining { exec: id.clone() });
+            meta.running.is_none()
+        };
+        if finish_now {
+            self.decommission(sim, id.clone());
+        }
+    }
+
+    /// Abruptly kills an executor (Lambda lifetime expiry, VM crash). Its
+    /// running task fails and is re-queued; if the shuffle store is
+    /// executor-local, its map outputs are invalidated and the affected
+    /// stages roll back.
+    pub fn kill_executor(&self, sim: &mut Sim, id: &ExecutorId) {
+        let killed = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(meta) = inner.executors.get_mut(id) else {
+                return;
+            };
+            if !meta.alive {
+                return;
+            }
+            meta.alive = false;
+            let running = meta.running.take();
+            self.log
+                .push(sim.now(), EngineEventKind::ExecutorLost { exec: id.clone() });
+            if let Some(attempt) = running {
+                if let Some(info) = inner.attempts.remove(&attempt) {
+                    self.log.push(
+                        sim.now(),
+                        EngineEventKind::TaskFailed {
+                            stage: info.stage,
+                            part: info.part,
+                            exec: id.clone(),
+                            reason: "executor lost".into(),
+                        },
+                    );
+                    if let Some(job) = inner.jobs.get_mut(&info.job.0) {
+                        job.metrics.tasks_recomputed += 1;
+                        let st = &mut job.status[info.stage.0 as usize];
+                        st.running.remove(&info.part);
+                        st.queued.insert(info.part);
+                        inner.pending.push_front((info.job, info.stage, info.part));
+                    }
+                }
+            }
+            true
+        };
+        if !killed {
+            return;
+        }
+        self.store.on_executor_lost(sim, &id.0);
+        if !self.store.survives_executor_loss() {
+            let affected = self.inner.borrow_mut().tracker.unregister_executor(id);
+            if !affected.is_empty() {
+                self.rollback_incomplete_stages(sim);
+            }
+        }
+        self.progress_all_jobs(sim);
+    }
+
+    fn decommission(&self, sim: &mut Sim, id: ExecutorId) {
+        let cb = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(meta) = inner.executors.get_mut(&id) else {
+                return;
+            };
+            if !meta.alive {
+                return;
+            }
+            meta.alive = false;
+            self.log.push(
+                sim.now(),
+                EngineEventKind::ExecutorDecommissioned { exec: id.clone() },
+            );
+            meta.on_drained.take()
+        };
+        // A decommissioned executor's node is gone; local blocks with it.
+        self.store.on_executor_lost(sim, &id.0);
+        if !self.store.survives_executor_loss() {
+            let affected = self.inner.borrow_mut().tracker.unregister_executor(&id);
+            if !affected.is_empty() {
+                self.rollback_incomplete_stages(sim);
+            }
+        }
+        if let Some(cb) = cb {
+            cb(sim, id);
+        }
+        self.progress_all_jobs(sim);
+    }
+
+    /// Marks stages whose map outputs vanished as needing resubmission and
+    /// pulls now-unrunnable queued tasks back out of the dispatch queue.
+    fn rollback_incomplete_stages(&self, sim: &mut Sim) {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let mut dequeue: Vec<(JobId, StageId)> = Vec::new();
+        for (job_id, job) in inner.jobs.iter_mut() {
+            if job.done {
+                continue;
+            }
+            for stage in &job.graph.stages {
+                let st = &mut job.status[stage.id.0 as usize];
+                if let StageKind::ShuffleMap(dep) = &stage.kind {
+                    if st.state == Some(StageState::Done) && !inner.tracker.is_complete(dep.id) {
+                        let missing = inner.tracker.missing(dep.id).len();
+                        st.state = Some(StageState::Waiting);
+                        self.log.push(
+                            sim.now(),
+                            EngineEventKind::StageRolledBack {
+                                stage: stage.id,
+                                missing,
+                            },
+                        );
+                    }
+                }
+                // Any stage whose inputs are no longer complete must not
+                // keep tasks in the dispatch queue.
+                let inputs_ok = stage
+                    .input_shuffles
+                    .iter()
+                    .all(|d| inner.tracker.is_complete(d.id));
+                if !inputs_ok && !st.queued.is_empty() {
+                    st.queued.clear();
+                    if st.running.is_empty() {
+                        st.state = Some(StageState::Waiting);
+                    }
+                    dequeue.push((JobId(*job_id), stage.id));
+                }
+            }
+        }
+        if !dequeue.is_empty() {
+            inner
+                .pending
+                .retain(|(j, s, _)| !dequeue.contains(&(*j, *s)));
+        }
+    }
+
+    // ----- jobs ---------------------------------------------------------
+
+    /// Submits a job computing `final_node`'s partitions; `on_done` fires
+    /// with the results and metrics when the result stage completes.
+    pub fn submit_job(
+        &self,
+        sim: &mut Sim,
+        final_node: Rc<dyn PlanNode>,
+        on_done: impl FnOnce(&mut Sim, JobOutput) + 'static,
+    ) -> JobId {
+        let job_id = {
+            let mut inner = self.inner.borrow_mut();
+            let id = JobId(inner.next_job);
+            inner.next_job += 1;
+            let graph = build_stages(final_node);
+            // Register every shuffle in the tracker.
+            for stage in &graph.stages {
+                if let StageKind::ShuffleMap(dep) = &stage.kind {
+                    inner
+                        .tracker
+                        .register_shuffle(dep.id, dep.parent.num_partitions());
+                }
+            }
+            self.log.push(
+                sim.now(),
+                EngineEventKind::JobSubmitted {
+                    job: id,
+                    stages: graph.len(),
+                },
+            );
+            let n_stages = graph.len();
+            let result_width = graph.stage(graph.result).num_tasks;
+            inner.jobs.insert(
+                id.0,
+                JobState {
+                    graph,
+                    status: (0..n_stages).map(|_| StageStatus::default()).collect(),
+                    result_parts: vec![None; result_width],
+                    on_done: Some(Box::new(on_done)),
+                    metrics: JobMetrics::start(id, sim.now()),
+                    done: false,
+                },
+            );
+            id
+        };
+        self.progress_job(sim, job_id);
+        job_id
+    }
+
+    /// Advances stage states for one job: marks completed stages, queues
+    /// newly-runnable tasks, finishes the job when the result stage is
+    /// done. Then dispatches.
+    fn progress_job(&self, sim: &mut Sim, job_id: JobId) {
+        let mut finished: Option<(JobDoneCallback, JobOutput)> = None;
+        {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            let Some(job) = inner.jobs.get_mut(&job_id.0) else {
+                return;
+            };
+            if job.done {
+                return;
+            }
+            // Iterate stages in topological (id) order.
+            for stage in &job.graph.stages {
+                let sidx = stage.id.0 as usize;
+                let parents_done = stage
+                    .input_shuffles
+                    .iter()
+                    .all(|d| inner.tracker.is_complete(d.id));
+
+                // Completion checks.
+                let complete = match &stage.kind {
+                    StageKind::ShuffleMap(dep) => inner.tracker.is_complete(dep.id),
+                    StageKind::Result => job.result_parts.iter().all(Option::is_some),
+                };
+                let st = &mut job.status[sidx];
+                if complete {
+                    if st.state != Some(StageState::Done) {
+                        st.state = Some(StageState::Done);
+                        job.metrics.stages_run += 1;
+                        self.log
+                            .push(sim.now(), EngineEventKind::StageCompleted { stage: stage.id });
+                    }
+                    continue;
+                }
+                if !parents_done {
+                    continue;
+                }
+                // Runnable: queue whatever is missing and not in flight.
+                let missing: Vec<usize> = match &stage.kind {
+                    StageKind::ShuffleMap(dep) => inner.tracker.missing(dep.id),
+                    StageKind::Result => job
+                        .result_parts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| p.is_none())
+                        .map(|(i, _)| i)
+                        .collect(),
+                };
+                let mut queued_now = 0;
+                for part in missing {
+                    if !st.queued.contains(&part) && !st.running.contains(&part) {
+                        st.queued.insert(part);
+                        inner.pending.push_back((job_id, stage.id, part));
+                        queued_now += 1;
+                    }
+                }
+                if queued_now > 0 {
+                    self.log.push(
+                        sim.now(),
+                        EngineEventKind::StageSubmitted {
+                            stage: stage.id,
+                            tasks: queued_now,
+                        },
+                    );
+                }
+                st.state = Some(StageState::Running);
+            }
+
+            // Job completion.
+            if job.result_parts.iter().all(Option::is_some) && !job.done {
+                job.done = true;
+                job.metrics.completed_at = sim.now();
+                self.log
+                    .push(sim.now(), EngineEventKind::JobCompleted { job: job_id });
+                let partitions: Vec<PartitionData> = job
+                    .result_parts
+                    .iter()
+                    .map(|p| Rc::clone(p.as_ref().expect("checked above")))
+                    .collect();
+                let output = JobOutput {
+                    partitions,
+                    metrics: job.metrics.clone(),
+                };
+                if let Some(cb) = job.on_done.take() {
+                    finished = Some((cb, output));
+                }
+            }
+        }
+        if let Some((cb, output)) = finished {
+            cb(sim, output);
+        }
+        self.dispatch(sim);
+    }
+
+    fn progress_all_jobs(&self, sim: &mut Sim) {
+        let ids: Vec<JobId> = self
+            .inner
+            .borrow()
+            .jobs
+            .iter()
+            .filter(|(_, j)| !j.done)
+            .map(|(id, _)| JobId(*id))
+            .collect();
+        for id in ids {
+            self.progress_job(sim, id);
+        }
+    }
+
+    /// Metrics of every job that has completed so far, in submission order.
+    pub fn completed_job_metrics(&self) -> Vec<JobMetrics> {
+        self.inner
+            .borrow()
+            .jobs
+            .values()
+            .filter(|j| j.done)
+            .map(|j| j.metrics.clone())
+            .collect()
+    }
+
+    /// A completed job's metrics (available after `on_done` fired).
+    pub fn job_metrics(&self, job: JobId) -> Option<JobMetrics> {
+        self.inner
+            .borrow()
+            .jobs
+            .get(&job.0)
+            .map(|j| j.metrics.clone())
+    }
+
+    // ----- dispatch and the task state machine ---------------------------
+
+    /// Pairs pending tasks with idle executors.
+    fn dispatch(&self, sim: &mut Sim) {
+        loop {
+            let launch = {
+                let mut inner = self.inner.borrow_mut();
+                let inner = &mut *inner;
+                // Find an idle, live, non-draining executor.
+                let exec_id = inner
+                    .executors
+                    .iter()
+                    .find(|(_, m)| m.alive && !m.draining && m.running.is_none())
+                    .map(|(id, _)| id.clone());
+                let Some(exec_id) = exec_id else { break };
+                // Pop the next dispatchable task.
+                let Some((job_id, stage_id, part)) = inner.pending.pop_front() else {
+                    break;
+                };
+                let Some(job) = inner.jobs.get_mut(&job_id.0) else {
+                    continue;
+                };
+                let st = &mut job.status[stage_id.0 as usize];
+                if !st.queued.remove(&part) {
+                    continue; // stale entry (rolled back or duplicate)
+                }
+                let stage = job.graph.stage(stage_id);
+                // Inputs must still be complete (rollback may have struck
+                // between queueing and dispatch).
+                if !stage
+                    .input_shuffles
+                    .iter()
+                    .all(|d| inner.tracker.is_complete(d.id))
+                {
+                    continue;
+                }
+                st.running.insert(part);
+                let attempt = AttemptId(inner.next_attempt);
+                inner.next_attempt += 1;
+                inner.attempts.insert(
+                    attempt,
+                    AttemptInfo {
+                        job: job_id,
+                        stage: stage_id,
+                        part,
+                        exec: exec_id.clone(),
+                    },
+                );
+                let meta = inner
+                    .executors
+                    .get_mut(&exec_id)
+                    .expect("dispatch picked a live executor");
+                meta.running = Some(attempt);
+                self.log.push(
+                    sim.now(),
+                    EngineEventKind::TaskStarted {
+                        stage: stage_id,
+                        part,
+                        exec: exec_id.clone(),
+                    },
+                );
+                // Build the fetch plan: (shuffle, map index, block, size).
+                let shuffle_ids: Vec<ShuffleId> =
+                    stage.input_shuffles.iter().map(|d| d.id).collect();
+                let mut plan: Vec<(ShuffleId, usize, BlockId, u64)> = Vec::new();
+                for dep in &stage.input_shuffles {
+                    for (m, writer, size) in inner.tracker.inputs_for_reduce(dep.id, part) {
+                        plan.push((
+                            dep.id,
+                            m,
+                            BlockId::shuffle(writer.0.clone(), dep.id.0, m as u64, part as u64),
+                            size,
+                        ));
+                    }
+                }
+                // The driver is a single-threaded dispatcher: task
+                // launches serialize through it.
+                let start_at = {
+                    let t = inner.driver_free_at.max(sim.now()) + inner.cfg.driver_dispatch;
+                    inner.driver_free_at = t;
+                    t
+                };
+                Some((attempt, shuffle_ids, plan, start_at))
+            };
+            match launch {
+                Some((attempt, shuffle_ids, plan, start_at)) => {
+                    let engine = self.clone();
+                    sim.schedule_at(start_at, move |sim| {
+                        engine.begin_fetch(sim, attempt, shuffle_ids, plan);
+                    });
+                }
+                None => continue,
+            }
+        }
+    }
+
+    fn attempt_live(&self, attempt: AttemptId) -> bool {
+        self.inner.borrow().attempts.contains_key(&attempt)
+    }
+
+    /// Starts the (window-bounded) shuffle fetch for a task, then runs its
+    /// computation.
+    fn begin_fetch(
+        &self,
+        sim: &mut Sim,
+        attempt: AttemptId,
+        shuffle_ids: Vec<ShuffleId>,
+        plan: Vec<(ShuffleId, usize, BlockId, u64)>,
+    ) {
+        // Every input shuffle gets an entry even when this reduce partition
+        // receives no bytes from it (all buckets empty).
+        let mut base: HashMap<ShuffleId, Vec<Bytes>> = HashMap::new();
+        for id in &shuffle_ids {
+            base.insert(*id, Vec::new());
+        }
+        if plan.is_empty() {
+            self.run_compute(sim, attempt, base, 0);
+            return;
+        }
+        let client = {
+            let inner = self.inner.borrow();
+            let Some(info) = inner.attempts.get(&attempt) else {
+                return;
+            };
+            inner.executors[&info.exec].desc.client_loc()
+        };
+        let fetched_bytes: u64 = plan.iter().map(|(_, _, _, s)| s).sum();
+        struct FetchState {
+            queue: VecDeque<(ShuffleId, usize, BlockId)>,
+            results: HashMap<ShuffleId, Vec<Bytes>>,
+            outstanding: usize,
+            aborted: bool,
+        }
+        let state = Rc::new(RefCell::new(FetchState {
+            queue: plan
+                .iter()
+                .map(|(s, m, b, _)| (*s, *m, b.clone()))
+                .collect(),
+            results: base,
+            outstanding: 0,
+            aborted: false,
+        }));
+        let window = self.inner.borrow().cfg.max_fetch_concurrency.max(1);
+
+        fn spawn_next(
+            engine: &Engine,
+            sim: &mut Sim,
+            attempt: AttemptId,
+            state: &Rc<RefCell<FetchState>>,
+            client: splitserve_storage::ClientLoc,
+            fetched_bytes: u64,
+        ) {
+            let next = {
+                let mut st = state.borrow_mut();
+                if st.aborted {
+                    return;
+                }
+                match st.queue.pop_front() {
+                    Some(item) => {
+                        st.outstanding += 1;
+                        Some(item)
+                    }
+                    None => None,
+                }
+            };
+            let Some((shuffle, map, block)) = next else {
+                return;
+            };
+            let engine2 = engine.clone();
+            let state2 = Rc::clone(state);
+            engine.store.get(
+                sim,
+                client,
+                block,
+                Box::new(move |sim, result| {
+                    if !engine2.attempt_live(attempt) {
+                        state2.borrow_mut().aborted = true;
+                        return;
+                    }
+                    match result {
+                        Ok(bytes) => {
+                            let done = {
+                                let mut st = state2.borrow_mut();
+                                st.outstanding -= 1;
+                                st.results.entry(shuffle).or_default().push(bytes);
+                                st.queue.is_empty() && st.outstanding == 0
+                            };
+                            if done {
+                                let results =
+                                    std::mem::take(&mut state2.borrow_mut().results);
+                                engine2.run_compute(sim, attempt, results, fetched_bytes);
+                            } else {
+                                spawn_next(&engine2, sim, attempt, &state2, client, fetched_bytes);
+                            }
+                        }
+                        Err(err) => {
+                            state2.borrow_mut().aborted = true;
+                            engine2.fetch_failed(sim, attempt, shuffle, map, err);
+                        }
+                    }
+                }),
+            );
+        }
+
+        for _ in 0..window.min(plan.len()) {
+            spawn_next(self, sim, attempt, &state, client, fetched_bytes);
+        }
+    }
+
+    /// Runs the task's real computation and schedules its completion after
+    /// the modeled duration.
+    fn run_compute(
+        &self,
+        sim: &mut Sim,
+        attempt: AttemptId,
+        inputs: HashMap<ShuffleId, Vec<Bytes>>,
+        fetched_bytes: u64,
+    ) {
+        let (terminal, kind, part, work, speed, mem_bytes) = {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            let Some(info) = inner.attempts.get(&attempt) else {
+                return;
+            };
+            let job = &mut inner.jobs.get_mut(&info.job.0).expect("job of live attempt");
+            job.metrics.shuffle_bytes_read += fetched_bytes;
+            let stage = job.graph.stage(info.stage);
+            let meta = &inner.executors[&info.exec];
+            (
+                Rc::clone(&stage.terminal),
+                stage.kind.clone(),
+                info.part,
+                inner.cfg.work.clone(),
+                meta.desc.core_speed,
+                meta.desc.memory_bytes(),
+            )
+        };
+        let mut ctx = TaskContext::new(work.clone(), inputs);
+        let data = terminal.compute(&mut ctx, part);
+        let payload = match &kind {
+            StageKind::ShuffleMap(dep) => ComputePayload::MapOut((dep.partitioner)(&mut ctx, data)),
+            StageKind::Result => ComputePayload::ResultOut(data),
+        };
+        let cpu = ctx.cpu_secs();
+        let pressure = ctx.working_set_bytes() as f64 / mem_bytes as f64;
+        let gc = work.gc_factor(pressure);
+        let dur = work.task_overhead + SimDuration::from_secs_f64(cpu / speed * gc);
+        let engine = self.clone();
+        sim.schedule_in(dur, move |sim| {
+            engine.after_compute(sim, attempt, payload, cpu);
+        });
+    }
+
+    /// The task's modeled CPU time has elapsed; persist outputs.
+    fn after_compute(&self, sim: &mut Sim, attempt: AttemptId, payload: ComputePayload, cpu: f64) {
+        let (info, shuffle_id, client) = {
+            let inner = self.inner.borrow();
+            let Some(info) = inner.attempts.get(&attempt) else {
+                return; // executor died while "computing"
+            };
+            let job = &inner.jobs[&info.job.0];
+            let sid = match &job.graph.stage(info.stage).kind {
+                StageKind::ShuffleMap(dep) => Some(dep.id),
+                StageKind::Result => None,
+            };
+            (
+                info.clone(),
+                sid,
+                inner.executors[&info.exec].desc.client_loc(),
+            )
+        };
+        match payload {
+            ComputePayload::ResultOut(data) => {
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    if let Some(job) = inner.jobs.get_mut(&info.job.0) {
+                        job.result_parts[info.part] = Some(data);
+                        job.metrics.cpu_secs_total += cpu;
+                    }
+                }
+                self.task_done(sim, attempt, cpu);
+            }
+            ComputePayload::MapOut(buckets) => {
+                let sid = shuffle_id.expect("map payload implies map stage");
+                let sizes: Vec<u64> = buckets.iter().map(|b| b.bytes.len() as u64).collect();
+                let writes: Vec<(BlockId, Bytes)> = buckets
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, b)| !b.bytes.is_empty())
+                    .map(|(r, b)| {
+                        (
+                            BlockId::shuffle(
+                                info.exec.0.clone(),
+                                sid.0,
+                                info.part as u64,
+                                r as u64,
+                            ),
+                            Bytes::from(b.bytes),
+                        )
+                    })
+                    .collect();
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    if let Some(job) = inner.jobs.get_mut(&info.job.0) {
+                        job.metrics.cpu_secs_total += cpu;
+                        job.metrics.shuffle_bytes_written +=
+                            sizes.iter().sum::<u64>();
+                    }
+                }
+                self.write_map_outputs(sim, attempt, sid, sizes, writes, client, cpu);
+            }
+        }
+    }
+
+    /// Window-bounded writes of map-output buckets, then registration.
+    #[allow(clippy::too_many_arguments)]
+    fn write_map_outputs(
+        &self,
+        sim: &mut Sim,
+        attempt: AttemptId,
+        sid: ShuffleId,
+        sizes: Vec<u64>,
+        writes: Vec<(BlockId, Bytes)>,
+        client: splitserve_storage::ClientLoc,
+        cpu: f64,
+    ) {
+        if writes.is_empty() {
+            self.map_outputs_done(sim, attempt, sid, sizes, cpu);
+            return;
+        }
+        struct WriteState {
+            queue: VecDeque<(BlockId, Bytes)>,
+            outstanding: usize,
+            aborted: bool,
+        }
+        let state = Rc::new(RefCell::new(WriteState {
+            queue: writes.into_iter().collect(),
+            outstanding: 0,
+            aborted: false,
+        }));
+        let window = self.inner.borrow().cfg.max_fetch_concurrency.max(1);
+        let total = state.borrow().queue.len();
+
+        #[allow(clippy::too_many_arguments)]
+        fn spawn_next(
+            engine: &Engine,
+            sim: &mut Sim,
+            attempt: AttemptId,
+            sid: ShuffleId,
+            sizes: &Rc<Vec<u64>>,
+            state: &Rc<RefCell<WriteState>>,
+            client: splitserve_storage::ClientLoc,
+            cpu: f64,
+        ) {
+            let next = {
+                let mut st = state.borrow_mut();
+                if st.aborted {
+                    return;
+                }
+                match st.queue.pop_front() {
+                    Some(item) => {
+                        st.outstanding += 1;
+                        Some(item)
+                    }
+                    None => None,
+                }
+            };
+            let Some((block, bytes)) = next else { return };
+            let engine2 = engine.clone();
+            let state2 = Rc::clone(state);
+            let sizes2 = Rc::clone(sizes);
+            engine.store.put(
+                sim,
+                client,
+                block,
+                bytes,
+                Box::new(move |sim, result| {
+                    if !engine2.attempt_live(attempt) {
+                        state2.borrow_mut().aborted = true;
+                        return;
+                    }
+                    match result {
+                        Ok(()) => {
+                            let done = {
+                                let mut st = state2.borrow_mut();
+                                st.outstanding -= 1;
+                                st.queue.is_empty() && st.outstanding == 0
+                            };
+                            if done {
+                                engine2.map_outputs_done(
+                                    sim,
+                                    attempt,
+                                    sid,
+                                    sizes2.as_ref().clone(),
+                                    cpu,
+                                );
+                            } else {
+                                spawn_next(
+                                    &engine2, sim, attempt, sid, &sizes2, &state2, client, cpu,
+                                );
+                            }
+                        }
+                        Err(err) => {
+                            state2.borrow_mut().aborted = true;
+                            engine2.task_write_failed(sim, attempt, err);
+                        }
+                    }
+                }),
+            );
+        }
+
+        let sizes = Rc::new(sizes);
+        for _ in 0..window.min(total) {
+            spawn_next(self, sim, attempt, sid, &sizes, &state, client, cpu);
+        }
+    }
+
+    fn map_outputs_done(
+        &self,
+        sim: &mut Sim,
+        attempt: AttemptId,
+        sid: ShuffleId,
+        sizes: Vec<u64>,
+        cpu: f64,
+    ) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let Some(info) = inner.attempts.get(&attempt).cloned() else {
+                return;
+            };
+            inner.tracker.register_output(
+                sid,
+                info.part,
+                MapStatus {
+                    executor: info.exec.clone(),
+                    sizes,
+                },
+            );
+        }
+        self.task_done(sim, attempt, cpu);
+    }
+
+    /// Common completion path: free the executor, update metrics, progress.
+    fn task_done(&self, sim: &mut Sim, attempt: AttemptId, cpu: f64) {
+        let (job_id, decommission_target) = {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            let Some(info) = inner.attempts.remove(&attempt) else {
+                return;
+            };
+            let meta = inner
+                .executors
+                .get_mut(&info.exec)
+                .expect("executor of live attempt");
+            meta.running = None;
+            meta.idle_since = sim.now();
+            meta.tasks_done += 1;
+            let kind = meta.desc.kind;
+            let drain = meta.draining && meta.alive;
+            if let Some(job) = inner.jobs.get_mut(&info.job.0) {
+                job.metrics.count_task(kind);
+                job.status[info.stage.0 as usize].running.remove(&info.part);
+            }
+            self.log.push(
+                sim.now(),
+                EngineEventKind::TaskFinished {
+                    stage: info.stage,
+                    part: info.part,
+                    exec: info.exec.clone(),
+                    cpu_secs: cpu,
+                },
+            );
+            (info.job, drain.then(|| info.exec.clone()))
+        };
+        if let Some(exec) = decommission_target {
+            self.decommission(sim, exec);
+        }
+        self.progress_job(sim, job_id);
+    }
+
+    /// A shuffle fetch failed: requeue the task, invalidate the lost map
+    /// output so its stage is resubmitted.
+    fn fetch_failed(
+        &self,
+        sim: &mut Sim,
+        attempt: AttemptId,
+        shuffle: ShuffleId,
+        map: usize,
+        err: StoreError,
+    ) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            let Some(info) = inner.attempts.remove(&attempt) else {
+                return;
+            };
+            self.log.push(
+                sim.now(),
+                EngineEventKind::FetchFailed {
+                    stage: info.stage,
+                    part: info.part,
+                    shuffle,
+                },
+            );
+            self.log.push(
+                sim.now(),
+                EngineEventKind::TaskFailed {
+                    stage: info.stage,
+                    part: info.part,
+                    exec: info.exec.clone(),
+                    reason: err.to_string(),
+                },
+            );
+            inner.tracker.unregister_output(shuffle, map);
+            if let Some(meta) = inner.executors.get_mut(&info.exec) {
+                meta.running = None;
+            }
+            if let Some(job) = inner.jobs.get_mut(&info.job.0) {
+                job.metrics.tasks_recomputed += 1;
+                let st = &mut job.status[info.stage.0 as usize];
+                st.running.remove(&info.part);
+                st.queued.insert(info.part);
+                inner.pending.push_front((info.job, info.stage, info.part));
+            }
+        }
+        self.rollback_incomplete_stages(sim);
+        self.progress_all_jobs(sim);
+    }
+
+    /// A map-output write failed (e.g. store capacity): requeue the task.
+    fn task_write_failed(&self, sim: &mut Sim, attempt: AttemptId, err: StoreError) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            let Some(info) = inner.attempts.remove(&attempt) else {
+                return;
+            };
+            self.log.push(
+                sim.now(),
+                EngineEventKind::TaskFailed {
+                    stage: info.stage,
+                    part: info.part,
+                    exec: info.exec.clone(),
+                    reason: err.to_string(),
+                },
+            );
+            if let Some(meta) = inner.executors.get_mut(&info.exec) {
+                meta.running = None;
+            }
+            if let Some(job) = inner.jobs.get_mut(&info.job.0) {
+                job.metrics.tasks_recomputed += 1;
+                let st = &mut job.status[info.stage.0 as usize];
+                st.running.remove(&info.part);
+                st.queued.insert(info.part);
+                inner.pending.push_front((info.job, info.stage, info.part));
+            }
+        }
+        self.dispatch(sim);
+    }
+}

@@ -1,0 +1,234 @@
+//! Stage construction: splitting a plan DAG at its shuffle boundaries, the
+//! job of Spark's `DAGScheduler::getOrCreateShuffleMapStage`.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::node::{input_shuffles, PlanNode, ShuffleDep, ShuffleId};
+
+/// Identifies a stage within one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StageId(pub u64);
+
+impl std::fmt::Display for StageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stage-{}", self.0)
+    }
+}
+
+/// What a stage produces.
+#[derive(Clone)]
+pub enum StageKind {
+    /// Writes one shuffle's map outputs.
+    ShuffleMap(Rc<ShuffleDep>),
+    /// Computes the job's final partitions.
+    Result,
+}
+
+impl std::fmt::Debug for StageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageKind::ShuffleMap(d) => write!(f, "ShuffleMap({})", d.id),
+            StageKind::Result => f.write_str("Result"),
+        }
+    }
+}
+
+/// One stage: a set of identical tasks running `terminal`'s narrow
+/// pipeline over its partitions.
+#[derive(Clone)]
+pub struct Stage {
+    /// Stage id (topologically ordered: parents have smaller ids).
+    pub id: StageId,
+    /// Map stage or result stage.
+    pub kind: StageKind,
+    /// The node each task computes.
+    pub terminal: Rc<dyn PlanNode>,
+    /// Number of tasks (the terminal's partitions).
+    pub num_tasks: usize,
+    /// Stages whose shuffle output this stage reads.
+    pub parents: Vec<StageId>,
+    /// The shuffles this stage's tasks fetch.
+    pub input_shuffles: Vec<Rc<ShuffleDep>>,
+}
+
+impl std::fmt::Debug for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stage")
+            .field("id", &self.id)
+            .field("kind", &self.kind)
+            .field("terminal", &self.terminal.label())
+            .field("num_tasks", &self.num_tasks)
+            .field("parents", &self.parents)
+            .finish()
+    }
+}
+
+/// A job's stage DAG.
+#[derive(Debug)]
+pub struct StageGraph {
+    /// All stages, indexed by `StageId.0` (topological order).
+    pub stages: Vec<Stage>,
+    /// The result stage's id (always the last).
+    pub result: StageId,
+}
+
+impl StageGraph {
+    /// The stage with the given id.
+    pub fn stage(&self, id: StageId) -> &Stage {
+        &self.stages[id.0 as usize]
+    }
+
+    /// Stage count.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `true` if the graph is empty (never true for a built graph).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The stage that *produces* shuffle `id`, if any.
+    pub fn producer_of(&self, id: ShuffleId) -> Option<StageId> {
+        self.stages.iter().find_map(|s| match &s.kind {
+            StageKind::ShuffleMap(dep) if dep.id == id => Some(s.id),
+            _ => None,
+        })
+    }
+}
+
+/// Builds the stage DAG for a job ending at `final_node`.
+pub fn build_stages(final_node: Rc<dyn PlanNode>) -> StageGraph {
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut by_shuffle: HashMap<ShuffleId, StageId> = HashMap::new();
+
+    fn stage_for_shuffle(
+        dep: &Rc<ShuffleDep>,
+        stages: &mut Vec<Stage>,
+        by_shuffle: &mut HashMap<ShuffleId, StageId>,
+    ) -> StageId {
+        if let Some(id) = by_shuffle.get(&dep.id) {
+            return *id;
+        }
+        let inputs = input_shuffles(&dep.parent);
+        let parents: Vec<StageId> = inputs
+            .iter()
+            .map(|d| stage_for_shuffle(d, stages, by_shuffle))
+            .collect();
+        let id = StageId(stages.len() as u64);
+        stages.push(Stage {
+            id,
+            kind: StageKind::ShuffleMap(Rc::clone(dep)),
+            terminal: Rc::clone(&dep.parent),
+            num_tasks: dep.parent.num_partitions(),
+            parents,
+            input_shuffles: inputs,
+        });
+        by_shuffle.insert(dep.id, id);
+        id
+    }
+
+    let inputs = input_shuffles(&final_node);
+    let parents: Vec<StageId> = inputs
+        .iter()
+        .map(|d| stage_for_shuffle(d, &mut stages, &mut by_shuffle))
+        .collect();
+    let result = StageId(stages.len() as u64);
+    stages.push(Stage {
+        id: result,
+        kind: StageKind::Result,
+        terminal: Rc::clone(&final_node),
+        num_tasks: final_node.num_partitions(),
+        parents,
+        input_shuffles: inputs,
+    });
+    StageGraph { stages, result }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Dataset;
+
+    #[test]
+    fn narrow_only_job_is_one_stage() {
+        let ds = Dataset::parallelize((0..10u32).collect(), 2)
+            .map(|x| x + 1)
+            .filter(|x| x % 2 == 0);
+        let g = build_stages(ds.node());
+        assert_eq!(g.len(), 1);
+        assert!(matches!(g.stage(g.result).kind, StageKind::Result));
+        assert_eq!(g.stage(g.result).num_tasks, 2);
+    }
+
+    #[test]
+    fn one_shuffle_makes_two_stages() {
+        let ds = Dataset::parallelize((0..10u64).map(|i| (i % 3, i)).collect(), 4)
+            .reduce_by_key(2, |a, b| a + b);
+        let g = build_stages(ds.node());
+        assert_eq!(g.len(), 2);
+        let map = g.stage(StageId(0));
+        assert!(matches!(map.kind, StageKind::ShuffleMap(_)));
+        assert_eq!(map.num_tasks, 4, "map side width = parent partitions");
+        let result = g.stage(g.result);
+        assert_eq!(result.num_tasks, 2, "result width = reduce partitions");
+        assert_eq!(result.parents, vec![StageId(0)]);
+        assert_eq!(result.input_shuffles.len(), 1);
+    }
+
+    #[test]
+    fn join_makes_three_stages() {
+        let a = Dataset::parallelize((0..10u64).map(|i| (i, i)).collect(), 3);
+        let b = Dataset::parallelize((0..10u64).map(|i| (i, i * 2)).collect(), 2);
+        let j = a.join(&b, 4);
+        let g = build_stages(j.node());
+        assert_eq!(g.len(), 3);
+        let result = g.stage(g.result);
+        assert_eq!(result.parents.len(), 2);
+        assert_eq!(result.num_tasks, 4);
+        // Both parents are map stages of widths 3 and 2.
+        let mut widths: Vec<usize> = result
+            .parents
+            .iter()
+            .map(|p| g.stage(*p).num_tasks)
+            .collect();
+        widths.sort();
+        assert_eq!(widths, vec![2, 3]);
+    }
+
+    #[test]
+    fn chained_shuffles_are_topologically_ordered() {
+        let ds = Dataset::parallelize((0..100u64).map(|i| (i % 10, i)).collect(), 4)
+            .reduce_by_key(4, |a, b| a + b)
+            .map(|(k, v)| (k % 2, *v))
+            .reduce_by_key(2, |a, b| a + b);
+        let g = build_stages(ds.node());
+        assert_eq!(g.len(), 3);
+        for s in &g.stages {
+            for p in &s.parents {
+                assert!(*p < s.id, "parent after child");
+            }
+        }
+        // Producer lookup works.
+        let first_dep = match &g.stage(StageId(1)).kind {
+            StageKind::ShuffleMap(d) => &d.id,
+            _ => panic!("stage 1 should be a map stage"),
+        };
+        assert_eq!(g.producer_of(*first_dep), Some(StageId(1)));
+    }
+
+    #[test]
+    fn shared_lineage_stage_is_reused() {
+        // A dataset consumed by two shuffles downstream of the same
+        // upstream shuffle must not duplicate the upstream stage.
+        let base = Dataset::parallelize((0..20u64).map(|i| (i % 4, i)).collect(), 2)
+            .reduce_by_key(2, |a, b| a + b);
+        let left = base.map(|(k, v)| (*k, *v + 1));
+        let right = base.map(|(k, v)| (*k, *v * 2));
+        let j = left.join(&right, 2);
+        let g = build_stages(j.node());
+        // stages: base map, left map, right map, result = 4 (base reused).
+        assert_eq!(g.len(), 4);
+    }
+}

@@ -1,0 +1,349 @@
+//! End-to-end engine tests: real jobs over simulated clusters, exercising
+//! scheduling, shuffles, executor churn and fault recovery.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use splitserve_des::{Fabric, Sim, SimDuration, SimTime};
+use splitserve_engine::{
+    collect_partitions, Dataset, Engine, EngineConfig, EngineEventKind, ExecutorDesc, JobOutput,
+};
+use splitserve_storage::{HdfsSpec, HdfsStore, LocalDiskStore};
+
+struct Rig {
+    sim: Sim,
+    fabric: Fabric,
+    engine: Engine,
+}
+
+fn local_rig(executors: usize) -> Rig {
+    let fabric = Fabric::new();
+    let store = Rc::new(LocalDiskStore::new(fabric.clone()));
+    let engine = Engine::new(EngineConfig::default(), store);
+    let mut sim = Sim::new(7);
+    for i in 0..executors {
+        let nic = fabric.add_link(1e9, format!("nic-{i}"));
+        let disk = fabric.add_link(1e9, format!("disk-{i}"));
+        engine.register_executor(&mut sim, ExecutorDesc::vm(format!("e-vm-{i}"), nic, disk, 8192));
+    }
+    Rig { sim, fabric, engine }
+}
+
+fn hdfs_rig(executors: usize) -> Rig {
+    let fabric = Fabric::new();
+    let hdfs = HdfsStore::new(HdfsSpec::default(), fabric.clone());
+    let nn_nic = fabric.add_link(1e9, "hdfs-nic");
+    let nn_disk = fabric.add_link(1e9, "hdfs-disk");
+    hdfs.add_datanode(nn_nic, nn_disk);
+    let engine = Engine::new(EngineConfig::default(), Rc::new(hdfs));
+    let mut sim = Sim::new(7);
+    for i in 0..executors {
+        let nic = fabric.add_link(1e9, format!("nic-{i}"));
+        let disk = fabric.add_link(1e9, format!("disk-{i}"));
+        engine.register_executor(&mut sim, ExecutorDesc::vm(format!("e-vm-{i}"), nic, disk, 8192));
+    }
+    Rig { sim, fabric, engine }
+}
+
+fn run_job<T: Clone + 'static>(
+    rig: &mut Rig,
+    ds: &Dataset<T>,
+) -> (Vec<T>, splitserve_engine::JobMetrics) {
+    let slot: Rc<RefCell<Option<JobOutput>>> = Rc::new(RefCell::new(None));
+    let s = Rc::clone(&slot);
+    rig.engine.submit_job(&mut rig.sim, ds.node(), move |_, out| {
+        *s.borrow_mut() = Some(out);
+    });
+    rig.sim.run();
+    let out = slot.borrow_mut().take().expect("job must complete");
+    (collect_partitions::<T>(&out.partitions), out.metrics)
+}
+
+#[test]
+fn word_count_style_job_is_correct() {
+    let mut rig = local_rig(4);
+    let words: Vec<(String, u64)> = (0..5_000)
+        .map(|i| (format!("w{}", i % 50), 1u64))
+        .collect();
+    let counts = Dataset::parallelize(words, 8).reduce_by_key(4, |a, b| a + b);
+    let (mut rows, metrics) = run_job(&mut rig, &counts);
+    rows.sort();
+    assert_eq!(rows.len(), 50);
+    assert!(rows.iter().all(|(_, c)| *c == 100));
+    assert_eq!(metrics.tasks_total(), 8 + 4);
+    assert!(metrics.shuffle_bytes_written > 0);
+    assert!(metrics.execution_time() > SimDuration::ZERO);
+}
+
+#[test]
+fn three_stage_pipeline_chains_shuffles() {
+    let mut rig = local_rig(2);
+    let ds = Dataset::parallelize((0..1_000u64).map(|i| (i % 100, 1u64)).collect(), 4)
+        .reduce_by_key(4, |a, b| a + b) // 100 keys → count 10 each
+        .map(|(k, v)| (k % 10, *v))
+        .reduce_by_key(2, |a, b| a + b); // 10 keys → 100 each
+    let (mut rows, metrics) = run_job(&mut rig, &ds);
+    rows.sort();
+    assert_eq!(rows.len(), 10);
+    assert!(rows.iter().all(|(_, v)| *v == 100));
+    assert_eq!(metrics.stages_run, 3);
+}
+
+#[test]
+fn join_across_stores_is_correct() {
+    let mut rig = hdfs_rig(3);
+    let users = Dataset::parallelize(
+        (0..100u64).map(|i| (i, format!("user-{i}"))).collect(),
+        4,
+    );
+    let orders = Dataset::parallelize(
+        (0..300u64).map(|i| (i % 100, i)).collect::<Vec<_>>(),
+        6,
+    );
+    let joined = users.join(&orders, 4);
+    let (rows, _) = run_job(&mut rig, &joined);
+    assert_eq!(rows.len(), 300, "every order matches exactly one user");
+    assert!(rows
+        .iter()
+        .all(|(k, (name, order))| *name == format!("user-{k}") && order % 100 == *k));
+}
+
+#[test]
+fn more_executors_is_faster() {
+    let time_with = |n: usize| {
+        let mut rig = local_rig(n);
+        let ds = Dataset::<u64>::generate(16, |p| {
+            (0..200_000u64).map(|i| i + p as u64).collect()
+        })
+        .map(|x| x * 2)
+        .map(|x| (x % 7, *x))
+        .reduce_by_key(8, |a, b| a + b);
+        let (_, metrics) = run_job(&mut rig, &ds);
+        metrics.execution_time().as_secs_f64()
+    };
+    let t1 = time_with(1);
+    let t4 = time_with(4);
+    let t16 = time_with(16);
+    assert!(t4 < t1 * 0.4, "4 executors ≥2.5x faster: {t1} → {t4}");
+    assert!(t16 <= t4, "16 executors no slower than 4: {t4} → {t16}");
+}
+
+#[test]
+fn executor_kill_with_local_store_rolls_back_and_recovers() {
+    let mut rig = local_rig(3);
+    let ds = Dataset::parallelize((0..3_000u64).map(|i| (i % 30, 1u64)).collect(), 6)
+        .reduce_by_key(3, |a, b| a + b);
+    let slot: Rc<RefCell<Option<JobOutput>>> = Rc::new(RefCell::new(None));
+    let s = Rc::clone(&slot);
+    rig.engine.submit_job(&mut rig.sim, ds.node(), move |_, out| {
+        *s.borrow_mut() = Some(out);
+    });
+    // Kill one executor shortly after the map stage begins.
+    let engine = rig.engine.clone();
+    rig.sim.schedule_at(SimTime::from_millis(15), move |sim| {
+        engine.kill_executor(sim, &"e-vm-1".into());
+    });
+    rig.sim.run();
+    let out = slot.borrow_mut().take().expect("job survives the kill");
+    let mut rows = collect_partitions::<(u64, u64)>(&out.partitions);
+    rows.sort();
+    assert_eq!(rows.len(), 30);
+    assert!(rows.iter().all(|(_, c)| *c == 100), "results still exact");
+    // The rollback machinery must actually have fired.
+    let events = rig.engine.event_log().snapshot();
+    let lost = events
+        .iter()
+        .any(|e| matches!(e.kind, EngineEventKind::ExecutorLost { .. }));
+    assert!(lost);
+    assert!(out.metrics.tasks_recomputed > 0, "some work was redone");
+}
+
+#[test]
+fn executor_kill_with_hdfs_store_causes_no_rollback() {
+    // Same scenario as above, but shuffle data survives on HDFS: the dead
+    // executor's finished map outputs stay valid.
+    let mut rig = hdfs_rig(3);
+    let ds = Dataset::parallelize((0..3_000u64).map(|i| (i % 30, 1u64)).collect(), 6)
+        .reduce_by_key(3, |a, b| a + b);
+    let slot: Rc<RefCell<Option<JobOutput>>> = Rc::new(RefCell::new(None));
+    let s = Rc::clone(&slot);
+    rig.engine.submit_job(&mut rig.sim, ds.node(), move |_, out| {
+        *s.borrow_mut() = Some(out);
+    });
+    let engine = rig.engine.clone();
+    rig.sim.schedule_at(SimTime::from_millis(15), move |sim| {
+        engine.kill_executor(sim, &"e-vm-1".into());
+    });
+    rig.sim.run();
+    let out = slot.borrow_mut().take().expect("job survives");
+    let rows = collect_partitions::<(u64, u64)>(&out.partitions);
+    assert_eq!(rows.len(), 30);
+    let events = rig.engine.event_log().snapshot();
+    let rolled_back = events
+        .iter()
+        .any(|e| matches!(e.kind, EngineEventKind::StageRolledBack { .. }));
+    assert!(!rolled_back, "HDFS shuffle must not roll back stages");
+    // At most the one in-flight task is recomputed; completed map outputs
+    // are reused.
+    assert!(out.metrics.tasks_recomputed <= 1);
+}
+
+#[test]
+fn graceful_drain_finishes_task_then_decommissions() {
+    let mut rig = hdfs_rig(2);
+    let ds = Dataset::parallelize((0..2_000u64).map(|i| (i % 20, 1u64)).collect(), 8)
+        .reduce_by_key(2, |a, b| a + b);
+    let slot: Rc<RefCell<Option<JobOutput>>> = Rc::new(RefCell::new(None));
+    let s = Rc::clone(&slot);
+    rig.engine.submit_job(&mut rig.sim, ds.node(), move |_, out| {
+        *s.borrow_mut() = Some(out);
+    });
+    let drained: Rc<RefCell<Option<f64>>> = Rc::new(RefCell::new(None));
+    let d = Rc::clone(&drained);
+    let engine = rig.engine.clone();
+    rig.sim.schedule_at(SimTime::from_millis(30), move |sim| {
+        engine.drain_executor(sim, &"e-vm-0".into(), move |sim, _| {
+            *d.borrow_mut() = Some(sim.now().as_secs_f64());
+        });
+    });
+    rig.sim.run();
+    let out = slot.borrow_mut().take().expect("job completes on survivor");
+    let rows = collect_partitions::<(u64, u64)>(&out.partitions);
+    assert_eq!(rows.len(), 20);
+    assert!(drained.borrow().is_some(), "drain callback fired");
+    assert_eq!(
+        out.metrics.tasks_recomputed, 0,
+        "graceful drain must not redo work"
+    );
+    let events = rig.engine.event_log().snapshot();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, EngineEventKind::ExecutorDraining { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, EngineEventKind::ExecutorDecommissioned { .. })));
+}
+
+#[test]
+fn lambda_memory_pressure_slows_tasks() {
+    // Same work on a 1.5 GB Lambda vs an 8 GB VM executor: the big scan
+    // working set pushes the Lambda into the GC regime.
+    let run_on = |desc_for: &dyn Fn(&Fabric) -> ExecutorDesc| {
+        let fabric = Fabric::new();
+        let store = Rc::new(LocalDiskStore::new(fabric.clone()));
+        let engine = Engine::new(EngineConfig::default(), store);
+        let mut sim = Sim::new(3);
+        engine.register_executor(&mut sim, desc_for(&fabric));
+        // ~1.6 GB working set in one partition (100M records ≈ 8B each... use generate with large bytes).
+        let ds = Dataset::<u64>::generate(1, |_| (0..1_000_000u64).collect())
+            .map_with_cost(|x| x + 1, Some(1e-6));
+        let mut rig = Rig { sim, fabric, engine };
+        let (_, m) = run_job(&mut rig, &ds);
+        m.execution_time().as_secs_f64()
+    };
+    let vm_time = run_on(&|f| {
+        let nic = f.add_link(1e9, "n");
+        let disk = f.add_link(1e9, "d");
+        ExecutorDesc::vm("e-vm-0", nic, disk, 64 * 1024)
+    });
+    let lambda_time = run_on(&|f| {
+        let nic = f.add_link(1e9, "n");
+        // Tiny lambda: 256 MB → deep GC territory for an 8 MB+ working set?
+        // Memory pressure is working-set/memory; make memory small enough.
+        ExecutorDesc::lambda("lambda-0", nic, 100)
+    });
+    assert!(
+        lambda_time > vm_time * 1.2,
+        "lambda {lambda_time} vs vm {vm_time}: memory pressure + slower core must show"
+    );
+}
+
+#[test]
+fn event_log_tells_a_consistent_story() {
+    let mut rig = local_rig(2);
+    let ds = Dataset::parallelize((0..100u64).map(|i| (i % 4, i)).collect(), 4)
+        .reduce_by_key(2, |a, b| a + b);
+    let (_, _) = run_job(&mut rig, &ds);
+    let events = rig.engine.event_log().snapshot();
+    let starts = events
+        .iter()
+        .filter(|e| matches!(e.kind, EngineEventKind::TaskStarted { .. }))
+        .count();
+    let finishes = events
+        .iter()
+        .filter(|e| matches!(e.kind, EngineEventKind::TaskFinished { .. }))
+        .count();
+    assert_eq!(starts, finishes, "every started task finishes");
+    assert_eq!(starts, 6, "4 map + 2 reduce tasks");
+    // Timestamps are monotone.
+    for w in events.windows(2) {
+        assert!(w[0].at <= w[1].at);
+    }
+    // Job completion is the last lifecycle event.
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, EngineEventKind::JobCompleted { .. })));
+}
+
+#[test]
+fn sequential_jobs_reuse_engine_and_executors() {
+    let mut rig = local_rig(2);
+    for round in 1..4u64 {
+        let ds = Dataset::parallelize((0..100u64).map(|i| (i % 5, round)).collect(), 4)
+            .reduce_by_key(2, |a, b| a + b);
+        let (mut rows, _) = run_job(&mut rig, &ds);
+        rows.sort();
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|(_, v)| *v == 20 * round));
+    }
+}
+
+#[test]
+fn determinism_same_seed_same_timeline() {
+    let run = || {
+        let mut rig = local_rig(3);
+        let ds = Dataset::parallelize((0..2_000u64).map(|i| (i % 16, i)).collect(), 8)
+            .reduce_by_key(4, |a, b| a + b);
+        let (_, m) = run_job(&mut rig, &ds);
+        (m.execution_time().as_secs_f64(), rig.engine.event_log().len())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn late_registered_executor_picks_up_work() {
+    let fabric = Fabric::new();
+    let store = Rc::new(LocalDiskStore::new(fabric.clone()));
+    let engine = Engine::new(EngineConfig::default(), store);
+    let mut sim = Sim::new(9);
+    // Start with one executor; add a second mid-job.
+    let nic0 = fabric.add_link(1e9, "n0");
+    let disk0 = fabric.add_link(1e9, "d0");
+    engine.register_executor(&mut sim, ExecutorDesc::vm("e-vm-0", nic0, disk0, 8192));
+    let ds = Dataset::<u64>::generate(8, |p| (0..100_000).map(|i| i + p as u64).collect())
+        .map(|x| (x % 3, *x))
+        .reduce_by_key(2, |a, b| a + b);
+    let slot: Rc<RefCell<Option<JobOutput>>> = Rc::new(RefCell::new(None));
+    let s = Rc::clone(&slot);
+    engine.submit_job(&mut sim, ds.node(), move |_, out| {
+        *s.borrow_mut() = Some(out);
+    });
+    let engine2 = engine.clone();
+    let fabric2 = fabric.clone();
+    sim.schedule_at(SimTime::from_millis(50), move |sim| {
+        let nic = fabric2.add_link(1e9, "n1");
+        let disk = fabric2.add_link(1e9, "d1");
+        engine2.register_executor(sim, ExecutorDesc::vm("e-vm-1", nic, disk, 8192));
+    });
+    sim.run();
+    let out = slot.borrow_mut().take().expect("completes");
+    let by_exec: Vec<_> = engine.executors();
+    assert_eq!(by_exec.len(), 2);
+    assert!(
+        by_exec.iter().all(|e| e.tasks_done > 0),
+        "late executor contributed: {by_exec:?}"
+    );
+    assert_eq!(out.metrics.tasks_total(), 10);
+}

@@ -1,0 +1,150 @@
+//! Property tests over randomized query plans: the engine must compute
+//! exactly what a sequential evaluation computes, for arbitrary chains of
+//! narrow and wide operators over arbitrary data, on arbitrary clusters.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use splitserve_des::{Fabric, Sim};
+use splitserve_engine::{
+    collect_partitions, Dataset, Engine, EngineConfig, ExecutorDesc,
+};
+use splitserve_storage::{HdfsSpec, HdfsStore, LocalDiskStore};
+
+/// A randomly generated pipeline step.
+#[derive(Debug, Clone)]
+enum Step {
+    MapAdd(u64),
+    FilterMod(u64),
+    RekeyMod(u64),
+    ReduceSum { partitions: usize },
+    GroupCount { partitions: usize },
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u64..100).prop_map(Step::MapAdd),
+        (2u64..5).prop_map(Step::FilterMod),
+        (1u64..40).prop_map(Step::RekeyMod),
+        (1usize..6).prop_map(|partitions| Step::ReduceSum { partitions }),
+        (1usize..6).prop_map(|partitions| Step::GroupCount { partitions }),
+    ]
+}
+
+/// Applies the pipeline on the engine.
+fn build_plan(data: Vec<(u64, u64)>, parts: usize, steps: &[Step]) -> Dataset<(u64, u64)> {
+    let mut ds = Dataset::parallelize(data, parts);
+    for step in steps {
+        ds = match step.clone() {
+            Step::MapAdd(n) => ds.map(move |(k, v)| (*k, v.wrapping_add(n))),
+            Step::FilterMod(m) => ds.filter(move |(k, _)| k % m != 0),
+            Step::RekeyMod(m) => ds.map(move |(k, v)| (k % m, *v)),
+            Step::ReduceSum { partitions } => {
+                ds.reduce_by_key(partitions, |a, b| a.wrapping_add(*b))
+            }
+            Step::GroupCount { partitions } => ds
+                .group_by_key(partitions)
+                .map(|(k, vs)| (*k, vs.len() as u64)),
+        };
+    }
+    ds
+}
+
+/// Applies the same pipeline sequentially.
+fn reference(data: &[(u64, u64)], steps: &[Step]) -> Vec<(u64, u64)> {
+    let mut rows: Vec<(u64, u64)> = data.to_vec();
+    for step in steps {
+        rows = match step.clone() {
+            Step::MapAdd(n) => rows
+                .into_iter()
+                .map(|(k, v)| (k, v.wrapping_add(n)))
+                .collect(),
+            Step::FilterMod(m) => rows.into_iter().filter(|(k, _)| k % m != 0).collect(),
+            Step::RekeyMod(m) => rows.into_iter().map(|(k, v)| (k % m, v)).collect(),
+            Step::ReduceSum { .. } => {
+                let mut acc: BTreeMap<u64, u64> = BTreeMap::new();
+                for (k, v) in rows {
+                    let e = acc.entry(k).or_insert(0);
+                    *e = e.wrapping_add(v);
+                }
+                acc.into_iter().collect()
+            }
+            Step::GroupCount { .. } => {
+                let mut acc: BTreeMap<u64, u64> = BTreeMap::new();
+                for (k, _) in rows {
+                    *acc.entry(k).or_insert(0) += 1;
+                }
+                acc.into_iter().collect()
+            }
+        };
+    }
+    rows
+}
+
+fn run_on_engine(
+    data: Vec<(u64, u64)>,
+    parts: usize,
+    steps: &[Step],
+    executors: usize,
+    use_hdfs: bool,
+) -> Vec<(u64, u64)> {
+    let fabric = Fabric::new();
+    let store: Rc<dyn splitserve_storage::BlockStore> = if use_hdfs {
+        let hdfs = HdfsStore::new(HdfsSpec::default(), fabric.clone());
+        let nic = fabric.add_link(1e9, "hdfs-nic");
+        let disk = fabric.add_link(1e9, "hdfs-disk");
+        hdfs.add_datanode(nic, disk);
+        Rc::new(hdfs)
+    } else {
+        Rc::new(LocalDiskStore::new(fabric.clone()))
+    };
+    let engine = Engine::new(EngineConfig::default(), store);
+    let mut sim = Sim::new(11);
+    for i in 0..executors {
+        let nic = fabric.add_link(1e9, format!("n{i}"));
+        let disk = fabric.add_link(1e9, format!("d{i}"));
+        engine.register_executor(&mut sim, ExecutorDesc::vm(format!("e-{i}"), nic, disk, 8192));
+    }
+    let plan = build_plan(data, parts, steps);
+    let out = Rc::new(RefCell::new(None));
+    let o = Rc::clone(&out);
+    engine.submit_job(&mut sim, plan.node(), move |_, r| {
+        *o.borrow_mut() = Some(collect_partitions::<(u64, u64)>(&r.partitions));
+    });
+    sim.run();
+    let mut rows = out.borrow_mut().take().expect("plan completes");
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Distributed == sequential, for any random pipeline.
+    #[test]
+    fn random_pipelines_match_reference(
+        data in prop::collection::vec((0u64..50, any::<u64>()), 0..400),
+        parts in 1usize..8,
+        steps in prop::collection::vec(arb_step(), 0..5),
+        executors in 1usize..5,
+        use_hdfs in any::<bool>(),
+    ) {
+        let got = run_on_engine(data.clone(), parts, &steps, executors, use_hdfs);
+        let mut expect = reference(&data, &steps);
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Executor count never changes results.
+    #[test]
+    fn executor_count_is_invisible_in_results(
+        data in prop::collection::vec((0u64..20, 0u64..1000), 1..200),
+        steps in prop::collection::vec(arb_step(), 1..4),
+    ) {
+        let one = run_on_engine(data.clone(), 4, &steps, 1, false);
+        let many = run_on_engine(data, 4, &steps, 4, true);
+        prop_assert_eq!(one, many);
+    }
+}

@@ -1,0 +1,190 @@
+//! The common block-store API all shuffle/state substrates implement.
+
+use std::fmt;
+
+use bytes::Bytes;
+use splitserve_des::{LinkId, Sim};
+
+/// A stored block, addressed Spark-style: each executor's *unique ID* is the
+/// entry point into the directory structure (paper §4.3), and the block name
+/// follows Spark's `shuffle_<shuffle>_<map>_<reduce>` convention.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId {
+    /// The executor that wrote the block (directory prefix).
+    pub executor: String,
+    /// Block name within the executor's directory.
+    pub name: String,
+}
+
+impl BlockId {
+    /// A shuffle block id in Spark's naming convention.
+    pub fn shuffle(executor: impl Into<String>, shuffle: u64, map: u64, reduce: u64) -> Self {
+        BlockId {
+            executor: executor.into(),
+            name: format!("shuffle_{shuffle}_{map}_{reduce}"),
+        }
+    }
+
+    /// An arbitrary named block.
+    pub fn named(executor: impl Into<String>, name: impl Into<String>) -> Self {
+        BlockId {
+            executor: executor.into(),
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.executor, self.name)
+    }
+}
+
+/// Where the requesting executor runs, so the store can charge the right
+/// links for the transfer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientLoc {
+    /// The client's network link, if network is traversed.
+    pub nic: Option<LinkId>,
+    /// The client's local-disk link, for local reads/writes.
+    pub disk: Option<LinkId>,
+}
+
+impl ClientLoc {
+    /// A client with only a network link (e.g. a Lambda).
+    pub fn net(nic: LinkId) -> Self {
+        ClientLoc {
+            nic: Some(nic),
+            disk: None,
+        }
+    }
+
+    /// A client with network and disk links (a VM executor).
+    pub fn vm(nic: LinkId, disk: LinkId) -> Self {
+        ClientLoc {
+            nic: Some(nic),
+            disk: Some(disk),
+        }
+    }
+}
+
+/// Errors surfaced by block stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The block does not exist (never written, or deleted).
+    NotFound(BlockId),
+    /// The block was lost because the executor holding it died — the event
+    /// that triggers Spark's recompute-from-lineage rollback.
+    ExecutorLost {
+        /// The dead executor whose local blocks vanished.
+        executor: String,
+        /// The block that was being fetched.
+        block: BlockId,
+    },
+    /// The store rejected the request (e.g. block exceeds a service limit).
+    Rejected(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound(b) => write!(f, "block not found: {b}"),
+            StoreError::ExecutorLost { executor, block } => {
+                write!(f, "executor {executor} lost; block {block} gone")
+            }
+            StoreError::Rejected(m) => write!(f, "request rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Completion continuation for writes.
+pub type PutCallback = Box<dyn FnOnce(&mut Sim, Result<(), StoreError>)>;
+/// Completion continuation for reads.
+pub type GetCallback = Box<dyn FnOnce(&mut Sim, Result<Bytes, StoreError>)>;
+
+/// Aggregate counters a store keeps about its own traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StoreStats {
+    /// Completed writes.
+    pub puts: u64,
+    /// Completed reads.
+    pub gets: u64,
+    /// Bytes written.
+    pub bytes_in: u64,
+    /// Bytes read.
+    pub bytes_out: u64,
+    /// Failed reads (not-found / lost).
+    pub failed_gets: u64,
+    /// Cumulative seconds requests spent waiting on throttling.
+    pub throttle_wait_secs: f64,
+}
+
+/// A shuffle/state storage substrate.
+///
+/// All operations are asynchronous in simulated time: they charge the
+/// appropriate links/latencies and invoke the continuation when done.
+/// Implementations differ in *where bytes live* — and therefore in whether
+/// blocks survive the death of the executor that wrote them, which is the
+/// architectural property SplitServe's HDFS-based state exchange provides.
+pub trait BlockStore {
+    /// Short name for logs and experiment tables ("hdfs", "s3", …).
+    fn kind(&self) -> &'static str;
+
+    /// Whether blocks survive the loss of the executor that wrote them.
+    /// `false` for executor-local disk (vanilla dynamic allocation);
+    /// `true` for the shared substrates (HDFS, S3, SQS, Redis).
+    fn survives_executor_loss(&self) -> bool;
+
+    /// Writes `data` under `block`, invoking `cb` when the bytes are
+    /// durably placed.
+    fn put(&self, sim: &mut Sim, client: ClientLoc, block: BlockId, data: Bytes, cb: PutCallback);
+
+    /// Reads `block`, invoking `cb` with the bytes or an error.
+    fn get(&self, sim: &mut Sim, client: ClientLoc, block: BlockId, cb: GetCallback);
+
+    /// Reacts to the death of `executor`: a local store drops its blocks;
+    /// shared stores keep them.
+    fn on_executor_lost(&self, sim: &mut Sim, executor: &str);
+
+    /// Registers an executor's location so local stores can serve its
+    /// blocks. Shared substrates don't care; the default is a no-op.
+    fn register_executor(&self, executor: &str, loc: ClientLoc) {
+        let _ = (executor, loc);
+    }
+
+    /// Whether the block currently exists.
+    fn contains(&self, block: &BlockId) -> bool;
+
+    /// Traffic counters.
+    fn stats(&self) -> StoreStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_block_naming_matches_spark() {
+        let b = BlockId::shuffle("exec-7", 1, 3, 9);
+        assert_eq!(b.to_string(), "exec-7/shuffle_1_3_9");
+    }
+
+    #[test]
+    fn block_ids_order_by_executor_then_name() {
+        let a = BlockId::named("a", "z");
+        let b = BlockId::named("b", "a");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = StoreError::ExecutorLost {
+            executor: "exec-1".into(),
+            block: BlockId::shuffle("exec-1", 0, 0, 0),
+        };
+        let s = e.to_string();
+        assert!(s.contains("exec-1") && s.contains("shuffle_0_0_0"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # splitserve-storage — shuffle/state storage substrates
+//!
+//! The paper's central storage question is *where intermediate shuffle data
+//! lives* when executors are fleeting:
+//!
+//! | Store | Used by | Survives executor loss? | Catch |
+//! |---|---|---|---|
+//! | [`LocalDiskStore`] | vanilla Spark dynamic allocation | **no** → lineage rollback | executor death loses blocks |
+//! | [`HdfsStore`] | **SplitServe** (§4.3) | yes | bottlenecked by the HDFS node's EBS pipe |
+//! | [`S3Store`] | Qubole Spark-on-Lambda, PyWren | yes | throttled, high-latency, per-request cost |
+//! | [`SqsStore`] | Flint | yes | 256 KB chunking, steep request cost |
+//! | [`RedisStore`] | Locus | yes | needs an expensive always-on VM |
+//!
+//! All stores implement [`BlockStore`]: asynchronous `put`/`get` that charge
+//! the right fabric links, latencies, throttles and dollars.
+
+#![warn(missing_docs)]
+
+mod api;
+mod hdfs;
+mod local;
+mod redis;
+mod s3;
+mod sqs;
+mod util;
+
+pub use api::{
+    BlockId, BlockStore, ClientLoc, GetCallback, PutCallback, StoreError, StoreStats,
+};
+pub use hdfs::{HdfsSpec, HdfsStore};
+pub use local::LocalDiskStore;
+pub use redis::{RedisSpec, RedisStore};
+pub use s3::{S3Spec, S3Store};
+pub use sqs::{SqsSpec, SqsStore, SQS_MESSAGE_BYTES};
+
+use std::rc::Rc;
+
+/// A reference-counted dynamic block store, the form the engine consumes.
+pub type SharedStore = Rc<dyn BlockStore>;

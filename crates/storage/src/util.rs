@@ -1,0 +1,69 @@
+//! Small helpers shared by the store implementations.
+
+use splitserve_des::{Fabric, LinkId, Sim, SimDuration};
+
+/// Waits `delay`, then moves `bytes` across `links`, then runs `then`.
+/// The standard shape of a storage operation: request latency followed by a
+/// bandwidth-constrained transfer.
+pub(crate) fn delay_then_flow(
+    sim: &mut Sim,
+    fabric: &Fabric,
+    delay: SimDuration,
+    links: Vec<LinkId>,
+    bytes: u64,
+    then: impl FnOnce(&mut Sim) + 'static,
+) {
+    let fabric = fabric.clone();
+    if delay.is_zero() {
+        fabric.start_flow(sim, &links, bytes, then);
+    } else {
+        sim.schedule_in(delay, move |sim| {
+            fabric.start_flow(sim, &links, bytes, then);
+        });
+    }
+}
+
+/// Collects the `Some` links, deduplicated, preserving order — transfers
+/// between colocated endpoints must not charge the same link twice.
+pub(crate) fn link_path(candidates: &[Option<LinkId>]) -> Vec<LinkId> {
+    let mut out: Vec<LinkId> = Vec::new();
+    for l in candidates.iter().flatten() {
+        if !out.contains(l) {
+            out.push(*l);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_path_dedups_and_drops_none() {
+        let fabric = Fabric::new();
+        let a = fabric.add_link(1.0, "a");
+        let b = fabric.add_link(1.0, "b");
+        let path = link_path(&[Some(a), None, Some(b), Some(a)]);
+        assert_eq!(path, vec![a, b]);
+    }
+
+    #[test]
+    fn delay_then_flow_sequences_latency_and_transfer() {
+        let mut sim = Sim::new(0);
+        let fabric = Fabric::new();
+        let l = fabric.add_link(100.0, "l");
+        let done = std::rc::Rc::new(std::cell::Cell::new(0.0));
+        let d = std::rc::Rc::clone(&done);
+        delay_then_flow(
+            &mut sim,
+            &fabric,
+            SimDuration::from_secs(2),
+            vec![l],
+            300,
+            move |sim| d.set(sim.now().as_secs_f64()),
+        );
+        sim.run();
+        assert_eq!(done.get(), 5.0); // 2 s latency + 3 s transfer
+    }
+}

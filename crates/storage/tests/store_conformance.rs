@@ -1,0 +1,150 @@
+//! Conformance property tests: every store implementation must present
+//! the same observable semantics — writes are durable, reads return the
+//! exact bytes, only local stores lose data with their executor.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use splitserve_cloud::{Cloud, CloudSpec};
+use splitserve_des::{Fabric, Sim};
+use splitserve_storage::{
+    BlockId, BlockStore, ClientLoc, HdfsSpec, HdfsStore, LocalDiskStore, RedisSpec, RedisStore,
+    S3Spec, S3Store, SqsSpec, SqsStore,
+};
+
+fn all_stores(fabric: &Fabric, sim: &mut Sim) -> Vec<(&'static str, Rc<dyn BlockStore>)> {
+    let cloud = Cloud::new(CloudSpec::default(), fabric.clone());
+    let local = LocalDiskStore::new(fabric.clone());
+    let hdfs = HdfsStore::new(HdfsSpec::default(), fabric.clone());
+    let nn = fabric.add_link(1e9, "hdfs-nic");
+    let ebs = fabric.add_link(1e9, "hdfs-ebs");
+    hdfs.add_datanode(nn, ebs);
+    let redis_nic = fabric.add_link(1e9, "redis-nic");
+    let _ = sim;
+    vec![
+        ("local", Rc::new(local) as Rc<dyn BlockStore>),
+        ("hdfs", Rc::new(hdfs)),
+        (
+            "s3",
+            Rc::new(S3Store::new(S3Spec::default(), fabric.clone(), cloud.clone())),
+        ),
+        (
+            "sqs",
+            Rc::new(SqsStore::new(SqsSpec::default(), fabric.clone(), cloud.clone())),
+        ),
+        (
+            "redis",
+            Rc::new(RedisStore::new(RedisSpec::default(), fabric.clone(), redis_nic)),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// put → get roundtrips exact bytes on every store, for arbitrary
+    /// block contents and ids.
+    #[test]
+    fn every_store_roundtrips_blocks(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..4_096), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Sim::new(seed);
+        let fabric = Fabric::new();
+        for (name, store) in all_stores(&fabric, &mut sim) {
+            let nic = fabric.add_link(1e9, format!("client-{name}"));
+            let disk = fabric.add_link(1e9, format!("disk-{name}"));
+            let client = ClientLoc::vm(nic, disk);
+            store.register_executor("exec-0", client);
+            // Write all blocks.
+            for (i, p) in payloads.iter().enumerate() {
+                store.put(
+                    &mut sim,
+                    client,
+                    BlockId::shuffle("exec-0", 0, i as u64, 0),
+                    Bytes::from(p.clone()),
+                    Box::new(move |_, r| r.expect("put must succeed")),
+                );
+            }
+            sim.run();
+            // Read them back and compare bytes.
+            let results: Rc<RefCell<Vec<(usize, Vec<u8>)>>> = Rc::new(RefCell::new(Vec::new()));
+            for (i, _) in payloads.iter().enumerate() {
+                let res = Rc::clone(&results);
+                store.get(
+                    &mut sim,
+                    client,
+                    BlockId::shuffle("exec-0", 0, i as u64, 0),
+                    Box::new(move |_, r| {
+                        res.borrow_mut().push((i, r.expect("get must succeed").to_vec()));
+                    }),
+                );
+            }
+            sim.run();
+            let mut got = results.borrow().clone();
+            got.sort_by_key(|(i, _)| *i);
+            prop_assert_eq!(got.len(), payloads.len(), "store {}", name);
+            for (i, bytes) in got {
+                prop_assert_eq!(&bytes, &payloads[i], "store {} block {}", name, i);
+            }
+            let stats = store.stats();
+            prop_assert_eq!(stats.puts as usize, payloads.len());
+            prop_assert_eq!(stats.gets as usize, payloads.len());
+        }
+    }
+
+    /// Executor loss semantics: exactly the local store loses blocks.
+    #[test]
+    fn only_local_store_loses_blocks_on_executor_death(seed in any::<u64>()) {
+        let mut sim = Sim::new(seed);
+        let fabric = Fabric::new();
+        for (name, store) in all_stores(&fabric, &mut sim) {
+            let nic = fabric.add_link(1e9, format!("c-{name}"));
+            let disk = fabric.add_link(1e9, format!("d-{name}"));
+            let client = ClientLoc::vm(nic, disk);
+            store.register_executor("doomed", client);
+            let block = BlockId::shuffle("doomed", 1, 0, 0);
+            store.put(
+                &mut sim,
+                client,
+                block.clone(),
+                Bytes::from_static(b"payload"),
+                Box::new(|_, r| r.expect("put")),
+            );
+            sim.run();
+            prop_assert!(store.contains(&block), "store {name}");
+            store.on_executor_lost(&mut sim, "doomed");
+            let survives = store.contains(&block);
+            prop_assert_eq!(
+                survives,
+                store.survives_executor_loss(),
+                "store {} contradicts its own contract", name
+            );
+            prop_assert_eq!(name == "local", !survives);
+        }
+    }
+
+    /// Missing blocks consistently report NotFound (never panic, never
+    /// hang) on every store.
+    #[test]
+    fn missing_blocks_error_uniformly(seed in any::<u64>()) {
+        let mut sim = Sim::new(seed);
+        let fabric = Fabric::new();
+        for (name, store) in all_stores(&fabric, &mut sim) {
+            let nic = fabric.add_link(1e9, format!("cl-{name}"));
+            let client = ClientLoc::net(nic);
+            let outcome = Rc::new(RefCell::new(None));
+            let o = Rc::clone(&outcome);
+            store.get(
+                &mut sim,
+                client,
+                BlockId::shuffle("ghost", 9, 9, 9),
+                Box::new(move |_, r| *o.borrow_mut() = Some(r.is_err())),
+            );
+            sim.run();
+            prop_assert_eq!(*outcome.borrow(), Some(true), "store {}", name);
+        }
+    }
+}

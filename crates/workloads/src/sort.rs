@@ -1,0 +1,199 @@
+//! A CloudSort-style distributed sort: the workload class the paper (§2)
+//! uses to illustrate why S3-based shuffles get expensive — "workloads
+//! like CloudSort, which can trigger on the order of 10¹⁰ shuffle writes
+//! in a single job execution, can incur enormous total S3 related costs".
+//!
+//! Built on the engine's range-partitioned [`sort_by_key`]; the result is
+//! verified globally ordered.
+//!
+//! [`sort_by_key`]: splitserve_engine::Dataset::sort_by_key
+
+use rand::Rng;
+use splitserve::DriverProgram;
+use splitserve_des::Sim;
+use splitserve_engine::{collect_partitions, sample_sort_bounds, Dataset, Engine};
+
+use crate::gen::{partition_range, partition_rng};
+
+/// Sort `records` random key/payload pairs.
+#[derive(Debug, Clone)]
+pub struct CloudSort {
+    /// Records to sort.
+    pub records: u64,
+    /// Payload bytes per record (CloudSort uses 100-byte records: 10-byte
+    /// key + 90-byte value).
+    pub payload_bytes: usize,
+    /// Map-side partitions; also the reduce-side width.
+    pub parallelism: usize,
+    /// Data seed.
+    pub seed: u64,
+}
+
+impl CloudSort {
+    /// A sort of `records` 100-byte-class records at the given width.
+    pub fn new(records: u64, parallelism: usize, seed: u64) -> Self {
+        CloudSort {
+            records,
+            payload_bytes: 90,
+            parallelism,
+            seed,
+        }
+    }
+
+    fn key_for(seed: u64, part: usize, i: u64) -> u64 {
+        // A cheap splitmix-style hash: uniform keys, reproducible without
+        // regenerating payloads.
+        let mut z = seed
+            .wrapping_add(i.wrapping_mul(0x9e3779b97f4a7c15))
+            .wrapping_add((part as u64) << 17);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z ^ (z >> 31)
+    }
+
+    /// The input dataset: uniformly random keys with fixed-size payloads.
+    pub fn input(&self) -> Dataset<(u64, Vec<u8>)> {
+        let total = self.records;
+        let parts = self.parallelism;
+        let payload = self.payload_bytes;
+        let seed = self.seed;
+        Dataset::generate(parts, move |p| {
+            let (start, end) = partition_range(total, parts, p);
+            let mut rng = partition_rng(seed, p);
+            (start..end)
+                .map(|i| {
+                    let key = Self::key_for(seed, p, i);
+                    let mut v = vec![0u8; payload];
+                    rng.fill(v.as_mut_slice());
+                    (key, v)
+                })
+                .collect()
+        })
+    }
+
+    /// Range bounds from a deterministic 1-in-64 key sample.
+    pub fn bounds(&self) -> Vec<u64> {
+        let parts = self.parallelism;
+        let mut sample = Vec::new();
+        for p in 0..parts {
+            let (start, end) = partition_range(self.records, parts, p);
+            for i in (start..end).step_by(64) {
+                sample.push(Self::key_for(self.seed, p, i));
+            }
+        }
+        sample_sort_bounds(sample, self.parallelism)
+    }
+
+    /// The full sort plan.
+    pub fn plan(&self) -> Dataset<(u64, Vec<u8>)> {
+        self.input().sort_by_key(self.bounds())
+    }
+}
+
+impl DriverProgram for CloudSort {
+    fn name(&self) -> String {
+        format!("CloudSort({} x {}B)", self.records, self.payload_bytes + 10)
+    }
+
+    fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    fn submit(&self, sim: &mut Sim, engine: &Engine, done: Box<dyn FnOnce(&mut Sim)>) {
+        let expected = self.records;
+        engine.submit_job(sim, self.plan().node(), move |sim, out| {
+            // The result stage's partitions arrive in partition order;
+            // concatenated they must be globally sorted and complete.
+            let rows = collect_partitions::<(u64, Vec<u8>)>(&out.partitions);
+            assert_eq!(rows.len() as u64, expected, "no records lost");
+            assert!(
+                rows.windows(2).all(|w| w[0].0 <= w[1].0),
+                "output must be globally sorted"
+            );
+            done(sim);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitserve_des::Fabric;
+    use splitserve_engine::{EngineConfig, ExecutorDesc};
+    use splitserve_storage::LocalDiskStore;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn rig(execs: usize) -> (Sim, Engine) {
+        let fabric = Fabric::new();
+        let store = Rc::new(LocalDiskStore::new(fabric.clone()));
+        let engine = Engine::new(EngineConfig::default(), store);
+        let mut sim = Sim::new(1);
+        for i in 0..execs {
+            let nic = fabric.add_link(1e9, format!("n{i}"));
+            let disk = fabric.add_link(1e9, format!("d{i}"));
+            engine.register_executor(&mut sim, ExecutorDesc::vm(format!("e-{i}"), nic, disk, 8192));
+        }
+        (sim, engine)
+    }
+
+    #[test]
+    fn sorts_globally_and_loses_nothing() {
+        let w = CloudSort::new(20_000, 8, 5);
+        let (mut sim, engine) = rig(4);
+        let done = Rc::new(RefCell::new(false));
+        let d = Rc::clone(&done);
+        w.submit(&mut sim, &engine, Box::new(move |_| *d.borrow_mut() = true));
+        sim.run();
+        assert!(*done.borrow());
+    }
+
+    #[test]
+    fn bounds_balance_partitions_roughly() {
+        let w = CloudSort::new(50_000, 10, 9);
+        let bounds = w.bounds();
+        assert_eq!(bounds.len(), 9);
+        // Uniform keys + equi-spaced sample bounds ⇒ partitions within 3x
+        // of each other.
+        let (mut sim, engine) = rig(4);
+        let out = Rc::new(RefCell::new(None));
+        let o = Rc::clone(&out);
+        engine.submit_job(&mut sim, w.plan().node(), move |_, r| {
+            let sizes: Vec<usize> = r
+                .partitions
+                .iter()
+                .map(|p| {
+                    p.downcast_ref::<Vec<(u64, Vec<u8>)>>()
+                        .expect("sorted rows")
+                        .len()
+                })
+                .collect();
+            *o.borrow_mut() = Some(sizes);
+        });
+        sim.run();
+        let sizes = out.borrow_mut().take().expect("completed");
+        let max = *sizes.iter().max().expect("nonempty");
+        let min = *sizes.iter().min().expect("nonempty");
+        assert!(
+            max < 3 * min.max(1),
+            "partition skew too high: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn sort_is_shuffle_dominated() {
+        let w = CloudSort::new(10_000, 4, 2);
+        let (mut sim, engine) = rig(4);
+        let done = Rc::new(RefCell::new(false));
+        let d = Rc::clone(&done);
+        w.submit(&mut sim, &engine, Box::new(move |_| *d.borrow_mut() = true));
+        sim.run();
+        assert!(*done.borrow());
+        let m = &engine.completed_job_metrics()[0];
+        // Every record crosses the wire once: bytes ≈ records × ~100 B.
+        assert!(
+            m.shuffle_bytes_written > 10_000 * 90,
+            "sort must shuffle its whole input: {}",
+            m.shuffle_bytes_written
+        );
+    }
+}

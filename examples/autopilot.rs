@@ -1,0 +1,88 @@
+//! The whole decision pipeline of the paper, end to end:
+//!
+//! 1. **Profile offline** (§5.1 / Fig. 4): sweep the degree of parallelism.
+//! 2. **Pick knobs** (§6): cheapest parallelism meeting the SLO, the
+//!    VM/Lambda split, and whether to launch replacement VMs.
+//! 3. **Execute** with the launching facility, and let the
+//!    dynamic-allocation controller retire idle Lambdas afterwards.
+//!
+//! ```sh
+//! cargo run --release --example autopilot
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use splitserve::{
+    cheapest_meeting_slo, fig1_crossover_default, plan_split, profile_sweep, start_allocator,
+    AllocatorConfig, Deployment, DriverProgram, ProfileMode, ScenarioSpec, ShuffleStoreKind,
+};
+use splitserve_cloud::{CloudSpec, M4_4XLARGE, M4_XLARGE};
+use splitserve_des::{Sim, SimTime};
+use splitserve_workloads::PageRank;
+
+fn main() {
+    // ---- 1. offline profiling --------------------------------------
+    let spec = ScenarioSpec::default();
+    let pages = 60_000;
+    let factory =
+        |p: u32| -> Box<dyn DriverProgram> { Box::new(PageRank::new(pages, 3, p as usize, 7)) };
+    let profile = profile_sweep(ProfileMode::VmOnly, &[1, 2, 4, 8, 16], &spec, &factory);
+    println!("offline profile (PageRank, {pages} pages):");
+    for p in &profile {
+        println!(
+            "  p={:<3} exec={:>6.2}s cost=${:.4}",
+            p.parallelism, p.execution_secs, p.cost_usd
+        );
+    }
+
+    // ---- 2. knob selection ------------------------------------------
+    let slo_secs = 1.6 * profile.last().expect("profiled").execution_secs.max(1.0);
+    let choice = cheapest_meeting_slo(&profile, slo_secs).expect("some config meets the SLO");
+    println!("\nSLO {slo_secs:.1}s → cheapest parallelism: {}", choice.parallelism);
+
+    let free_vm_cores = 2; // what the job happens to find
+    let plan = plan_split(
+        choice.parallelism,
+        free_vm_cores,
+        choice.execution_secs,
+        110.0,
+        fig1_crossover_default(),
+    );
+    println!(
+        "launch plan: {} VM cores + {} Lambdas, replacement VMs: {}, lambda timeout {}",
+        plan.vm_cores, plan.lambdas, plan.launch_replacement_vms, plan.lambda_timeout
+    );
+
+    // ---- 3. execution ------------------------------------------------
+    let mut sim = Sim::new(7);
+    let d = Deployment::new(
+        &mut sim,
+        CloudSpec::default(),
+        ShuffleStoreKind::Hdfs,
+        M4_XLARGE,
+    );
+    d.add_vm_workers(&mut sim, M4_4XLARGE, plan.vm_cores);
+    d.add_lambda_executors(&mut sim, plan.lambdas);
+    let allocator = start_allocator(&mut sim, &d, AllocatorConfig::default());
+
+    let workload = PageRank::new(pages, 3, choice.parallelism as usize, 7);
+    let finished = Rc::new(RefCell::new(None));
+    let fin = Rc::clone(&finished);
+    workload.submit(
+        &mut sim,
+        d.engine(),
+        Box::new(move |sim| {
+            *fin.borrow_mut() = Some(sim.now().as_secs_f64());
+        }),
+    );
+    sim.run_until(SimTime::from_secs_f64(slo_secs * 3.0));
+    allocator.stop();
+    d.shutdown(&mut sim);
+    sim.run();
+
+    let t = finished.borrow().expect("job finished");
+    println!("\nexecuted in {t:.2}s (SLO {slo_secs:.1}s) — met: {}", t <= slo_secs);
+    println!("total cost: ${:.4}", d.cloud().total_cost());
+    assert!(t <= slo_secs, "the autopilot's plan must meet its own SLO");
+}

@@ -1,0 +1,70 @@
+//! Quickstart: run one Spark-like job split across VM and Lambda
+//! executors — the core SplitServe move.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use splitserve::{Deployment, ShuffleStoreKind};
+use splitserve_cloud::{CloudSpec, M4_XLARGE};
+use splitserve_des::Sim;
+use splitserve_engine::{collect_partitions, Dataset};
+
+fn main() {
+    // A deterministic simulated cloud; the master VM (with a colocated
+    // HDFS datanode for shuffle state) comes up immediately.
+    let mut sim = Sim::new(42);
+    let deployment = Deployment::new(
+        &mut sim,
+        CloudSpec::default(),
+        ShuffleStoreKind::Hdfs,
+        M4_XLARGE,
+    );
+
+    // A job needs 6 cores; only 2 are free on VMs. Bridge the shortfall
+    // with 4 warm Lambdas (~100 ms away) instead of waiting ~2 minutes
+    // for a new VM.
+    deployment.add_vm_workers(&mut sim, M4_XLARGE, 2);
+    deployment.add_lambda_executors(&mut sim, 4);
+
+    // A classic word-count over synthetic data. The engine really
+    // computes this; the simulation only decides how long it takes.
+    let words: Vec<(String, u64)> = (0..200_000)
+        .map(|i| (format!("word-{}", i % 1_000), 1u64))
+        .collect();
+    let counts = Dataset::parallelize(words, 12).reduce_by_key(6, |a, b| a + b);
+
+    let result = Rc::new(RefCell::new(None));
+    let slot = Rc::clone(&result);
+    let d = deployment.clone();
+    deployment
+        .engine()
+        .submit_job(&mut sim, counts.node(), move |sim, out| {
+            *slot.borrow_mut() = Some(out);
+            d.shutdown(sim); // finalize the bill
+        });
+    sim.run();
+
+    let out = result.borrow_mut().take().expect("job completed");
+    let rows = collect_partitions::<(String, u64)>(&out.partitions);
+    println!("distinct words: {}", rows.len());
+    println!(
+        "every count correct: {}",
+        rows.iter().all(|(_, c)| *c == 200)
+    );
+    println!(
+        "execution time: {:.2} s (virtual)",
+        out.metrics.execution_time().as_secs_f64()
+    );
+    println!(
+        "tasks on VMs: {}, tasks on Lambdas: {}",
+        out.metrics.tasks_on_vm, out.metrics.tasks_on_lambda
+    );
+    println!("total cost: ${:.6}", deployment.cloud().total_cost());
+    for (category, usd) in deployment.cloud().cost_by_category() {
+        println!("  {category}: ${usd:.6}");
+    }
+}

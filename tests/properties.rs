@@ -1,0 +1,109 @@
+//! Workspace-level property tests: invariants that must hold for *any*
+//! small workload under *any* cluster composition.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use splitserve::{Deployment, ShuffleStoreKind};
+use splitserve_cloud::{CloudSpec, M4_4XLARGE, M4_XLARGE};
+use splitserve_des::Sim;
+use splitserve_engine::{collect_partitions, Dataset};
+
+/// Runs a keyed-sum job on an arbitrary cluster mix and returns
+/// (sorted results, execution seconds, cost).
+fn run_mix(
+    records: &[(u8, u32)],
+    map_parts: usize,
+    reduce_parts: usize,
+    vm_cores: u32,
+    lambdas: u32,
+    store: ShuffleStoreKind,
+    seed: u64,
+) -> (Vec<(u8, u64)>, f64, f64) {
+    let mut sim = Sim::new(seed);
+    let d = Deployment::new(&mut sim, CloudSpec::default(), store, M4_XLARGE);
+    if vm_cores > 0 {
+        d.add_vm_workers(&mut sim, M4_4XLARGE, vm_cores);
+    }
+    if lambdas > 0 {
+        d.add_lambda_executors(&mut sim, lambdas);
+    }
+    let data: Vec<(u8, u64)> = records.iter().map(|(k, v)| (*k, *v as u64)).collect();
+    let ds = Dataset::parallelize(data, map_parts).reduce_by_key(reduce_parts, |a, b| a + b);
+    let out = Rc::new(RefCell::new(None));
+    let o = Rc::clone(&out);
+    let d2 = d.clone();
+    d.engine().submit_job(&mut sim, ds.node(), move |sim, r| {
+        *o.borrow_mut() = Some((
+            collect_partitions::<(u8, u64)>(&r.partitions),
+            sim.now().as_secs_f64(),
+        ));
+        d2.shutdown(sim);
+    });
+    sim.run();
+    let (mut rows, t) = out.borrow_mut().take().expect("job completes");
+    rows.sort();
+    (rows, t, d.cloud().total_cost())
+}
+
+/// Ground truth for the keyed sum.
+fn expected(records: &[(u8, u32)]) -> Vec<(u8, u64)> {
+    let mut m = std::collections::BTreeMap::<u8, u64>::new();
+    for (k, v) in records {
+        *m.entry(*k).or_default() += *v as u64;
+    }
+    m.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The answer never depends on cluster composition or store choice.
+    #[test]
+    fn results_invariant_to_cluster_composition(
+        records in prop::collection::vec((any::<u8>(), any::<u32>()), 1..300),
+        map_parts in 1usize..8,
+        reduce_parts in 1usize..6,
+        vm_cores in 0u32..4,
+        lambdas in 0u32..4,
+        store_pick in 0u8..3,
+    ) {
+        prop_assume!(vm_cores + lambdas > 0);
+        let store = match store_pick {
+            0 => ShuffleStoreKind::Local,
+            1 => ShuffleStoreKind::Hdfs,
+            _ => ShuffleStoreKind::S3,
+        };
+        let (rows, t, cost) = run_mix(
+            &records, map_parts, reduce_parts, vm_cores, lambdas, store, 7,
+        );
+        prop_assert_eq!(rows, expected(&records));
+        prop_assert!(t > 0.0 && t.is_finite());
+        prop_assert!(cost > 0.0 && cost.is_finite());
+    }
+
+    /// Determinism: identical configuration twice gives bit-identical
+    /// time and cost.
+    #[test]
+    fn runs_are_deterministic(
+        records in prop::collection::vec((any::<u8>(), any::<u32>()), 1..100),
+        seed in any::<u64>(),
+    ) {
+        let a = run_mix(&records, 4, 2, 1, 2, ShuffleStoreKind::Hdfs, seed);
+        let b = run_mix(&records, 4, 2, 1, 2, ShuffleStoreKind::Hdfs, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// More parallelism never changes the answer and never increases the
+    /// task count below the job's structural task total.
+    #[test]
+    fn wider_clusters_preserve_answers(
+        records in prop::collection::vec((any::<u8>(), any::<u32>()), 1..200),
+    ) {
+        let narrow = run_mix(&records, 6, 3, 1, 0, ShuffleStoreKind::Hdfs, 3);
+        let wide = run_mix(&records, 6, 3, 4, 4, ShuffleStoreKind::Hdfs, 3);
+        prop_assert_eq!(&narrow.0, &wide.0);
+        prop_assert!(wide.1 <= narrow.1 + 1e-6, "wider cluster must not be slower: {} vs {}", wide.1, narrow.1);
+    }
+}

@@ -1,0 +1,171 @@
+//! End-to-end workload correctness *under hybrid clusters*: the numeric
+//! answers must be identical no matter which mix of VMs and Lambdas ran
+//! the tasks — SplitServe changes where work runs, never what it computes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use splitserve::{Deployment, ShuffleStoreKind};
+use splitserve_cloud::{CloudSpec, M4_4XLARGE, M4_XLARGE};
+use splitserve_des::Sim;
+use splitserve_engine::{collect_partitions, Dataset};
+use splitserve_workloads::{estimate_pi, reference_pagerank, KMeans, PageRank, SparkPi};
+
+/// Builds a hybrid deployment: `vm_cores` VM executors + `lambdas` Lambda
+/// executors over HDFS shuffle.
+fn hybrid(sim: &mut Sim, vm_cores: u32, lambdas: u32) -> Deployment {
+    let d = Deployment::new(sim, CloudSpec::default(), ShuffleStoreKind::Hdfs, M4_XLARGE);
+    if vm_cores > 0 {
+        d.add_vm_workers(sim, M4_4XLARGE, vm_cores);
+    }
+    if lambdas > 0 {
+        d.add_lambda_executors(sim, lambdas);
+    }
+    d
+}
+
+#[test]
+fn pagerank_result_is_identical_on_vm_lambda_and_hybrid_clusters() {
+    let workload = PageRank::new(2_000, 2, 6, 99);
+    let run = |vm: u32, la: u32| -> Vec<(u64, f64)> {
+        let mut sim = Sim::new(5);
+        let d = hybrid(&mut sim, vm, la);
+        let out = Rc::new(RefCell::new(None));
+        let o = Rc::clone(&out);
+        d.engine()
+            .submit_job(&mut sim, workload.plan().node(), move |_, r| {
+                *o.borrow_mut() = Some(collect_partitions::<(u64, f64)>(&r.partitions));
+            });
+        sim.run();
+        let mut rows = out.borrow_mut().take().expect("completed");
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    };
+    let on_vms = run(6, 0);
+    let on_lambdas = run(0, 6);
+    let on_hybrid = run(2, 4);
+    // Floating-point sums are merged in fetch-completion order, which
+    // differs per substrate (exactly as in real Spark), so compare with a
+    // relative tolerance rather than bitwise.
+    let close = |a: &[(u64, f64)], b: &[(u64, f64)]| {
+        assert_eq!(a.len(), b.len(), "page sets must match");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.0, y.0);
+            assert!(
+                (x.1 - y.1).abs() <= 1e-9 * x.1.abs().max(1.0),
+                "page {}: {} vs {}",
+                x.0,
+                x.1,
+                y.1
+            );
+        }
+    };
+    close(&on_vms, &on_lambdas);
+    close(&on_vms, &on_hybrid);
+    // …and the answer is the mathematically correct one.
+    let reference: std::collections::BTreeMap<u64, f64> =
+        reference_pagerank(&workload).into_iter().collect();
+    for (page, rank) in &on_vms {
+        let r = reference.get(page).expect("page in reference");
+        assert!((rank - r).abs() < 1e-9, "page {page}");
+    }
+}
+
+#[test]
+fn kmeans_converges_on_a_hybrid_cluster() {
+    let mut sim = Sim::new(3);
+    let d = hybrid(&mut sim, 2, 4);
+    let w = KMeans::small(5_000, 6, 11);
+    let result = Rc::new(RefCell::new(None));
+    let r = Rc::clone(&result);
+    w.run(&mut sim, d.engine(), move |_, centroids, iters| {
+        *r.borrow_mut() = Some((centroids, iters));
+    });
+    sim.run();
+    let (centroids, iters) = result.borrow_mut().take().expect("finished");
+    assert!(iters <= 5);
+    assert_eq!(centroids.len(), 3);
+    // Ran on both substrates.
+    let m = d.engine().completed_job_metrics();
+    let vm: u64 = m.iter().map(|j| j.tasks_on_vm).sum();
+    let la: u64 = m.iter().map(|j| j.tasks_on_lambda).sum();
+    assert!(vm > 0 && la > 0, "hybrid must split work: vm={vm} la={la}");
+}
+
+#[test]
+fn pi_estimate_is_accurate_on_lambdas_only() {
+    let mut sim = Sim::new(4);
+    let d = hybrid(&mut sim, 0, 8);
+    let w = SparkPi::small(2_000_000, 16, 21);
+    let result = Rc::new(RefCell::new(None));
+    let r = Rc::clone(&result);
+    estimate_pi(&mut sim, d.engine(), &w, move |_, pi| {
+        *r.borrow_mut() = Some(pi);
+    });
+    sim.run();
+    let pi = result.borrow_mut().take().expect("finished");
+    assert!((pi - std::f64::consts::PI).abs() < 0.02, "π = {pi}");
+}
+
+#[test]
+fn shuffle_data_crosses_substrates_correctly() {
+    // Map tasks land on Lambdas, reduce tasks may land on VMs (or vice
+    // versa): bytes written by one substrate must be readable by the
+    // other through HDFS.
+    let mut sim = Sim::new(8);
+    let d = hybrid(&mut sim, 1, 1);
+    let ds = Dataset::parallelize((0..10_000u64).map(|i| (i % 100, 1u64)).collect(), 8)
+        .reduce_by_key(4, |a, b| a + b);
+    let out = Rc::new(RefCell::new(None));
+    let o = Rc::clone(&out);
+    d.engine().submit_job(&mut sim, ds.node(), move |_, r| {
+        *o.borrow_mut() = Some((
+            collect_partitions::<(u64, u64)>(&r.partitions),
+            r.metrics.clone(),
+        ));
+    });
+    sim.run();
+    let (mut rows, metrics) = out.borrow_mut().take().expect("completed");
+    rows.sort();
+    assert_eq!(rows.len(), 100);
+    assert!(rows.iter().all(|(_, c)| *c == 100));
+    assert!(metrics.tasks_on_vm > 0 && metrics.tasks_on_lambda > 0);
+    assert!(metrics.shuffle_bytes_read > 0);
+}
+
+#[test]
+fn lambda_memory_sizes_change_speed_not_results() {
+    let run_with_memory = |mb: u64| {
+        let mut sim = Sim::new(6);
+        let d = Deployment::new(
+            &mut sim,
+            CloudSpec::default(),
+            ShuffleStoreKind::Hdfs,
+            M4_XLARGE,
+        );
+        d.set_lambda_memory_mb(mb);
+        d.add_lambda_executors(&mut sim, 4);
+        let ds = Dataset::parallelize((0..20_000u64).map(|i| (i % 16, i)).collect(), 8)
+            .map_with_cost(|kv| *kv, Some(5e-5))
+            .reduce_by_key(4, |a, b| a + b);
+        let out = Rc::new(RefCell::new(None));
+        let o = Rc::clone(&out);
+        d.engine().submit_job(&mut sim, ds.node(), move |sim, r| {
+            *o.borrow_mut() = Some((
+                sim.now().as_secs_f64(),
+                collect_partitions::<(u64, u64)>(&r.partitions),
+            ));
+        });
+        sim.run();
+        let (t, mut rows) = out.borrow_mut().take().expect("completed");
+        rows.sort();
+        (t, rows)
+    };
+    let (t_small, rows_small) = run_with_memory(768);
+    let (t_big, rows_big) = run_with_memory(3_008);
+    assert_eq!(rows_small, rows_big, "results identical");
+    assert!(
+        t_small > t_big * 1.5,
+        "768 MB Lambdas (≈0.43 core) must be much slower: {t_small} vs {t_big}"
+    );
+}
