@@ -1,90 +1,47 @@
-//! One criterion group per paper figure: times the quick-fidelity variant
-//! of each experiment, so `cargo bench` regenerates (and regression-guards)
-//! every artifact of the evaluation.
+//! One benchmark per paper figure: times the quick-fidelity variant of
+//! each experiment, so `cargo bench --bench figures` regenerates (and
+//! regression-guards) every artifact of the evaluation. One JSON line
+//! per figure.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use splitserve::ProfileMode;
 use splitserve_bench::experiments as ex;
 use splitserve_bench::experiments::Fidelity;
+use splitserve_bench::timing::{bench, black_box};
 
-fn cfg(c: &mut Criterion) -> &mut Criterion {
-    c
-}
+const SAMPLES: usize = 5;
 
-fn fig1(c: &mut Criterion) {
-    cfg(c).bench_function("fig1_cost_curve", |b| b.iter(ex::fig1));
-}
-
-fn fig2(c: &mut Criterion) {
-    cfg(c).bench_function("fig2_forecast", |b| b.iter(|| ex::fig2(7)));
-}
-
-fn fig4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_profiling");
-    g.sample_size(10);
-    g.bench_function("lambda_only_quick", |b| {
-        b.iter(|| ex::fig4(ProfileMode::LambdaOnly, Fidelity::Quick, 7))
+fn main() {
+    bench("figures/fig1_cost_curve", SAMPLES, || {
+        black_box(ex::fig1());
     });
-    g.bench_function("vm_only_quick", |b| {
-        b.iter(|| ex::fig4(ProfileMode::VmOnly, Fidelity::Quick, 7))
+    bench("figures/fig2_forecast", SAMPLES, || {
+        black_box(ex::fig2(7));
     });
-    g.finish();
-}
-
-fn fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_tpcds");
-    g.sample_size(10);
-    g.bench_function("four_queries_quick", |b| {
-        b.iter(|| ex::fig5(Fidelity::Quick, 7))
+    bench("figures/fig4_lambda_only_quick", SAMPLES, || {
+        black_box(ex::fig4(ProfileMode::LambdaOnly, Fidelity::Quick, 7));
     });
-    g.finish();
-}
-
-fn fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_pagerank");
-    g.sample_size(10);
-    g.bench_function("eight_scenarios_quick", |b| {
-        b.iter(|| ex::fig6(Fidelity::Quick, 7))
+    bench("figures/fig4_vm_only_quick", SAMPLES, || {
+        black_box(ex::fig4(ProfileMode::VmOnly, Fidelity::Quick, 7));
     });
-    g.finish();
-}
-
-fn fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_timeline");
-    g.sample_size(10);
-    g.bench_function("three_timelines_quick", |b| {
-        b.iter(|| ex::fig7(Fidelity::Quick, 7))
+    bench("figures/fig5_tpcds_quick", SAMPLES, || {
+        black_box(ex::fig5(Fidelity::Quick, 7));
     });
-    g.finish();
-}
-
-fn fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_kmeans");
-    g.sample_size(10);
-    g.bench_function("trials_quick", |b| b.iter(|| ex::fig8(Fidelity::Quick, 7)));
-    g.finish();
-}
-
-fn fig9(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_sparkpi");
-    g.sample_size(10);
-    g.bench_function("six_scenarios_quick", |b| {
-        b.iter(|| ex::fig9(Fidelity::Quick, 7))
+    bench("figures/fig6_pagerank_quick", SAMPLES, || {
+        black_box(ex::fig6(Fidelity::Quick, 7));
     });
-    g.finish();
-}
-
-fn ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.bench_function("stores_quick", |b| {
-        b.iter(|| ex::ablation_stores(Fidelity::Quick, 7))
+    bench("figures/fig7_timeline_quick", SAMPLES, || {
+        black_box(ex::fig7(Fidelity::Quick, 7));
     });
-    g.bench_function("segue_threshold_quick", |b| {
-        b.iter(|| ex::ablation_segue_threshold(Fidelity::Quick, 7))
+    bench("figures/fig8_kmeans_quick", SAMPLES, || {
+        black_box(ex::fig8(Fidelity::Quick, 7));
     });
-    g.finish();
+    bench("figures/fig9_sparkpi_quick", SAMPLES, || {
+        black_box(ex::fig9(Fidelity::Quick, 7));
+    });
+    bench("figures/ablation_stores_quick", SAMPLES, || {
+        black_box(ex::ablation_stores(Fidelity::Quick, 7));
+    });
+    bench("figures/ablation_segue_threshold_quick", SAMPLES, || {
+        black_box(ex::ablation_segue_threshold(Fidelity::Quick, 7));
+    });
 }
-
-criterion_group!(figures, fig1, fig2, fig4, fig5, fig6, fig7, fig8, fig9, ablations);
-criterion_main!(figures);

@@ -1,84 +1,76 @@
 //! Microbenchmarks of the substrates: codec throughput, DES event rate,
-//! fabric rebalancing and token-bucket accounting.
+//! fabric rebalancing and token-bucket accounting. Run with
+//! `cargo bench --bench micro`; one JSON line per benchmark.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use splitserve_bench::timing::{bench, bench_with_setup, black_box};
 use splitserve_des::{Fabric, Sim, SimTime, TokenBucket};
 
-fn bench_codec(c: &mut Criterion) {
+const SAMPLES: usize = 9;
+
+fn bench_codec() {
     let records: Vec<(u64, f64)> = (0..10_000).map(|i| (i, i as f64 * 0.5)).collect();
-    let mut g = c.benchmark_group("codec");
-    g.throughput(Throughput::Elements(records.len() as u64));
-    g.bench_function("encode_10k_kv", |b| {
-        b.iter(|| splitserve_codec::to_bytes(&records).expect("encode"))
+    bench("codec/encode_10k_kv", SAMPLES, || {
+        black_box(splitserve_codec::to_bytes(&records).expect("encode"));
     });
     let bytes = splitserve_codec::to_bytes(&records).expect("encode");
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("decode_10k_kv", |b| {
-        b.iter(|| {
-            let v: Vec<(u64, f64)> = splitserve_codec::from_bytes(&bytes).expect("decode");
-            v
-        })
-    });
-    g.finish();
-}
-
-fn bench_des(c: &mut Criterion) {
-    let mut g = c.benchmark_group("des");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("schedule_and_run_10k_events", |b| {
-        b.iter_batched(
-            || {
-                let mut sim = Sim::new(0);
-                for i in 0..10_000u64 {
-                    sim.schedule_at(SimTime::from_micros(i * 7 % 5_000), |_| {});
-                }
-                sim
-            },
-            |mut sim| sim.run(),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_fabric(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fabric");
-    g.bench_function("200_flows_shared_link", |b| {
-        b.iter_batched(
-            || {
-                let sim = Sim::new(0);
-                let fabric = Fabric::new();
-                let link = fabric.add_link(1e9, "l");
-                (sim, fabric, link)
-            },
-            |(mut sim, fabric, link)| {
-                for i in 0..200u64 {
-                    fabric.start_flow(&mut sim, &[link], 1_000 + i * 10, |_| {});
-                }
-                sim.run();
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_token_bucket(c: &mut Criterion) {
-    c.bench_function("token_bucket_100k_reserves", |b| {
-        b.iter_batched(
-            || TokenBucket::new(3_500.0, 500.0),
-            |mut tb| {
-                let mut t = SimTime::ZERO;
-                for i in 0..100_000u64 {
-                    t = SimTime::from_micros(i * 3);
-                    let _ = tb.reserve(t, 1.0);
-                }
-                tb
-            },
-            BatchSize::SmallInput,
-        )
+    bench("codec/decode_10k_kv", SAMPLES, || {
+        let v: Vec<(u64, f64)> = splitserve_codec::from_bytes(&bytes).expect("decode");
+        black_box(v);
     });
 }
 
-criterion_group!(benches, bench_codec, bench_des, bench_fabric, bench_token_bucket);
-criterion_main!(benches);
+fn bench_des() {
+    bench_with_setup(
+        "des/schedule_and_run_10k_events",
+        SAMPLES,
+        || {
+            let mut sim = Sim::new(0);
+            for i in 0..10_000u64 {
+                sim.schedule_at(SimTime::from_micros(i * 7 % 5_000), |_| {});
+            }
+            sim
+        },
+        |mut sim| sim.run(),
+    );
+}
+
+fn bench_fabric() {
+    bench_with_setup(
+        "fabric/200_flows_shared_link",
+        SAMPLES,
+        || {
+            let sim = Sim::new(0);
+            let fabric = Fabric::new();
+            let link = fabric.add_link(1e9, "l");
+            (sim, fabric, link)
+        },
+        |(mut sim, fabric, link)| {
+            for i in 0..200u64 {
+                fabric.start_flow(&mut sim, &[link], 1_000 + i * 10, |_| {});
+            }
+            sim.run();
+        },
+    );
+}
+
+fn bench_token_bucket() {
+    bench_with_setup(
+        "des/token_bucket_100k_reserves",
+        SAMPLES,
+        || TokenBucket::new(3_500.0, 500.0),
+        |mut tb| {
+            for i in 0..100_000u64 {
+                let t = SimTime::from_micros(i * 3);
+                let _ = tb.reserve(t, 1.0);
+            }
+            black_box(tb);
+        },
+    );
+}
+
+fn main() {
+    bench_codec();
+    bench_des();
+    bench_fabric();
+    bench_token_bucket();
+}

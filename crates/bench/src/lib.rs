@@ -4,8 +4,9 @@
 //! each `fig*` function in [`experiments`] builds the workload, runs the
 //! relevant [`Scenario`](splitserve::Scenario)s on the simulated cloud and
 //! returns a results [`Table`](report::Table). The binaries in `src/bin`
-//! print the tables (and CSV with `--csv`); criterion benches under
-//! `benches/` time reduced-fidelity variants of the same experiments.
+//! print the tables (and CSV with `--csv`); the `benches/` binaries use
+//! the in-tree [`timing`] harness to time reduced-fidelity variants of
+//! the same experiments, one JSON line per benchmark.
 //!
 //! | Binary | Paper artifact |
 //! |---|---|
@@ -25,3 +26,4 @@
 pub mod cli;
 pub mod experiments;
 pub mod report;
+pub mod timing;

@@ -1,12 +1,12 @@
 //! Property tests for the pricing and billing rules — the arithmetic
 //! behind every cost figure in the reproduction.
 
-use proptest::prelude::*;
 use splitserve_cloud::{
     fig1_vcpu_cost_at, lambda_compute_cost, lambda_cost, vm_cost, Cloud, CloudSpec, M4_10XLARGE,
     M4_LARGE, M4_XLARGE,
 };
 use splitserve_des::{Dist, Fabric, Sim, SimDuration, SimTime};
+use splitserve_rt::check;
 
 fn quiet_spec() -> CloudSpec {
     CloudSpec {
@@ -18,76 +18,91 @@ fn quiet_spec() -> CloudSpec {
     }
 }
 
-proptest! {
-    /// Running longer never costs less, on either substrate.
-    #[test]
-    fn costs_are_monotone_in_runtime(a in 0u64..10_000_000, b in 0u64..10_000_000) {
+/// Running longer never costs less, on either substrate.
+#[test]
+fn costs_are_monotone_in_runtime() {
+    check::run("costs_are_monotone_in_runtime", 128, |g| {
+        let a = g.u64_in(0, 10_000_000);
+        let b = g.u64_in(0, 10_000_000);
         let (lo, hi) = (a.min(b), a.max(b));
         let lo_d = SimDuration::from_millis(lo);
         let hi_d = SimDuration::from_millis(hi);
         for itype in [&M4_LARGE, &M4_XLARGE, &M4_10XLARGE] {
-            prop_assert!(vm_cost(itype, lo_d) <= vm_cost(itype, hi_d));
+            assert!(vm_cost(itype, lo_d) <= vm_cost(itype, hi_d));
         }
         for mem in [512u64, 1536, 3008] {
-            prop_assert!(lambda_compute_cost(mem, lo_d) <= lambda_compute_cost(mem, hi_d));
+            assert!(lambda_compute_cost(mem, lo_d) <= lambda_compute_cost(mem, hi_d));
         }
-    }
+    });
+}
 
-    /// VM billing: never below the 60 s minimum, never above runtime + 1 s
-    /// of rounding.
-    #[test]
-    fn vm_billing_bounds(ms in 0u64..20_000_000) {
+/// VM billing: never below the 60 s minimum, never above runtime + 1 s
+/// of rounding.
+#[test]
+fn vm_billing_bounds() {
+    check::run("vm_billing_bounds", 128, |g| {
+        let ms = g.u64_in(0, 20_000_000);
         let d = SimDuration::from_millis(ms);
         let cost = vm_cost(&M4_LARGE, d);
         let per_sec = M4_LARGE.hourly_usd / 3600.0;
         let min_cost = per_sec * 60.0;
-        prop_assert!(cost >= min_cost - 1e-12);
+        assert!(cost >= min_cost - 1e-12);
         let upper = per_sec * (d.as_secs_f64().max(60.0) + 1.0);
-        prop_assert!(cost <= upper + 1e-12);
-    }
+        assert!(cost <= upper + 1e-12);
+    });
+}
 
-    /// Lambda billing: exact 100 ms quantization — cost is a multiple of
-    /// the 100 ms price, and within one quantum of the fluid cost.
-    #[test]
-    fn lambda_billing_quantizes(ms in 0u64..5_000_000, mem in 128u64..3_008) {
+/// Lambda billing: exact 100 ms quantization — cost is a multiple of
+/// the 100 ms price, and within one quantum of the fluid cost.
+#[test]
+fn lambda_billing_quantizes() {
+    check::run("lambda_billing_quantizes", 128, |g| {
+        let ms = g.u64_in(0, 5_000_000);
+        let mem = g.u64_in(128, 3_008);
         let d = SimDuration::from_millis(ms);
         let cost = lambda_compute_cost(mem, d);
         let per_100ms = lambda_compute_cost(mem, SimDuration::from_millis(100));
-        prop_assume!(per_100ms > 0.0);
+        if per_100ms <= 0.0 {
+            return; // degenerate memory size; nothing to quantize
+        }
         let quanta = cost / per_100ms;
-        prop_assert!((quanta - quanta.round()).abs() < 1e-6, "not quantized: {quanta}");
+        assert!((quanta - quanta.round()).abs() < 1e-6, "not quantized: {quanta}");
         let fluid = per_100ms * (ms as f64 / 100.0);
-        prop_assert!(cost + 1e-12 >= fluid, "billed below fluid cost");
-        prop_assert!(cost <= fluid + per_100ms + 1e-12, "over-billed by more than a quantum");
-    }
+        assert!(cost + 1e-12 >= fluid, "billed below fluid cost");
+        assert!(cost <= fluid + per_100ms + 1e-12, "over-billed by more than a quantum");
+    });
+}
 
-    /// Figure 1's defining property: at every instant before the
-    /// crossover the Lambda is cheaper; after it, never cheaper again.
-    #[test]
-    fn fig1_crossover_is_a_single_crossing(ms in 100u64..7_200_000) {
+/// Figure 1's defining property: at every instant before the
+/// crossover the Lambda is cheaper; after it, never cheaper again.
+#[test]
+fn fig1_crossover_is_a_single_crossing() {
+    check::run("fig1_crossover_is_a_single_crossing", 128, |g| {
+        let ms = g.u64_in(100, 7_200_000);
         let x = splitserve_cloud::fig1_crossover(&M4_LARGE, SimDuration::from_secs(7_200))
             .expect("crossover exists");
         let t = SimDuration::from_millis(ms);
         let (vm, la) = fig1_vcpu_cost_at(&M4_LARGE, t);
         if t < x {
-            prop_assert!(la <= vm + 1e-12, "lambda pricier before crossover at {t}");
+            assert!(la <= vm + 1e-12, "lambda pricier before crossover at {t}");
         } else {
             // From the crossover on, the lambda never undercuts the VM:
             // both are monotone staircases and the lambda's slope is
             // strictly steeper.
-            prop_assert!(la >= vm - 1e-9, "lambda cheaper after crossover at {t}");
+            assert!(la >= vm - 1e-9, "lambda cheaper after crossover at {t}");
         }
-    }
+    });
+}
 
-    /// End-to-end ledger consistency: for an arbitrary schedule of VM and
-    /// Lambda sessions, after shutdown the accrued cost equals the
-    /// finalized total, and the total equals the sum of the per-resource
-    /// prices.
-    #[test]
-    fn ledger_matches_hand_computed_bill(
-        vm_secs in prop::collection::vec(1u64..400, 0..4),
-        lambda_secs in prop::collection::vec(1u64..400, 0..4),
-    ) {
+/// End-to-end ledger consistency: for an arbitrary schedule of VM and
+/// Lambda sessions, after shutdown the accrued cost equals the
+/// finalized total, and the total equals the sum of the per-resource
+/// prices.
+#[test]
+fn ledger_matches_hand_computed_bill() {
+    check::run("ledger_matches_hand_computed_bill", 48, |g| {
+        let vm_secs = g.vec(0, 4, |g| g.u64_in(1, 400));
+        let lambda_secs = g.vec(0, 4, |g| g.u64_in(1, 400));
         let mut sim = Sim::new(1);
         let cloud = Cloud::new(quiet_spec(), Fabric::new());
         let mut expected = 0.0;
@@ -114,14 +129,17 @@ proptest! {
         }
         sim.run();
         let total = cloud.total_cost();
-        prop_assert!((total - expected).abs() < 1e-9, "total {total} vs expected {expected}");
-        prop_assert!((cloud.accrued_cost(sim.now()) - total).abs() < 1e-12);
-    }
+        assert!((total - expected).abs() < 1e-9, "total {total} vs expected {expected}");
+        assert!((cloud.accrued_cost(sim.now()) - total).abs() < 1e-12);
+    });
+}
 
-    /// Warm-pool conservation: invocations never exceed warm starts +
-    /// cold starts, and releases re-warm the pool.
-    #[test]
-    fn start_counts_add_up(n in 1usize..20) {
+/// Warm-pool conservation: invocations never exceed warm starts +
+/// cold starts, and releases re-warm the pool.
+#[test]
+fn start_counts_add_up() {
+    check::run("start_counts_add_up", 48, |g| {
+        let n = g.usize_in(1, 20);
         let mut sim = Sim::new(2);
         let spec = CloudSpec { prewarmed_lambdas: 3, ..quiet_spec() };
         let cloud = Cloud::new(spec, Fabric::new());
@@ -141,9 +159,9 @@ proptest! {
         }
         sim.run_until(SimTime::from_secs(500));
         let (warm, cold) = cloud.start_counts();
-        prop_assert_eq!(warm + cold, n as u64);
+        assert_eq!(warm + cold, n as u64);
         // Sequential-ish invokes with 3 prewarmed: at most the bursts that
         // overlapped beyond pool depth went cold.
-        prop_assert!(warm >= 3.min(n) as u64);
-    }
+        assert!(warm >= 3.min(n) as u64);
+    });
 }

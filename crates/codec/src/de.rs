@@ -1,9 +1,24 @@
-//! The deserializer half of the format.
+//! The decoding half of the format: the [`Decode`] trait and its impls.
 
-use serde::de::{self, DeserializeSeed, Visitor};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasher, Hash};
 
 use crate::error::{Error, Result};
 use crate::varint;
+
+/// A value that can be read back from the SplitServe wire format.
+///
+/// `decode` consumes from the front of the slice, advancing it past the
+/// value — so records can be streamed out of a shuffle block back to back.
+pub trait Decode: Sized {
+    /// Decodes one value from the front of `input`, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncated or malformed input. Implementations
+    /// must never panic on arbitrary bytes.
+    fn decode(input: &mut &[u8]) -> Result<Self>;
+}
 
 /// Deserializes a value of type `T` from `bytes`, requiring the whole input
 /// to be consumed.
@@ -19,13 +34,13 @@ use crate::varint;
 /// let v: Vec<u8> = splitserve_codec::from_bytes(&bytes).expect("decode");
 /// assert_eq!(v, vec![1, 2, 3]);
 /// ```
-pub fn from_bytes<'de, T: de::Deserialize<'de>>(bytes: &'de [u8]) -> Result<T> {
-    let mut de = Deserializer { input: bytes };
-    let value = T::deserialize(&mut de)?;
-    if de.input.is_empty() {
+pub fn from_bytes<T: Decode>(bytes: &[u8]) -> Result<T> {
+    let mut input = bytes;
+    let value = T::decode(&mut input)?;
+    if input.is_empty() {
         Ok(value)
     } else {
-        Err(Error::TrailingBytes(de.input.len()))
+        Err(Error::TrailingBytes(input.len()))
     }
 }
 
@@ -35,313 +50,178 @@ pub fn from_bytes<'de, T: de::Deserialize<'de>>(bytes: &'de [u8]) -> Result<T> {
 /// # Errors
 ///
 /// Returns an error on malformed input.
-pub fn from_bytes_seq<'de, T: de::Deserialize<'de>>(bytes: &mut &'de [u8]) -> Result<T> {
-    let mut de = Deserializer { input: bytes };
-    let value = T::deserialize(&mut de)?;
-    *bytes = de.input;
-    Ok(value)
+pub fn from_bytes_seq<T: Decode>(bytes: &mut &[u8]) -> Result<T> {
+    T::decode(bytes)
 }
 
-struct Deserializer<'de> {
-    input: &'de [u8],
+/// Reads a length prefix, rejecting values implausibly large for the
+/// remaining input (each element occupies at least one byte except
+/// zero-sized ones, which are bounded elsewhere); this guards against
+/// absurd allocations from corrupt input.
+pub(crate) fn read_len(input: &mut &[u8]) -> Result<usize> {
+    let n = varint::read_u64(input)?;
+    if n > (input.len() as u64).saturating_mul(8).saturating_add(64) {
+        return Err(Error::LengthOverflow(n));
+    }
+    Ok(n as usize)
 }
 
-impl<'de> Deserializer<'de> {
-    fn take(&mut self, n: usize) -> Result<&'de [u8]> {
-        if self.input.len() < n {
-            return Err(Error::UnexpectedEof);
-        }
-        let (head, rest) = self.input.split_at(n);
-        self.input = rest;
-        Ok(head)
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+    if input.len() < n {
+        return Err(Error::UnexpectedEof);
     }
-
-    fn read_byte(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn read_u64(&mut self) -> Result<u64> {
-        varint::read_u64(&mut self.input)
-    }
-
-    fn read_i64(&mut self) -> Result<i64> {
-        varint::read_i64(&mut self.input)
-    }
-
-    fn read_len(&mut self) -> Result<usize> {
-        let n = self.read_u64()?;
-        // A length can never exceed the remaining bytes (each element
-        // occupies at least one byte except zero-sized ones, which are
-        // bounded elsewhere); this guards against absurd allocations.
-        if n > (self.input.len() as u64).saturating_mul(8).saturating_add(64) {
-            return Err(Error::LengthOverflow(n));
-        }
-        Ok(n as usize)
-    }
+    let (head, rest) = input.split_at(n);
+    *input = rest;
+    Ok(head)
 }
 
-macro_rules! de_signed {
-    ($method:ident, $visit:ident, $ty:ty) => {
-        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-            let v = self.read_i64()?;
-            let v = <$ty>::try_from(v)
-                .map_err(|_| Error::Message(format!("integer {v} out of range")))?;
-            visitor.$visit(v)
-        }
-    };
-}
+// ----- primitives ------------------------------------------------------
 
-macro_rules! de_unsigned {
-    ($method:ident, $visit:ident, $ty:ty) => {
-        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-            let v = self.read_u64()?;
-            let v = <$ty>::try_from(v)
-                .map_err(|_| Error::Message(format!("integer {v} out of range")))?;
-            visitor.$visit(v)
-        }
-    };
-}
-
-impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
-    type Error = Error;
-
-    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
-        Err(Error::AnyUnsupported)
-    }
-
-    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
-        Err(Error::AnyUnsupported)
-    }
-
-    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-        match self.read_byte()? {
-            0 => visitor.visit_bool(false),
-            1 => visitor.visit_bool(true),
+impl Decode for bool {
+    fn decode(input: &mut &[u8]) -> Result<bool> {
+        match take(input, 1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
             b => Err(Error::InvalidBool(b)),
         }
     }
+}
 
-    de_signed!(deserialize_i8, visit_i8, i8);
-    de_signed!(deserialize_i16, visit_i16, i16);
-    de_signed!(deserialize_i32, visit_i32, i32);
+macro_rules! decode_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Decode for $ty {
+            fn decode(input: &mut &[u8]) -> Result<$ty> {
+                let v = varint::read_u64(input)?;
+                <$ty>::try_from(v)
+                    .map_err(|_| Error::Message(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+decode_unsigned!(u8, u16, u32, u64, usize);
 
-    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-        let v = self.read_i64()?;
-        visitor.visit_i64(v)
+macro_rules! decode_signed {
+    ($($ty:ty),*) => {$(
+        impl Decode for $ty {
+            fn decode(input: &mut &[u8]) -> Result<$ty> {
+                let v = varint::read_i64(input)?;
+                <$ty>::try_from(v)
+                    .map_err(|_| Error::Message(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+decode_signed!(i8, i16, i32, i64, isize);
+
+impl Decode for f32 {
+    fn decode(input: &mut &[u8]) -> Result<f32> {
+        let b = take(input, 4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
+}
 
-    de_unsigned!(deserialize_u8, visit_u8, u8);
-    de_unsigned!(deserialize_u16, visit_u16, u16);
-    de_unsigned!(deserialize_u32, visit_u32, u32);
-
-    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-        let v = self.read_u64()?;
-        visitor.visit_u64(v)
-    }
-
-    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-        let b = self.take(4)?;
-        visitor.visit_f32(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-        let b = self.take(8)?;
-        visitor.visit_f64(f64::from_le_bytes([
+impl Decode for f64 {
+    fn decode(input: &mut &[u8]) -> Result<f64> {
+        let b = take(input, 8)?;
+        Ok(f64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
+}
 
-    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-        let scalar = self.read_u64()?;
-        let scalar =
-            u32::try_from(scalar).map_err(|_| Error::InvalidChar(u32::MAX))?;
-        let c = char::from_u32(scalar).ok_or(Error::InvalidChar(scalar))?;
-        visitor.visit_char(c)
+impl Decode for char {
+    fn decode(input: &mut &[u8]) -> Result<char> {
+        let scalar = varint::read_u64(input)?;
+        let scalar = u32::try_from(scalar).map_err(|_| Error::InvalidChar(u32::MAX))?;
+        char::from_u32(scalar).ok_or(Error::InvalidChar(scalar))
     }
+}
 
-    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-        let len = self.read_len()?;
-        let bytes = self.take(len)?;
-        let s = std::str::from_utf8(bytes).map_err(|_| Error::InvalidUtf8)?;
-        visitor.visit_borrowed_str(s)
+impl Decode for String {
+    fn decode(input: &mut &[u8]) -> Result<String> {
+        let len = read_len(input)?;
+        let bytes = take(input, len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| Error::InvalidUtf8)
     }
+}
 
-    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-        self.deserialize_str(visitor)
+// ----- compound types --------------------------------------------------
+
+impl<T: Decode> Decode for Box<T> {
+    fn decode(input: &mut &[u8]) -> Result<Box<T>> {
+        T::decode(input).map(Box::new)
     }
+}
 
-    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-        let len = self.read_len()?;
-        let bytes = self.take(len)?;
-        visitor.visit_borrowed_bytes(bytes)
-    }
-
-    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-        self.deserialize_bytes(visitor)
-    }
-
-    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-        match self.read_byte()? {
-            0 => visitor.visit_none(),
-            1 => visitor.visit_some(self),
+impl<T: Decode> Decode for Option<T> {
+    fn decode(input: &mut &[u8]) -> Result<Option<T>> {
+        match take(input, 1)?[0] {
+            0 => Ok(None),
+            1 => T::decode(input).map(Some),
             b => Err(Error::InvalidOptionTag(b)),
         }
     }
-
-    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-        visitor.visit_unit()
-    }
-
-    fn deserialize_unit_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> Result<V::Value> {
-        visitor.visit_unit()
-    }
-
-    fn deserialize_newtype_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> Result<V::Value> {
-        visitor.visit_newtype_struct(self)
-    }
-
-    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-        let len = self.read_len()?;
-        visitor.visit_seq(Counted { de: self, left: len })
-    }
-
-    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
-        visitor.visit_seq(Counted { de: self, left: len })
-    }
-
-    fn deserialize_tuple_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value> {
-        visitor.visit_seq(Counted { de: self, left: len })
-    }
-
-    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
-        let len = self.read_len()?;
-        visitor.visit_map(Counted { de: self, left: len })
-    }
-
-    fn deserialize_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value> {
-        visitor.visit_seq(Counted {
-            de: self,
-            left: fields.len(),
-        })
-    }
-
-    fn deserialize_enum<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        _variants: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value> {
-        visitor.visit_enum(EnumAccess { de: self })
-    }
-
-    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
-        Err(Error::AnyUnsupported)
-    }
-
-    fn is_human_readable(&self) -> bool {
-        false
-    }
 }
 
-struct Counted<'a, 'de> {
-    de: &'a mut Deserializer<'de>,
-    left: usize,
-}
-
-impl<'a, 'de> de::SeqAccess<'de> for Counted<'a, 'de> {
-    type Error = Error;
-
-    fn next_element_seed<T: DeserializeSeed<'de>>(&mut self, seed: T) -> Result<Option<T::Value>> {
-        if self.left == 0 {
-            return Ok(None);
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(input: &mut &[u8]) -> Result<Vec<T>> {
+        let len = read_len(input)?;
+        let mut out = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            out.push(T::decode(input)?);
         }
-        self.left -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
-    }
-
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.left)
+        Ok(out)
     }
 }
 
-impl<'a, 'de> de::MapAccess<'de> for Counted<'a, 'de> {
-    type Error = Error;
-
-    fn next_key_seed<K: DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>> {
-        if self.left == 0 {
-            return Ok(None);
+impl<K: Decode + Ord, V: Decode> Decode for BTreeMap<K, V> {
+    fn decode(input: &mut &[u8]) -> Result<BTreeMap<K, V>> {
+        let len = read_len(input)?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(input)?;
+            let v = V::decode(input)?;
+            out.insert(k, v);
         }
-        self.left -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
-    }
-
-    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value> {
-        seed.deserialize(&mut *self.de)
-    }
-
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.left)
+        Ok(out)
     }
 }
 
-struct EnumAccess<'a, 'de> {
-    de: &'a mut Deserializer<'de>,
-}
-
-impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
-    type Error = Error;
-    type Variant = Self;
-
-    fn variant_seed<V: DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, Self)> {
-        let index = self.de.read_u64()?;
-        let index = u32::try_from(index)
-            .map_err(|_| Error::Message(format!("variant index {index} out of range")))?;
-        let value = seed.deserialize(de::value::U32Deserializer::<Error>::new(index))?;
-        Ok((value, self))
+impl<K: Decode + Hash + Eq, V: Decode, S: BuildHasher + Default> Decode for HashMap<K, V, S> {
+    fn decode(input: &mut &[u8]) -> Result<HashMap<K, V, S>> {
+        let len = read_len(input)?;
+        let mut out = HashMap::with_hasher(S::default());
+        for _ in 0..len {
+            let k = K::decode(input)?;
+            let v = V::decode(input)?;
+            out.insert(k, v);
+        }
+        Ok(out)
     }
 }
 
-impl<'a, 'de> de::VariantAccess<'de> for EnumAccess<'a, 'de> {
-    type Error = Error;
-
-    fn unit_variant(self) -> Result<()> {
+impl Decode for () {
+    fn decode(_input: &mut &[u8]) -> Result<()> {
         Ok(())
     }
-
-    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value> {
-        seed.deserialize(self.de)
-    }
-
-    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
-        visitor.visit_seq(Counted { de: self.de, left: len })
-    }
-
-    fn struct_variant<V: Visitor<'de>>(
-        self,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value> {
-        visitor.visit_seq(Counted {
-            de: self.de,
-            left: fields.len(),
-        })
-    }
 }
+
+macro_rules! decode_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Decode),+> Decode for ($($name,)+) {
+            fn decode(input: &mut &[u8]) -> Result<Self> {
+                Ok(($($name::decode(input)?,)+))
+            }
+        }
+    };
+}
+decode_tuple!(A);
+decode_tuple!(A, B);
+decode_tuple!(A, B, C);
+decode_tuple!(A, B, C, D);
+decode_tuple!(A, B, C, D, E);
+decode_tuple!(A, B, C, D, E, F);
+decode_tuple!(A, B, C, D, E, F, G);
+decode_tuple!(A, B, C, D, E, F, G, H);

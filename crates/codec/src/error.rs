@@ -1,11 +1,12 @@
-//! Error type shared by the serializer and deserializer.
+//! Error type shared by the encoder and decoder.
 
 use std::fmt;
 
 /// Errors produced while encoding or decoding the SplitServe binary format.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
-    /// A custom message from serde (e.g. a `Serialize` impl failed).
+    /// A free-form decoding failure (e.g. an integer out of range for the
+    /// target type).
     Message(String),
     /// Input ended before the value was fully decoded.
     UnexpectedEof,
@@ -21,10 +22,8 @@ pub enum Error {
     InvalidBool(u8),
     /// An `Option` tag byte was neither 0 nor 1.
     InvalidOptionTag(u8),
-    /// The format is not self-describing, so `deserialize_any` is unsupported.
-    AnyUnsupported,
-    /// Sequences serialized through this format must know their length.
-    UnknownLength,
+    /// An enum's variant index did not name a variant of the target type.
+    InvalidVariant(u64),
     /// Trailing bytes remained after the value was decoded.
     TrailingBytes(usize),
 }
@@ -43,25 +42,10 @@ impl fmt::Display for Error {
             Error::InvalidChar(c) => write!(f, "invalid char scalar {c:#x}"),
             Error::InvalidBool(b) => write!(f, "invalid bool byte {b}"),
             Error::InvalidOptionTag(b) => write!(f, "invalid option tag {b}"),
-            Error::AnyUnsupported => {
-                write!(f, "format is not self-describing; deserialize_any unsupported")
-            }
-            Error::UnknownLength => write!(f, "sequence length must be known up front"),
+            Error::InvalidVariant(i) => write!(f, "invalid enum variant index {i}"),
             Error::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
         }
     }
 }
 
 impl std::error::Error for Error {}
-
-impl serde::ser::Error for Error {
-    fn custom<T: fmt::Display>(msg: T) -> Self {
-        Error::Message(msg.to_string())
-    }
-}
-
-impl serde::de::Error for Error {
-    fn custom<T: fmt::Display>(msg: T) -> Self {
-        Error::Message(msg.to_string())
-    }
-}

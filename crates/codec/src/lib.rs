@@ -1,23 +1,28 @@
-//! # splitserve-codec — compact binary serde format
+//! # splitserve-codec — compact binary shuffle format
 //!
 //! The wire format used to serialize shuffle records into storage blocks in
 //! the SplitServe reproduction. It is a bincode-style, non-self-describing
 //! binary format: LEB128 varints for integers (zigzag for signed),
 //! little-endian IEEE floats, length-prefixed strings/bytes/sequences, and
-//! variant indices for enums. It exists because no serde *format* crate is
-//! available in the offline dependency set.
+//! variant indices for enums.
+//!
+//! The format is defined by the in-tree [`Encode`]/[`Decode`] traits rather
+//! than serde: the hermetic build has no registry access, and pinning both
+//! the data model and the byte layout in-tree guarantees shuffle blocks are
+//! byte-for-byte reproducible across toolchains. Plain record structs get
+//! their impls from [`impl_record!`]; enums implement the traits by hand
+//! (variant index as a varint, then the payload fields in order).
 //!
 //! # Examples
 //!
 //! ```
-//! use serde::{Deserialize, Serialize};
-//!
-//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! #[derive(PartialEq, Debug)]
 //! struct Edge {
 //!     src: u64,
 //!     dst: u64,
 //!     weight: f64,
 //! }
+//! splitserve_codec::impl_record!(Edge { src, dst, weight });
 //!
 //! # fn main() -> Result<(), splitserve_codec::Error> {
 //! let e = Edge { src: 3, dst: 7, weight: 0.5 };
@@ -36,27 +41,55 @@ mod error;
 mod ser;
 mod varint;
 
-pub use de::{from_bytes, from_bytes_seq};
+pub use de::{from_bytes, from_bytes_seq, Decode};
 pub use error::{Error, Result};
-pub use ser::{to_bytes, to_writer};
+pub use ser::{to_bytes, to_writer, Encode};
+
+/// Implements [`Encode`] and [`Decode`] for a struct with named fields by
+/// encoding the fields in declaration order — the same layout serde's
+/// derive produced for this format, so records stay wire-compatible.
+///
+/// # Examples
+///
+/// ```
+/// struct Row { key: u64, score: f64, tags: Vec<String> }
+/// splitserve_codec::impl_record!(Row { key, score, tags });
+/// ```
+#[macro_export]
+macro_rules! impl_record {
+    ($name:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::Encode for $name {
+            fn encode(&self, out: &mut ::std::vec::Vec<u8>) {
+                $( $crate::Encode::encode(&self.$field, out); )*
+            }
+        }
+        impl $crate::Decode for $name {
+            fn decode(input: &mut &[u8]) -> $crate::Result<Self> {
+                ::std::result::Result::Ok($name {
+                    $( $field: $crate::Decode::decode(input)?, )*
+                })
+            }
+        }
+    };
+}
 
 /// Encoded size of `value` in bytes, computed by serializing it.
 ///
 /// # Errors
 ///
 /// Same as [`to_bytes`].
-pub fn encoded_len<T: serde::Serialize + ?Sized>(value: &T) -> Result<usize> {
+pub fn encoded_len<T: Encode + ?Sized>(value: &T) -> Result<usize> {
     to_bytes(value).map(|b| b.len())
 }
 
 #[cfg(test)]
 mod tests {
-    use serde::{Deserialize, Serialize};
+    use crate::{Decode, Encode, Error, Result};
     use std::collections::BTreeMap;
 
     fn roundtrip<T>(v: &T)
     where
-        T: Serialize + for<'de> Deserialize<'de> + PartialEq + std::fmt::Debug,
+        T: Encode + Decode + PartialEq + std::fmt::Debug,
     {
         let bytes = crate::to_bytes(v).expect("encode");
         let back: T = crate::from_bytes(&bytes).expect("decode");
@@ -92,12 +125,49 @@ mod tests {
         roundtrip(&vec![vec![1u8], vec![], vec![2, 3]]);
     }
 
-    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    #[derive(PartialEq, Debug)]
     enum Shape {
         Unit,
         New(u32),
         Tuple(u32, String),
         Struct { x: f64, y: f64 },
+    }
+
+    // The hand-written pattern for enums: variant index, then payload.
+    impl Encode for Shape {
+        fn encode(&self, out: &mut Vec<u8>) {
+            match self {
+                Shape::Unit => 0u32.encode(out),
+                Shape::New(a) => {
+                    1u32.encode(out);
+                    a.encode(out);
+                }
+                Shape::Tuple(a, b) => {
+                    2u32.encode(out);
+                    a.encode(out);
+                    b.encode(out);
+                }
+                Shape::Struct { x, y } => {
+                    3u32.encode(out);
+                    x.encode(out);
+                    y.encode(out);
+                }
+            }
+        }
+    }
+    impl Decode for Shape {
+        fn decode(input: &mut &[u8]) -> Result<Shape> {
+            Ok(match u32::decode(input)? {
+                0 => Shape::Unit,
+                1 => Shape::New(Decode::decode(input)?),
+                2 => Shape::Tuple(Decode::decode(input)?, Decode::decode(input)?),
+                3 => Shape::Struct {
+                    x: Decode::decode(input)?,
+                    y: Decode::decode(input)?,
+                },
+                i => return Err(Error::InvalidVariant(i.into())),
+            })
+        }
     }
 
     #[test]
@@ -109,12 +179,20 @@ mod tests {
         roundtrip(&vec![Shape::Unit, Shape::New(1)]);
     }
 
-    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    #[test]
+    fn unknown_variant_rejected() {
+        let bytes = crate::to_bytes(&9u32).expect("encode");
+        let r: Result<Shape> = crate::from_bytes(&bytes);
+        assert!(matches!(r, Err(Error::InvalidVariant(9))));
+    }
+
+    #[derive(PartialEq, Debug)]
     struct Nested {
         id: u64,
         tags: Vec<String>,
         inner: Option<Box<Nested>>,
     }
+    crate::impl_record!(Nested { id, tags, inner });
 
     #[test]
     fn nested_structs_roundtrip() {
@@ -140,24 +218,24 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = crate::to_bytes(&1u32).expect("encode");
         bytes.push(0);
-        let r: Result<u32, _> = crate::from_bytes(&bytes);
-        assert!(matches!(r, Err(crate::Error::TrailingBytes(1))));
+        let r: Result<u32> = crate::from_bytes(&bytes);
+        assert!(matches!(r, Err(Error::TrailingBytes(1))));
     }
 
     #[test]
     fn truncated_input_rejected() {
-        let bytes = crate::to_bytes(&"hello").expect("encode");
-        let r: Result<String, _> = crate::from_bytes(&bytes[..bytes.len() - 1]);
-        assert!(matches!(r, Err(crate::Error::UnexpectedEof)));
+        let bytes = crate::to_bytes("hello").expect("encode");
+        let r: Result<String> = crate::from_bytes(&bytes[..bytes.len() - 1]);
+        assert!(matches!(r, Err(Error::UnexpectedEof)));
     }
 
     #[test]
     fn absurd_length_prefix_rejected() {
-        // Sequence claiming u64::MAX elements with 2 bytes of input.
+        // Sequence claiming u64::MAX/2 elements with 2 bytes of input.
         let mut bytes = Vec::new();
-        super::varint_write_for_test(&mut bytes, u64::MAX / 2);
-        let r: Result<Vec<u8>, _> = crate::from_bytes(&bytes);
-        assert!(matches!(r, Err(crate::Error::LengthOverflow(_))));
+        crate::varint::write_u64(&mut bytes, u64::MAX / 2);
+        let r: Result<Vec<u8>> = crate::from_bytes(&bytes);
+        assert!(matches!(r, Err(Error::LengthOverflow(_))));
     }
 
     #[test]
@@ -175,20 +253,15 @@ mod tests {
 
     #[test]
     fn invalid_bool_rejected() {
-        let r: Result<bool, _> = crate::from_bytes(&[2]);
-        assert!(matches!(r, Err(crate::Error::InvalidBool(2))));
+        let r: Result<bool> = crate::from_bytes(&[2]);
+        assert!(matches!(r, Err(Error::InvalidBool(2))));
     }
 
     #[test]
     fn invalid_utf8_rejected() {
         // len=2, bytes = invalid UTF-8
         let bytes = [2u8, 0xff, 0xfe];
-        let r: Result<String, _> = crate::from_bytes(&bytes);
-        assert!(matches!(r, Err(crate::Error::InvalidUtf8)));
+        let r: Result<String> = crate::from_bytes(&bytes);
+        assert!(matches!(r, Err(Error::InvalidUtf8)));
     }
-}
-
-#[cfg(test)]
-pub(crate) fn varint_write_for_test(out: &mut Vec<u8>, v: u64) {
-    varint::write_u64(out, v)
 }

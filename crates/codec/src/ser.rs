@@ -1,16 +1,30 @@
-//! The serializer half of the format.
+//! The encoding half of the format: the [`Encode`] trait and its impls for
+//! primitives, tuples, collections and smart pointers.
 
-use serde::ser::{self, Serialize};
+use std::collections::{BTreeMap, HashMap};
 
-use crate::error::{Error, Result};
+use crate::error::Result;
 use crate::varint;
+
+/// A value that can be written to the SplitServe wire format.
+///
+/// Encoding is infallible: every encodable value is already in memory with
+/// a known shape, so the only possible failures (unknown-length sequences
+/// in serde's data model) cannot arise.
+///
+/// Implement via [`crate::impl_record!`] for plain structs; by hand for
+/// enums (write the variant index as a `u32`, then the payload).
+pub trait Encode {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+}
 
 /// Serializes `value` into a fresh byte vector.
 ///
 /// # Errors
 ///
-/// Returns an error if the value's `Serialize` impl fails or it contains a
-/// sequence of unknown length.
+/// Infallible today (kept `Result` so call sites and future format
+/// revisions keep a stable signature).
 ///
 /// # Examples
 ///
@@ -19,9 +33,9 @@ use crate::varint;
 /// let back: (u32, String) = splitserve_codec::from_bytes(&bytes).expect("decode");
 /// assert_eq!(back, (1, "hi".to_string()));
 /// ```
-pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+pub fn to_bytes<T: Encode + ?Sized>(value: &T) -> Result<Vec<u8>> {
     let mut out = Vec::new();
-    value.serialize(&mut Serializer { out: &mut out })?;
+    value.encode(&mut out);
     Ok(out)
 }
 
@@ -31,272 +45,151 @@ pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
 /// # Errors
 ///
 /// Same as [`to_bytes`].
-pub fn to_writer<T: Serialize + ?Sized>(out: &mut Vec<u8>, value: &T) -> Result<()> {
-    value.serialize(&mut Serializer { out })
+pub fn to_writer<T: Encode + ?Sized>(out: &mut Vec<u8>, value: &T) -> Result<()> {
+    value.encode(out);
+    Ok(())
 }
 
-struct Serializer<'a> {
-    out: &'a mut Vec<u8>,
-}
+// ----- primitives ------------------------------------------------------
 
-impl<'a, 'b> ser::Serializer for &'b mut Serializer<'a> {
-    type Ok = ();
-    type Error = Error;
-    type SerializeSeq = Self;
-    type SerializeTuple = Self;
-    type SerializeTupleStruct = Self;
-    type SerializeTupleVariant = Self;
-    type SerializeMap = Self;
-    type SerializeStruct = Self;
-    type SerializeStructVariant = Self;
-
-    fn serialize_bool(self, v: bool) -> Result<()> {
-        self.out.push(v as u8);
-        Ok(())
-    }
-
-    fn serialize_i8(self, v: i8) -> Result<()> {
-        varint::write_i64(self.out, v.into());
-        Ok(())
-    }
-    fn serialize_i16(self, v: i16) -> Result<()> {
-        varint::write_i64(self.out, v.into());
-        Ok(())
-    }
-    fn serialize_i32(self, v: i32) -> Result<()> {
-        varint::write_i64(self.out, v.into());
-        Ok(())
-    }
-    fn serialize_i64(self, v: i64) -> Result<()> {
-        varint::write_i64(self.out, v);
-        Ok(())
-    }
-
-    fn serialize_u8(self, v: u8) -> Result<()> {
-        varint::write_u64(self.out, v.into());
-        Ok(())
-    }
-    fn serialize_u16(self, v: u16) -> Result<()> {
-        varint::write_u64(self.out, v.into());
-        Ok(())
-    }
-    fn serialize_u32(self, v: u32) -> Result<()> {
-        varint::write_u64(self.out, v.into());
-        Ok(())
-    }
-    fn serialize_u64(self, v: u64) -> Result<()> {
-        varint::write_u64(self.out, v);
-        Ok(())
-    }
-
-    fn serialize_f32(self, v: f32) -> Result<()> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_f64(self, v: f64) -> Result<()> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-
-    fn serialize_char(self, v: char) -> Result<()> {
-        varint::write_u64(self.out, v as u64);
-        Ok(())
-    }
-
-    fn serialize_str(self, v: &str) -> Result<()> {
-        varint::write_u64(self.out, v.len() as u64);
-        self.out.extend_from_slice(v.as_bytes());
-        Ok(())
-    }
-
-    fn serialize_bytes(self, v: &[u8]) -> Result<()> {
-        varint::write_u64(self.out, v.len() as u64);
-        self.out.extend_from_slice(v);
-        Ok(())
-    }
-
-    fn serialize_none(self) -> Result<()> {
-        self.out.push(0);
-        Ok(())
-    }
-
-    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<()> {
-        self.out.push(1);
-        value.serialize(self)
-    }
-
-    fn serialize_unit(self) -> Result<()> {
-        Ok(())
-    }
-
-    fn serialize_unit_struct(self, _name: &'static str) -> Result<()> {
-        Ok(())
-    }
-
-    fn serialize_unit_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-    ) -> Result<()> {
-        varint::write_u64(self.out, variant_index.into());
-        Ok(())
-    }
-
-    fn serialize_newtype_struct<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        value: &T,
-    ) -> Result<()> {
-        value.serialize(self)
-    }
-
-    fn serialize_newtype_variant<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        value: &T,
-    ) -> Result<()> {
-        varint::write_u64(self.out, variant_index.into());
-        value.serialize(self)
-    }
-
-    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq> {
-        let len = len.ok_or(Error::UnknownLength)?;
-        varint::write_u64(self.out, len as u64);
-        Ok(self)
-    }
-
-    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple> {
-        Ok(self)
-    }
-
-    fn serialize_tuple_struct(
-        self,
-        _name: &'static str,
-        _len: usize,
-    ) -> Result<Self::SerializeTupleStruct> {
-        Ok(self)
-    }
-
-    fn serialize_tuple_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> Result<Self::SerializeTupleVariant> {
-        varint::write_u64(self.out, variant_index.into());
-        Ok(self)
-    }
-
-    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap> {
-        let len = len.ok_or(Error::UnknownLength)?;
-        varint::write_u64(self.out, len as u64);
-        Ok(self)
-    }
-
-    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self::SerializeStruct> {
-        Ok(self)
-    }
-
-    fn serialize_struct_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> Result<Self::SerializeStructVariant> {
-        varint::write_u64(self.out, variant_index.into());
-        Ok(self)
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
     }
 }
 
-impl<'a, 'b> ser::SerializeSeq for &'b mut Serializer<'a> {
-    type Ok = ();
-    type Error = Error;
-    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<()> {
-        Ok(())
+macro_rules! encode_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Encode for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                varint::write_u64(out, *self as u64);
+            }
+        }
+    )*};
+}
+encode_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! encode_signed {
+    ($($ty:ty),*) => {$(
+        impl Encode for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                varint::write_i64(out, *self as i64);
+            }
+        }
+    )*};
+}
+encode_signed!(i8, i16, i32, i64, isize);
+
+impl Encode for f32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
     }
 }
 
-impl<'a, 'b> ser::SerializeTuple for &'b mut Serializer<'a> {
-    type Ok = ();
-    type Error = Error;
-    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<()> {
-        Ok(())
+impl Encode for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
     }
 }
 
-impl<'a, 'b> ser::SerializeTupleStruct for &'b mut Serializer<'a> {
-    type Ok = ();
-    type Error = Error;
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<()> {
-        Ok(())
+impl Encode for char {
+    fn encode(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, *self as u64);
     }
 }
 
-impl<'a, 'b> ser::SerializeTupleVariant for &'b mut Serializer<'a> {
-    type Ok = ();
-    type Error = Error;
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<()> {
-        Ok(())
+impl Encode for str {
+    fn encode(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, self.len() as u64);
+        out.extend_from_slice(self.as_bytes());
     }
 }
 
-impl<'a, 'b> ser::SerializeMap for &'b mut Serializer<'a> {
-    type Ok = ();
-    type Error = Error;
-    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<()> {
-        key.serialize(&mut **self)
-    }
-    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<()> {
-        Ok(())
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_str().encode(out);
     }
 }
 
-impl<'a, 'b> ser::SerializeStruct for &'b mut Serializer<'a> {
-    type Ok = ();
-    type Error = Error;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> Result<()> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<()> {
-        Ok(())
+// ----- compound types --------------------------------------------------
+
+impl<T: Encode + ?Sized> Encode for &T {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (**self).encode(out);
     }
 }
 
-impl<'a, 'b> ser::SerializeStructVariant for &'b mut Serializer<'a> {
-    type Ok = ();
-    type Error = Error;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> Result<()> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<()> {
-        Ok(())
+impl<T: Encode + ?Sized> Encode for Box<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (**self).encode(out);
     }
 }
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: Encode> Encode for [T] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, self.len() as u64);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_slice().encode(out);
+    }
+}
+
+impl<K: Encode, V: Encode> Encode for BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, self.len() as u64);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+}
+
+impl<K: Encode, V: Encode, S> Encode for HashMap<K, V, S> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, self.len() as u64);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+}
+
+impl Encode for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+}
+
+macro_rules! encode_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Encode),+> Encode for ($($name,)+) {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $( self.$idx.encode(out); )+
+            }
+        }
+    };
+}
+encode_tuple!(A: 0);
+encode_tuple!(A: 0, B: 1);
+encode_tuple!(A: 0, B: 1, C: 2);
+encode_tuple!(A: 0, B: 1, C: 2, D: 3);
+encode_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+encode_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+encode_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+encode_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);

@@ -1,11 +1,13 @@
-//! Property-based roundtrip tests: for every value serde can describe,
-//! `from_bytes(to_bytes(v)) == v`.
+//! Property-based roundtrip tests: for every value the format can
+//! describe, `from_bytes(to_bytes(v)) == v`, and arbitrary garbage input
+//! never panics the decoder.
 
-use proptest::prelude::*;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+use splitserve_codec::{Decode, Encode, Error, Result};
+use splitserve_rt::check::{self, Gen};
+
+#[derive(PartialEq, Debug, Clone)]
 enum Record {
     Empty,
     Scalar(i64),
@@ -13,87 +15,165 @@ enum Record {
     Labeled { name: String, values: Vec<f32> },
 }
 
-fn arb_record() -> impl Strategy<Value = Record> {
-    prop_oneof![
-        Just(Record::Empty),
-        any::<i64>().prop_map(Record::Scalar),
-        (any::<u64>(), any::<f64>().prop_filter("NaN breaks PartialEq", |f| !f.is_nan()))
-            .prop_map(|(k, v)| Record::Pair(k, v)),
-        (
-            "[a-z]{0,12}",
-            prop::collection::vec(
-                any::<f32>().prop_filter("NaN breaks PartialEq", |f| !f.is_nan()),
-                0..8
-            )
-        )
-            .prop_map(|(name, values)| Record::Labeled { name, values }),
-    ]
+impl Encode for Record {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Record::Empty => 0u32.encode(out),
+            Record::Scalar(v) => {
+                1u32.encode(out);
+                v.encode(out);
+            }
+            Record::Pair(k, v) => {
+                2u32.encode(out);
+                k.encode(out);
+                v.encode(out);
+            }
+            Record::Labeled { name, values } => {
+                3u32.encode(out);
+                name.encode(out);
+                values.encode(out);
+            }
+        }
+    }
 }
 
-fn roundtrip<T>(v: &T) -> T
-where
-    T: Serialize + for<'de> Deserialize<'de>,
-{
+impl Decode for Record {
+    fn decode(input: &mut &[u8]) -> Result<Record> {
+        Ok(match u32::decode(input)? {
+            0 => Record::Empty,
+            1 => Record::Scalar(Decode::decode(input)?),
+            2 => Record::Pair(Decode::decode(input)?, Decode::decode(input)?),
+            3 => Record::Labeled {
+                name: Decode::decode(input)?,
+                values: Decode::decode(input)?,
+            },
+            i => return Err(Error::InvalidVariant(i.into())),
+        })
+    }
+}
+
+fn arb_record(g: &mut Gen) -> Record {
+    match g.usize_in(0, 4) {
+        0 => Record::Empty,
+        1 => Record::Scalar(g.rng().gen()),
+        2 => Record::Pair(g.u64(), {
+            // NaN breaks PartialEq; resample to a non-NaN pattern.
+            let mut f = g.f64_bits();
+            while f.is_nan() {
+                f = g.f64_bits();
+            }
+            f
+        }),
+        _ => Record::Labeled {
+            name: g.lowercase(0, 13),
+            values: (0..g.usize_in(0, 8))
+                .map(|_| {
+                    let mut f = g.f32_bits();
+                    while f.is_nan() {
+                        f = g.f32_bits();
+                    }
+                    f
+                })
+                .collect(),
+        },
+    }
+}
+
+fn roundtrip<T: Encode + Decode>(v: &T) -> T {
     let bytes = splitserve_codec::to_bytes(v).expect("encode");
     splitserve_codec::from_bytes(&bytes).expect("decode")
 }
 
-proptest! {
-    #[test]
-    fn u64_roundtrips(v in any::<u64>()) {
-        prop_assert_eq!(roundtrip(&v), v);
-    }
+#[test]
+fn u64_roundtrips() {
+    check::run("u64_roundtrips", 256, |g| {
+        let v = g.u64();
+        assert_eq!(roundtrip(&v), v);
+    });
+}
 
-    #[test]
-    fn i64_roundtrips(v in any::<i64>()) {
-        prop_assert_eq!(roundtrip(&v), v);
-    }
+#[test]
+fn i64_roundtrips() {
+    check::run("i64_roundtrips", 256, |g| {
+        let v: i64 = g.rng().gen();
+        assert_eq!(roundtrip(&v), v);
+    });
+}
 
-    #[test]
-    fn f64_roundtrips_bitwise(v in any::<f64>()) {
-        prop_assert_eq!(roundtrip(&v).to_bits(), v.to_bits());
-    }
+#[test]
+fn f64_roundtrips_bitwise() {
+    check::run("f64_roundtrips_bitwise", 256, |g| {
+        let v = g.f64_bits();
+        assert_eq!(roundtrip(&v).to_bits(), v.to_bits());
+    });
+}
 
-    #[test]
-    fn strings_roundtrip(s in "\\PC{0,64}") {
-        prop_assert_eq!(roundtrip(&s), s);
-    }
+#[test]
+fn strings_roundtrip() {
+    check::run("strings_roundtrip", 256, |g| {
+        let s = g.string(0, 65);
+        assert_eq!(roundtrip(&s), s);
+    });
+}
 
-    #[test]
-    fn byte_vectors_roundtrip(v in prop::collection::vec(any::<u8>(), 0..256)) {
-        prop_assert_eq!(roundtrip(&v), v);
-    }
+#[test]
+fn byte_vectors_roundtrip() {
+    check::run("byte_vectors_roundtrip", 256, |g| {
+        let v = g.bytes(0, 256);
+        assert_eq!(roundtrip(&v), v);
+    });
+}
 
-    #[test]
-    fn maps_roundtrip(m in prop::collection::btree_map(any::<u32>(), "[a-z]{0,8}", 0..32)) {
-        prop_assert_eq!(roundtrip(&m), m);
-    }
+#[test]
+fn maps_roundtrip() {
+    check::run("maps_roundtrip", 128, |g| {
+        let m: BTreeMap<u32, String> = (0..g.usize_in(0, 32))
+            .map(|_| (g.rng().gen(), g.lowercase(0, 9)))
+            .collect();
+        assert_eq!(roundtrip(&m), m);
+    });
+}
 
-    #[test]
-    fn records_roundtrip(r in prop::collection::vec(arb_record(), 0..32)) {
-        prop_assert_eq!(roundtrip(&r), r);
-    }
+#[test]
+fn records_roundtrip() {
+    check::run("records_roundtrip", 128, |g| {
+        let r = g.vec(0, 32, arb_record);
+        assert_eq!(roundtrip(&r), r);
+    });
+}
 
-    #[test]
-    fn options_and_nesting_roundtrip(v in prop::collection::vec(
-        prop::option::of((any::<u16>(), prop::collection::vec(any::<i32>(), 0..4))), 0..16
-    )) {
-        prop_assert_eq!(roundtrip(&v), v);
-    }
+#[test]
+fn options_and_nesting_roundtrip() {
+    check::run("options_and_nesting_roundtrip", 128, |g| {
+        let v: Vec<Option<(u16, Vec<i32>)>> = g.vec(0, 16, |g| {
+            if g.bool() {
+                Some((g.rng().gen(), g.vec(0, 4, |g| g.rng().gen())))
+            } else {
+                None
+            }
+        });
+        assert_eq!(roundtrip(&v), v);
+    });
+}
 
-    #[test]
-    fn nested_map_of_records_roundtrips(
-        m in prop::collection::btree_map("[a-z]{1,4}", prop::collection::vec(arb_record(), 0..4), 0..8)
-    ) {
+#[test]
+fn nested_map_of_records_roundtrips() {
+    check::run("nested_map_of_records_roundtrips", 64, |g| {
+        let m: BTreeMap<String, Vec<Record>> = (0..g.usize_in(0, 8))
+            .map(|_| (g.lowercase(1, 5), g.vec(0, 4, arb_record)))
+            .collect();
         let got: BTreeMap<String, Vec<Record>> = roundtrip(&m);
-        prop_assert_eq!(got, m);
-    }
+        assert_eq!(got, m);
+    });
+}
 
-    /// Arbitrary garbage input never panics — it either decodes or errors.
-    #[test]
-    fn fuzz_decoding_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
-        let _: Result<Vec<Record>, _> = splitserve_codec::from_bytes(&bytes);
-        let _: Result<(String, u64, f64), _> = splitserve_codec::from_bytes(&bytes);
-        let _: Result<BTreeMap<u32, String>, _> = splitserve_codec::from_bytes(&bytes);
-    }
+/// Arbitrary garbage input never panics — it either decodes or errors.
+#[test]
+fn fuzz_decoding_never_panics() {
+    check::run("fuzz_decoding_never_panics", 512, |g| {
+        let bytes = g.bytes(0, 128);
+        let _: Result<Vec<Record>> = splitserve_codec::from_bytes(&bytes);
+        let _: Result<(String, u64, f64)> = splitserve_codec::from_bytes(&bytes);
+        let _: Result<BTreeMap<u32, String>> = splitserve_codec::from_bytes(&bytes);
+    });
 }

@@ -8,10 +8,8 @@
 //! VM cores than it needs (a *shortfall*, bridged by Lambdas) and how many
 //! VM-core-hours each provisioning policy pays for.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
 use splitserve_des::Dist;
+use splitserve_rt::rng::SmallRng;
 
 /// Demand model for one workday: a base load plus morning and afternoon
 /// peaks, with demand uncertainty proportional to the mean.

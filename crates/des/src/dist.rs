@@ -1,10 +1,10 @@
 //! Random distributions used by the cloud and storage models.
 //!
-//! Implemented here (rather than pulling in `rand_distr`) because only the
-//! base `rand` crate is available offline. All samplers draw from the
-//! simulator's seeded RNG, so experiments are reproducible.
+//! Implemented in-tree on `splitserve_rt::Rng` — the hermetic build has no
+//! external crates at all. All samplers draw from the simulator's seeded
+//! RNG, so experiments are reproducible.
 
-use rand::Rng;
+use splitserve_rt::Rng;
 
 /// A one-dimensional random distribution.
 ///
@@ -12,9 +12,9 @@ use rand::Rng;
 ///
 /// ```
 /// use splitserve_des::Dist;
-/// use rand::{rngs::SmallRng, SeedableRng};
+/// use splitserve_rt::Rng;
 ///
-/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut rng = Rng::seed_from_u64(1);
 /// let boot = Dist::normal(110.0, 15.0).clamped(60.0, 240.0);
 /// let s = boot.sample(&mut rng);
 /// assert!((60.0..=240.0).contains(&s));
@@ -147,7 +147,7 @@ impl Dist {
     }
 
     /// Draws one sample.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
         match self {
             Dist::Constant(v) => *v,
             Dist::Uniform { lo, hi } => {
@@ -197,7 +197,7 @@ impl Dist {
 }
 
 /// One standard-normal sample via the Box–Muller transform.
-fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+fn standard_normal(rng: &mut Rng) -> f64 {
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
@@ -206,11 +206,8 @@ fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
-
     fn sample_stats(d: &Dist, n: usize) -> (f64, f64) {
-        let mut rng = SmallRng::seed_from_u64(99);
+        let mut rng = Rng::seed_from_u64(99);
         let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
@@ -227,7 +224,7 @@ mod tests {
     #[test]
     fn uniform_stays_in_bounds_and_centers() {
         let d = Dist::uniform(2.0, 6.0);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for _ in 0..1000 {
             let x = d.sample(&mut rng);
             assert!((2.0..6.0).contains(&x));
@@ -263,7 +260,7 @@ mod tests {
     #[test]
     fn pareto_respects_scale_and_mean() {
         let d = Dist::pareto(1.0, 3.0);
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         for _ in 0..1000 {
             assert!(d.sample(&mut rng) >= 1.0);
         }
@@ -274,7 +271,7 @@ mod tests {
     #[test]
     fn clamp_trims_tails() {
         let d = Dist::normal(0.0, 100.0).clamped(-1.0, 1.0);
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         for _ in 0..1000 {
             let x = d.sample(&mut rng);
             assert!((-1.0..=1.0).contains(&x));
@@ -284,8 +281,8 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_per_seed() {
         let d = Dist::normal(5.0, 2.0);
-        let mut a = SmallRng::seed_from_u64(3);
-        let mut b = SmallRng::seed_from_u64(3);
+        let mut a = Rng::seed_from_u64(3);
+        let mut b = Rng::seed_from_u64(3);
         for _ in 0..100 {
             assert_eq!(d.sample(&mut a), d.sample(&mut b));
         }

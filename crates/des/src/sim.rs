@@ -10,8 +10,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use splitserve_rt::Rng;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -72,7 +71,7 @@ pub struct Sim {
     live: HashSet<u64>,
     next_seq: u64,
     executed: u64,
-    rng: SmallRng,
+    rng: Rng,
     seed: u64,
 }
 
@@ -97,7 +96,7 @@ impl Sim {
             live: HashSet::new(),
             next_seq: 0,
             executed: 0,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             seed,
         }
     }
@@ -127,7 +126,7 @@ impl Sim {
     ///
     /// All stochastic behaviour in a simulation must draw from this RNG so
     /// runs are reproducible from the seed alone.
-    pub fn rng(&mut self) -> &mut SmallRng {
+    pub fn rng(&mut self) -> &mut Rng {
         &mut self.rng
     }
 
@@ -334,7 +333,6 @@ mod tests {
 
     #[test]
     fn rng_is_deterministic_per_seed() {
-        use rand::Rng;
         let mut a = Sim::new(7);
         let mut b = Sim::new(7);
         let mut c = Sim::new(8);

@@ -1,16 +1,17 @@
 //! Property-based tests for the DES kernel: event ordering, fabric
 //! conservation laws, token-bucket pacing and distribution sanity.
 
-use proptest::prelude::*;
 use splitserve_des::{Dist, Fabric, Sim, SimDuration, SimTime, TokenBucket};
+use splitserve_rt::check;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-proptest! {
-    /// Events always fire in non-decreasing time order, and ties fire in
-    /// scheduling order.
-    #[test]
-    fn event_order_is_total_and_monotonic(times in prop::collection::vec(0u64..1_000, 1..200)) {
+/// Events always fire in non-decreasing time order, and ties fire in
+/// scheduling order.
+#[test]
+fn event_order_is_total_and_monotonic() {
+    check::run("event_order_is_total_and_monotonic", 64, |g| {
+        let times = g.vec(1, 200, |g| g.u64_in(0, 1_000));
         let mut sim = Sim::new(0);
         let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
         for (i, t) in times.iter().enumerate() {
@@ -21,21 +22,22 @@ proptest! {
         }
         sim.run();
         let log = log.borrow();
-        prop_assert_eq!(log.len(), times.len());
+        assert_eq!(log.len(), times.len());
         for w in log.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            assert!(w[0].0 <= w[1].0, "time went backwards");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "tie broke out of scheduling order");
+                assert!(w[0].1 < w[1].1, "tie broke out of scheduling order");
             }
         }
-    }
+    });
+}
 
-    /// Cancelling an arbitrary subset of events suppresses exactly those.
-    #[test]
-    fn cancellation_is_exact(
-        times in prop::collection::vec(0u64..100, 1..100),
-        mask in prop::collection::vec(any::<bool>(), 100),
-    ) {
+/// Cancelling an arbitrary subset of events suppresses exactly those.
+#[test]
+fn cancellation_is_exact() {
+    check::run("cancellation_is_exact", 64, |g| {
+        let times = g.vec(1, 100, |g| g.u64_in(0, 100));
+        let mask: Vec<bool> = g.vec(100, 101, |g| g.bool());
         let mut sim = Sim::new(0);
         let log: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
         let mut ids = Vec::new();
@@ -56,17 +58,18 @@ proptest! {
         sim.run();
         let mut got = log.borrow().clone();
         got.sort_unstable();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    /// With a single shared link, total transfer time equals total bytes /
-    /// capacity regardless of how the bytes are split across flows
-    /// (work conservation of max–min fair sharing).
-    #[test]
-    fn fabric_is_work_conserving(
-        sizes in prop::collection::vec(1u64..1_000_000, 1..20),
-        capacity in 1_000.0f64..1e9,
-    ) {
+/// With a single shared link, total transfer time equals total bytes /
+/// capacity regardless of how the bytes are split across flows
+/// (work conservation of max–min fair sharing).
+#[test]
+fn fabric_is_work_conserving() {
+    check::run("fabric_is_work_conserving", 48, |g| {
+        let sizes = g.vec(1, 20, |g| g.u64_in(1, 1_000_000));
+        let capacity = g.f64_in(1_000.0, 1e9);
         let mut sim = Sim::new(0);
         let fabric = Fabric::new();
         let link = fabric.add_link(capacity, "l");
@@ -79,17 +82,20 @@ proptest! {
         let got = sim.now().as_secs_f64();
         // micro-second rounding accumulates at most ~1 us per completion
         let tol = expected * 1e-3 + 1e-3 * sizes.len() as f64;
-        prop_assert!((got - expected).abs() <= tol,
-            "makespan {got} vs expected {expected}");
-        prop_assert!((fabric.bytes_completed() - total as f64).abs() < 1.0);
-    }
+        assert!(
+            (got - expected).abs() <= tol,
+            "makespan {got} vs expected {expected}"
+        );
+        assert!((fabric.bytes_completed() - total as f64).abs() < 1.0);
+    });
+}
 
-    /// Instantaneous rates never exceed any link capacity.
-    #[test]
-    fn fabric_rates_respect_capacity(
-        sizes in prop::collection::vec(1u64..1_000_000, 1..16),
-        capacity in 1_000.0f64..1e8,
-    ) {
+/// Instantaneous rates never exceed any link capacity.
+#[test]
+fn fabric_rates_respect_capacity() {
+    check::run("fabric_rates_respect_capacity", 48, |g| {
+        let sizes = g.vec(1, 16, |g| g.u64_in(1, 1_000_000));
+        let capacity = g.f64_in(1_000.0, 1e8);
         let mut sim = Sim::new(0);
         let fabric = Fabric::new();
         let link = fabric.add_link(capacity, "l");
@@ -98,49 +104,61 @@ proptest! {
             flows.push(fabric.start_flow(&mut sim, &[link], *s, |_| {}));
         }
         let sum: f64 = flows.iter().filter_map(|f| fabric.flow_rate(*f)).sum();
-        prop_assert!(sum <= capacity * (1.0 + 1e-9), "sum {sum} > cap {capacity}");
+        assert!(sum <= capacity * (1.0 + 1e-9), "sum {sum} > cap {capacity}");
         sim.run();
-    }
+    });
+}
 
-    /// Token-bucket delay for the k-th over-burst request is exactly
-    /// k/rate, i.e. pacing is linear and never admits above the rate.
-    #[test]
-    fn token_bucket_paces_linearly(rate in 0.5f64..1_000.0, burst in 1.0f64..100.0) {
+/// Token-bucket delay for the k-th over-burst request is exactly
+/// k/rate, i.e. pacing is linear and never admits above the rate.
+#[test]
+fn token_bucket_paces_linearly() {
+    check::run("token_bucket_paces_linearly", 64, |g| {
+        let rate = g.f64_in(0.5, 1_000.0);
+        let burst = g.f64_in(1.0, 100.0);
         let mut tb = TokenBucket::new(rate, burst);
         let t0 = SimTime::ZERO;
         let whole_burst = burst.floor() as usize;
         for _ in 0..whole_burst {
-            prop_assert!(tb.reserve(t0, 1.0).as_secs_f64() <= (1.0 - (burst - burst.floor())).max(0.0) / rate + 1e-9);
+            assert!(
+                tb.reserve(t0, 1.0).as_secs_f64()
+                    <= (1.0 - (burst - burst.floor())).max(0.0) / rate + 1e-9
+            );
         }
         let mut last = 0.0f64;
         for _ in 0..10 {
             let d = tb.reserve(t0, 1.0).as_secs_f64();
-            prop_assert!(d >= last - 1e-9, "pacing delay decreased: {d} < {last}");
+            assert!(d >= last - 1e-9, "pacing delay decreased: {d} < {last}");
             let step = d - last;
-            prop_assert!(step <= 1.0 / rate + 1e-6, "step {step} exceeds 1/rate");
+            assert!(step <= 1.0 / rate + 1e-6, "step {step} exceeds 1/rate");
             last = d;
         }
-    }
+    });
+}
 
-    /// Samples from clamped distributions always stay within the clamp.
-    #[test]
-    fn clamped_samples_in_range(
-        mean in -100.0f64..100.0,
-        sd in 0.0f64..50.0,
-        seed in any::<u64>(),
-    ) {
+/// Samples from clamped distributions always stay within the clamp.
+#[test]
+fn clamped_samples_in_range() {
+    check::run("clamped_samples_in_range", 64, |g| {
+        let mean = g.f64_in(-100.0, 100.0);
+        let sd = g.f64_in(0.0, 50.0);
+        let seed = g.u64();
         let mut sim = Sim::new(seed);
         let d = Dist::normal(mean, sd).clamped(mean - 1.0, mean + 1.0);
         for _ in 0..100 {
             let x = d.sample(sim.rng());
-            prop_assert!(x >= mean - 1.0 && x <= mean + 1.0);
+            assert!(x >= mean - 1.0 && x <= mean + 1.0);
         }
-    }
+    });
+}
 
-    /// Two simulators with the same seed running the same stochastic
-    /// workload produce identical event traces.
-    #[test]
-    fn identical_seeds_identical_traces(seed in any::<u64>(), n in 1usize..50) {
+/// Two simulators with the same seed running the same stochastic
+/// workload produce identical event traces.
+#[test]
+fn identical_seeds_identical_traces() {
+    check::run("identical_seeds_identical_traces", 48, |g| {
+        let seed = g.u64();
+        let n = g.usize_in(1, 50);
         let run = |seed: u64| -> Vec<u64> {
             let mut sim = Sim::new(seed);
             let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
@@ -154,6 +172,6 @@ proptest! {
             let trace = log.borrow().clone();
             trace
         };
-        prop_assert_eq!(run(seed), run(seed));
-    }
+        assert_eq!(run(seed), run(seed));
+    });
 }

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use bytes::Bytes;
+use splitserve_rt::Bytes;
 
 use crate::config::WorkModel;
 use crate::node::ShuffleId;

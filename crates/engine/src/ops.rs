@@ -16,9 +16,8 @@ use std::hash::{Hash, Hasher};
 use std::marker::PhantomData;
 use std::rc::Rc;
 
-use bytes::Bytes;
-use serde::de::DeserializeOwned;
-use serde::Serialize;
+use splitserve_codec::{Decode, Encode};
+use splitserve_rt::Bytes;
 
 use crate::context::TaskContext;
 use crate::node::{
@@ -222,12 +221,12 @@ impl<T: 'static> Dataset<T> {
 }
 
 /// Bound bundle for keys crossing a shuffle.
-pub trait ShuffleKey: Ord + Hash + Clone + Serialize + DeserializeOwned + 'static {}
-impl<K: Ord + Hash + Clone + Serialize + DeserializeOwned + 'static> ShuffleKey for K {}
+pub trait ShuffleKey: Ord + Hash + Clone + Encode + Decode + 'static {}
+impl<K: Ord + Hash + Clone + Encode + Decode + 'static> ShuffleKey for K {}
 
 /// Bound bundle for values crossing a shuffle.
-pub trait ShuffleValue: Clone + Serialize + DeserializeOwned + 'static {}
-impl<V: Clone + Serialize + DeserializeOwned + 'static> ShuffleValue for V {}
+pub trait ShuffleValue: Clone + Encode + Decode + 'static {}
+impl<V: Clone + Encode + Decode + 'static> ShuffleValue for V {}
 
 impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
     /// Merges values per key with `f`, shuffling into `partitions`

@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use bytes::Bytes;
+use splitserve_rt::Bytes;
 
 use crate::context::TaskContext;
 use crate::node::{

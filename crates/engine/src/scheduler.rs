@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use bytes::Bytes;
+use splitserve_rt::Bytes;
 use splitserve_des::{Sim, SimDuration, SimTime};
 use splitserve_storage::{BlockId, BlockStore, StoreError};
 

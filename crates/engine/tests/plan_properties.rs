@@ -2,7 +2,7 @@
 //! exactly what a sequential evaluation computes, for arbitrary chains of
 //! narrow and wide operators over arbitrary data, on arbitrary clusters.
 
-use proptest::prelude::*;
+use splitserve_rt::check::{self, Gen};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -23,14 +23,25 @@ enum Step {
     GroupCount { partitions: usize },
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (1u64..100).prop_map(Step::MapAdd),
-        (2u64..5).prop_map(Step::FilterMod),
-        (1u64..40).prop_map(Step::RekeyMod),
-        (1usize..6).prop_map(|partitions| Step::ReduceSum { partitions }),
-        (1usize..6).prop_map(|partitions| Step::GroupCount { partitions }),
-    ]
+fn arb_step(g: &mut Gen) -> Step {
+    match g.usize_in(0, 5) {
+        0 => Step::MapAdd(g.u64_in(1, 99)),
+        1 => Step::FilterMod(g.u64_in(2, 4)),
+        2 => Step::RekeyMod(g.u64_in(1, 39)),
+        3 => Step::ReduceSum { partitions: g.usize_in(1, 5) },
+        _ => Step::GroupCount { partitions: g.usize_in(1, 5) },
+    }
+}
+
+fn arb_data(g: &mut Gen, max_rows: usize, key_range: u64, val_range: Option<u64>) -> Vec<(u64, u64)> {
+    g.vec(0, max_rows, |g| {
+        let k = g.u64_in(0, key_range - 1);
+        let v = match val_range {
+            Some(r) => g.u64_in(0, r - 1),
+            None => g.u64(),
+        };
+        (k, v)
+    })
 }
 
 /// Applies the pipeline on the engine.
@@ -119,32 +130,33 @@ fn run_on_engine(
     rows
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Distributed == sequential, for any random pipeline.
-    #[test]
-    fn random_pipelines_match_reference(
-        data in prop::collection::vec((0u64..50, any::<u64>()), 0..400),
-        parts in 1usize..8,
-        steps in prop::collection::vec(arb_step(), 0..5),
-        executors in 1usize..5,
-        use_hdfs in any::<bool>(),
-    ) {
+/// Distributed == sequential, for any random pipeline.
+#[test]
+fn random_pipelines_match_reference() {
+    check::run("random_pipelines_match_reference", 24, |g| {
+        let data = arb_data(g, 400, 50, None);
+        let parts = g.usize_in(1, 7);
+        let steps = g.vec(0, 5, arb_step);
+        let executors = g.usize_in(1, 4);
+        let use_hdfs = g.bool();
         let got = run_on_engine(data.clone(), parts, &steps, executors, use_hdfs);
         let mut expect = reference(&data, &steps);
         expect.sort();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    /// Executor count never changes results.
-    #[test]
-    fn executor_count_is_invisible_in_results(
-        data in prop::collection::vec((0u64..20, 0u64..1000), 1..200),
-        steps in prop::collection::vec(arb_step(), 1..4),
-    ) {
+/// Executor count never changes results.
+#[test]
+fn executor_count_is_invisible_in_results() {
+    check::run("executor_count_is_invisible_in_results", 24, |g| {
+        let data = arb_data(g, 200, 20, Some(1000));
+        let mut steps = g.vec(1, 4, arb_step);
+        if steps.is_empty() {
+            steps.push(arb_step(g));
+        }
         let one = run_on_engine(data.clone(), 4, &steps, 1, false);
         let many = run_on_engine(data, 4, &steps, 4, true);
-        prop_assert_eq!(one, many);
-    }
+        assert_eq!(one, many);
+    });
 }

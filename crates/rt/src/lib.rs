@@ -1,0 +1,28 @@
+//! # splitserve-rt — the in-tree runtime
+//!
+//! The SplitServe reproduction must build and test **hermetically**: the
+//! build environment has no reachable crate registry, and the benchmark
+//! trajectory is only trustworthy if the baseline is byte-for-byte
+//! deterministic. This crate supplies the three third-party surfaces the
+//! workspace used to import, with zero dependencies of its own:
+//!
+//! * [`rng`] — a seedable xoshiro256++ PRNG (SplitMix64 seeding) with the
+//!   `seed_from_u64` / `gen` / `gen_range` / `gen_bool` / `shuffle` / `fill`
+//!   surface the simulator, workloads and benches draw from. Unlike an
+//!   external `rand`, its streams are frozen forever: a seed recorded in
+//!   `results_paper.txt` replays identically on any toolchain.
+//! * [`bytes`] — a cheap-to-clone shared byte buffer ([`bytes::Bytes`]) and
+//!   a growable writer ([`bytes::BytesMut`]) used for shuffle blocks.
+//! * [`check`] — a deterministic property-testing harness (seeded case
+//!   generation, fixed iteration budget, failing-seed reporting) that the
+//!   workspace's property suites run on.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bytes;
+pub mod check;
+pub mod rng;
+
+pub use bytes::{Bytes, BytesMut};
+pub use rng::Rng;

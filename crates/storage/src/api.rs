@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use bytes::Bytes;
+use splitserve_rt::Bytes;
 use splitserve_des::{LinkId, Sim};
 
 /// A stored block, addressed Spark-style: each executor's *unique ID* is the

@@ -13,7 +13,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use bytes::Bytes;
+use splitserve_rt::Bytes;
 use splitserve_des::{Dist, Fabric, LinkId, Sim, SimDuration};
 
 use crate::api::{BlockId, BlockStore, ClientLoc, GetCallback, PutCallback, StoreError, StoreStats};

@@ -11,7 +11,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use bytes::Bytes;
+use splitserve_rt::Bytes;
 use splitserve_des::{Fabric, LinkId, Sim};
 
 use crate::api::{BlockId, BlockStore, ClientLoc, GetCallback, PutCallback, StoreError, StoreStats};
@@ -36,7 +36,7 @@ struct Inner {
 /// # Examples
 ///
 /// ```
-/// use bytes::Bytes;
+/// use splitserve_rt::Bytes;
 /// use splitserve_des::{Fabric, Sim};
 /// use splitserve_storage::{BlockId, BlockStore, ClientLoc, LocalDiskStore};
 ///

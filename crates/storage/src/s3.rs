@@ -11,7 +11,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use bytes::Bytes;
+use splitserve_rt::Bytes;
 use splitserve_cloud::{Category, Cloud};
 use splitserve_des::{Dist, Fabric, LinkId, Sim, SimDuration, TokenBucket};
 

@@ -2,8 +2,7 @@
 //! the same observable semantics — writes are durable, reads return the
 //! exact bytes, only local stores lose data with their executor.
 
-use bytes::Bytes;
-use proptest::prelude::*;
+use splitserve_rt::{check, Bytes};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -41,16 +40,13 @@ fn all_stores(fabric: &Fabric, sim: &mut Sim) -> Vec<(&'static str, Rc<dyn Block
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// put → get roundtrips exact bytes on every store, for arbitrary
-    /// block contents and ids.
-    #[test]
-    fn every_store_roundtrips_blocks(
-        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..4_096), 1..8),
-        seed in any::<u64>(),
-    ) {
+/// put → get roundtrips exact bytes on every store, for arbitrary
+/// block contents and ids.
+#[test]
+fn every_store_roundtrips_blocks() {
+    check::run("every_store_roundtrips_blocks", 12, |g| {
+        let payloads = g.vec(1, 8, |g| g.bytes(0, 4_096));
+        let seed = g.u64();
         let mut sim = Sim::new(seed);
         let fabric = Fabric::new();
         for (name, store) in all_stores(&fabric, &mut sim) {
@@ -65,7 +61,9 @@ proptest! {
                     client,
                     BlockId::shuffle("exec-0", 0, i as u64, 0),
                     Bytes::from(p.clone()),
-                    Box::new(move |_, r| r.expect("put must succeed")),
+                    Box::new(move |_, r| {
+                        r.expect("put must succeed");
+                    }),
                 );
             }
             sim.run();
@@ -85,19 +83,22 @@ proptest! {
             sim.run();
             let mut got = results.borrow().clone();
             got.sort_by_key(|(i, _)| *i);
-            prop_assert_eq!(got.len(), payloads.len(), "store {}", name);
+            assert_eq!(got.len(), payloads.len(), "store {name}");
             for (i, bytes) in got {
-                prop_assert_eq!(&bytes, &payloads[i], "store {} block {}", name, i);
+                assert_eq!(&bytes, &payloads[i], "store {name} block {i}");
             }
             let stats = store.stats();
-            prop_assert_eq!(stats.puts as usize, payloads.len());
-            prop_assert_eq!(stats.gets as usize, payloads.len());
+            assert_eq!(stats.puts as usize, payloads.len());
+            assert_eq!(stats.gets as usize, payloads.len());
         }
-    }
+    });
+}
 
-    /// Executor loss semantics: exactly the local store loses blocks.
-    #[test]
-    fn only_local_store_loses_blocks_on_executor_death(seed in any::<u64>()) {
+/// Executor loss semantics: exactly the local store loses blocks.
+#[test]
+fn only_local_store_loses_blocks_on_executor_death() {
+    check::run("only_local_store_loses_blocks_on_executor_death", 8, |g| {
+        let seed = g.u64();
         let mut sim = Sim::new(seed);
         let fabric = Fabric::new();
         for (name, store) in all_stores(&fabric, &mut sim) {
@@ -111,25 +112,30 @@ proptest! {
                 client,
                 block.clone(),
                 Bytes::from_static(b"payload"),
-                Box::new(|_, r| r.expect("put")),
+                Box::new(|_, r| {
+                    r.expect("put");
+                }),
             );
             sim.run();
-            prop_assert!(store.contains(&block), "store {name}");
+            assert!(store.contains(&block), "store {name}");
             store.on_executor_lost(&mut sim, "doomed");
             let survives = store.contains(&block);
-            prop_assert_eq!(
+            assert_eq!(
                 survives,
                 store.survives_executor_loss(),
-                "store {} contradicts its own contract", name
+                "store {name} contradicts its own contract"
             );
-            prop_assert_eq!(name == "local", !survives);
+            assert_eq!(name == "local", !survives);
         }
-    }
+    });
+}
 
-    /// Missing blocks consistently report NotFound (never panic, never
-    /// hang) on every store.
-    #[test]
-    fn missing_blocks_error_uniformly(seed in any::<u64>()) {
+/// Missing blocks consistently report NotFound (never panic, never
+/// hang) on every store.
+#[test]
+fn missing_blocks_error_uniformly() {
+    check::run("missing_blocks_error_uniformly", 8, |g| {
+        let seed = g.u64();
         let mut sim = Sim::new(seed);
         let fabric = Fabric::new();
         for (name, store) in all_stores(&fabric, &mut sim) {
@@ -144,7 +150,7 @@ proptest! {
                 Box::new(move |_, r| *o.borrow_mut() = Some(r.is_err())),
             );
             sim.run();
-            prop_assert_eq!(*outcome.borrow(), Some(true), "store {}", name);
+            assert_eq!(*outcome.borrow(), Some(true), "store {name}");
         }
-    }
+    });
 }

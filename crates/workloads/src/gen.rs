@@ -5,8 +5,7 @@
 //! failure reproduces identical data — the property Spark's lineage-based
 //! recovery relies on.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use splitserve_rt::rng::SmallRng;
 
 /// A deterministic RNG for partition `part` of a dataset seeded `seed`.
 pub fn partition_rng(seed: u64, part: usize) -> SmallRng {

@@ -5,7 +5,6 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use rand::Rng;
 use splitserve::DriverProgram;
 use splitserve_des::Sim;
 use splitserve_engine::{collect_partitions, Dataset, Engine};

@@ -2,7 +2,6 @@
 //! shuffle I/O — the paper's large-shuffle workload (Figures 4, 6, 7).
 
 
-use rand::Rng;
 use splitserve::DriverProgram;
 use splitserve_des::Sim;
 use splitserve_engine::{collect_partitions, Dataset, Engine};

@@ -8,7 +8,6 @@
 //! sampled dart, the paper's compute footprint on the virtual clock.
 
 
-use rand::Rng;
 use splitserve::DriverProgram;
 use splitserve_des::Sim;
 use splitserve_engine::{collect_partitions, Dataset, Engine};

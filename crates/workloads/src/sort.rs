@@ -8,7 +8,6 @@
 //!
 //! [`sort_by_key`]: splitserve_engine::Dataset::sort_by_key
 
-use rand::Rng;
 use splitserve::DriverProgram;
 use splitserve_des::Sim;
 use splitserve_engine::{collect_partitions, sample_sort_bounds, Dataset, Engine};

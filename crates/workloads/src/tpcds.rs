@@ -9,16 +9,15 @@
 //! hundreds of thousands of rows. The queries do real filtering, joining
 //! and aggregation; results are asserted non-degenerate.
 
-use serde::{Deserialize, Serialize};
 use splitserve::DriverProgram;
+use splitserve_codec::{impl_record, Decode, Encode};
 use splitserve_des::Sim;
 use splitserve_engine::{collect_partitions, Dataset, Engine};
 
 use crate::gen::{partition_range, partition_rng};
-use rand::Rng;
 
 /// One store-channel sale.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoreSale {
     /// Day-of-year style date key.
     pub sold_date: u32,
@@ -33,7 +32,7 @@ pub struct StoreSale {
 }
 
 /// One web-channel sale.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WebSale {
     /// Sale date key.
     pub sold_date: u32,
@@ -58,7 +57,7 @@ pub struct WebSale {
 }
 
 /// One catalog-channel sale.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CatalogSale {
     /// Ship date key.
     pub ship_date: u32,
@@ -83,7 +82,7 @@ pub struct CatalogSale {
 }
 
 /// A return row (any channel): order key plus amounts.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Return {
     /// Returned order number.
     pub order: u64,
@@ -96,6 +95,33 @@ pub struct Return {
     /// Net loss.
     pub loss: f64,
 }
+
+impl_record!(StoreSale { sold_date, store, price, profit, pad });
+impl_record!(WebSale {
+    sold_date,
+    ship_date,
+    site,
+    order,
+    warehouse,
+    ship_state,
+    ship_cost,
+    profit,
+    price,
+    pad,
+});
+impl_record!(CatalogSale {
+    ship_date,
+    call_center,
+    page,
+    order,
+    warehouse,
+    ship_state,
+    ship_cost,
+    profit,
+    price,
+    pad,
+});
+impl_record!(Return { order, returned_date, group_key, amount, loss });
 
 /// Generator parameters for the mini star schema.
 #[derive(Debug, Clone)]
@@ -290,7 +316,7 @@ impl std::fmt::Display for TpcdsQuery {
 }
 
 /// Per-order tagged record for the shipping-report queries.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 enum OrderItem {
     /// A qualifying sale line: (warehouse, ship_cost, profit, payload).
     Sale(u32, f64, f64, Vec<u8>),
@@ -298,8 +324,38 @@ enum OrderItem {
     Returned,
 }
 
+impl Encode for OrderItem {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            OrderItem::Sale(w, sc, pr, pad) => {
+                0u32.encode(out);
+                w.encode(out);
+                sc.encode(out);
+                pr.encode(out);
+                pad.encode(out);
+            }
+            OrderItem::Returned => 1u32.encode(out),
+        }
+    }
+}
+
+impl Decode for OrderItem {
+    fn decode(input: &mut &[u8]) -> splitserve_codec::Result<Self> {
+        Ok(match u32::decode(input)? {
+            0 => OrderItem::Sale(
+                Decode::decode(input)?,
+                Decode::decode(input)?,
+                Decode::decode(input)?,
+                Decode::decode(input)?,
+            ),
+            1 => OrderItem::Returned,
+            i => return Err(splitserve_codec::Error::InvalidVariant(i.into())),
+        })
+    }
+}
+
 /// The final answer row of any of the four queries.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryAnswer {
     /// Orders (Q16/94/95) or groups (Q5) contributing.
     pub count: u64,
@@ -308,6 +364,8 @@ pub struct QueryAnswer {
     /// Summed net profit/loss.
     pub total_b: f64,
 }
+
+impl_record!(QueryAnswer { count, total_a, total_b });
 
 /// A runnable TPC-DS query workload.
 #[derive(Debug, Clone)]
@@ -594,7 +652,7 @@ mod tests {
         assert!(a.total_a > 0.0, "ship cost accumulates");
         // Cross-check against a sequential evaluation of the predicate.
         let load = TpcdsLoad::tiny(TpcdsQuery::Q16, 5);
-        let expected = sequential_shipping(&load, false);
+        let expected = sequential_shipping(&load, false, true);
         assert_eq!(a.count, expected);
     }
 
@@ -609,28 +667,47 @@ mod tests {
         let q95 = first_count(run_query(&TpcdsLoad::tiny(TpcdsQuery::Q95, 7)));
         assert!(q94 > 0);
         let load = TpcdsLoad::tiny(TpcdsQuery::Q94, 7);
-        let no_ret = sequential_shipping(&load, false);
-        let with_ret = sequential_shipping(&load, true);
+        let no_ret = sequential_shipping(&load, false, false);
+        let with_ret = sequential_shipping(&load, true, false);
         assert_eq!(q94, no_ret);
         assert_eq!(q95, with_ret);
     }
 
-    /// Sequential reference for the shipping-report predicate.
-    fn sequential_shipping(load: &TpcdsLoad, want_returned: bool) -> u64 {
+    /// Sequential reference for the shipping-report predicate, over the
+    /// catalog tables (Q16) or the web tables (Q94/Q95).
+    fn sequential_shipping(load: &TpcdsLoad, want_returned: bool, catalog: bool) -> u64 {
         use std::collections::{BTreeMap, BTreeSet};
         let mut orders: BTreeMap<u64, (BTreeSet<u32>, bool)> = BTreeMap::new();
-        let web = load.tables.web_sales();
-        let node = web.node();
-        for p in 0..node.num_partitions() {
-            let mut ctx = splitserve_engine::TaskContext::empty(Default::default());
-            let data = node.compute(&mut ctx, p);
-            for s in data.downcast_ref::<Vec<WebSale>>().expect("web sales") {
-                if s.ship_date < 60 && s.ship_state < 10 {
-                    orders.entry(s.order).or_default().0.insert(s.warehouse);
+        if catalog {
+            let sales = load.tables.catalog_sales();
+            let node = sales.node();
+            for p in 0..node.num_partitions() {
+                let mut ctx = splitserve_engine::TaskContext::empty(Default::default());
+                let data = node.compute(&mut ctx, p);
+                for s in data.downcast_ref::<Vec<CatalogSale>>().expect("catalog sales") {
+                    if s.ship_date < 60 && s.ship_state < 10 {
+                        orders.entry(s.order).or_default().0.insert(s.warehouse);
+                    }
+                }
+            }
+        } else {
+            let web = load.tables.web_sales();
+            let node = web.node();
+            for p in 0..node.num_partitions() {
+                let mut ctx = splitserve_engine::TaskContext::empty(Default::default());
+                let data = node.compute(&mut ctx, p);
+                for s in data.downcast_ref::<Vec<WebSale>>().expect("web sales") {
+                    if s.ship_date < 60 && s.ship_state < 10 {
+                        orders.entry(s.order).or_default().0.insert(s.warehouse);
+                    }
                 }
             }
         }
-        let rets = load.tables.web_returns();
+        let rets = if catalog {
+            load.tables.catalog_returns()
+        } else {
+            load.tables.web_returns()
+        };
         let rnode = rets.node();
         for p in 0..rnode.num_partitions() {
             let mut ctx = splitserve_engine::TaskContext::empty(Default::default());

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Hermetic-build verification: the whole workspace must build and test
+# offline, and every dependency of every workspace package must be a
+# path dependency (no registry, no git). Run from anywhere.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> checking for non-path dependencies"
+cargo metadata --offline --format-version 1 |
+    python3 -c '
+import json, sys
+
+meta = json.load(sys.stdin)
+bad = [
+    (pkg["name"], dep["name"])
+    for pkg in meta["packages"]
+    for dep in pkg["dependencies"]
+    if dep.get("path") is None
+]
+if bad:
+    for pkg, dep in bad:
+        print(f"non-path dependency: {pkg} -> {dep}", file=sys.stderr)
+    sys.exit(1)
+count = len(meta["packages"])
+print(f"OK: {count} packages, all dependencies are path dependencies")
+'
+
+echo "==> verify.sh passed"

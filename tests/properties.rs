@@ -1,7 +1,7 @@
 //! Workspace-level property tests: invariants that must hold for *any*
 //! small workload under *any* cluster composition.
 
-use proptest::prelude::*;
+use splitserve_rt::check::{self, Gen};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -9,6 +9,10 @@ use splitserve::{Deployment, ShuffleStoreKind};
 use splitserve_cloud::{CloudSpec, M4_4XLARGE, M4_XLARGE};
 use splitserve_des::Sim;
 use splitserve_engine::{collect_partitions, Dataset};
+
+fn arb_records(g: &mut Gen, min: usize, max: usize) -> Vec<(u8, u32)> {
+    g.vec(min, max, |g| (g.u64() as u8, g.u64() as u32))
+}
 
 /// Runs a keyed-sum job on an arbitrary cluster mix and returns
 /// (sorted results, execution seconds, cost).
@@ -56,21 +60,17 @@ fn expected(records: &[(u8, u32)]) -> Vec<(u8, u64)> {
     m.into_iter().collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The answer never depends on cluster composition or store choice.
-    #[test]
-    fn results_invariant_to_cluster_composition(
-        records in prop::collection::vec((any::<u8>(), any::<u32>()), 1..300),
-        map_parts in 1usize..8,
-        reduce_parts in 1usize..6,
-        vm_cores in 0u32..4,
-        lambdas in 0u32..4,
-        store_pick in 0u8..3,
-    ) {
-        prop_assume!(vm_cores + lambdas > 0);
-        let store = match store_pick {
+/// The answer never depends on cluster composition or store choice.
+#[test]
+fn results_invariant_to_cluster_composition() {
+    check::run("results_invariant_to_cluster_composition", 16, |g| {
+        let records = arb_records(g, 1, 300);
+        let map_parts = g.usize_in(1, 7);
+        let reduce_parts = g.usize_in(1, 5);
+        let vm_cores = g.u64_in(0, 3) as u32;
+        let lambdas = g.u64_in(0, 3) as u32;
+        let lambdas = if vm_cores + lambdas == 0 { 1 } else { lambdas };
+        let store = match g.usize_in(0, 2) {
             0 => ShuffleStoreKind::Local,
             1 => ShuffleStoreKind::Hdfs,
             _ => ShuffleStoreKind::S3,
@@ -78,32 +78,38 @@ proptest! {
         let (rows, t, cost) = run_mix(
             &records, map_parts, reduce_parts, vm_cores, lambdas, store, 7,
         );
-        prop_assert_eq!(rows, expected(&records));
-        prop_assert!(t > 0.0 && t.is_finite());
-        prop_assert!(cost > 0.0 && cost.is_finite());
-    }
+        assert_eq!(rows, expected(&records));
+        assert!(t > 0.0 && t.is_finite());
+        assert!(cost > 0.0 && cost.is_finite());
+    });
+}
 
-    /// Determinism: identical configuration twice gives bit-identical
-    /// time and cost.
-    #[test]
-    fn runs_are_deterministic(
-        records in prop::collection::vec((any::<u8>(), any::<u32>()), 1..100),
-        seed in any::<u64>(),
-    ) {
+/// Determinism: identical configuration twice gives bit-identical
+/// time and cost.
+#[test]
+fn runs_are_deterministic() {
+    check::run("runs_are_deterministic", 16, |g| {
+        let records = arb_records(g, 1, 100);
+        let seed = g.u64();
         let a = run_mix(&records, 4, 2, 1, 2, ShuffleStoreKind::Hdfs, seed);
         let b = run_mix(&records, 4, 2, 1, 2, ShuffleStoreKind::Hdfs, seed);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// More parallelism never changes the answer and never increases the
-    /// task count below the job's structural task total.
-    #[test]
-    fn wider_clusters_preserve_answers(
-        records in prop::collection::vec((any::<u8>(), any::<u32>()), 1..200),
-    ) {
+/// More parallelism never changes the answer and never slows the job.
+#[test]
+fn wider_clusters_preserve_answers() {
+    check::run("wider_clusters_preserve_answers", 16, |g| {
+        let records = arb_records(g, 1, 200);
         let narrow = run_mix(&records, 6, 3, 1, 0, ShuffleStoreKind::Hdfs, 3);
         let wide = run_mix(&records, 6, 3, 4, 4, ShuffleStoreKind::Hdfs, 3);
-        prop_assert_eq!(&narrow.0, &wide.0);
-        prop_assert!(wide.1 <= narrow.1 + 1e-6, "wider cluster must not be slower: {} vs {}", wide.1, narrow.1);
-    }
+        assert_eq!(&narrow.0, &wide.0);
+        assert!(
+            wide.1 <= narrow.1 + 1e-6,
+            "wider cluster must not be slower: {} vs {}",
+            wide.1,
+            narrow.1
+        );
+    });
 }
