@@ -84,6 +84,7 @@ fn tick(sim: &mut Sim, d: Deployment, cfg: AllocatorConfig, handle: AllocatorHan
         return;
     }
     let engine = d.engine().clone();
+    let obs = engine.obs().clone();
     let pending = engine.pending_tasks();
     let execs = engine.executors();
     let live_lambdas: Vec<_> = execs
@@ -91,6 +92,15 @@ fn tick(sim: &mut Sim, d: Deployment, cfg: AllocatorConfig, handle: AllocatorHan
         .filter(|e| e.kind == ExecutorKind::Lambda && e.alive && !e.draining)
         .collect();
     let live_total = execs.iter().filter(|e| e.alive && !e.draining).count() as u32;
+    obs.metrics
+        .gauge_set("allocator_pending_tasks", &[], pending as f64);
+    obs.metrics
+        .gauge_set("allocator_live_executors", &[], f64::from(live_total));
+    obs.metrics.gauge_set(
+        "allocator_live_lambdas",
+        &[],
+        live_lambdas.len() as f64,
+    );
 
     if pending > 0 {
         // Scale out: one Lambda per `tasks_per_executor` of backlog beyond
@@ -102,6 +112,11 @@ fn tick(sim: &mut Sim, d: Deployment, cfg: AllocatorConfig, handle: AllocatorHan
         if add > 0 {
             d.add_lambda_executors(sim, add);
             handle.launched.set(handle.launched.get() + add);
+            obs.metrics.counter_add(
+                "allocator_scale_out_lambdas_total",
+                &[],
+                u64::from(add),
+            );
         }
     } else {
         // Scale in: retire Lambdas idle past the timeout.
@@ -109,6 +124,8 @@ fn tick(sim: &mut Sim, d: Deployment, cfg: AllocatorConfig, handle: AllocatorHan
         for e in &live_lambdas {
             if !e.busy && now.saturating_since(e.idle_since) >= cfg.idle_timeout {
                 d.drain_lambda_executor(sim, &e.id);
+                obs.metrics
+                    .counter_add("allocator_scale_in_lambdas_total", &[], 1);
             }
         }
     }

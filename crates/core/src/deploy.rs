@@ -6,16 +6,17 @@
 //! paper adds to `StandAloneSchedulerBackend` so it "may launch executors
 //! on both VMs and Lambdas and divide a single job's tasks across them".
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
 use splitserve_cloud::{Cloud, CloudSpec, InstanceType, LambdaId, VmId};
 use splitserve_des::{Fabric, Sim};
 use splitserve_engine::{Engine, EngineConfig, ExecutorDesc, ExecutorId};
+use splitserve_obs::SpanId;
 use splitserve_storage::{
-    BlockStore, HdfsSpec, HdfsStore, LocalDiskStore, RedisSpec, RedisStore, S3Spec, S3Store,
-    SqsSpec, SqsStore,
+    BlockStore, HdfsSpec, HdfsStore, InstrumentedStore, LocalDiskStore, RedisSpec, RedisStore,
+    S3Spec, S3Store, SqsSpec, SqsStore,
 };
 
 /// Which substrate holds intermediate shuffle state.
@@ -137,6 +138,9 @@ impl Deployment {
                 ))
             }
         };
+        // With observability on, every store op is measured on the shared
+        // registry; with it off this is the identity function.
+        let store = InstrumentedStore::wrap(store, engine_cfg.obs.metrics.clone());
         let engine = Engine::new(engine_cfg, store);
         Deployment {
             fabric,
@@ -278,10 +282,22 @@ impl Deployment {
             let this_kill = self.clone();
             let exec_ready = exec_id.clone();
             let exec_kill = exec_id.clone();
+            // The start span covers invoke → executor ready. Whether this
+            // invoke is warm or cold is decided synchronously inside
+            // `invoke_lambda`, so the span (whose name we only know then)
+            // is opened just after via a shared cell — still at `invoked_at`
+            // on the virtual clock, before any callback can run.
+            let obs = self.engine.obs().clone();
+            let start_span = Rc::new(Cell::new(SpanId::NONE));
+            let span_ready = Rc::clone(&start_span);
+            let obs_ready = obs.clone();
+            let invoked_at = sim.now();
+            let (warm_before, _) = self.cloud.start_counts();
             let lambda = self.cloud.invoke_lambda(
                 sim,
                 memory_mb,
                 move |sim, lambda| {
+                    obs_ready.spans.close(span_ready.get(), sim.now());
                     let desc = ExecutorDesc::lambda(
                         exec_ready.0.clone(),
                         this_ready.cloud.lambda_nic(lambda),
@@ -293,6 +309,15 @@ impl Deployment {
                     this_kill.engine.kill_executor(sim, &exec_kill);
                 },
             );
+            let (warm_after, _) = self.cloud.start_counts();
+            let start = if warm_after > warm_before {
+                "warm start"
+            } else {
+                "cold start"
+            };
+            start_span.set(obs.spans.open(invoked_at, "lambda", &exec_id.0, start));
+            obs.metrics
+                .counter_add("lambda_starts_total", &[("start", start)], 1);
             self.inner.borrow_mut().lambda_execs.insert(exec_id, lambda);
         }
         ids
@@ -315,7 +340,27 @@ impl Deployment {
             return;
         };
         let cloud = self.cloud.clone();
+        // Only a live, not-yet-draining executor actually drains; bail like
+        // the engine would so no span is left dangling on a no-op call.
+        match self.engine.executor_info(exec) {
+            Some(info) if info.alive && !info.draining => {}
+            _ => return,
+        }
+        // The drain span gets a per-executor track on the segue lane: it
+        // overlaps the executor's in-flight task span, and concurrent
+        // drains overlap each other, so it can share a track with neither.
+        let obs = self.engine.obs().clone();
+        let drain_started = sim.now();
+        let span = obs
+            .spans
+            .open(drain_started, "segue", &exec.0, &format!("segue drain {exec}"));
         self.engine.drain_executor(sim, exec, move |sim, _| {
+            obs.spans.close(span, sim.now());
+            obs.metrics.observe(
+                "segue_drain_seconds",
+                &[],
+                sim.now().saturating_since(drain_started).as_secs_f64(),
+            );
             cloud.release_lambda(sim, lambda);
         });
     }

@@ -56,7 +56,8 @@ pub use allocator::{start_allocator, AllocatorConfig, AllocatorHandle};
 pub use deploy::{Deployment, ShuffleStoreKind};
 pub use forecast::{evaluate_policy, DayModel, DemandPoint, PolicyOutcome, ProvisionPolicy};
 pub use planner::{
-    cheapest_meeting_slo, fastest_within_budget, fig1_crossover_default, plan_split, SplitPlan,
+    cheapest_meeting_slo, fastest_within_budget, fig1_crossover_default, plan_split,
+    record_split_plan, SplitPlan,
 };
 pub use profiler::{optimal_parallelism, profile_once, profile_sweep, ProfileMode, ProfilePoint};
 pub use scenario::{

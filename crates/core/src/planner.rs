@@ -107,6 +107,34 @@ pub fn plan_split(
     }
 }
 
+/// Records a chosen [`SplitPlan`] on the observability layer: an instant
+/// on the driver's planner track whose annotations carry the decision —
+/// the Figure-7 timelines then show *why* the executor mix looks the way
+/// it does. A no-op when `obs` is disabled.
+pub fn record_split_plan(obs: &splitserve_obs::Obs, at: splitserve_des::SimTime, plan: &SplitPlan) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let span = obs.spans.open(at, "driver", "planner", "plan split");
+    obs.spans.annotate(span, "vm_cores", &plan.vm_cores.to_string());
+    obs.spans.annotate(span, "lambdas", &plan.lambdas.to_string());
+    obs.spans.annotate(
+        span,
+        "launch_replacement_vms",
+        &plan.launch_replacement_vms.to_string(),
+    );
+    obs.spans.annotate(
+        span,
+        "lambda_timeout_secs",
+        &format!("{:.3}", plan.lambda_timeout.as_secs_f64()),
+    );
+    obs.spans.close(span, at);
+    obs.metrics
+        .gauge_set("planner_vm_cores", &[], f64::from(plan.vm_cores));
+    obs.metrics
+        .gauge_set("planner_lambdas", &[], f64::from(plan.lambdas));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -127,6 +127,19 @@ pub struct ScenarioSpec {
     pub seed: u64,
 }
 
+impl ScenarioSpec {
+    /// Switches the observability layer on for runs of this spec and
+    /// returns the shared handle: the engine, deployment and storage
+    /// layers all record into it, and the caller reads/exports afterwards
+    /// (Chrome trace, Prometheus text). Off by default — the layer costs
+    /// nothing unless this is called.
+    pub fn enable_observability(&mut self) -> splitserve_obs::Obs {
+        let obs = splitserve_obs::Obs::enabled();
+        self.engine.obs = obs.clone();
+        obs
+    }
+}
+
 impl Default for ScenarioSpec {
     fn default() -> Self {
         ScenarioSpec {
@@ -447,6 +460,59 @@ mod tests {
         assert_eq!(a.execution_secs, b.execution_secs);
         assert_eq!(a.cost_usd, b.cost_usd);
         assert_eq!(a.events.len(), b.events.len());
+    }
+
+    #[test]
+    fn observability_captures_the_hybrid_segue_run() {
+        let mut spec = quiet_spec();
+        // Make the segue land mid-job: replacements at 1 s, lambdas aged
+        // out 2 s after registration.
+        spec.segue_existing_cores_at = Some(SimDuration::from_secs(1));
+        spec.lambda_timeout = SimDuration::from_secs(2);
+        let obs = spec.enable_observability();
+        let r = run_scenario(Scenario::SsHybridSegue, &spec, &load());
+        assert!(r.tasks_on_vm > 0 && r.tasks_on_lambda > 0);
+
+        let spans = obs.spans.finished_spans();
+        assert!(
+            spans.iter().any(|s| s.lane == "vm" && s.name.starts_with("task ")),
+            "VM executor lane has task spans"
+        );
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.lane == "lambda" && s.name.starts_with("task ")),
+            "Lambda executor lane has task spans"
+        );
+        assert!(
+            spans.iter().any(|s| s.name == "warm start" || s.name == "cold start"),
+            "lambda start spans recorded"
+        );
+        assert!(
+            spans.iter().any(|s| s.name.starts_with("segue drain")),
+            "segue drain span recorded"
+        );
+        assert_eq!(obs.spans.nesting_violation(), None);
+        // The storage decorator saw the HDFS traffic.
+        assert!(obs.metrics.counter_total("store_ops_total") > 0);
+        assert!(
+            obs.metrics
+                .histogram("segue_drain_seconds", &[])
+                .is_some_and(|h| h.count > 0),
+            "drain latency observed"
+        );
+        // And the whole thing exports.
+        let trace = obs.spans.to_chrome_trace();
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(obs.metrics.render_prometheus().contains("# TYPE"));
+    }
+
+    #[test]
+    fn scenario_obs_is_off_by_default() {
+        let spec = quiet_spec();
+        assert!(!spec.engine.obs.is_enabled());
+        let r = run_scenario(Scenario::SsHybrid, &spec, &load());
+        assert!(r.execution_secs > 0.0);
     }
 
     #[test]

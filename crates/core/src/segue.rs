@@ -113,6 +113,10 @@ fn commence_drain(sim: &mut Sim, deployment: &Deployment, timeout: SimDuration) 
         sim.now(),
         EngineEventKind::Marker("segue commences".to_string()),
     );
+    deployment
+        .engine()
+        .obs()
+        .mark(sim.now(), "driver", "segue", "segue commences");
     for exec in deployment.lambda_executors() {
         let Some(info) = deployment.engine().executor_info(&exec) else {
             continue;

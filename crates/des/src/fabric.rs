@@ -342,6 +342,7 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
 
+    #[allow(clippy::type_complexity)]
     fn finish_log() -> (
         Rc<RefCell<Vec<(u32, f64)>>>,
         impl Fn(u32) -> Box<dyn FnOnce(&mut Sim)>,

@@ -79,6 +79,14 @@ pub struct EngineConfig {
     /// Record every engine event (task start/finish, executor churn) for
     /// timeline figures. Cheap; on by default.
     pub event_log: bool,
+    /// Optional cap on the event log: past this many events, pushes are
+    /// dropped and counted (`engine_event_log_dropped_total`) instead of
+    /// growing the log — the safety valve for long streaming scenarios.
+    pub event_log_capacity: Option<usize>,
+    /// The observability handle ([`splitserve_obs::Obs`]): metrics
+    /// registry plus span recorder, shared with the policy and storage
+    /// layers. Disabled by default — every record call is one branch.
+    pub obs: splitserve_obs::Obs,
     /// Maximum concurrent block fetches per task during shuffle reads
     /// (Spark's `spark.reducer.maxReqsInFlight` spiritual cousin).
     pub max_fetch_concurrency: usize,
@@ -93,6 +101,8 @@ impl Default for EngineConfig {
         EngineConfig {
             work: WorkModel::default(),
             event_log: true,
+            event_log_capacity: None,
+            obs: splitserve_obs::Obs::disabled(),
             max_fetch_concurrency: 8,
             driver_dispatch: SimDuration::from_millis(4),
         }

@@ -1,7 +1,7 @@
 //! The engine event log — the raw material for the paper's execution
 //! timelines (Figure 7) and per-executor work-distribution analyses.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use splitserve_des::SimTime;
@@ -132,26 +132,82 @@ pub struct EngineEvent {
 }
 
 /// Shared, cloneable event log.
-#[derive(Debug, Clone, Default)]
+///
+/// Optionally bounded: a log created with [`EventLog::bounded`] stops
+/// recording at its capacity and counts the overflow instead, so long
+/// streaming scenarios cannot grow the log without bound.
+#[derive(Debug, Clone)]
 pub struct EventLog {
     events: Rc<RefCell<Vec<EngineEvent>>>,
     enabled: bool,
+    capacity: Option<usize>,
+    dropped: Rc<Cell<u64>>,
+    registry: splitserve_obs::MetricsRegistry,
+}
+
+/// The default log is **disabled** — it drops every push. This mirrors
+/// observability being opt-in everywhere in the workspace; construct via
+/// [`EventLog::new`]/[`EventLog::bounded`] to actually record.
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::disabled()
+    }
 }
 
 impl EventLog {
-    /// Creates a log; when `enabled` is false, pushes are dropped.
+    /// Creates an unbounded log; when `enabled` is false, pushes are
+    /// dropped.
     pub fn new(enabled: bool) -> Self {
+        EventLog::bounded(enabled, None, splitserve_obs::MetricsRegistry::disabled())
+    }
+
+    /// A log that explicitly records nothing (also the [`Default`]).
+    pub fn disabled() -> Self {
+        EventLog::new(false)
+    }
+
+    /// Creates a log holding at most `capacity` events (unbounded when
+    /// `None`). Events past the cap are dropped and counted — locally
+    /// (see [`EventLog::dropped`]) and on `registry` as the
+    /// `engine_event_log_dropped_total` counter.
+    pub fn bounded(
+        enabled: bool,
+        capacity: Option<usize>,
+        registry: splitserve_obs::MetricsRegistry,
+    ) -> Self {
         EventLog {
             events: Rc::new(RefCell::new(Vec::new())),
             enabled,
+            capacity,
+            dropped: Rc::new(Cell::new(0)),
+            registry,
         }
     }
 
     /// Appends an event.
     pub fn push(&self, at: SimTime, kind: EngineEventKind) {
-        if self.enabled {
-            self.events.borrow_mut().push(EngineEvent { at, kind });
+        if !self.enabled {
+            return;
         }
+        if let Some(cap) = self.capacity {
+            if self.events.borrow().len() >= cap {
+                self.dropped.set(self.dropped.get() + 1);
+                self.registry
+                    .counter_add("engine_event_log_dropped_total", &[], 1);
+                return;
+            }
+        }
+        self.events.borrow_mut().push(EngineEvent { at, kind });
+    }
+
+    /// Events dropped because the log was at capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// The configured capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Snapshot of all events so far.
@@ -199,5 +255,36 @@ mod tests {
         let log = EventLog::new(false);
         log.push(SimTime::ZERO, EngineEventKind::Marker("dropped".into()));
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn default_is_the_disabled_log() {
+        let log = EventLog::default();
+        log.push(SimTime::ZERO, EngineEventKind::Marker("dropped".into()));
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0, "disabled pushes are not capacity drops");
+    }
+
+    #[test]
+    fn bounded_log_drops_overflow_and_counts_it() {
+        let registry = splitserve_obs::MetricsRegistry::enabled();
+        let log = EventLog::bounded(true, Some(2), registry.clone());
+        assert_eq!(log.capacity(), Some(2));
+        for i in 0..5 {
+            log.push(
+                SimTime::from_secs(i),
+                EngineEventKind::Marker(format!("m{i}")),
+            );
+        }
+        assert_eq!(log.len(), 2, "capacity respected");
+        assert_eq!(log.dropped(), 3);
+        assert_eq!(
+            registry.counter_value("engine_event_log_dropped_total", &[]),
+            3
+        );
+        // The retained events are the earliest ones, in order.
+        let snap = log.snapshot();
+        assert_eq!(snap[0].kind, EngineEventKind::Marker("m0".into()));
+        assert_eq!(snap[1].kind, EngineEventKind::Marker("m1".into()));
     }
 }

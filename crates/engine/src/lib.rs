@@ -35,6 +35,7 @@ mod ops;
 mod ops_ext;
 mod scheduler;
 mod stage;
+mod telemetry;
 mod tracker;
 
 pub use config::{EngineConfig, WorkModel};

@@ -818,12 +818,12 @@ mod tests {
 
     /// Drives the map side and reduce side of a shuffle by hand (the
     /// scheduler normally does this through the block store).
-    fn run_shuffle<K: ShuffleKey, C: Clone + 'static>(
+    fn run_shuffle<K: ShuffleKey, C>(
         ds: &Dataset<(K, C)>,
         shuffled: &Dataset<(K, C)>,
     ) -> Vec<(K, C)>
     where
-        C: ShuffleValue,
+        C: ShuffleValue + Clone + 'static,
     {
         let _ = ds;
         let node = shuffled.node();
@@ -950,6 +950,7 @@ mod tests {
             per_dep_buckets.push(buckets);
         }
         let mut all: Vec<(u32, (String, u64))> = Vec::new();
+        #[allow(clippy::needless_range_loop)] // `part` also names the computed partition
         for part in 0..2 {
             let mut inputs = std::collections::HashMap::new();
             for (di, dep) in deps.iter().enumerate() {

@@ -337,10 +337,6 @@ mod tests {
     use super::*;
     use crate::config::WorkModel;
 
-    fn ctx() -> TaskContext {
-        TaskContext::empty(WorkModel::default())
-    }
-
     /// Runs an arbitrary one-or-two-shuffle plan to completion by hand.
     fn run_plan<T: Clone + 'static>(ds: &Dataset<T>) -> Vec<T> {
         // Breadth-first over stages using the engine's own builder.

@@ -22,6 +22,7 @@ use std::rc::Rc;
 
 use splitserve_rt::Bytes;
 use splitserve_des::{Sim, SimDuration, SimTime};
+use splitserve_obs::SpanId;
 use splitserve_storage::{BlockId, BlockStore, StoreError};
 
 use crate::config::EngineConfig;
@@ -31,6 +32,7 @@ use crate::executor::{ExecutorDesc, ExecutorId, ExecutorKind};
 use crate::metrics::{JobMetrics, JobOutput};
 use crate::node::{PartitionData, PlanNode, ShuffleBucket, ShuffleId};
 use crate::stage::{build_stages, StageGraph, StageId, StageKind};
+use crate::telemetry::{FailureKind, Telemetry};
 use crate::tracker::{MapOutputTracker, MapStatus};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,6 +58,8 @@ struct AttemptInfo {
     stage: StageId,
     part: usize,
     exec: ExecutorId,
+    /// The task's executor-lane span (no-op id when obs is disabled).
+    span: SpanId,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +159,7 @@ pub struct Engine {
     inner: Rc<RefCell<Inner>>,
     store: Rc<dyn BlockStore>,
     log: EventLog,
+    tele: Telemetry,
 }
 
 impl std::fmt::Debug for Engine {
@@ -177,7 +182,12 @@ enum ComputePayload {
 impl Engine {
     /// Creates an engine over the given shuffle store.
     pub fn new(cfg: EngineConfig, store: Rc<dyn BlockStore>) -> Self {
-        let log = EventLog::new(cfg.event_log);
+        let log = EventLog::bounded(
+            cfg.event_log,
+            cfg.event_log_capacity,
+            cfg.obs.metrics.clone(),
+        );
+        let tele = Telemetry::new(cfg.obs.clone());
         Engine {
             inner: Rc::new(RefCell::new(Inner {
                 cfg,
@@ -192,12 +202,19 @@ impl Engine {
             })),
             store,
             log,
+            tele,
         }
     }
 
     /// The engine's event log.
     pub fn event_log(&self) -> &EventLog {
         &self.log
+    }
+
+    /// The observability handle the engine records into (the one passed
+    /// via [`EngineConfig::obs`]; disabled by default).
+    pub fn obs(&self) -> &splitserve_obs::Obs {
+        self.tele.obs()
     }
 
     /// The shuffle store in use.
@@ -235,6 +252,7 @@ impl Engine {
                     on_drained: None,
                 },
             );
+            self.tele.executor_registered(sim.now(), &id, kind);
             self.log
                 .push(sim.now(), EngineEventKind::ExecutorRegistered { exec: id, kind });
         }
@@ -344,7 +362,12 @@ impl Engine {
                         },
                     );
                     if let Some(job) = inner.jobs.get_mut(&info.job.0) {
-                        job.metrics.tasks_recomputed += 1;
+                        self.tele.task_failed(
+                            sim.now(),
+                            &mut job.metrics,
+                            info.span,
+                            FailureKind::ExecutorLost,
+                        );
                         let st = &mut job.status[info.stage.0 as usize];
                         st.running.remove(&info.part);
                         st.queued.insert(info.part);
@@ -413,6 +436,7 @@ impl Engine {
                     if st.state == Some(StageState::Done) && !inner.tracker.is_complete(dep.id) {
                         let missing = inner.tracker.missing(dep.id).len();
                         st.state = Some(StageState::Waiting);
+                        self.tele.stage_rolled_back(sim.now(), stage.id, missing);
                         self.log.push(
                             sim.now(),
                             EngineEventKind::StageRolledBack {
@@ -524,7 +548,7 @@ impl Engine {
                 if complete {
                     if st.state != Some(StageState::Done) {
                         st.state = Some(StageState::Done);
-                        job.metrics.stages_run += 1;
+                        self.tele.stage_completed(&mut job.metrics);
                         self.log
                             .push(sim.now(), EngineEventKind::StageCompleted { stage: stage.id });
                     }
@@ -568,6 +592,7 @@ impl Engine {
             if job.result_parts.iter().all(Option::is_some) && !job.done {
                 job.done = true;
                 job.metrics.completed_at = sim.now();
+                self.tele.job_completed(sim.now(), job_id, &job.metrics);
                 self.log
                     .push(sim.now(), EngineEventKind::JobCompleted { job: job_id });
                 let partitions: Vec<PartitionData> = job
@@ -663,6 +688,14 @@ impl Engine {
                 st.running.insert(part);
                 let attempt = AttemptId(inner.next_attempt);
                 inner.next_attempt += 1;
+                let meta = inner
+                    .executors
+                    .get_mut(&exec_id)
+                    .expect("dispatch picked a live executor");
+                meta.running = Some(attempt);
+                let span =
+                    self.tele
+                        .task_started(sim.now(), &exec_id, meta.desc.kind, stage_id, part);
                 inner.attempts.insert(
                     attempt,
                     AttemptInfo {
@@ -670,13 +703,9 @@ impl Engine {
                         stage: stage_id,
                         part,
                         exec: exec_id.clone(),
+                        span,
                     },
                 );
-                let meta = inner
-                    .executors
-                    .get_mut(&exec_id)
-                    .expect("dispatch picked a live executor");
-                meta.running = Some(attempt);
                 self.log.push(
                     sim.now(),
                     EngineEventKind::TaskStarted {
@@ -743,12 +772,19 @@ impl Engine {
             self.run_compute(sim, attempt, base, 0);
             return;
         }
-        let client = {
+        let (client, fetch_span) = {
             let inner = self.inner.borrow();
             let Some(info) = inner.attempts.get(&attempt) else {
                 return;
             };
-            inner.executors[&info.exec].desc.client_loc()
+            let meta = &inner.executors[&info.exec];
+            let span = self.tele.shuffle_phase_started(
+                sim.now(),
+                &info.exec,
+                meta.desc.kind,
+                "shuffle fetch",
+            );
+            (meta.desc.client_loc(), span)
         };
         let fetched_bytes: u64 = plan.iter().map(|(_, _, _, s)| s).sum();
         struct FetchState {
@@ -756,6 +792,8 @@ impl Engine {
             results: HashMap<ShuffleId, Vec<Bytes>>,
             outstanding: usize,
             aborted: bool,
+            span: SpanId,
+            started: SimTime,
         }
         let state = Rc::new(RefCell::new(FetchState {
             queue: plan
@@ -765,6 +803,8 @@ impl Engine {
             results: base,
             outstanding: 0,
             aborted: false,
+            span: fetch_span,
+            started: sim.now(),
         }));
         let window = self.inner.borrow().cfg.max_fetch_concurrency.max(1);
 
@@ -800,7 +840,12 @@ impl Engine {
                 block,
                 Box::new(move |sim, result| {
                     if !engine2.attempt_live(attempt) {
-                        state2.borrow_mut().aborted = true;
+                        let span = {
+                            let mut st = state2.borrow_mut();
+                            st.aborted = true;
+                            st.span
+                        };
+                        engine2.tele.shuffle_phase_aborted(sim.now(), span);
                         return;
                     }
                     match result {
@@ -812,15 +857,25 @@ impl Engine {
                                 st.queue.is_empty() && st.outstanding == 0
                             };
                             if done {
-                                let results =
-                                    std::mem::take(&mut state2.borrow_mut().results);
+                                let (results, span, started) = {
+                                    let mut st = state2.borrow_mut();
+                                    (std::mem::take(&mut st.results), st.span, st.started)
+                                };
+                                engine2
+                                    .tele
+                                    .shuffle_phase_finished(sim.now(), span, "fetch", started);
                                 engine2.run_compute(sim, attempt, results, fetched_bytes);
                             } else {
                                 spawn_next(&engine2, sim, attempt, &state2, client, fetched_bytes);
                             }
                         }
                         Err(err) => {
-                            state2.borrow_mut().aborted = true;
+                            let span = {
+                                let mut st = state2.borrow_mut();
+                                st.aborted = true;
+                                st.span
+                            };
+                            engine2.tele.shuffle_phase_aborted(sim.now(), span);
                             engine2.fetch_failed(sim, attempt, shuffle, map, err);
                         }
                     }
@@ -849,7 +904,7 @@ impl Engine {
                 return;
             };
             let job = &mut inner.jobs.get_mut(&info.job.0).expect("job of live attempt");
-            job.metrics.shuffle_bytes_read += fetched_bytes;
+            self.tele.shuffle_read(&mut job.metrics, fetched_bytes);
             let stage = job.graph.stage(info.stage);
             let meta = &inner.executors[&info.exec];
             (
@@ -901,7 +956,7 @@ impl Engine {
                     let mut inner = self.inner.borrow_mut();
                     if let Some(job) = inner.jobs.get_mut(&info.job.0) {
                         job.result_parts[info.part] = Some(data);
-                        job.metrics.cpu_secs_total += cpu;
+                        self.tele.task_cpu(&mut job.metrics, cpu);
                     }
                 }
                 self.task_done(sim, attempt, cpu);
@@ -928,9 +983,9 @@ impl Engine {
                 {
                     let mut inner = self.inner.borrow_mut();
                     if let Some(job) = inner.jobs.get_mut(&info.job.0) {
-                        job.metrics.cpu_secs_total += cpu;
-                        job.metrics.shuffle_bytes_written +=
-                            sizes.iter().sum::<u64>();
+                        self.tele.task_cpu(&mut job.metrics, cpu);
+                        self.tele
+                            .shuffle_written(&mut job.metrics, sizes.iter().sum::<u64>());
                     }
                 }
                 self.write_map_outputs(sim, attempt, sid, sizes, writes, client, cpu);
@@ -954,15 +1009,28 @@ impl Engine {
             self.map_outputs_done(sim, attempt, sid, sizes, cpu);
             return;
         }
+        let write_span = {
+            let inner = self.inner.borrow();
+            let Some(info) = inner.attempts.get(&attempt) else {
+                return;
+            };
+            let kind = inner.executors[&info.exec].desc.kind;
+            self.tele
+                .shuffle_phase_started(sim.now(), &info.exec, kind, "shuffle write")
+        };
         struct WriteState {
             queue: VecDeque<(BlockId, Bytes)>,
             outstanding: usize,
             aborted: bool,
+            span: SpanId,
+            started: SimTime,
         }
         let state = Rc::new(RefCell::new(WriteState {
             queue: writes.into_iter().collect(),
             outstanding: 0,
             aborted: false,
+            span: write_span,
+            started: sim.now(),
         }));
         let window = self.inner.borrow().cfg.max_fetch_concurrency.max(1);
         let total = state.borrow().queue.len();
@@ -1002,7 +1070,12 @@ impl Engine {
                 bytes,
                 Box::new(move |sim, result| {
                     if !engine2.attempt_live(attempt) {
-                        state2.borrow_mut().aborted = true;
+                        let span = {
+                            let mut st = state2.borrow_mut();
+                            st.aborted = true;
+                            st.span
+                        };
+                        engine2.tele.shuffle_phase_aborted(sim.now(), span);
                         return;
                     }
                     match result {
@@ -1013,6 +1086,13 @@ impl Engine {
                                 st.queue.is_empty() && st.outstanding == 0
                             };
                             if done {
+                                let (span, started) = {
+                                    let st = state2.borrow();
+                                    (st.span, st.started)
+                                };
+                                engine2
+                                    .tele
+                                    .shuffle_phase_finished(sim.now(), span, "write", started);
                                 engine2.map_outputs_done(
                                     sim,
                                     attempt,
@@ -1027,7 +1107,12 @@ impl Engine {
                             }
                         }
                         Err(err) => {
-                            state2.borrow_mut().aborted = true;
+                            let span = {
+                                let mut st = state2.borrow_mut();
+                                st.aborted = true;
+                                st.span
+                            };
+                            engine2.tele.shuffle_phase_aborted(sim.now(), span);
                             engine2.task_write_failed(sim, attempt, err);
                         }
                     }
@@ -1084,7 +1169,8 @@ impl Engine {
             let kind = meta.desc.kind;
             let drain = meta.draining && meta.alive;
             if let Some(job) = inner.jobs.get_mut(&info.job.0) {
-                job.metrics.count_task(kind);
+                self.tele
+                    .task_finished(sim.now(), &mut job.metrics, kind, info.span, cpu);
                 job.status[info.stage.0 as usize].running.remove(&info.part);
             }
             self.log.push(
@@ -1142,7 +1228,12 @@ impl Engine {
                 meta.running = None;
             }
             if let Some(job) = inner.jobs.get_mut(&info.job.0) {
-                job.metrics.tasks_recomputed += 1;
+                self.tele.task_failed(
+                    sim.now(),
+                    &mut job.metrics,
+                    info.span,
+                    FailureKind::FetchFailed,
+                );
                 let st = &mut job.status[info.stage.0 as usize];
                 st.running.remove(&info.part);
                 st.queued.insert(info.part);
@@ -1174,7 +1265,12 @@ impl Engine {
                 meta.running = None;
             }
             if let Some(job) = inner.jobs.get_mut(&info.job.0) {
-                job.metrics.tasks_recomputed += 1;
+                self.tele.task_failed(
+                    sim.now(),
+                    &mut job.metrics,
+                    info.span,
+                    FailureKind::WriteFailed,
+                );
                 let st = &mut job.status[info.stage.0 as usize];
                 st.running.remove(&info.part);
                 st.queued.insert(info.part);

@@ -1,0 +1,207 @@
+//! The engine's single telemetry path.
+//!
+//! Every measurement the scheduler takes — task completions, failures,
+//! recomputations, shuffle bytes, stage transitions — flows through one
+//! [`Telemetry`] method, which updates the per-job [`JobMetrics`] *and*
+//! the cluster-wide [`MetricsRegistry`](splitserve_obs::MetricsRegistry)
+//! in lock-step, and opens/closes the executor-lane spans the Chrome
+//! trace export turns into Figure-7-style timelines. The scheduler itself
+//! never touches a metrics field directly, so the two views cannot drift.
+
+use splitserve_des::SimTime;
+use splitserve_obs::{Obs, SpanId};
+
+use crate::events::JobId;
+use crate::executor::{ExecutorId, ExecutorKind};
+use crate::metrics::JobMetrics;
+use crate::stage::StageId;
+
+/// Why a task attempt ended without producing its output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FailureKind {
+    /// The executor died mid-flight.
+    ExecutorLost,
+    /// A shuffle-input block could not be fetched.
+    FetchFailed,
+    /// A map-output write was rejected by the store.
+    WriteFailed,
+}
+
+impl FailureKind {
+    fn label(self) -> &'static str {
+        match self {
+            FailureKind::ExecutorLost => "executor-lost",
+            FailureKind::FetchFailed => "fetch-failed",
+            FailureKind::WriteFailed => "write-failed",
+        }
+    }
+}
+
+fn kind_label(kind: ExecutorKind) -> &'static str {
+    match kind {
+        ExecutorKind::Vm => "vm",
+        ExecutorKind::Lambda => "lambda",
+    }
+}
+
+/// Shared recorder for everything the engine measures.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Telemetry {
+    obs: Obs,
+}
+
+impl Telemetry {
+    pub fn new(obs: Obs) -> Self {
+        Telemetry { obs }
+    }
+
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    pub fn executor_registered(&self, at: SimTime, exec: &ExecutorId, kind: ExecutorKind) {
+        let lane = kind_label(kind);
+        self.obs
+            .metrics
+            .counter_add("executors_registered_total", &[("kind", lane)], 1);
+        self.obs.spans.instant(at, lane, &exec.0, "registered");
+    }
+
+    /// Opens the task's executor-lane span; the returned id rides in the
+    /// attempt table until the task ends one way or another.
+    pub fn task_started(
+        &self,
+        at: SimTime,
+        exec: &ExecutorId,
+        kind: ExecutorKind,
+        stage: StageId,
+        part: usize,
+    ) -> SpanId {
+        let span = self.obs.spans.open(
+            at,
+            kind_label(kind),
+            &exec.0,
+            &format!("task s{}.{}", stage.0, part),
+        );
+        self.obs.spans.annotate(span, "stage", &stage.0.to_string());
+        span
+    }
+
+    pub fn task_finished(
+        &self,
+        at: SimTime,
+        metrics: &mut JobMetrics,
+        kind: ExecutorKind,
+        span: SpanId,
+        cpu_secs: f64,
+    ) {
+        metrics.count_task(kind);
+        let labels = [("kind", kind_label(kind))];
+        self.obs
+            .metrics
+            .counter_add("tasks_completed_total", &labels, 1);
+        self.obs.metrics.observe("task_cpu_seconds", &labels, cpu_secs);
+        self.obs
+            .spans
+            .annotate(span, "cpu_secs", &format!("{cpu_secs:.6}"));
+        self.obs.spans.close(span, at);
+    }
+
+    /// A task attempt failed and will be re-queued: count the recompute
+    /// and close its span as failed.
+    pub fn task_failed(
+        &self,
+        at: SimTime,
+        metrics: &mut JobMetrics,
+        span: SpanId,
+        why: FailureKind,
+    ) {
+        metrics.tasks_recomputed += 1;
+        self.obs
+            .metrics
+            .counter_add("tasks_failed_total", &[("reason", why.label())], 1);
+        self.obs.spans.annotate(span, "failed", why.label());
+        self.obs.spans.close(span, at);
+    }
+
+    pub fn task_cpu(&self, metrics: &mut JobMetrics, cpu_secs: f64) {
+        metrics.cpu_secs_total += cpu_secs;
+    }
+
+    pub fn shuffle_read(&self, metrics: &mut JobMetrics, bytes: u64) {
+        metrics.shuffle_bytes_read += bytes;
+        self.obs
+            .metrics
+            .counter_add("shuffle_bytes_read_total", &[], bytes);
+    }
+
+    pub fn shuffle_written(&self, metrics: &mut JobMetrics, bytes: u64) {
+        metrics.shuffle_bytes_written += bytes;
+        self.obs
+            .metrics
+            .counter_add("shuffle_bytes_written_total", &[], bytes);
+    }
+
+    /// Opens a nested span for a task's shuffle fetch or write phase.
+    pub fn shuffle_phase_started(
+        &self,
+        at: SimTime,
+        exec: &ExecutorId,
+        kind: ExecutorKind,
+        phase: &str,
+    ) -> SpanId {
+        self.obs.spans.open(at, kind_label(kind), &exec.0, phase)
+    }
+
+    pub fn shuffle_phase_finished(&self, at: SimTime, span: SpanId, phase: &str, started: SimTime) {
+        self.obs.spans.close(span, at);
+        self.obs.metrics.observe(
+            "shuffle_phase_seconds",
+            &[("phase", phase)],
+            at.saturating_since(started).as_secs_f64(),
+        );
+    }
+
+    /// A shuffle phase ended without completing (store error, executor
+    /// death). The span closes marked aborted; no latency is observed, so
+    /// the `shuffle_phase_seconds` histogram stays successful-ops-only.
+    pub fn shuffle_phase_aborted(&self, at: SimTime, span: SpanId) {
+        self.obs.spans.annotate(span, "aborted", "true");
+        self.obs.spans.close(span, at);
+    }
+
+    pub fn stage_completed(&self, metrics: &mut JobMetrics) {
+        metrics.stages_run += 1;
+        self.obs.metrics.counter_add("stages_completed_total", &[], 1);
+    }
+
+    pub fn stage_rolled_back(&self, at: SimTime, stage: StageId, missing: usize) {
+        self.obs
+            .metrics
+            .counter_add("stage_rollbacks_total", &[], 1);
+        self.obs.metrics.counter_add(
+            "stage_rollback_missing_partitions_total",
+            &[],
+            missing as u64,
+        );
+        self.obs.spans.instant(
+            at,
+            "driver",
+            "driver",
+            &format!("rollback s{}", stage.0),
+        );
+    }
+
+    pub fn job_completed(&self, at: SimTime, job: JobId, metrics: &JobMetrics) {
+        self.obs.metrics.counter_add("jobs_completed_total", &[], 1);
+        self.obs.metrics.observe_with(
+            "job_execution_seconds",
+            &[],
+            &[1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0],
+            metrics.execution_time().as_secs_f64(),
+        );
+        self.obs
+            .spans
+            .instant(at, "driver", "driver", &format!("{job} completed"));
+    }
+}

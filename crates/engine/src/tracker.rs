@@ -202,7 +202,7 @@ mod tests {
         assert_eq!(affected, vec![(s1, 1), (s2, 1)]);
         assert_eq!(t.missing(s1), vec![0]);
         assert!(!t.is_complete(s2));
-        assert!(t.is_complete(s1) == false);
+        assert!(!t.is_complete(s1));
         // Survivor intact.
         assert_eq!(t.missing(s1).len(), 1);
     }

@@ -12,6 +12,8 @@ use splitserve_storage::{HdfsSpec, HdfsStore, LocalDiskStore};
 
 struct Rig {
     sim: Sim,
+    // Kept so rigs can grow links mid-test even though no current test does.
+    #[allow(dead_code)]
     fabric: Fabric,
     engine: Engine,
 }

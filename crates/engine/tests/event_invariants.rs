@@ -1,0 +1,215 @@
+//! Ordering and pairing invariants of the engine's observability output:
+//! the event log must tell a time-ordered story, every started task must
+//! end exactly once, and the span recorder's open/close pairs must nest.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use splitserve_des::{Fabric, Sim, SimTime};
+use splitserve_engine::{
+    collect_partitions, Dataset, Engine, EngineConfig, EngineEvent, EngineEventKind, ExecutorDesc,
+    JobOutput,
+};
+use splitserve_obs::Obs;
+use splitserve_storage::LocalDiskStore;
+
+struct Rig {
+    sim: Sim,
+    engine: Engine,
+}
+
+fn observed_rig(executors: usize) -> Rig {
+    let fabric = Fabric::new();
+    let store = Rc::new(LocalDiskStore::new(fabric.clone()));
+    let cfg = EngineConfig {
+        obs: Obs::enabled(),
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(cfg, store);
+    let mut sim = Sim::new(11);
+    for i in 0..executors {
+        let nic = fabric.add_link(1e9, format!("nic-{i}"));
+        let disk = fabric.add_link(1e9, format!("disk-{i}"));
+        engine.register_executor(&mut sim, ExecutorDesc::vm(format!("e-vm-{i}"), nic, disk, 8192));
+    }
+    Rig { sim, engine }
+}
+
+fn run_shuffle_job(rig: &mut Rig) -> JobOutput {
+    let ds = Dataset::parallelize((0..2_000u64).map(|i| (i % 20, 1u64)).collect(), 6)
+        .reduce_by_key(3, |a, b| a + b);
+    let slot: Rc<RefCell<Option<JobOutput>>> = Rc::new(RefCell::new(None));
+    let s = Rc::clone(&slot);
+    rig.engine.submit_job(&mut rig.sim, ds.node(), move |_, out| {
+        *s.borrow_mut() = Some(out);
+    });
+    rig.sim.run();
+    let out = slot.borrow_mut().take().expect("job completes");
+    let rows = collect_partitions::<(u64, u64)>(&out.partitions);
+    assert_eq!(rows.len(), 20, "invariant tests must still compute truth");
+    out
+}
+
+/// Timestamps never go backwards in the snapshot (push order).
+fn assert_monotone(events: &[EngineEvent]) {
+    for w in events.windows(2) {
+        assert!(
+            w[0].at <= w[1].at,
+            "event log went back in time: {:?} then {:?}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+/// Every TaskStarted is closed by exactly one TaskFinished or TaskFailed
+/// with the same (stage, part, exec).
+fn assert_tasks_paired(events: &[EngineEvent]) {
+    let mut open: HashMap<(u64, usize, String), u64> = HashMap::new();
+    for e in events {
+        match &e.kind {
+            EngineEventKind::TaskStarted { stage, part, exec } => {
+                let slot = open.entry((stage.0, *part, exec.0.clone())).or_insert(0);
+                assert_eq!(
+                    *slot, 0,
+                    "task s{}.{} started twice on {} without ending",
+                    stage.0, part, exec
+                );
+                *slot = 1;
+            }
+            EngineEventKind::TaskFinished { stage, part, exec, .. }
+            | EngineEventKind::TaskFailed { stage, part, exec, .. } => {
+                let slot = open.entry((stage.0, *part, exec.0.clone())).or_insert(0);
+                assert_eq!(
+                    *slot, 1,
+                    "task s{}.{} ended on {} without a matching start",
+                    stage.0, part, exec
+                );
+                *slot = 0;
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        open.values().all(|v| *v == 0),
+        "tasks left open at end of run: {open:?}"
+    );
+}
+
+#[test]
+fn happy_path_run_upholds_all_invariants() {
+    let mut rig = observed_rig(3);
+    let out = run_shuffle_job(&mut rig);
+
+    let events = rig.engine.event_log().snapshot();
+    assert!(!events.is_empty());
+    assert_monotone(&events);
+    assert_tasks_paired(&events);
+
+    // Span accounting agrees with the event log: one closed task span per
+    // TaskFinished, and no span is malformed or badly nested.
+    let obs = rig.engine.obs().clone();
+    assert_eq!(
+        obs.spans.nesting_violation(),
+        None,
+        "spans on one executor track must be disjoint or contained"
+    );
+    let finished = obs.spans.finished_spans();
+    assert!(finished.iter().all(|s| s.end.unwrap() >= s.start));
+    let task_spans = finished.iter().filter(|s| s.name.starts_with("task ")).count();
+    let finishes = events
+        .iter()
+        .filter(|e| matches!(e.kind, EngineEventKind::TaskFinished { .. }))
+        .count();
+    assert_eq!(task_spans, finishes);
+    assert_eq!(task_spans, out.metrics.tasks_total() as usize);
+    assert_eq!(
+        obs.spans.open_spans(),
+        0,
+        "a clean run leaves no dangling spans"
+    );
+
+    // The registry saw the same completions the per-job metrics did.
+    assert_eq!(
+        obs.metrics.counter_total("tasks_completed_total"),
+        out.metrics.tasks_total()
+    );
+    assert_eq!(obs.metrics.counter_total("jobs_completed_total"), 1);
+}
+
+#[test]
+fn invariants_survive_executor_kill_and_rollback() {
+    let mut rig = observed_rig(3);
+    let ds = Dataset::parallelize((0..3_000u64).map(|i| (i % 30, 1u64)).collect(), 6)
+        .reduce_by_key(3, |a, b| a + b);
+    let slot: Rc<RefCell<Option<JobOutput>>> = Rc::new(RefCell::new(None));
+    let s = Rc::clone(&slot);
+    rig.engine.submit_job(&mut rig.sim, ds.node(), move |_, out| {
+        *s.borrow_mut() = Some(out);
+    });
+    let engine = rig.engine.clone();
+    rig.sim.schedule_at(SimTime::from_millis(15), move |sim| {
+        engine.kill_executor(sim, &"e-vm-1".into());
+    });
+    rig.sim.run();
+    let out = slot.borrow_mut().take().expect("job survives the kill");
+    assert!(out.metrics.tasks_recomputed > 0, "the kill must bite");
+
+    let events = rig.engine.event_log().snapshot();
+    assert_monotone(&events);
+    assert_tasks_paired(&events);
+
+    let obs = rig.engine.obs().clone();
+    assert_eq!(obs.spans.nesting_violation(), None);
+    // Failed attempts close their spans too: closed task spans = finishes
+    // + failures, and the registry's failure counter matches the metrics'
+    // recompute count.
+    let finished = obs.spans.finished_spans();
+    let task_spans = finished.iter().filter(|s| s.name.starts_with("task ")).count();
+    let ends = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EngineEventKind::TaskFinished { .. } | EngineEventKind::TaskFailed { .. }
+            )
+        })
+        .count();
+    assert_eq!(task_spans, ends);
+    assert_eq!(
+        obs.metrics.counter_total("tasks_failed_total"),
+        out.metrics.tasks_recomputed
+    );
+    // Rollbacks may or may not fire depending on where the kill lands in
+    // the timeline; whatever happened, registry and event log must agree.
+    let rollbacks = events
+        .iter()
+        .filter(|e| matches!(e.kind, EngineEventKind::StageRolledBack { .. }))
+        .count() as u64;
+    assert_eq!(obs.metrics.counter_total("stage_rollbacks_total"), rollbacks);
+}
+
+#[test]
+fn disabled_obs_records_nothing() {
+    let mut rig = {
+        let fabric = Fabric::new();
+        let store = Rc::new(LocalDiskStore::new(fabric.clone()));
+        let engine = Engine::new(EngineConfig::default(), store);
+        let mut sim = Sim::new(11);
+        for i in 0..2 {
+            let nic = fabric.add_link(1e9, format!("nic-{i}"));
+            let disk = fabric.add_link(1e9, format!("disk-{i}"));
+            engine
+                .register_executor(&mut sim, ExecutorDesc::vm(format!("e-vm-{i}"), nic, disk, 8192));
+        }
+        Rig { sim, engine }
+    };
+    let out = run_shuffle_job(&mut rig);
+    assert!(out.metrics.tasks_total() > 0, "JobMetrics still aggregates");
+    let obs = rig.engine.obs();
+    assert!(!obs.is_enabled());
+    assert!(obs.spans.finished_spans().is_empty());
+    assert_eq!(obs.metrics.counter_total("tasks_completed_total"), 0);
+    assert_eq!(obs.metrics.render_prometheus(), "");
+}

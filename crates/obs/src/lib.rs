@@ -1,0 +1,123 @@
+//! # splitserve-obs — the unified observability layer
+//!
+//! The paper's whole evaluation (the Figure 7 execution timelines, the
+//! per-executor work distributions, the shuffle-store comparisons of §6)
+//! is built from fine-grained runtime telemetry. This crate is the
+//! substrate that produces it:
+//!
+//! - [`MetricsRegistry`] — named counters, gauges and fixed-bucket
+//!   histograms, labelled by executor kind, stage, store backend, …
+//! - [`SpanRecorder`] — structured, nested spans stamped with the
+//!   deterministic simulation clock ([`SimTime`]): task runs, shuffle
+//!   writes/fetches, Lambda cold/warm starts, segue drains, rollbacks.
+//! - Exporters — Chrome trace-event JSON ([`SpanRecorder::to_chrome_trace`],
+//!   loadable in `chrome://tracing` / Perfetto to reproduce Figure-7-style
+//!   timelines) and Prometheus text exposition
+//!   ([`MetricsRegistry::render_prometheus`]).
+//!
+//! Everything hangs off an [`Obs`] handle. The handle is **off by
+//! default**: a disabled handle holds no allocation and every record call
+//! is a single branch on an `Option`, so instrumented hot paths cost
+//! nothing measurable when observability is not requested (see the
+//! `obs_overhead` benchmark in `splitserve-bench`).
+//!
+//! ```
+//! use splitserve_des::SimTime;
+//! use splitserve_obs::Obs;
+//!
+//! let obs = Obs::enabled();
+//! obs.metrics.counter_add("tasks_completed_total", &[("kind", "vm")], 1);
+//! let span = obs.spans.open(SimTime::ZERO, "vm", "exec-0", "task 0.0");
+//! obs.spans.close(span, SimTime::from_secs(2));
+//! assert!(obs.spans.to_chrome_trace().contains("traceEvents"));
+//!
+//! // Disabled: same calls, no effect, no allocation.
+//! let off = Obs::disabled();
+//! off.metrics.counter_add("tasks_completed_total", &[("kind", "vm")], 1);
+//! assert_eq!(off.metrics.counter_value("tasks_completed_total", &[("kind", "vm")]), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod chrome;
+mod prometheus;
+mod registry;
+mod span;
+
+pub use registry::{HistogramSnapshot, MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
+pub use span::{Span, SpanId, SpanRecorder};
+
+use splitserve_des::SimTime;
+
+/// The bundle instrumented layers carry: a metrics registry plus a span
+/// recorder, both sharing one enabled/disabled state.
+///
+/// Cloneable handle; clones share the underlying storage.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// Counters, gauges, histograms.
+    pub metrics: MetricsRegistry,
+    /// Structured spans for timeline export.
+    pub spans: SpanRecorder,
+}
+
+impl Obs {
+    /// A disabled handle: every record call is a no-op branch. This is
+    /// also what [`Obs::default`] returns — observability is opt-in.
+    pub fn disabled() -> Self {
+        Obs::default()
+    }
+
+    /// An enabled handle recording into fresh storage.
+    pub fn enabled() -> Self {
+        Obs {
+            metrics: MetricsRegistry::enabled(),
+            spans: SpanRecorder::enabled(),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.metrics.is_enabled() || self.spans.is_enabled()
+    }
+
+    /// Convenience: an instant marker on the spans plus a counter bump —
+    /// the shape of "something notable happened once" telemetry.
+    pub fn mark(&self, at: SimTime, lane: &str, track: &str, name: &str) {
+        self.spans.instant(at, lane, track, name);
+        self.metrics.counter_add("obs_marks_total", &[("name", name)], 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        let obs = Obs::default();
+        assert!(!obs.is_enabled());
+        obs.mark(SimTime::ZERO, "driver", "driver", "noop");
+        assert!(obs.spans.finished_spans().is_empty());
+    }
+
+    #[test]
+    fn enabled_records_marks() {
+        let obs = Obs::enabled();
+        obs.mark(SimTime::from_secs(1), "driver", "driver", "segue");
+        assert_eq!(
+            obs.metrics.counter_value("obs_marks_total", &[("name", "segue")]),
+            1
+        );
+        let trace = obs.spans.to_chrome_trace();
+        assert!(trace.contains("\"segue\""));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::enabled();
+        let clone = obs.clone();
+        clone.metrics.counter_add("x_total", &[], 3);
+        assert_eq!(obs.metrics.counter_value("x_total", &[]), 3);
+    }
+}

@@ -1,0 +1,153 @@
+//! Prometheus text exposition (version 0.0.4) of a [`MetricsRegistry`].
+//!
+//! The output is what a `/metrics` endpoint would serve; here it is
+//! written to a file so experiment runs leave a scrapeable artifact next
+//! to their tables. Counters end in `_total` by convention, histograms
+//! expand to `_bucket{le=...}` / `_sum` / `_count` series.
+
+use std::fmt::Write;
+
+use crate::registry::MetricsRegistry;
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline are escaped.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a label set (possibly with an extra `le` pair) as `{k="v",...}`
+/// or the empty string.
+fn labels_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Formats a float the way Prometheus expects (`+Inf`, integers without
+/// exponent noise).
+fn fmt_value(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the whole registry. One `# TYPE` header per metric name, series
+/// in deterministic (BTreeMap) order. A disabled registry renders empty.
+pub(crate) fn render(reg: &MetricsRegistry) -> String {
+    let Some(inner) = &reg.inner else {
+        return String::new();
+    };
+    let inner = inner.borrow();
+    let mut out = String::new();
+
+    let mut last_name = "";
+    for ((name, labels), value) in &inner.counters {
+        if name != last_name {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            last_name = name;
+        }
+        let _ = writeln!(out, "{name}{} {value}", labels_block(labels, None));
+    }
+
+    last_name = "";
+    for ((name, labels), value) in &inner.gauges {
+        if name != last_name {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            last_name = name;
+        }
+        let _ = writeln!(
+            out,
+            "{name}{} {}",
+            labels_block(labels, None),
+            fmt_value(*value)
+        );
+    }
+
+    last_name = "";
+    for ((name, labels), h) in &inner.histograms {
+        if name != last_name {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            last_name = name;
+        }
+        let mut cumulative = 0u64;
+        for (i, bound) in h.bounds.iter().enumerate() {
+            cumulative += h.counts[i];
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {cumulative}",
+                labels_block(labels, Some(("le", &fmt_value(*bound))))
+            );
+        }
+        cumulative += h.counts[h.bounds.len()];
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            labels_block(labels, Some(("le", "+Inf")))
+        );
+        let _ = writeln!(out, "{name}_sum{} {}", labels_block(labels, None), h.sum);
+        let _ = writeln!(out, "{name}_count{} {cumulative}", labels_block(labels, None));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let r = MetricsRegistry::enabled();
+        r.counter_add("tasks_completed_total", &[("kind", "vm")], 3);
+        r.counter_add("tasks_completed_total", &[("kind", "lambda")], 5);
+        r.gauge_set("pending_tasks", &[], 7.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE tasks_completed_total counter"));
+        assert!(text.contains("tasks_completed_total{kind=\"vm\"} 3"));
+        assert!(text.contains("tasks_completed_total{kind=\"lambda\"} 5"));
+        assert!(text.contains("# TYPE pending_tasks gauge"));
+        assert!(text.contains("pending_tasks 7"));
+        // One TYPE header even with two series of the same name.
+        assert_eq!(text.matches("# TYPE tasks_completed_total").count(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let r = MetricsRegistry::enabled();
+        let bounds = [0.1, 1.0];
+        r.observe_with("op_latency_seconds", &[("store", "hdfs")], &bounds, 0.05);
+        r.observe_with("op_latency_seconds", &[("store", "hdfs")], &bounds, 0.5);
+        r.observe_with("op_latency_seconds", &[("store", "hdfs")], &bounds, 9.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("op_latency_seconds_bucket{store=\"hdfs\",le=\"0.1\"} 1"));
+        assert!(text.contains("op_latency_seconds_bucket{store=\"hdfs\",le=\"1\"} 2"));
+        assert!(text.contains("op_latency_seconds_bucket{store=\"hdfs\",le=\"+Inf\"} 3"));
+        assert!(text.contains("op_latency_seconds_count{store=\"hdfs\"} 3"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = MetricsRegistry::enabled();
+        r.counter_add("weird_total", &[("p", "a\"b\\c")], 1);
+        assert!(r.render_prometheus().contains("p=\"a\\\"b\\\\c\""));
+    }
+}

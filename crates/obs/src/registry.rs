@@ -1,0 +1,260 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms, each keyed by a label set.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Default histogram buckets for operation latencies in (virtual)
+/// seconds — spanning sub-millisecond block-store round-trips up to
+/// minute-scale VM boots.
+pub const DEFAULT_LATENCY_BUCKETS: &[f64] = &[
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+];
+
+/// `(name, sorted labels)` — the identity of one time series.
+pub(crate) type MetricKey = (String, Vec<(String, String)>);
+
+#[derive(Debug, Clone)]
+pub(crate) struct Histogram {
+    /// Upper bounds of the finite buckets, strictly increasing. An
+    /// implicit `+Inf` bucket follows.
+    pub bounds: Vec<f64>,
+    /// One count per finite bucket plus the `+Inf` bucket.
+    pub counts: Vec<u64>,
+    pub sum: f64,
+    pub total: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            total: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.total += 1;
+    }
+}
+
+/// A read-only copy of one histogram's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds of the finite buckets (`+Inf` is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; the last entry is the `+Inf` bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct RegistryInner {
+    pub counters: BTreeMap<MetricKey, u64>,
+    pub gauges: BTreeMap<MetricKey, f64>,
+    pub histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+/// Named counters, gauges and fixed-bucket histograms.
+///
+/// A disabled registry (the [`Default`]) holds no storage: every record
+/// call is one branch. Clones of an enabled registry share storage, so a
+/// handle can be threaded through engine, policy and storage layers while
+/// one exporter reads the aggregate.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    pub(crate) inner: Option<Rc<RefCell<RegistryInner>>>,
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    let mut l: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    l.sort();
+    (name.to_string(), l)
+}
+
+impl MetricsRegistry {
+    /// A registry that records.
+    pub fn enabled() -> Self {
+        MetricsRegistry {
+            inner: Some(Rc::new(RefCell::new(RegistryInner::default()))),
+        }
+    }
+
+    /// A registry that drops everything (the [`Default`]).
+    pub fn disabled() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Whether record calls have any effect.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `delta` to the counter `name{labels}` (created at zero on
+    /// first touch).
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        *inner
+            .borrow_mut()
+            .counters
+            .entry(key(name, labels))
+            .or_insert(0) += delta;
+    }
+
+    /// Current value of a counter (zero if never touched or disabled).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        inner
+            .borrow()
+            .counters
+            .get(&key(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets the gauge `name{labels}` to `value`.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner.borrow_mut().gauges.insert(key(name, labels), value);
+    }
+
+    /// Current value of a gauge, if it was ever set.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let inner = self.inner.as_ref()?;
+        inner.borrow().gauges.get(&key(name, labels)).copied()
+    }
+
+    /// Records `value` into the histogram `name{labels}` using
+    /// [`DEFAULT_LATENCY_BUCKETS`].
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.observe_with(name, labels, DEFAULT_LATENCY_BUCKETS, value);
+    }
+
+    /// Records `value` into the histogram `name{labels}`, creating it with
+    /// `bounds` on first touch (later observations reuse the original
+    /// bounds — a histogram's buckets are fixed at birth).
+    pub fn observe_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64], value: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .borrow_mut()
+            .histograms
+            .entry(key(name, labels))
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Snapshot of one histogram, if it exists.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistogramSnapshot> {
+        let inner = self.inner.as_ref()?;
+        inner
+            .borrow()
+            .histograms
+            .get(&key(name, labels))
+            .map(|h| HistogramSnapshot {
+                bounds: h.bounds.clone(),
+                counts: h.counts.clone(),
+                sum: h.sum,
+                count: h.total,
+            })
+    }
+
+    /// Sum of a counter across all label sets sharing `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        inner
+            .borrow()
+            .counters
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Renders every metric in Prometheus text exposition format (see the
+    /// `prometheus` module for the grammar). Deterministic ordering.
+    pub fn render_prometheus(&self) -> String {
+        crate::prometheus::render(self)
+    }
+
+    /// Writes [`MetricsRegistry::render_prometheus`] to `path`.
+    pub fn write_prometheus(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.render_prometheus())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let r = MetricsRegistry::disabled();
+        r.counter_add("a_total", &[], 5);
+        r.gauge_set("g", &[], 1.0);
+        r.observe("h", &[], 0.5);
+        assert_eq!(r.counter_value("a_total", &[]), 0);
+        assert_eq!(r.gauge_value("g", &[]), None);
+        assert_eq!(r.histogram("h", &[]), None);
+        assert!(r.render_prometheus().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let r = MetricsRegistry::enabled();
+        r.counter_add("tasks_total", &[("kind", "vm")], 2);
+        r.counter_add("tasks_total", &[("kind", "vm")], 1);
+        r.counter_add("tasks_total", &[("kind", "lambda")], 7);
+        assert_eq!(r.counter_value("tasks_total", &[("kind", "vm")]), 3);
+        assert_eq!(r.counter_value("tasks_total", &[("kind", "lambda")]), 7);
+        assert_eq!(r.counter_total("tasks_total"), 10);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = MetricsRegistry::enabled();
+        r.counter_add("x_total", &[("a", "1"), ("b", "2")], 1);
+        assert_eq!(r.counter_value("x_total", &[("b", "2"), ("a", "1")]), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_count_correctly() {
+        let r = MetricsRegistry::enabled();
+        let bounds = [1.0, 10.0];
+        r.observe_with("lat", &[], &bounds, 0.5); // bucket 0
+        r.observe_with("lat", &[], &bounds, 1.0); // bucket 0 (le)
+        r.observe_with("lat", &[], &bounds, 5.0); // bucket 1
+        r.observe_with("lat", &[], &bounds, 99.0); // +Inf
+        let h = r.histogram("lat", &[]).expect("exists");
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 105.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = MetricsRegistry::enabled();
+        r.gauge_set("pending", &[], 3.0);
+        r.gauge_set("pending", &[], 1.0);
+        assert_eq!(r.gauge_value("pending", &[]), Some(1.0));
+    }
+}

@@ -1,0 +1,267 @@
+//! Structured spans on the simulation clock.
+//!
+//! A span is an interval of virtual time on a *track* (one executor, the
+//! driver, one store backend) inside a *lane* (a group of tracks: `"vm"`,
+//! `"lambda"`, `"driver"`, `"storage"`). Lanes become processes and tracks
+//! become threads in the Chrome trace export, which is what makes the
+//! Figure-7 executor-timeline layout fall out of `chrome://tracing`
+//! directly.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use splitserve_des::SimTime;
+
+/// Identifies an open span. Obtained from [`SpanRecorder::open`]; a
+/// disabled recorder hands out [`SpanId::NONE`], which closes harmlessly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub(crate) u64);
+
+impl SpanId {
+    /// The id a disabled recorder returns; closing/annotating it is a no-op.
+    pub const NONE: SpanId = SpanId(u64::MAX);
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Lane (Chrome-trace process), e.g. `"vm"`, `"lambda"`, `"storage"`.
+    pub lane: String,
+    /// Track within the lane (Chrome-trace thread), e.g. an executor id.
+    pub track: String,
+    /// Human-readable name, e.g. `"task 2.5"` or `"segue drain"`.
+    pub name: String,
+    /// Open instant.
+    pub start: SimTime,
+    /// Close instant; `None` while still open.
+    pub end: Option<SimTime>,
+    /// Free-form annotations (Chrome-trace `args`).
+    pub args: Vec<(String, String)>,
+}
+
+/// An instant event — zero-duration marker on a track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instant {
+    pub(crate) lane: String,
+    pub(crate) track: String,
+    pub(crate) name: String,
+    pub(crate) at: SimTime,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct SpanInner {
+    pub spans: Vec<Span>,
+    pub instants: Vec<Instant>,
+}
+
+/// Records nested spans and instant markers. Disabled by [`Default`];
+/// clones of an enabled recorder share storage.
+#[derive(Debug, Clone, Default)]
+pub struct SpanRecorder {
+    pub(crate) inner: Option<Rc<RefCell<SpanInner>>>,
+}
+
+impl SpanRecorder {
+    /// A recorder that records.
+    pub fn enabled() -> Self {
+        SpanRecorder {
+            inner: Some(Rc::new(RefCell::new(SpanInner::default()))),
+        }
+    }
+
+    /// A recorder that drops everything (the [`Default`]).
+    pub fn disabled() -> Self {
+        SpanRecorder::default()
+    }
+
+    /// Whether record calls have any effect.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span at `at` on `lane`/`track`. Returns [`SpanId::NONE`]
+    /// when disabled.
+    pub fn open(&self, at: SimTime, lane: &str, track: &str, name: &str) -> SpanId {
+        let Some(inner) = &self.inner else {
+            return SpanId::NONE;
+        };
+        let mut inner = inner.borrow_mut();
+        let id = SpanId(inner.spans.len() as u64);
+        inner.spans.push(Span {
+            lane: lane.to_string(),
+            track: track.to_string(),
+            name: name.to_string(),
+            start: at,
+            end: None,
+            args: Vec::new(),
+        });
+        id
+    }
+
+    /// Closes `id` at `at`. Closing [`SpanId::NONE`] or an already-closed
+    /// span is a no-op; a close before the open instant is clamped to it
+    /// (zero-length span) so the trace stays well-formed.
+    pub fn close(&self, id: SpanId, at: SimTime) {
+        let Some(inner) = &self.inner else { return };
+        if id == SpanId::NONE {
+            return;
+        }
+        let mut inner = inner.borrow_mut();
+        if let Some(span) = inner.spans.get_mut(id.0 as usize) {
+            if span.end.is_none() {
+                span.end = Some(at.max(span.start));
+            }
+        }
+    }
+
+    /// Attaches a `key = value` annotation to an open or closed span.
+    pub fn annotate(&self, id: SpanId, key: &str, value: &str) {
+        let Some(inner) = &self.inner else { return };
+        if id == SpanId::NONE {
+            return;
+        }
+        let mut inner = inner.borrow_mut();
+        if let Some(span) = inner.spans.get_mut(id.0 as usize) {
+            span.args.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Records a zero-duration marker.
+    pub fn instant(&self, at: SimTime, lane: &str, track: &str, name: &str) {
+        let Some(inner) = &self.inner else { return };
+        inner.borrow_mut().instants.push(Instant {
+            lane: lane.to_string(),
+            track: track.to_string(),
+            name: name.to_string(),
+            at,
+        });
+    }
+
+    /// All spans recorded so far (open ones have `end == None`).
+    pub fn snapshot(&self) -> Vec<Span> {
+        match &self.inner {
+            Some(inner) => inner.borrow().spans.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Only the spans that have been closed.
+    pub fn finished_spans(&self) -> Vec<Span> {
+        self.snapshot()
+            .into_iter()
+            .filter(|s| s.end.is_some())
+            .collect()
+    }
+
+    /// Number of spans still open.
+    pub fn open_spans(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.borrow().spans.iter().filter(|s| s.end.is_none()).count(),
+            None => 0,
+        }
+    }
+
+    /// Checks the structural invariant that spans on each `(lane, track)`
+    /// pair nest properly: for any two spans on one track, they are either
+    /// disjoint or one contains the other. Returns the first offending
+    /// pair of names, or `None` when the invariant holds.
+    pub fn nesting_violation(&self) -> Option<(String, String)> {
+        let spans = self.finished_spans();
+        for (i, a) in spans.iter().enumerate() {
+            for b in spans.iter().skip(i + 1) {
+                if a.lane != b.lane || a.track != b.track {
+                    continue;
+                }
+                let (a0, a1) = (a.start, a.end.expect("finished"));
+                let (b0, b1) = (b.start, b.end.expect("finished"));
+                let disjoint = a1 <= b0 || b1 <= a0;
+                let a_in_b = b0 <= a0 && a1 <= b1;
+                let b_in_a = a0 <= b0 && b1 <= a1;
+                if !(disjoint || a_in_b || b_in_a) {
+                    return Some((a.name.clone(), b.name.clone()));
+                }
+            }
+        }
+        None
+    }
+
+    /// Renders the Chrome trace-event JSON (see the `chrome` module).
+    pub fn to_chrome_trace(&self) -> String {
+        crate::chrome::to_chrome_trace(self)
+    }
+
+    /// Writes [`SpanRecorder::to_chrome_trace`] to `path`.
+    pub fn write_chrome_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_trace())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = SpanRecorder::disabled();
+        let id = r.open(t(0), "vm", "e0", "task");
+        assert_eq!(id, SpanId::NONE);
+        r.close(id, t(1));
+        r.instant(t(0), "vm", "e0", "mark");
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn open_close_annotate() {
+        let r = SpanRecorder::enabled();
+        let id = r.open(t(1), "lambda", "lambda-0", "task 0.3");
+        r.annotate(id, "cpu_secs", "1.25");
+        assert_eq!(r.open_spans(), 1);
+        r.close(id, t(4));
+        assert_eq!(r.open_spans(), 0);
+        let spans = r.finished_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].end, Some(t(4)));
+        assert_eq!(spans[0].args, vec![("cpu_secs".into(), "1.25".into())]);
+    }
+
+    #[test]
+    fn double_close_keeps_first_end() {
+        let r = SpanRecorder::enabled();
+        let id = r.open(t(0), "vm", "e0", "task");
+        r.close(id, t(2));
+        r.close(id, t(9));
+        assert_eq!(r.finished_spans()[0].end, Some(t(2)));
+    }
+
+    #[test]
+    fn close_before_open_clamps() {
+        let r = SpanRecorder::enabled();
+        let id = r.open(t(5), "vm", "e0", "task");
+        r.close(id, t(1));
+        assert_eq!(r.finished_spans()[0].end, Some(t(5)));
+    }
+
+    #[test]
+    fn nesting_violation_detection() {
+        let r = SpanRecorder::enabled();
+        let a = r.open(t(0), "vm", "e0", "outer");
+        let b = r.open(t(1), "vm", "e0", "inner");
+        r.close(b, t(2));
+        r.close(a, t(3));
+        // Disjoint span on another track never conflicts.
+        let c = r.open(t(1), "vm", "e1", "other");
+        r.close(c, t(5));
+        assert_eq!(r.nesting_violation(), None);
+
+        // A genuinely interleaved pair on one track is flagged.
+        let x = r.open(t(10), "vm", "e0", "x");
+        let y = r.open(t(11), "vm", "e0", "y");
+        r.close(x, t(12));
+        r.close(y, t(13));
+        assert_eq!(r.nesting_violation(), Some(("x".into(), "y".into())));
+    }
+}

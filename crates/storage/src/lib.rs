@@ -19,6 +19,7 @@
 mod api;
 mod hdfs;
 mod local;
+mod obs;
 mod redis;
 mod s3;
 mod sqs;
@@ -29,6 +30,7 @@ pub use api::{
 };
 pub use hdfs::{HdfsSpec, HdfsStore};
 pub use local::LocalDiskStore;
+pub use obs::InstrumentedStore;
 pub use redis::{RedisSpec, RedisStore};
 pub use s3::{S3Spec, S3Store};
 pub use sqs::{SqsSpec, SqsStore, SQS_MESSAGE_BYTES};

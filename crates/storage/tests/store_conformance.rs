@@ -68,7 +68,9 @@ fn every_store_roundtrips_blocks() {
             }
             sim.run();
             // Read them back and compare bytes.
-            let results: Rc<RefCell<Vec<(usize, Vec<u8>)>>> = Rc::new(RefCell::new(Vec::new()));
+            #[allow(clippy::type_complexity)]
+            let results: Rc<RefCell<Vec<(usize, Vec<u8>)>>> =
+                Rc::new(RefCell::new(Vec::new()));
             for (i, _) in payloads.iter().enumerate() {
                 let res = Rc::clone(&results);
                 store.get(

@@ -296,7 +296,7 @@ mod tests {
         });
         sim.run();
         let (centroids, iters) = result.borrow_mut().take().expect("finished");
-        assert!(iters >= 1 && iters <= 5);
+        assert!((1..=5).contains(&iters));
         // Each found centroid is close to some true center (noise ±1 on
         // each of 4 dims → expected offset well under 1).
         for c in &centroids {

@@ -222,7 +222,7 @@ mod tests {
         });
         sim.run();
         let mut rows = out.borrow_mut().take().expect("job done");
-        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows.sort_by_key(|a| a.0);
         rows
     }
 

@@ -12,6 +12,27 @@ cargo build --release --offline
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> exporting and validating the Chrome trace"
+cargo run --release --offline --example trace_timeline >/dev/null
+python3 -c '
+import json, sys
+
+with open("target/trace_timeline.json") as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace must contain events"
+phases = {e["ph"] for e in events}
+assert "X" in phases, "trace must contain complete (X) spans"
+lanes = {e["args"]["name"] for e in events
+         if e["ph"] == "M" and e["name"] == "process_name"}
+for lane in ("vm", "lambda", "segue"):
+    assert lane in lanes, f"missing {lane} lane: {sorted(lanes)}"
+print(f"OK: {len(events)} trace events across lanes {sorted(lanes)}")
+'
+
 echo "==> checking for non-path dependencies"
 cargo metadata --offline --format-version 1 |
     python3 -c '

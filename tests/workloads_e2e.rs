@@ -38,7 +38,7 @@ fn pagerank_result_is_identical_on_vm_lambda_and_hybrid_clusters() {
             });
         sim.run();
         let mut rows = out.borrow_mut().take().expect("completed");
-        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows.sort_by_key(|a| a.0);
         rows
     };
     let on_vms = run(6, 0);
