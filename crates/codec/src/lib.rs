@@ -62,6 +62,9 @@ macro_rules! impl_record {
             fn encode(&self, out: &mut ::std::vec::Vec<u8>) {
                 $( $crate::Encode::encode(&self.$field, out); )*
             }
+            fn encoded_len(&self) -> usize {
+                0 $( + $crate::Encode::encoded_len(&self.$field) )*
+            }
         }
         impl $crate::Decode for $name {
             fn decode(input: &mut &[u8]) -> $crate::Result<Self> {
@@ -73,13 +76,15 @@ macro_rules! impl_record {
     };
 }
 
-/// Encoded size of `value` in bytes, computed by serializing it.
+/// Encoded size of `value` in bytes, computed arithmetically via
+/// [`Encode::encoded_len`] — no serialization happens.
 ///
 /// # Errors
 ///
-/// Same as [`to_bytes`].
+/// Infallible today (kept `Result` so call sites and future format
+/// revisions keep a stable signature).
 pub fn encoded_len<T: Encode + ?Sized>(value: &T) -> Result<usize> {
-    to_bytes(value).map(|b| b.len())
+    Ok(value.encoded_len())
 }
 
 #[cfg(test)]
@@ -212,6 +217,48 @@ mod tests {
         // A (u64 key, f64 value) record with a small key: 1 + 8 bytes.
         let n = crate::encoded_len(&(5u64, 1.0f64)).expect("len");
         assert_eq!(n, 9);
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_every_impl() {
+        fn assert_exact<T: Encode + std::fmt::Debug>(v: &T) {
+            let bytes = crate::to_bytes(v).expect("encode");
+            assert_eq!(v.encoded_len(), bytes.len(), "encoded_len({v:?})");
+        }
+        assert_exact(&true);
+        assert_exact(&0u8);
+        assert_exact(&127u64);
+        assert_exact(&128u64);
+        assert_exact(&u64::MAX);
+        assert_exact(&-1i32);
+        assert_exact(&i64::MIN);
+        assert_exact(&3.25f32);
+        assert_exact(&f64::NAN);
+        assert_exact(&'λ');
+        assert_exact(&"hello".to_string());
+        assert_exact(&vec![1u32, 200, 40_000]);
+        assert_exact(&Vec::<u64>::new());
+        assert_exact(&Some("x".to_string()));
+        assert_exact(&Option::<u8>::None);
+        assert_exact(&(5u64, 1.0f64, "k".to_string()));
+        assert_exact(&());
+        let mut m = BTreeMap::new();
+        m.insert(1u32, vec![9u8; 3]);
+        assert_exact(&m);
+        // Hand-written impls without an override go through the default
+        // (measure-by-encoding) fallback and must agree too.
+        assert_exact(&Shape::Tuple(1, "t".into()));
+        assert_exact(&Shape::Unit);
+        // impl_record! structs compute arithmetically.
+        assert_exact(&Nested {
+            id: 9,
+            tags: vec!["a".into()],
+            inner: Some(Box::new(Nested {
+                id: 1,
+                tags: vec![],
+                inner: None,
+            })),
+        });
     }
 
     #[test]

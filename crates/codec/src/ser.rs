@@ -17,6 +17,23 @@ use crate::varint;
 pub trait Encode {
     /// Appends this value's encoding to `out`.
     fn encode(&self, out: &mut Vec<u8>);
+
+    /// The exact number of bytes [`encode`](Encode::encode) will append.
+    ///
+    /// The shuffle write path sums this over a bucket's records to size
+    /// its output buffer exactly, so encoding never reallocates and
+    /// blocks carry no spare capacity. Every impl in this crate computes
+    /// the length arithmetically; the default is a correct fallback for
+    /// hand-written impls (it encodes into pooled scratch and measures),
+    /// so `encoded_len == encode'd byte count` is an invariant, not a
+    /// hint.
+    fn encoded_len(&self) -> usize {
+        let mut scratch = splitserve_rt::pool::take(0);
+        self.encode(&mut scratch);
+        let n = scratch.len();
+        splitserve_rt::pool::give(scratch);
+        n
+    }
 }
 
 /// Serializes `value` into a fresh byte vector.
@@ -56,6 +73,9 @@ impl Encode for bool {
     fn encode(&self, out: &mut Vec<u8>) {
         out.push(*self as u8);
     }
+    fn encoded_len(&self) -> usize {
+        1
+    }
 }
 
 macro_rules! encode_unsigned {
@@ -63,6 +83,9 @@ macro_rules! encode_unsigned {
         impl Encode for $ty {
             fn encode(&self, out: &mut Vec<u8>) {
                 varint::write_u64(out, *self as u64);
+            }
+            fn encoded_len(&self) -> usize {
+                varint::len_u64(*self as u64)
             }
         }
     )*};
@@ -75,6 +98,9 @@ macro_rules! encode_signed {
             fn encode(&self, out: &mut Vec<u8>) {
                 varint::write_i64(out, *self as i64);
             }
+            fn encoded_len(&self) -> usize {
+                varint::len_i64(*self as i64)
+            }
         }
     )*};
 }
@@ -84,17 +110,26 @@ impl Encode for f32 {
     fn encode(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.to_le_bytes());
     }
+    fn encoded_len(&self) -> usize {
+        4
+    }
 }
 
 impl Encode for f64 {
     fn encode(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.to_le_bytes());
     }
+    fn encoded_len(&self) -> usize {
+        8
+    }
 }
 
 impl Encode for char {
     fn encode(&self, out: &mut Vec<u8>) {
         varint::write_u64(out, *self as u64);
+    }
+    fn encoded_len(&self) -> usize {
+        varint::len_u64(*self as u64)
     }
 }
 
@@ -103,11 +138,17 @@ impl Encode for str {
         varint::write_u64(out, self.len() as u64);
         out.extend_from_slice(self.as_bytes());
     }
+    fn encoded_len(&self) -> usize {
+        varint::len_u64(self.len() as u64) + self.len()
+    }
 }
 
 impl Encode for String {
     fn encode(&self, out: &mut Vec<u8>) {
         self.as_str().encode(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.as_str().encoded_len()
     }
 }
 
@@ -117,11 +158,17 @@ impl<T: Encode + ?Sized> Encode for &T {
     fn encode(&self, out: &mut Vec<u8>) {
         (**self).encode(out);
     }
+    fn encoded_len(&self) -> usize {
+        (**self).encoded_len()
+    }
 }
 
 impl<T: Encode + ?Sized> Encode for Box<T> {
     fn encode(&self, out: &mut Vec<u8>) {
         (**self).encode(out);
+    }
+    fn encoded_len(&self) -> usize {
+        (**self).encoded_len()
     }
 }
 
@@ -135,6 +182,12 @@ impl<T: Encode> Encode for Option<T> {
             }
         }
     }
+    fn encoded_len(&self) -> usize {
+        match self {
+            None => 1,
+            Some(v) => 1 + v.encoded_len(),
+        }
+    }
 }
 
 impl<T: Encode> Encode for [T] {
@@ -144,11 +197,18 @@ impl<T: Encode> Encode for [T] {
             item.encode(out);
         }
     }
+    fn encoded_len(&self) -> usize {
+        varint::len_u64(self.len() as u64)
+            + self.iter().map(Encode::encoded_len).sum::<usize>()
+    }
 }
 
 impl<T: Encode> Encode for Vec<T> {
     fn encode(&self, out: &mut Vec<u8>) {
         self.as_slice().encode(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.as_slice().encoded_len()
     }
 }
 
@@ -160,6 +220,13 @@ impl<K: Encode, V: Encode> Encode for BTreeMap<K, V> {
             v.encode(out);
         }
     }
+    fn encoded_len(&self) -> usize {
+        varint::len_u64(self.len() as u64)
+            + self
+                .iter()
+                .map(|(k, v)| k.encoded_len() + v.encoded_len())
+                .sum::<usize>()
+    }
 }
 
 impl<K: Encode, V: Encode, S> Encode for HashMap<K, V, S> {
@@ -170,10 +237,20 @@ impl<K: Encode, V: Encode, S> Encode for HashMap<K, V, S> {
             v.encode(out);
         }
     }
+    fn encoded_len(&self) -> usize {
+        varint::len_u64(self.len() as u64)
+            + self
+                .iter()
+                .map(|(k, v)| k.encoded_len() + v.encoded_len())
+                .sum::<usize>()
+    }
 }
 
 impl Encode for () {
     fn encode(&self, _out: &mut Vec<u8>) {}
+    fn encoded_len(&self) -> usize {
+        0
+    }
 }
 
 macro_rules! encode_tuple {
@@ -181,6 +258,9 @@ macro_rules! encode_tuple {
         impl<$($name: Encode),+> Encode for ($($name,)+) {
             fn encode(&self, out: &mut Vec<u8>) {
                 $( self.$idx.encode(out); )+
+            }
+            fn encoded_len(&self) -> usize {
+                0 $( + self.$idx.encoded_len() )+
             }
         }
     };

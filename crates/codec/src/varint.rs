@@ -20,6 +20,19 @@ pub fn write_i64(out: &mut Vec<u8>, v: i64) {
     write_u64(out, zigzag(v));
 }
 
+/// Encoded length of `v` as an LEB128 varint, without writing anything
+/// (the size-hint half of [`write_u64`]).
+pub fn len_u64(v: u64) -> usize {
+    // 7 significant bits per byte; zero still takes one byte.
+    let bits = 64 - (v | 1).leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Encoded length of `v` as a zigzag varint.
+pub fn len_i64(v: i64) -> usize {
+    len_u64(zigzag(v))
+}
+
 /// Maps signed to unsigned preserving small magnitudes: 0,-1,1,-2 → 0,1,2,3.
 pub fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
@@ -90,6 +103,30 @@ mod tests {
         let mut buf = Vec::new();
         write_u64(&mut buf, 127);
         assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn len_matches_write_exactly() {
+        let edges = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        for v in edges {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(len_u64(v), buf.len(), "len_u64({v})");
+        }
+        for v in [0i64, -1, 1, 63, -64, 64, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            assert_eq!(len_i64(v), buf.len(), "len_i64({v})");
+        }
     }
 
     #[test]

@@ -403,7 +403,7 @@ mod tests {
         let out = Rc::new(RefCell::new(None));
         let o = Rc::clone(&out);
         d.engine().submit_job(sim, ds.node(), move |_, r| {
-            *o.borrow_mut() = Some(collect_partitions::<(u64, u64)>(&r.partitions));
+            *o.borrow_mut() = Some(collect_partitions::<(u64, u64)>(r.partitions));
         });
         sim.run();
         let mut rows = out.borrow_mut().take().expect("job done");

@@ -359,7 +359,7 @@ mod tests {
             .map_with_cost(|x| (*x % 32, 1u64), Some(self.work_per_record))
             .reduce_by_key(parts, |a, b| a + b);
             engine.submit_job(sim, ds.node(), move |sim, out| {
-                let rows = collect_partitions::<(u64, u64)>(&out.partitions);
+                let rows = collect_partitions::<(u64, u64)>(out.partitions);
                 assert_eq!(rows.len(), 32, "workload result must be correct");
                 done(sim);
             });

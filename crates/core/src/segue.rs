@@ -196,7 +196,7 @@ mod tests {
             .filter(|e| e.id.0.starts_with("lambda-") && e.alive)
             .count();
         assert_eq!(lambdas_alive, 0, "all lambdas decommissioned");
-        let correct = collect_partitions::<(u64, f64)>(&r.partitions);
+        let correct = collect_partitions::<(u64, f64)>(r.partitions);
         assert_eq!(correct.len(), 16);
         assert!(correct.iter().all(|(_, v)| (*v - 80_000.0).abs() < 1e-9));
     }

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use splitserve_obs::Obs;
 use splitserve_rt::Bytes;
 
 use crate::config::WorkModel;
@@ -17,6 +18,7 @@ pub struct TaskContext {
     cpu_secs: f64,
     bytes_in: u64,
     bytes_out: u64,
+    obs: Obs,
 }
 
 impl TaskContext {
@@ -33,7 +35,21 @@ impl TaskContext {
             cpu_secs: 0.0,
             bytes_in,
             bytes_out: 0,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle so shuffle operators can record
+    /// their metrics (the scheduler passes the engine's; stand-alone
+    /// contexts keep the disabled default, which records nothing).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle in force.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// An empty context (source stages with no shuffle inputs).

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+mod combine;
 mod config;
 mod context;
 mod events;

@@ -9,6 +9,8 @@ use std::any::Any;
 use std::cell::Cell;
 use std::rc::Rc;
 
+use splitserve_rt::Bytes;
+
 use crate::context::TaskContext;
 
 /// A computed partition: `Rc<Vec<T>>` behind `Any`. Cheap to clone and
@@ -54,10 +56,15 @@ pub fn next_shuffle_id() -> ShuffleId {
 
 /// One serialized shuffle bucket produced by a map task: the bytes bound
 /// for one reduce partition, plus how many records they contain.
+///
+/// The payload is an immutable [`Bytes`] snapshot sized exactly to its
+/// contents: the partitioner encodes into pooled scratch and freezes the
+/// result here, so the scheduler can hand the same allocation to the
+/// block store without copying.
 #[derive(Debug, Clone)]
 pub struct ShuffleBucket {
     /// Serialized records.
-    pub bytes: Vec<u8>,
+    pub bytes: Bytes,
     /// Record count (for metrics and cost accounting).
     pub records: u64,
 }

@@ -8,16 +8,25 @@
 //! map-side combine, and serializes buckets with `splitserve-codec`; their
 //! reduce side deserializes and merges. All transformations do *real* work
 //! on real data — the context only accounts the CPU seconds.
+//!
+//! The shuffle data plane is built for throughput without giving up
+//! byte-determinism (see DESIGN.md "Shuffle data plane"): keys are hashed
+//! once with the fixed-seed XXH64 [`shuffle_hash`], grouping goes through
+//! the insertion-ordered [`HashGroup`] instead of `BTreeMap`s, encode
+//! buffers are sized exactly via [`Encode::encoded_len`] and recycled
+//! through [`splitserve_rt::pool`], and the reduce side consumes blocks
+//! through a streaming decoder instead of materializing them.
 
-use std::collections::hash_map::DefaultHasher;
 use std::cell::RefCell;
-use std::collections::BTreeMap;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::marker::PhantomData;
 use std::rc::Rc;
 
 use splitserve_codec::{Decode, Encode};
-use splitserve_rt::Bytes;
+use splitserve_rt::hash::shuffle_hash;
+use splitserve_rt::{pool, Bytes};
+
+use crate::combine::HashGroup;
 
 use crate::context::TaskContext;
 use crate::node::{
@@ -64,12 +73,17 @@ impl<T> std::fmt::Debug for Dataset<T> {
     }
 }
 
-/// Deterministic key→partition hashing (std's SipHash with fixed keys, so
-/// every run partitions identically).
+/// Deterministic key→partition hashing: fixed-seed XXH64 (see
+/// [`splitserve_rt::hash`]), so every run — on any toolchain — partitions
+/// identically, and at a fraction of SipHash's cost.
 pub fn bucket_of<K: Hash>(key: &K, num_partitions: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() % num_partitions as u64) as usize
+    bucket_of_hash(shuffle_hash(key), num_partitions)
+}
+
+/// The bucket for an already-computed [`shuffle_hash`] — the map side
+/// hashes each key once and reuses it for grouping and bucketing.
+pub(crate) fn bucket_of_hash(hash: u64, num_partitions: usize) -> usize {
+    (hash % num_partitions as u64) as usize
 }
 
 fn rows<T: 'static>(data: &PartitionData) -> &Vec<T> {
@@ -244,19 +258,18 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
             partitioner: make_partitioner::<K, V>(partitions, Some(Rc::clone(&f))),
         });
         let merge: MergeFn<(K, V)> = Rc::new(move |ctx: &mut TaskContext, blocks: Vec<Bytes>| {
-            let mut acc: BTreeMap<K, V> = BTreeMap::new();
-            for (k, v) in decode_blocks::<K, V>(ctx, blocks) {
-                match acc.remove(&k) {
-                    Some(prev) => {
-                        ctx.charge_combine(1);
-                        acc.insert(k, f(&prev, &v));
-                    }
-                    None => {
-                        acc.insert(k, v);
-                    }
+            let mut acc: HashGroup<K, V> = HashGroup::with_capacity(64);
+            for (k, v) in decode_stream::<K, V>(ctx, blocks) {
+                let h = shuffle_hash(&k);
+                let merged = acc.upsert_owned(h, k, v, |v| v, |a, v| {
+                    let m = f(a, &v);
+                    *a = m;
+                });
+                if merged {
+                    ctx.charge_combine(1);
                 }
             }
-            acc.into_iter().collect::<Vec<(K, V)>>()
+            acc.into_pairs().collect::<Vec<(K, V)>>()
         });
         Dataset::from_node(Rc::new(ShuffledNode {
             id: next_node_id(),
@@ -276,12 +289,12 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
             partitioner: make_partitioner::<K, V>(partitions, None),
         });
         let merge: MergeFn<(K, Vec<V>)> = Rc::new(move |ctx: &mut TaskContext, blocks: Vec<Bytes>| {
-            let mut acc: BTreeMap<K, Vec<V>> = BTreeMap::new();
-            for (k, v) in decode_blocks::<K, V>(ctx, blocks) {
+            let mut acc: HashGroup<K, Vec<V>> = HashGroup::with_capacity(64);
+            for (k, v) in decode_stream::<K, V>(ctx, blocks) {
                 ctx.charge_combine(1);
-                acc.entry(k).or_default().push(v);
+                acc.upsert_owned(shuffle_hash(&k), k, v, |v| vec![v], |a, v| a.push(v));
             }
-            acc.into_iter().collect::<Vec<(K, Vec<V>)>>()
+            acc.into_pairs().collect::<Vec<(K, Vec<V>)>>()
         });
         Dataset::from_node(Rc::new(ShuffledNode {
             id: next_node_id(),
@@ -327,90 +340,216 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
 /// Extracts and concatenates the typed records of a job's output
 /// partitions (the driver-side half of `collect()`).
 ///
+/// Takes the partitions by value: whenever a partition's `Rc` is the
+/// last handle (the common case — the scheduler hands its only reference
+/// over), the rows are moved out instead of cloned, and the first
+/// non-empty partition's vector is taken over wholesale. Shared
+/// partitions (e.g. behind a `cache()`) fall back to cloning.
+///
 /// # Panics
 ///
 /// Panics if the partitions hold a different record type.
-pub fn collect_partitions<T: Clone + 'static>(parts: &[PartitionData]) -> Vec<T> {
-    let mut out = Vec::new();
+pub fn collect_partitions<T: Clone + 'static>(parts: Vec<PartitionData>) -> Vec<T> {
+    let mut out: Vec<T> = Vec::new();
     for p in parts {
-        out.extend(rows::<T>(p).iter().cloned());
+        let rc = p
+            .downcast::<Vec<T>>()
+            .unwrap_or_else(|_| panic!("partition type mismatch: engine invariant violated"));
+        match Rc::try_unwrap(rc) {
+            Ok(v) => {
+                if out.is_empty() {
+                    out = v;
+                } else {
+                    out.extend(v);
+                }
+            }
+            Err(shared) => out.extend(shared.iter().cloned()),
+        }
     }
     out
 }
 
 // ----- map-side shuffle machinery -------------------------------------
 
-fn decode_blocks<K: ShuffleKey, V: ShuffleValue>(
-    ctx: &mut TaskContext,
+/// Streaming decoder over fetched shuffle blocks: yields records one at
+/// a time with no intermediate `Vec`, so reduce-side merges fold each
+/// record straight into their accumulator. Deserialization cost is
+/// charged for all blocks up front (the bytes will all be decoded), so
+/// the iterator itself never needs the context.
+pub(crate) struct DecodeStream<K, V> {
     blocks: Vec<Bytes>,
-) -> Vec<(K, V)> {
-    let mut out = Vec::new();
-    for block in blocks {
-        ctx.charge_deser(block.len() as u64);
-        let mut slice: &[u8] = &block;
-        while !slice.is_empty() {
-            let rec: (K, V) = splitserve_codec::from_bytes_seq(&mut slice)
+    block: usize,
+    offset: usize,
+    _t: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K: Decode, V: Decode> Iterator for DecodeStream<K, V> {
+    type Item = (K, V);
+    fn next(&mut self) -> Option<(K, V)> {
+        loop {
+            let block = self.blocks.get(self.block)?;
+            let mut slice: &[u8] = &block[self.offset..];
+            if slice.is_empty() {
+                self.block += 1;
+                self.offset = 0;
+                continue;
+            }
+            let before = slice.len();
+            let rec = splitserve_codec::from_bytes_seq(&mut slice)
                 .expect("corrupt shuffle block: engine invariant violated");
-            out.push(rec);
+            self.offset += before - slice.len();
+            return Some(rec);
         }
     }
-    out
+}
+
+pub(crate) fn decode_stream<K: Decode, V: Decode>(
+    ctx: &mut TaskContext,
+    blocks: Vec<Bytes>,
+) -> DecodeStream<K, V> {
+    for b in &blocks {
+        ctx.charge_deser(b.len() as u64);
+    }
+    DecodeStream {
+        blocks,
+        block: 0,
+        offset: 0,
+        _t: PhantomData,
+    }
 }
 
 /// Commutative/associative combiner used by map-side and reduce-side
 /// aggregation.
 type CombineFn<V> = Rc<dyn Fn(&V, &V) -> V>;
 
-fn make_partitioner<K: ShuffleKey, V: ShuffleValue>(
+/// Histogram bounds for `shuffle_combine_seconds` (virtual CPU seconds
+/// of one map task's combine phase — much finer than request latencies).
+const COMBINE_BUCKETS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0];
+
+/// Freezes filled per-bucket scratch buffers into exact-sized [`Bytes`]
+/// blocks, charges the serialization work, returns the scratch to the
+/// pool and records the encoded volume (when observability is enabled).
+fn finish_buckets(ctx: &mut TaskContext, bufs: Vec<Vec<u8>>, counts: Vec<u64>) -> Vec<ShuffleBucket> {
+    let mut encoded_total = 0u64;
+    let buckets = bufs
+        .into_iter()
+        .zip(counts)
+        .map(|(buf, records)| {
+            ctx.charge_ser(buf.len() as u64);
+            encoded_total += buf.len() as u64;
+            let bytes = Bytes::copy_from_slice(&buf);
+            pool::give(buf);
+            ShuffleBucket { bytes, records }
+        })
+        .collect();
+    if encoded_total > 0 {
+        ctx.obs()
+            .metrics
+            .counter_add("shuffle_encode_bytes_total", &[], encoded_total);
+    }
+    buckets
+}
+
+/// Encodes a combined [`HashGroup`] into one bucket per reduce partition,
+/// reserving each buffer exactly via [`Encode::encoded_len`]: after
+/// map-side combine the surviving entries are few relative to the input,
+/// so the sizing pass is cheap and the encode pass never reallocates.
+fn encode_grouped<K, V>(
+    ctx: &mut TaskContext,
+    num: usize,
+    groups: &HashGroup<K, V>,
+) -> Vec<ShuffleBucket>
+where
+    K: Encode + Eq,
+    V: Encode,
+{
+    let mut totals = vec![0usize; num];
+    let mut counts = vec![0u64; num];
+    for (h, k, v) in groups.entries() {
+        let b = bucket_of_hash(*h, num);
+        totals[b] += k.encoded_len() + v.encoded_len();
+        counts[b] += 1;
+    }
+    let mut bufs: Vec<Vec<u8>> = totals.iter().map(|t| pool::take(*t)).collect();
+    for (h, k, v) in groups.entries() {
+        let b = bucket_of_hash(*h, num);
+        // Field-by-field writes produce the same bytes as encoding the
+        // `(K, V)` tuple: the wire format has no framing between fields.
+        k.encode(&mut bufs[b]);
+        v.encode(&mut bufs[b]);
+    }
+    debug_assert!(
+        bufs.iter().zip(&totals).all(|(buf, t)| buf.len() == *t),
+        "encoded_len must match encode exactly"
+    );
+    finish_buckets(ctx, bufs, counts)
+}
+
+/// Partitions `records` into `num` serialized buckets by `bucket_fn`
+/// (hash buckets here; range buckets in `sort_by_key`). Shared by every
+/// non-combining map side.
+///
+/// Deliberately a single pass: pre-sizing each bucket with `encoded_len`
+/// was measured to cost as much as the encoding itself on byte-array
+/// payloads (CloudSort), so non-combining shuffles stream straight into
+/// recycled pool buffers, which arrive pre-grown after the first task of
+/// a stage.
+pub(crate) fn encode_buckets_by<K, V>(
+    ctx: &mut TaskContext,
+    records: &[(K, V)],
+    num: usize,
+    bucket_fn: impl Fn(&K) -> usize,
+) -> Vec<ShuffleBucket>
+where
+    K: Encode + 'static,
+    V: Encode + 'static,
+{
+    let mut counts = vec![0u64; num];
+    let mut bufs: Vec<Vec<u8>> = (0..num).map(|_| pool::take(0)).collect();
+    for (k, v) in records {
+        let b = bucket_fn(k);
+        counts[b] += 1;
+        k.encode(&mut bufs[b]);
+        v.encode(&mut bufs[b]);
+    }
+    finish_buckets(ctx, bufs, counts)
+}
+
+pub(crate) fn make_partitioner<K: ShuffleKey, V: ShuffleValue>(
     num: usize,
     combine: Option<CombineFn<V>>,
 ) -> Partitioner {
     Rc::new(move |ctx: &mut TaskContext, data: PartitionData| {
         let records = rows::<(K, V)>(&data);
         ctx.charge_records(records.len() as u64);
-        let mut buckets: Vec<ShuffleBucket> = (0..num)
-            .map(|_| ShuffleBucket {
-                bytes: Vec::new(),
-                records: 0,
-            })
-            .collect();
         match &combine {
             Some(f) => {
-                // Map-side combine: one BTreeMap per bucket.
-                let mut maps: Vec<BTreeMap<&K, V>> = (0..num).map(|_| BTreeMap::new()).collect();
+                // Map-side combine: one hash of each key serves both the
+                // grouping table and (via the stored hash) bucket choice,
+                // since equal keys share a hash and therefore a bucket.
+                let combine_started = ctx.cpu_secs();
+                let mut groups: HashGroup<K, V> =
+                    HashGroup::with_capacity(records.len().min(1024));
                 for (k, v) in records {
-                    let b = bucket_of(k, num);
-                    match maps[b].remove(k) {
-                        Some(prev) => {
-                            ctx.charge_combine(1);
-                            maps[b].insert(k, f(&prev, v));
-                        }
-                        None => {
-                            maps[b].insert(k, v.clone());
-                        }
+                    let h = shuffle_hash(k);
+                    let merged = groups.upsert(h, k, v, V::clone, |a, v| {
+                        let m = f(a, v);
+                        *a = m;
+                    });
+                    if merged {
+                        ctx.charge_combine(1);
                     }
                 }
-                for (b, m) in maps.into_iter().enumerate() {
-                    for (k, v) in m {
-                        splitserve_codec::to_writer(&mut buckets[b].bytes, &(k, &v))
-                            .expect("serializing shuffle record");
-                        buckets[b].records += 1;
-                    }
-                }
+                ctx.obs().metrics.observe_with(
+                    "shuffle_combine_seconds",
+                    &[],
+                    COMBINE_BUCKETS,
+                    ctx.cpu_secs() - combine_started,
+                );
+                encode_grouped(ctx, num, &groups)
             }
-            None => {
-                for (k, v) in records {
-                    let b = bucket_of(k, num);
-                    splitserve_codec::to_writer(&mut buckets[b].bytes, &(k, v))
-                        .expect("serializing shuffle record");
-                    buckets[b].records += 1;
-                }
-            }
+            None => encode_buckets_by(ctx, records, num, |k| bucket_of(k, num)),
         }
-        for b in &buckets {
-            ctx.charge_ser(b.bytes.len() as u64);
-        }
-        buckets
     })
 }
 
@@ -713,17 +852,17 @@ impl<K: ShuffleKey, V: ShuffleValue, W: ShuffleValue> PlanNode for JoinNode<K, V
     fn compute(&self, ctx: &mut TaskContext, _part: usize) -> PartitionData {
         let left_blocks = ctx.shuffle_input(self.left.id);
         let right_blocks = ctx.shuffle_input(self.right.id);
-        let left = decode_blocks::<K, V>(ctx, left_blocks);
-        let right = decode_blocks::<K, W>(ctx, right_blocks);
-        let mut table: BTreeMap<K, Vec<V>> = BTreeMap::new();
-        for (k, v) in left {
+        // Hash join: build a table from the left stream, probe with the
+        // right stream — records never sit in an intermediate Vec.
+        let mut table: HashGroup<K, Vec<V>> = HashGroup::with_capacity(64);
+        for (k, v) in decode_stream::<K, V>(ctx, left_blocks) {
             ctx.charge_combine(1);
-            table.entry(k).or_default().push(v);
+            table.upsert_owned(shuffle_hash(&k), k, v, |v| vec![v], |a, v| a.push(v));
         }
         let mut out: Vec<(K, (V, W))> = Vec::new();
-        for (k, w) in right {
+        for (k, w) in decode_stream::<K, W>(ctx, right_blocks) {
             ctx.charge_combine(1);
-            if let Some(vs) = table.get(&k) {
+            if let Some(vs) = table.get(shuffle_hash(&k), &k) {
                 for v in vs {
                     out.push((k.clone(), (v.clone(), w.clone())));
                 }
@@ -748,7 +887,7 @@ mod tests {
         let parts: Vec<PartitionData> = (0..node.num_partitions())
             .map(|p| node.compute(&mut ctx(), p))
             .collect();
-        collect_partitions(&parts)
+        collect_partitions(parts)
     }
 
     #[test]
@@ -840,7 +979,7 @@ mod tests {
             let bs = (dep.partitioner)(&mut c, data);
             for (r, b) in bs.into_iter().enumerate() {
                 if !b.bytes.is_empty() {
-                    buckets[r].push(Bytes::from(b.bytes));
+                    buckets[r].push(b.bytes);
                 }
             }
         }
@@ -903,7 +1042,7 @@ mod tests {
             let d = dep.parent.compute(&mut c, m);
             for (r, b) in (dep.partitioner)(&mut c, d).into_iter().enumerate() {
                 if !b.bytes.is_empty() {
-                    buckets[r].push(Bytes::from(b.bytes));
+                    buckets[r].push(b.bytes);
                 }
             }
         }
@@ -943,7 +1082,7 @@ mod tests {
                 let d = dep.parent.compute(&mut c, m);
                 for (rr, b) in (dep.partitioner)(&mut c, d).into_iter().enumerate() {
                     if !b.bytes.is_empty() {
-                        buckets[rr].push(Bytes::from(b.bytes));
+                        buckets[rr].push(b.bytes);
                     }
                 }
             }

@@ -2,37 +2,22 @@
 //! range-partitioned sort — the rest of the RDD API surface a Spark user
 //! would expect, built on the same shuffle machinery as `ops`.
 
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use splitserve_rt::Bytes;
+use splitserve_rt::hash::shuffle_hash;
 
+use crate::combine::HashGroup;
 use crate::context::TaskContext;
 use crate::node::{
-    next_node_id, next_shuffle_id, Dep, NodeId, Partitioner, PartitionData, PlanNode, ShuffleDep,
+    next_node_id, next_shuffle_id, Dep, NodeId, PartitionData, PlanNode, ShuffleDep,
 };
-use crate::ops::{bucket_of, Dataset, ShuffleKey, ShuffleValue};
+use crate::ops::{
+    decode_stream, encode_buckets_by, make_partitioner, Dataset, ShuffleKey, ShuffleValue,
+};
 
 fn rows<T: 'static>(data: &PartitionData) -> &Vec<T> {
     data.downcast_ref::<Vec<T>>()
         .expect("partition type mismatch: engine invariant violated")
-}
-
-fn decode_blocks<K: ShuffleKey, V: ShuffleValue>(
-    ctx: &mut TaskContext,
-    blocks: Vec<Bytes>,
-) -> Vec<(K, V)> {
-    let mut out = Vec::new();
-    for block in blocks {
-        ctx.charge_deser(block.len() as u64);
-        let mut slice: &[u8] = &block;
-        while !slice.is_empty() {
-            let rec: (K, V) = splitserve_codec::from_bytes_seq(&mut slice)
-                .expect("corrupt shuffle block: engine invariant violated");
-            out.push(rec);
-        }
-    }
-    out
 }
 
 /// A serializable record usable as a sort key with a total order.
@@ -68,7 +53,7 @@ impl<T: 'static> Dataset<(u8, T)> {
             id: next_shuffle_id(),
             parent: self.node(),
             num_partitions: 1,
-            partitioner: make_untyped_partitioner::<u8, T>(1),
+            partitioner: make_partitioner::<u8, T>(1, None),
         });
         let fold = Rc::new(fold);
         Dataset::from_node(Rc::new(FoldNode {
@@ -102,37 +87,13 @@ impl<T: ShuffleValue, A: Clone + 'static> PlanNode for FoldNode<T, A> {
     }
     fn compute(&self, ctx: &mut TaskContext, _part: usize) -> PartitionData {
         let blocks = ctx.shuffle_input(self.dep.id);
-        let records = decode_blocks::<u8, T>(ctx, blocks);
-        ctx.charge_combine(records.len() as u64);
         let mut acc = self.init.clone();
-        for (_, v) in records {
+        for (_, v) in decode_stream::<u8, T>(ctx, blocks) {
+            ctx.charge_combine(1);
             acc = (self.fold)(acc, v);
         }
         Rc::new(vec![acc])
     }
-}
-
-fn make_untyped_partitioner<K: ShuffleKey, V: ShuffleValue>(num: usize) -> Partitioner {
-    Rc::new(move |ctx, data| {
-        let records = rows::<(K, V)>(&data);
-        ctx.charge_records(records.len() as u64);
-        let mut buckets: Vec<crate::node::ShuffleBucket> = (0..num)
-            .map(|_| crate::node::ShuffleBucket {
-                bytes: Vec::new(),
-                records: 0,
-            })
-            .collect();
-        for (k, v) in records {
-            let b = bucket_of(k, num);
-            splitserve_codec::to_writer(&mut buckets[b].bytes, &(k, v))
-                .expect("serializing shuffle record");
-            buckets[b].records += 1;
-        }
-        for b in &buckets {
-            ctx.charge_ser(b.bytes.len() as u64);
-        }
-        buckets
-    })
 }
 
 impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
@@ -155,12 +116,22 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
         let seq = Rc::new(seq);
         let pre: Dataset<(K, A)> = self.map_partitions(move |ctx, records: &[(K, V)]| {
             ctx.charge_combine(records.len() as u64);
-            let mut acc: BTreeMap<&K, A> = BTreeMap::new();
+            // Group by reference: keys are cloned once per distinct key at
+            // the very end, not on every record.
+            let mut acc: HashGroup<&K, A> = HashGroup::with_capacity(records.len().min(1024));
             for (k, v) in records {
-                let a = acc.remove(k).unwrap_or_else(|| init2.clone());
-                acc.insert(k, seq(&a, v));
+                acc.upsert_owned(
+                    shuffle_hash(k),
+                    k,
+                    v,
+                    |v| seq(&init2, v),
+                    |a, v| {
+                        let m = seq(a, v);
+                        *a = m;
+                    },
+                );
             }
-            acc.into_iter().map(|(k, a)| (k.clone(), a)).collect()
+            acc.into_pairs().map(|(k, a)| (k.clone(), a)).collect()
         });
         pre.reduce_by_key(partitions, comb)
     }
@@ -183,13 +154,13 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
             id: next_shuffle_id(),
             parent: self.node(),
             num_partitions: partitions,
-            partitioner: make_untyped_partitioner::<K, V>(partitions),
+            partitioner: make_partitioner::<K, V>(partitions, None),
         });
         let right = Rc::new(ShuffleDep {
             id: next_shuffle_id(),
             parent: other.node(),
             num_partitions: partitions,
-            partitioner: make_untyped_partitioner::<K, W>(partitions),
+            partitioner: make_partitioner::<K, W>(partitions, None),
         });
         Dataset::from_node(Rc::new(CogroupNode::<K, V, W> {
             id: next_node_id(),
@@ -217,25 +188,11 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
             partitioner: Rc::new(move |ctx: &mut TaskContext, data: PartitionData| {
                 let records = rows::<(K, V)>(&data);
                 ctx.charge_records(records.len() as u64);
-                let mut buckets: Vec<crate::node::ShuffleBucket> = (0..partitions)
-                    .map(|_| crate::node::ShuffleBucket {
-                        bytes: Vec::new(),
-                        records: 0,
-                    })
-                    .collect();
-                for (k, v) in records {
-                    let b = match b2.binary_search(k) {
-                        Ok(i) => i,
-                        Err(i) => i,
-                    };
-                    splitserve_codec::to_writer(&mut buckets[b].bytes, &(k, v))
-                        .expect("serializing shuffle record");
-                    buckets[b].records += 1;
-                }
-                for b in &buckets {
-                    ctx.charge_ser(b.bytes.len() as u64);
-                }
-                buckets
+                // Range buckets instead of hash buckets; the pooled
+                // exact-size encode path is shared with the hash shuffles.
+                encode_buckets_by(ctx, records, partitions, |k| match b2.binary_search(k) {
+                    Ok(i) | Err(i) => i,
+                })
             }),
         });
         Dataset::from_node(Rc::new(SortedNode {
@@ -274,17 +231,28 @@ impl<K: ShuffleKey, V: ShuffleValue, W: ShuffleValue> PlanNode for CogroupNode<K
     fn compute(&self, ctx: &mut TaskContext, _part: usize) -> PartitionData {
         let lb = ctx.shuffle_input(self.left.id);
         let rb = ctx.shuffle_input(self.right.id);
-        let left = decode_blocks::<K, V>(ctx, lb);
-        let right = decode_blocks::<K, W>(ctx, rb);
-        ctx.charge_combine((left.len() + right.len()) as u64);
-        let mut groups: BTreeMap<K, (Vec<V>, Vec<W>)> = BTreeMap::new();
-        for (k, v) in left {
-            groups.entry(k).or_default().0.push(v);
+        let mut groups: HashGroup<K, (Vec<V>, Vec<W>)> = HashGroup::with_capacity(64);
+        for (k, v) in decode_stream::<K, V>(ctx, lb) {
+            ctx.charge_combine(1);
+            groups.upsert_owned(
+                shuffle_hash(&k),
+                k,
+                v,
+                |v| (vec![v], Vec::new()),
+                |a, v| a.0.push(v),
+            );
         }
-        for (k, w) in right {
-            groups.entry(k).or_default().1.push(w);
+        for (k, w) in decode_stream::<K, W>(ctx, rb) {
+            ctx.charge_combine(1);
+            groups.upsert_owned(
+                shuffle_hash(&k),
+                k,
+                w,
+                |w| (Vec::new(), vec![w]),
+                |a, w| a.1.push(w),
+            );
         }
-        Rc::new(groups.into_iter().collect::<Vec<(K, (Vec<V>, Vec<W>))>>())
+        Rc::new(groups.into_pairs().collect::<Vec<(K, (Vec<V>, Vec<W>))>>())
     }
 }
 
@@ -309,7 +277,7 @@ impl<K: ShuffleKey, V: ShuffleValue> PlanNode for SortedNode<K, V> {
     }
     fn compute(&self, ctx: &mut TaskContext, _part: usize) -> PartitionData {
         let blocks = ctx.shuffle_input(self.dep.id);
-        let mut records = decode_blocks::<K, V>(ctx, blocks);
+        let mut records: Vec<(K, V)> = decode_stream::<K, V>(ctx, blocks).collect();
         let n = records.len() as u64;
         // n log n comparison charge.
         ctx.charge_combine(n.max(1).ilog2() as u64 * n);
@@ -336,6 +304,7 @@ pub fn sample_sort_bounds<K: Ord + Clone>(mut sample: Vec<K>, partitions: usize)
 mod tests {
     use super::*;
     use crate::config::WorkModel;
+    use splitserve_rt::Bytes;
 
     /// Runs an arbitrary one-or-two-shuffle plan to completion by hand.
     fn run_plan<T: Clone + 'static>(ds: &Dataset<T>) -> Vec<T> {
@@ -357,7 +326,7 @@ mod tests {
                             buckets.iter().map(|b| b.bytes.len() as u64).collect();
                         for (r, b) in buckets.into_iter().enumerate() {
                             if !b.bytes.is_empty() {
-                                store.insert((dep.id.0, part, r), Bytes::from(b.bytes));
+                                store.insert((dep.id.0, part, r), b.bytes);
                             }
                         }
                         tracker.register_output(

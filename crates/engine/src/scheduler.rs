@@ -147,7 +147,7 @@ pub struct ExecutorInfo {
 /// let out = std::rc::Rc::new(std::cell::RefCell::new(None));
 /// let o = Rc::clone(&out);
 /// engine.submit_job(&mut sim, sums.node(), move |_sim, output| {
-///     *o.borrow_mut() = Some(collect_partitions::<(u64, u64)>(&output.partitions));
+///     *o.borrow_mut() = Some(collect_partitions::<(u64, u64)>(output.partitions));
 /// });
 /// sim.run();
 /// let mut rows = out.borrow_mut().take().expect("job finished");
@@ -595,10 +595,13 @@ impl Engine {
                 self.tele.job_completed(sim.now(), job_id, &job.metrics);
                 self.log
                     .push(sim.now(), EngineEventKind::JobCompleted { job: job_id });
+                // Hand the job's only references over: `collect_partitions`
+                // can then move the rows out instead of cloning them (the
+                // done flag above keeps this arm from running twice).
                 let partitions: Vec<PartitionData> = job
                     .result_parts
-                    .iter()
-                    .map(|p| Rc::clone(p.as_ref().expect("checked above")))
+                    .iter_mut()
+                    .map(|p| p.take().expect("checked above"))
                     .collect();
                 let output = JobOutput {
                     partitions,
@@ -916,7 +919,7 @@ impl Engine {
                 meta.desc.memory_bytes(),
             )
         };
-        let mut ctx = TaskContext::new(work.clone(), inputs);
+        let mut ctx = TaskContext::new(work.clone(), inputs).with_obs(self.tele.obs().clone());
         let data = terminal.compute(&mut ctx, part);
         let payload = match &kind {
             StageKind::ShuffleMap(dep) => ComputePayload::MapOut((dep.partitioner)(&mut ctx, data)),
@@ -976,7 +979,7 @@ impl Engine {
                                 info.part as u64,
                                 r as u64,
                             ),
-                            Bytes::from(b.bytes),
+                            b.bytes,
                         )
                     })
                     .collect();

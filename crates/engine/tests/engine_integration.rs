@@ -58,7 +58,7 @@ fn run_job<T: Clone + 'static>(
     });
     rig.sim.run();
     let out = slot.borrow_mut().take().expect("job must complete");
-    (collect_partitions::<T>(&out.partitions), out.metrics)
+    (collect_partitions::<T>(out.partitions), out.metrics)
 }
 
 #[test]
@@ -147,7 +147,7 @@ fn executor_kill_with_local_store_rolls_back_and_recovers() {
     });
     rig.sim.run();
     let out = slot.borrow_mut().take().expect("job survives the kill");
-    let mut rows = collect_partitions::<(u64, u64)>(&out.partitions);
+    let mut rows = collect_partitions::<(u64, u64)>(out.partitions);
     rows.sort();
     assert_eq!(rows.len(), 30);
     assert!(rows.iter().all(|(_, c)| *c == 100), "results still exact");
@@ -178,7 +178,7 @@ fn executor_kill_with_hdfs_store_causes_no_rollback() {
     });
     rig.sim.run();
     let out = slot.borrow_mut().take().expect("job survives");
-    let rows = collect_partitions::<(u64, u64)>(&out.partitions);
+    let rows = collect_partitions::<(u64, u64)>(out.partitions);
     assert_eq!(rows.len(), 30);
     let events = rig.engine.event_log().snapshot();
     let rolled_back = events
@@ -210,7 +210,7 @@ fn graceful_drain_finishes_task_then_decommissions() {
     });
     rig.sim.run();
     let out = slot.borrow_mut().take().expect("job completes on survivor");
-    let rows = collect_partitions::<(u64, u64)>(&out.partitions);
+    let rows = collect_partitions::<(u64, u64)>(out.partitions);
     assert_eq!(rows.len(), 20);
     assert!(drained.borrow().is_some(), "drain callback fired");
     assert_eq!(

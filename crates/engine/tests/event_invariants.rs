@@ -46,7 +46,7 @@ fn run_shuffle_job(rig: &mut Rig) -> JobOutput {
     });
     rig.sim.run();
     let out = slot.borrow_mut().take().expect("job completes");
-    let rows = collect_partitions::<(u64, u64)>(&out.partitions);
+    let rows = collect_partitions::<(u64, u64)>(out.partitions.clone());
     assert_eq!(rows.len(), 20, "invariant tests must still compute truth");
     out
 }

@@ -122,7 +122,7 @@ fn run_on_engine(
     let out = Rc::new(RefCell::new(None));
     let o = Rc::clone(&out);
     engine.submit_job(&mut sim, plan.node(), move |_, r| {
-        *o.borrow_mut() = Some(collect_partitions::<(u64, u64)>(&r.partitions));
+        *o.borrow_mut() = Some(collect_partitions::<(u64, u64)>(r.partitions));
     });
     sim.run();
     let mut rows = out.borrow_mut().take().expect("plan completes");

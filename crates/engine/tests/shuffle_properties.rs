@@ -1,0 +1,201 @@
+//! Property tests for the shuffle data plane's two contracts:
+//!
+//! 1. **Hash grouping ≡ ordered-map reference.** The `HashGroup`-based
+//!    map/reduce combine must produce the same per-key results a
+//!    `BTreeMap` reference implementation does, for arbitrary inputs.
+//! 2. **Byte-determinism.** Two same-seed runs — even through different
+//!    plan instances — must serialize byte-identical shuffle blocks, so
+//!    replays and cross-substrate reruns stay reproducible.
+
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use splitserve_engine::{
+    collect_partitions, input_shuffles, Dataset, PartitionData, ShuffleDep, TaskContext, WorkModel,
+};
+use splitserve_obs::Obs;
+use splitserve_rt::check::{self, Gen};
+use splitserve_rt::Bytes;
+
+fn ctx() -> TaskContext {
+    TaskContext::empty(WorkModel::default())
+}
+
+/// The combine/encode instrumentation records only through an enabled
+/// `Obs` handle; the default (disabled) handle must stay silent.
+#[test]
+fn shuffle_metrics_record_only_when_enabled() {
+    let run = |obs: Obs| {
+        let ds = Dataset::parallelize((0..1_000u64).map(|i| (i % 16, 1u64)).collect(), 1)
+            .reduce_by_key(4, |a, b| a + b);
+        let deps = input_shuffles(&ds.node());
+        let dep = &deps[0];
+        let mut c = ctx().with_obs(obs.clone());
+        let data = dep.parent.compute(&mut c, 0);
+        (dep.partitioner)(&mut c, data);
+        obs
+    };
+
+    let enabled = run(Obs::enabled());
+    assert!(
+        enabled.metrics.counter_total("shuffle_encode_bytes_total") > 0,
+        "enabled obs must count encoded shuffle bytes"
+    );
+    let hist = enabled
+        .metrics
+        .histogram("shuffle_combine_seconds", &[])
+        .expect("enabled obs must record the combine histogram");
+    assert_eq!(hist.count, 1, "one map task => one combine observation");
+
+    let disabled = run(Obs::disabled());
+    assert_eq!(
+        disabled.metrics.counter_total("shuffle_encode_bytes_total"),
+        0,
+        "disabled obs must record nothing"
+    );
+    assert!(disabled
+        .metrics
+        .histogram("shuffle_combine_seconds", &[])
+        .is_none());
+}
+
+/// Runs the map and reduce sides of a single-shuffle plan by hand and
+/// returns the reduce output, plus every serialized block (in map-task,
+/// then reduce-partition order) for byte-level comparison.
+fn run_shuffle<K, C>(shuffled: &Dataset<(K, C)>) -> (Vec<(K, C)>, Vec<Bytes>)
+where
+    K: Clone + 'static,
+    C: Clone + 'static,
+{
+    let node = shuffled.node();
+    let deps = input_shuffles(&node);
+    assert_eq!(deps.len(), 1);
+    let dep: &Rc<ShuffleDep> = &deps[0];
+    let reduces = dep.num_partitions;
+    let mut blocks_flat = Vec::new();
+    let mut buckets: Vec<Vec<Bytes>> = vec![Vec::new(); reduces];
+    for m in 0..dep.parent.num_partitions() {
+        let mut c = ctx();
+        let data = dep.parent.compute(&mut c, m);
+        for (r, b) in (dep.partitioner)(&mut c, data).into_iter().enumerate() {
+            blocks_flat.push(b.bytes.clone());
+            if !b.bytes.is_empty() {
+                buckets[r].push(b.bytes);
+            }
+        }
+    }
+    let mut parts: Vec<PartitionData> = Vec::new();
+    for (r, blocks) in buckets.into_iter().enumerate() {
+        let mut inputs = HashMap::new();
+        inputs.insert(dep.id, blocks);
+        let mut c = TaskContext::new(WorkModel::default(), inputs);
+        parts.push(node.compute(&mut c, r));
+    }
+    (collect_partitions::<(K, C)>(parts), blocks_flat)
+}
+
+fn random_records(g: &mut Gen) -> Vec<(u64, u64)> {
+    let key_space = g.u64_in(1, 50);
+    g.vec(0, 400, |g| (g.u64_in(0, key_space), g.u64_in(0, 1_000)))
+}
+
+#[test]
+fn reduce_by_key_matches_btreemap_reference() {
+    check::run("reduce_by_key_matches_reference", 60, |g| {
+        let records = random_records(g);
+        let partitions = g.usize_in(1, 6);
+        let maps = g.usize_in(1, 4);
+
+        let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+        for (k, v) in &records {
+            *reference.entry(*k).or_insert(0) = reference.get(k).copied().unwrap_or(0) + v;
+        }
+
+        let ds = Dataset::parallelize(records, maps).reduce_by_key(partitions, |a, b| a + b);
+        let (mut got, _) = run_shuffle(&ds);
+        got.sort_unstable();
+        let expect: Vec<(u64, u64)> = reference.into_iter().collect();
+        assert_eq!(got, expect, "hash combine must equal ordered reference");
+    });
+}
+
+#[test]
+fn group_by_key_matches_btreemap_reference() {
+    check::run("group_by_key_matches_reference", 40, |g| {
+        let records = random_records(g);
+        let partitions = g.usize_in(1, 5);
+        let maps = g.usize_in(1, 4);
+
+        let mut reference: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (k, v) in &records {
+            reference.entry(*k).or_default().push(*v);
+        }
+        // Grouping order across map tasks is not part of the contract;
+        // compare sorted value multisets.
+        let expect: Vec<(u64, Vec<u64>)> = reference
+            .into_iter()
+            .map(|(k, mut vs)| {
+                vs.sort_unstable();
+                (k, vs)
+            })
+            .collect();
+
+        let ds = Dataset::parallelize(records, maps).group_by_key(partitions);
+        let node = ds.node();
+        let deps = input_shuffles(&node);
+        let dep = &deps[0];
+        let mut buckets: Vec<Vec<Bytes>> = vec![Vec::new(); dep.num_partitions];
+        for m in 0..dep.parent.num_partitions() {
+            let mut c = ctx();
+            let data = dep.parent.compute(&mut c, m);
+            for (r, b) in (dep.partitioner)(&mut c, data).into_iter().enumerate() {
+                if !b.bytes.is_empty() {
+                    buckets[r].push(b.bytes);
+                }
+            }
+        }
+        let mut got: Vec<(u64, Vec<u64>)> = Vec::new();
+        for (r, blocks) in buckets.into_iter().enumerate() {
+            let mut inputs = HashMap::new();
+            inputs.insert(dep.id, blocks);
+            let mut c = TaskContext::new(WorkModel::default(), inputs);
+            got.extend(collect_partitions::<(u64, Vec<u64>)>(vec![
+                node.compute(&mut c, r),
+            ]));
+        }
+        got.sort_unstable_by_key(|(k, _)| *k);
+        for (_, vs) in &mut got {
+            vs.sort_unstable();
+        }
+        assert_eq!(got, expect, "hash grouping must equal ordered reference");
+    });
+}
+
+#[test]
+fn same_seed_runs_produce_byte_identical_shuffle_blocks() {
+    check::run("shuffle_blocks_are_deterministic", 30, |g| {
+        let seed = g.u64();
+        let partitions = g.usize_in(1, 5);
+        let maps = g.usize_in(1, 4);
+        let n = g.usize_in(0, 300);
+
+        // Two *independent* plan instances from the same seed: determinism
+        // must come from the data and the fixed-seed hash, not from shared
+        // state.
+        let build = || {
+            let mut rng = splitserve_rt::Rng::seed_from_u64(seed);
+            let records: Vec<(u64, u64)> = (0..n)
+                .map(|_| (rng.next_u64() % 64, rng.next_u64() % 1_000))
+                .collect();
+            Dataset::parallelize(records, maps).reduce_by_key(partitions, |a, b| a.wrapping_add(*b))
+        };
+        let (rows_a, blocks_a) = run_shuffle(&build());
+        let (rows_b, blocks_b) = run_shuffle(&build());
+
+        assert_eq!(rows_a, rows_b, "reduce output must be identical");
+        assert_eq!(blocks_a.len(), blocks_b.len());
+        for (i, (a, b)) in blocks_a.iter().zip(&blocks_b).enumerate() {
+            assert_eq!(&a[..], &b[..], "block {i} must be byte-identical");
+        }
+    });
+}

@@ -42,8 +42,17 @@ impl Bytes {
     }
 
     /// Copies `bytes` into a fresh shared buffer.
+    ///
+    /// This is a single copy straight into the shared allocation, and the
+    /// result holds exactly `bytes.len()` bytes — snapshotting a pooled
+    /// scratch buffer through here never pins its spare capacity.
     pub fn copy_from_slice(bytes: &[u8]) -> Bytes {
-        Bytes::from(bytes.to_vec())
+        let end = bytes.len();
+        Bytes {
+            buf: Arc::from(bytes),
+            start: 0,
+            end,
+        }
     }
 
     /// Number of bytes in this view.
@@ -186,6 +195,28 @@ impl BytesMut {
     /// Appends a slice.
     pub fn put_slice(&mut self, bytes: &[u8]) {
         self.vec.extend_from_slice(bytes);
+    }
+
+    /// Reserves room for at least `additional` more bytes, so a caller
+    /// with a size hint pays one allocation instead of doubling growth.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Clears the contents, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Bytes the writer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Unwraps the underlying vector (e.g. to return it to
+    /// [`crate::pool`]).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.vec
     }
 
     /// Appends one byte.

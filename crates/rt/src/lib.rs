@@ -16,12 +16,21 @@
 //! * [`check`] — a deterministic property-testing harness (seeded case
 //!   generation, fixed iteration budget, failing-seed reporting) that the
 //!   workspace's property suites run on.
+//!
+//! Two further modules serve the shuffle data-plane fast path:
+//!
+//! * [`hash`] — a seeded XXH64 hasher with a fixed shuffle seed, so
+//!   bucket placement is fast *and* frozen across runs and toolchains.
+//! * [`pool`] — a bounded thread-local pool of reusable byte buffers
+//!   that damps per-task encode allocations.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod bytes;
 pub mod check;
+pub mod hash;
+pub mod pool;
 pub mod rng;
 
 pub use bytes::{Bytes, BytesMut};

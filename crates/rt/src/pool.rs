@@ -1,0 +1,183 @@
+//! A thread-local pool of reusable byte buffers.
+//!
+//! Every shuffle map task encodes its output into freshly grown `Vec`s,
+//! and a wide stage runs thousands of tasks — under the old path the
+//! allocator served (and immediately reclaimed) one multi-kilobyte
+//! buffer per bucket per task. The pool recycles those buffers: a task
+//! [`take`]s a buffer with at least the capacity its size hint predicts,
+//! fills it, snapshots the bytes into an exact-sized block, and
+//! [`give`]s the buffer back for the next task.
+//!
+//! The pool is deliberately modest and bounded — it is a steady-state
+//! allocation damper, not a general allocator:
+//!
+//! - thread-local, so there is no locking (the simulator is
+//!   single-threaded per run anyway);
+//! - at most [`MAX_POOLED_BUFFERS`] buffers retained, each at most
+//!   [`MAX_BUFFER_CAPACITY`] bytes, so a one-off giant record cannot pin
+//!   memory forever.
+//!
+//! Returned buffers are always cleared; `take` never exposes stale
+//! bytes. Pooling only affects *where* scratch space comes from, never
+//! the bytes written through it, so determinism is unaffected.
+
+use std::cell::RefCell;
+
+/// Most buffers the pool retains per thread.
+pub const MAX_POOLED_BUFFERS: usize = 32;
+
+/// Largest buffer the pool will retain (larger ones are dropped on
+/// `give` and fall back to the allocator).
+pub const MAX_BUFFER_CAPACITY: usize = 8 << 20;
+
+/// Counters describing pool effectiveness, for tests and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `take` calls served from the pool.
+    pub hits: u64,
+    /// `take` calls that had to allocate fresh.
+    pub misses: u64,
+    /// Buffers returned and retained.
+    pub returns: u64,
+    /// Buffers rejected on return (pool full or buffer oversized).
+    pub rejects: u64,
+}
+
+#[derive(Default)]
+struct Pool {
+    bufs: Vec<Vec<u8>>,
+    stats: PoolStats,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+/// Takes a cleared buffer with `capacity() >= min_capacity`.
+///
+/// Prefers the pooled buffer whose capacity fits best; allocates fresh
+/// when the pool is empty or nothing is large enough (growing a pooled
+/// buffer would just move the allocation, so undersized entries stay
+/// pooled for smaller requests).
+///
+/// # Examples
+///
+/// ```
+/// let buf = splitserve_rt::pool::take(1024);
+/// assert!(buf.capacity() >= 1024 && buf.is_empty());
+/// splitserve_rt::pool::give(buf);
+/// ```
+pub fn take(min_capacity: usize) -> Vec<u8> {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let best = p
+            .bufs
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= min_capacity)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => {
+                p.stats.hits += 1;
+                p.bufs.swap_remove(i)
+            }
+            None => {
+                p.stats.misses += 1;
+                Vec::with_capacity(min_capacity)
+            }
+        }
+    })
+}
+
+/// Returns `buf` to the pool for reuse.
+///
+/// The buffer is cleared before it is stored. Oversized buffers and
+/// returns beyond the pool's bound are dropped (allocator takes them
+/// back), so the pool's resident memory stays bounded.
+pub fn give(mut buf: Vec<u8>) {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if buf.capacity() == 0
+            || buf.capacity() > MAX_BUFFER_CAPACITY
+            || p.bufs.len() >= MAX_POOLED_BUFFERS
+        {
+            p.stats.rejects += 1;
+            return;
+        }
+        buf.clear();
+        p.stats.returns += 1;
+        p.bufs.push(buf);
+    });
+}
+
+/// This thread's pool counters.
+pub fn stats() -> PoolStats {
+    POOL.with(|p| p.borrow().stats)
+}
+
+/// Drops all pooled buffers and zeroes the counters (test isolation).
+pub fn reset() {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.bufs.clear();
+        p.stats = PoolStats::default();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_reuses_the_allocation() {
+        reset();
+        let mut a = take(100);
+        a.extend_from_slice(b"scratch");
+        let cap = a.capacity();
+        let ptr = a.as_ptr();
+        give(a);
+        let b = take(50);
+        assert_eq!(b.as_ptr(), ptr, "same allocation must come back");
+        assert!(b.capacity() >= cap.min(100));
+        assert!(b.is_empty(), "pooled buffers are cleared");
+        let s = stats();
+        assert_eq!((s.hits, s.misses, s.returns), (1, 1, 1));
+    }
+
+    #[test]
+    fn undersized_buffers_are_skipped_not_grown() {
+        reset();
+        give(Vec::with_capacity(16));
+        let big = take(1 << 16);
+        assert!(big.capacity() >= 1 << 16);
+        assert_eq!(stats().misses, 1, "small pooled buffer must not serve");
+        // The 16-byte buffer is still pooled for a fitting request.
+        let small = take(8);
+        assert_eq!(stats().hits, 1);
+        assert!(small.capacity() >= 8);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        reset();
+        for _ in 0..MAX_POOLED_BUFFERS + 5 {
+            give(Vec::with_capacity(64));
+        }
+        let s = stats();
+        assert_eq!(s.returns, MAX_POOLED_BUFFERS as u64);
+        assert_eq!(s.rejects, 5);
+        // Oversized buffers are never retained.
+        give(Vec::with_capacity(MAX_BUFFER_CAPACITY + 1));
+        assert_eq!(stats().rejects, 6);
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_capacity() {
+        reset();
+        give(Vec::with_capacity(4096));
+        give(Vec::with_capacity(256));
+        let b = take(100);
+        assert!(b.capacity() < 4096, "tightest fitting buffer serves first");
+    }
+}

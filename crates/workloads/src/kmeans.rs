@@ -192,7 +192,7 @@ impl KMeans {
         let this = Rc::clone(&self);
         let engine2 = engine.clone();
         engine.submit_job(sim, plan.node(), move |sim, out| {
-            let sums = collect_partitions::<(u64, (Vec<f64>, u64))>(&out.partitions);
+            let sums = collect_partitions::<(u64, (Vec<f64>, u64))>(out.partitions);
             let mut movement = 0.0;
             {
                 let mut st = state.borrow_mut();

@@ -147,7 +147,7 @@ impl DriverProgram for PageRank {
         let pages = self.pages;
         engine.submit_job(sim, plan.node(), move |sim, out| {
             // Sanity-check the real computation before declaring success.
-            let ranks = collect_partitions::<(u64, f64)>(&out.partitions);
+            let ranks = collect_partitions::<(u64, f64)>(out.partitions);
             assert!(!ranks.is_empty(), "PageRank produced no ranks");
             assert!(
                 ranks.iter().all(|(pg, r)| *pg < pages && r.is_finite() && *r > 0.0),
@@ -218,7 +218,7 @@ mod tests {
         let out = Rc::new(RefCell::new(None));
         let o = Rc::clone(&out);
         engine.submit_job(&mut sim, w.plan().node(), move |_, r| {
-            *o.borrow_mut() = Some(collect_partitions::<(u64, f64)>(&r.partitions));
+            *o.borrow_mut() = Some(collect_partitions::<(u64, f64)>(r.partitions));
         });
         sim.run();
         let mut rows = out.borrow_mut().take().expect("job done");

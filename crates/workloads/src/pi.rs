@@ -105,7 +105,7 @@ impl DriverProgram for SparkPi {
     fn submit(&self, sim: &mut Sim, engine: &Engine, done: Box<dyn FnOnce(&mut Sim)>) {
         let darts = self.effective_darts();
         engine.submit_job(sim, self.plan().node(), move |sim, out| {
-            let rows = collect_partitions::<(u64, f64)>(&out.partitions);
+            let rows = collect_partitions::<(u64, f64)>(out.partitions);
             let inside: f64 = rows.iter().map(|(_, v)| v).sum();
             let pi = 4.0 * inside / darts as f64;
             assert!(
@@ -126,7 +126,7 @@ pub fn estimate_pi(
 ) {
     let darts = workload.effective_darts();
     engine.submit_job(sim, workload.plan().node(), move |sim, out| {
-        let rows = collect_partitions::<(u64, f64)>(&out.partitions);
+        let rows = collect_partitions::<(u64, f64)>(out.partitions);
         let inside: f64 = rows.iter().map(|(_, v)| v).sum();
         finish(sim, 4.0 * inside / darts as f64);
     });

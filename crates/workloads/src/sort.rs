@@ -102,7 +102,7 @@ impl DriverProgram for CloudSort {
         engine.submit_job(sim, self.plan().node(), move |sim, out| {
             // The result stage's partitions arrive in partition order;
             // concatenated they must be globally sorted and complete.
-            let rows = collect_partitions::<(u64, Vec<u8>)>(&out.partitions);
+            let rows = collect_partitions::<(u64, Vec<u8>)>(out.partitions);
             assert_eq!(rows.len() as u64, expected, "no records lost");
             assert!(
                 rows.windows(2).all(|w| w[0].0 <= w[1].0),

@@ -337,6 +337,18 @@ impl Encode for OrderItem {
             OrderItem::Returned => 1u32.encode(out),
         }
     }
+    fn encoded_len(&self) -> usize {
+        match self {
+            OrderItem::Sale(w, sc, pr, pad) => {
+                0u32.encoded_len()
+                    + w.encoded_len()
+                    + sc.encoded_len()
+                    + pr.encoded_len()
+                    + pad.encoded_len()
+            }
+            OrderItem::Returned => 1u32.encoded_len(),
+        }
+    }
 }
 
 impl Decode for OrderItem {
@@ -583,7 +595,7 @@ impl DriverProgram for TpcdsLoad {
     fn submit(&self, sim: &mut Sim, engine: &Engine, done: Box<dyn FnOnce(&mut Sim)>) {
         let query = self.query;
         engine.submit_job(sim, self.plan().node(), move |sim, out| {
-            let rows = collect_partitions::<(u64, QueryAnswer)>(&out.partitions);
+            let rows = collect_partitions::<(u64, QueryAnswer)>(out.partitions);
             match query {
                 TpcdsQuery::Q5 => {
                     assert_eq!(rows.len(), 3, "Q5 reports all three channels");
@@ -620,7 +632,7 @@ mod tests {
         let out = Rc::new(RefCell::new(None));
         let o = Rc::clone(&out);
         engine.submit_job(&mut sim, load.plan().node(), move |_, r| {
-            *o.borrow_mut() = Some(collect_partitions::<(u64, QueryAnswer)>(&r.partitions));
+            *o.borrow_mut() = Some(collect_partitions::<(u64, QueryAnswer)>(r.partitions));
         });
         sim.run();
         let rows = out.borrow_mut().take().expect("query completed");

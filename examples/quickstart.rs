@@ -49,7 +49,7 @@ fn main() {
     sim.run();
 
     let out = result.borrow_mut().take().expect("job completed");
-    let rows = collect_partitions::<(String, u64)>(&out.partitions);
+    let rows = collect_partitions::<(String, u64)>(out.partitions);
     println!("distinct words: {}", rows.len());
     println!(
         "every count correct: {}",

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Shuffle data-plane benchmark harness: runs the `shuffle_hot` bench
+# (map-side combine+encode, reduce-side decode+merge micro-benchmarks
+# plus the four paper workloads end to end) and collects the one-line
+# JSON records it prints into BENCH_shuffle.json at the repo root.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_shuffle.json}"
+
+echo "==> cargo bench -p splitserve-bench --bench shuffle_hot"
+raw=$(cargo bench --offline -p splitserve-bench --bench shuffle_hot)
+
+# Keep only the JSON result lines; everything else is cargo/bench chatter.
+printf '%s\n' "$raw" | grep '^{' | python3 -c '
+import json, sys
+
+records = [json.loads(line) for line in sys.stdin]
+assert records, "bench produced no JSON records"
+for r in records:
+    for key in ("bench", "median_ns", "min_ns", "max_ns", "samples"):
+        assert key in r, f"record missing {key}: {r}"
+    assert r["median_ns"] > 0, f"non-positive median: {r}"
+json.dump(records, sys.stdout, indent=2)
+sys.stdout.write("\n")
+' >"$out"
+
+echo "==> wrote $out"
+python3 -c '
+import json, sys
+
+with open(sys.argv[1]) as f:
+    records = json.load(f)
+for r in records:
+    name, med, n = r["bench"], r["median_ns"] / 1e6, r["samples"]
+    print(f"{name:40s} median {med:10.3f} ms  ({n} samples)")
+' "$out"

@@ -33,6 +33,29 @@ for lane in ("vm", "lambda", "segue"):
 print(f"OK: {len(events)} trace events across lanes {sorted(lanes)}")
 '
 
+echo "==> perf smoke: shuffle_hot bench + BENCH_shuffle.json shape"
+scripts/bench.sh target/BENCH_shuffle.json >/dev/null
+python3 -c '
+import json
+
+with open("target/BENCH_shuffle.json") as f:
+    records = json.load(f)
+names = {r["bench"] for r in records}
+expected = {
+    "shuffle/map_combine_encode_1m",
+    "shuffle/map_encode_nocombine_500k",
+    "shuffle/reduce_decode_merge_1m",
+    "e2e/cloudsort_20k",
+    "e2e/tpcds_q95_tiny",
+    "e2e/pagerank_2k_2iter",
+    "e2e/kmeans_5k",
+}
+missing = expected - names
+assert not missing, f"missing benchmarks: {sorted(missing)}"
+assert all(r["median_ns"] > 0 for r in records), "non-positive median"
+print(f"OK: {len(records)} benchmarks, all medians positive")
+'
+
 echo "==> checking for non-path dependencies"
 cargo metadata --offline --format-version 1 |
     python3 -c '

@@ -53,7 +53,7 @@ fn lambda_lifetime_kill_mid_job_recovers_with_hdfs() {
     let o = Rc::clone(&out);
     d.engine().submit_job(&mut sim, long_job().node(), move |_, r| {
         *o.borrow_mut() = Some((
-            collect_partitions::<(u64, u64)>(&r.partitions),
+            collect_partitions::<(u64, u64)>(r.partitions),
             r.metrics.clone(),
         ));
     });
@@ -110,7 +110,7 @@ fn same_churn_with_local_shuffle_triggers_rollback_but_still_finishes() {
     let o = Rc::clone(&out);
     d.engine().submit_job(&mut sim, long_job().node(), move |_, r| {
         *o.borrow_mut() = Some((
-            collect_partitions::<(u64, u64)>(&r.partitions),
+            collect_partitions::<(u64, u64)>(r.partitions),
             r.metrics.clone(),
         ));
     });

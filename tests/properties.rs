@@ -40,7 +40,7 @@ fn run_mix(
     let d2 = d.clone();
     d.engine().submit_job(&mut sim, ds.node(), move |sim, r| {
         *o.borrow_mut() = Some((
-            collect_partitions::<(u8, u64)>(&r.partitions),
+            collect_partitions::<(u8, u64)>(r.partitions),
             sim.now().as_secs_f64(),
         ));
         d2.shutdown(sim);

@@ -34,7 +34,7 @@ fn pagerank_result_is_identical_on_vm_lambda_and_hybrid_clusters() {
         let o = Rc::clone(&out);
         d.engine()
             .submit_job(&mut sim, workload.plan().node(), move |_, r| {
-                *o.borrow_mut() = Some(collect_partitions::<(u64, f64)>(&r.partitions));
+                *o.borrow_mut() = Some(collect_partitions::<(u64, f64)>(r.partitions));
             });
         sim.run();
         let mut rows = out.borrow_mut().take().expect("completed");
@@ -120,7 +120,7 @@ fn shuffle_data_crosses_substrates_correctly() {
     let o = Rc::clone(&out);
     d.engine().submit_job(&mut sim, ds.node(), move |_, r| {
         *o.borrow_mut() = Some((
-            collect_partitions::<(u64, u64)>(&r.partitions),
+            collect_partitions::<(u64, u64)>(r.partitions),
             r.metrics.clone(),
         ));
     });
@@ -153,7 +153,7 @@ fn lambda_memory_sizes_change_speed_not_results() {
         d.engine().submit_job(&mut sim, ds.node(), move |sim, r| {
             *o.borrow_mut() = Some((
                 sim.now().as_secs_f64(),
-                collect_partitions::<(u64, u64)>(&r.partitions),
+                collect_partitions::<(u64, u64)>(r.partitions),
             ));
         });
         sim.run();
