@@ -1,0 +1,449 @@
+//! The differential chaos harness.
+//!
+//! [`run_case`] executes one workload under one shuffle store with an
+//! optional fault plan on a fixed churn-capable topology and reduces the
+//! run to a [`CaseResult`]: output fingerprint, rollback/loss counts and
+//! injected-fault tallies. [`Oracle`] turns pairs of such runs into the
+//! paper's differential claim:
+//!
+//! - **Shared (HDFS) shuffle**: output is bit-identical to the fault-free
+//!   reference, and stages roll back *only* when an injected fetch
+//!   failure fired (executor loss alone never cascades — §4.3).
+//! - **Executor-local shuffle**: output is still bit-identical (lineage
+//!   recovers data), but a kill that destroyed live shuffle blocks *must*
+//!   roll back completed stages, and rollbacks never appear without such
+//!   a kill, an injected fetch failure, or a drain-decommission.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use splitserve::{Deployment, ShuffleStoreKind};
+use splitserve_cloud::{CloudSpec, M4_4XLARGE, M4_XLARGE};
+use splitserve_des::{Dist, Sim, SimDuration, SimTime};
+use splitserve_engine::{EngineConfig, EngineEventKind};
+use splitserve_obs::Obs;
+use splitserve_storage::{FaultStore, StoreFaults};
+
+use crate::inject::{self, InjectionReport};
+use crate::plan::FaultPlan;
+use crate::workloads::ChaosWorkload;
+
+/// The fixed cluster shape chaos cases run on: a couple of VM cores, an
+/// initial Lambda fleet, periodic replacement waves, and a late VM rescue
+/// so every plan the generator can produce still completes — shrinking
+/// must never deadlock on a case that starved itself of executors.
+#[derive(Debug, Clone)]
+pub struct ChaosTopology {
+    /// Simulation seed (independent of the plan seed).
+    pub sim_seed: u64,
+    /// VM executor cores registered up front.
+    pub vm_cores: u32,
+    /// Lambda executors launched at t=0.
+    pub initial_lambdas: u32,
+    /// Replacement waves: `wave_count` waves of `wave_size` Lambdas…
+    pub wave_count: u32,
+    /// …one wave every this many seconds (first at that instant)…
+    pub wave_every_s: u64,
+    /// …of this many Lambdas each.
+    pub wave_size: u32,
+    /// When the VM rescue arrives, seconds.
+    pub rescue_at_s: u64,
+    /// VM cores in the rescue (0 disables it).
+    pub rescue_cores: u32,
+    /// Lambda platform lifetime in seconds; 0 keeps the spec default
+    /// (long enough to never fire in a chaos case).
+    pub lambda_lifetime_s: u64,
+}
+
+impl Default for ChaosTopology {
+    fn default() -> Self {
+        ChaosTopology {
+            sim_seed: 11,
+            vm_cores: 2,
+            initial_lambdas: 4,
+            wave_count: 10,
+            wave_every_s: 5,
+            wave_size: 2,
+            rescue_at_s: 60,
+            rescue_cores: 8,
+            lambda_lifetime_s: 0,
+        }
+    }
+}
+
+impl ChaosTopology {
+    /// The cloud spec: constant start/jitter distributions so a case's
+    /// timeline depends only on (sim seed, plan, store kind).
+    pub fn cloud_spec(&self) -> CloudSpec {
+        let mut spec = CloudSpec {
+            vm_boot: Dist::constant(110.0),
+            lambda_warm_start: Dist::constant(0.1),
+            lambda_cold_start: Dist::constant(3.0),
+            lambda_net_jitter: Dist::constant(1.0),
+            ..CloudSpec::default()
+        };
+        if self.lambda_lifetime_s > 0 {
+            spec.lambda_lifetime = SimDuration::from_secs(self.lambda_lifetime_s);
+        }
+        spec
+    }
+}
+
+/// Everything one chaos case produced.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The shuffle store the case ran under.
+    pub store: ShuffleStoreKind,
+    /// Output fingerprint; `None` when the run never completed.
+    pub fingerprint: Option<u64>,
+    /// Virtual completion instant of the last job, if it completed.
+    pub completed_at: Option<SimTime>,
+    /// `StageRolledBack` events observed.
+    pub rollbacks: usize,
+    /// `ExecutorLost` events observed (injected + organic).
+    pub executor_losses: usize,
+    /// Tasks re-run across all completed jobs.
+    pub recomputed: u64,
+    /// Injected shuffle-fetch failures that actually fired.
+    pub fetch_faults: u64,
+    /// Injected shuffle-write failures that actually fired.
+    pub write_faults: u64,
+    /// Store ops delayed by injected latency windows.
+    pub delays: u64,
+    /// Executors the injector killed.
+    pub kills: u64,
+    /// Executors the injector drained.
+    pub drains: u64,
+    /// Whether any injected kill destroyed live shuffle blocks (always
+    /// `false` under stores that survive executor loss).
+    pub expected_rollback: bool,
+    /// The case's observability handle, for asserting on
+    /// `faults_injected_total` and friends.
+    pub obs: Obs,
+}
+
+/// Runs `workload` under `kind` with the given plan (None = fault-free)
+/// on `topo`. Fully deterministic: same inputs, same [`CaseResult`].
+pub fn run_case(
+    workload: &dyn ChaosWorkload,
+    kind: ShuffleStoreKind,
+    plan: Option<&FaultPlan>,
+    topo: &ChaosTopology,
+) -> CaseResult {
+    let mut sim = Sim::new(topo.sim_seed);
+    let obs = Obs::enabled();
+    let faults = StoreFaults::new().with_metrics(obs.metrics.clone());
+    if let Some(p) = plan {
+        p.arm_store_faults(&faults);
+    }
+    let cfg = EngineConfig {
+        obs: obs.clone(),
+        ..EngineConfig::default()
+    };
+    let wrapped = faults.clone();
+    let d = Deployment::with_wrapped_store(
+        &mut sim,
+        topo.cloud_spec(),
+        kind,
+        M4_XLARGE,
+        cfg,
+        move |store| FaultStore::wrap(store, wrapped),
+    );
+    if topo.vm_cores > 0 {
+        d.add_vm_workers(&mut sim, M4_4XLARGE, topo.vm_cores.min(M4_4XLARGE.vcpus));
+    }
+    if topo.initial_lambdas > 0 {
+        d.add_lambda_executors(&mut sim, topo.initial_lambdas);
+    }
+    for wave in 1..=u64::from(topo.wave_count) {
+        let d2 = d.clone();
+        let n = topo.wave_size;
+        sim.schedule_at(SimTime::from_secs(wave * topo.wave_every_s), move |sim| {
+            d2.add_lambda_executors(sim, n);
+        });
+    }
+    if topo.rescue_cores > 0 {
+        let d2 = d.clone();
+        let mut left = topo.rescue_cores;
+        sim.schedule_at(SimTime::from_secs(topo.rescue_at_s), move |sim| {
+            while left > 0 {
+                let chunk = left.min(M4_4XLARGE.vcpus);
+                d2.add_vm_workers(sim, M4_4XLARGE, chunk);
+                left -= chunk;
+            }
+        });
+    }
+    let report = match plan {
+        Some(p) => inject::arm(&mut sim, &d, p),
+        None => InjectionReport::default(),
+    };
+    let done: Rc<RefCell<Option<(u64, SimTime)>>> = Rc::new(RefCell::new(None));
+    let sink = Rc::clone(&done);
+    workload.submit(
+        &mut sim,
+        d.engine(),
+        Box::new(move |sim, fp| {
+            *sink.borrow_mut() = Some((fp, sim.now()));
+        }),
+    );
+    sim.run();
+    let events = d.engine().event_log().snapshot();
+    let rollbacks = events
+        .iter()
+        .filter(|e| matches!(e.kind, EngineEventKind::StageRolledBack { .. }))
+        .count();
+    let executor_losses = events
+        .iter()
+        .filter(|e| matches!(e.kind, EngineEventKind::ExecutorLost { .. }))
+        .count();
+    let recomputed = d
+        .engine()
+        .completed_job_metrics()
+        .iter()
+        .map(|m| m.tasks_recomputed)
+        .sum();
+    let (fingerprint, completed_at) = match done.borrow_mut().take() {
+        Some((fp, at)) => (Some(fp), Some(at)),
+        None => (None, None),
+    };
+    CaseResult {
+        store: kind,
+        fingerprint,
+        completed_at,
+        rollbacks,
+        executor_losses,
+        recomputed,
+        fetch_faults: faults.gets_failed(),
+        write_faults: faults.puts_failed(),
+        delays: faults.ops_delayed(),
+        kills: report.kills(),
+        drains: report.drains(),
+        expected_rollback: report.expected_rollback(),
+        obs,
+    }
+}
+
+/// An oracle violation: which store broke which invariant under which
+/// plan. [`ChaosFailure::repro_line`] prints the one-line deterministic
+/// reproduction.
+#[derive(Debug, Clone)]
+pub struct ChaosFailure {
+    /// The workload that was running.
+    pub workload: String,
+    /// The store kind whose run violated the oracle.
+    pub store: ShuffleStoreKind,
+    /// What went wrong.
+    pub reason: String,
+    /// The plan that provoked it (possibly shrunk).
+    pub plan: FaultPlan,
+}
+
+impl ChaosFailure {
+    /// The copy-pasteable replay line.
+    pub fn repro_line(&self) -> String {
+        format!("CHAOS_SEED={} CHAOS_PLAN={}", self.plan.seed, self.plan.to_json())
+    }
+}
+
+impl std::fmt::Display for ChaosFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "chaos oracle violated [{} / {} shuffle]: {}\n  replay: {}",
+            self.workload,
+            self.store,
+            self.reason,
+            self.repro_line()
+        )
+    }
+}
+
+impl std::error::Error for ChaosFailure {}
+
+/// Both halves of a differential run that passed the oracle.
+#[derive(Debug, Clone)]
+pub struct PlanOutcome {
+    /// The shared-store (HDFS) half.
+    pub hdfs: CaseResult,
+    /// The executor-local half.
+    pub local: CaseResult,
+}
+
+/// The differential oracle for one workload on one topology. Construction
+/// runs the fault-free references under both store kinds and pins their
+/// (identical) fingerprint; [`Oracle::check`] then judges fault plans
+/// against it.
+pub struct Oracle<'a> {
+    workload: &'a dyn ChaosWorkload,
+    topo: ChaosTopology,
+    reference: u64,
+}
+
+impl<'a> Oracle<'a> {
+    /// Runs the two fault-free references and pins the fingerprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault-free run fails to complete, rolls back, or the
+    /// two store kinds disagree — the harness itself is broken then, and
+    /// no plan verdict would be meaningful.
+    pub fn new(workload: &'a dyn ChaosWorkload, topo: ChaosTopology) -> Self {
+        let hdfs = run_case(workload, ShuffleStoreKind::Hdfs, None, &topo);
+        let local = run_case(workload, ShuffleStoreKind::Local, None, &topo);
+        let name = workload.name();
+        let fp_hdfs = hdfs
+            .fingerprint
+            .unwrap_or_else(|| panic!("{name}: fault-free HDFS reference did not complete"));
+        let fp_local = local
+            .fingerprint
+            .unwrap_or_else(|| panic!("{name}: fault-free local reference did not complete"));
+        assert_eq!(
+            fp_hdfs, fp_local,
+            "{name}: fault-free output differs across store kinds"
+        );
+        assert_eq!(hdfs.rollbacks, 0, "{name}: fault-free HDFS run rolled back");
+        assert_eq!(local.rollbacks, 0, "{name}: fault-free local run rolled back");
+        Oracle {
+            workload,
+            topo,
+            reference: fp_hdfs,
+        }
+    }
+
+    /// The pinned fault-free fingerprint.
+    pub fn reference_fingerprint(&self) -> u64 {
+        self.reference
+    }
+
+    /// The topology cases run on.
+    pub fn topology(&self) -> &ChaosTopology {
+        &self.topo
+    }
+
+    /// Runs `plan` under both store kinds and checks every invariant.
+    pub fn check(&self, plan: &FaultPlan) -> Result<PlanOutcome, Box<ChaosFailure>> {
+        let hdfs = run_case(self.workload, ShuffleStoreKind::Hdfs, Some(plan), &self.topo);
+        self.check_store(&hdfs, plan)?;
+        let local = run_case(self.workload, ShuffleStoreKind::Local, Some(plan), &self.topo);
+        self.check_store(&local, plan)?;
+        Ok(PlanOutcome { hdfs, local })
+    }
+
+    fn fail(
+        &self,
+        store: ShuffleStoreKind,
+        reason: String,
+        plan: &FaultPlan,
+    ) -> Box<ChaosFailure> {
+        Box::new(ChaosFailure {
+            workload: self.workload.name().to_string(),
+            store,
+            reason,
+            plan: plan.clone(),
+        })
+    }
+
+    fn check_store(&self, r: &CaseResult, plan: &FaultPlan) -> Result<(), Box<ChaosFailure>> {
+        let Some(fp) = r.fingerprint else {
+            return Err(self.fail(r.store, "run did not complete".into(), plan));
+        };
+        if fp != self.reference {
+            return Err(self.fail(
+                r.store,
+                format!(
+                    "output fingerprint {fp:#018x} diverged from fault-free reference {:#018x}",
+                    self.reference
+                ),
+                plan,
+            ));
+        }
+        // A kill can strike an executor mid-fetch and abort the attempt
+        // before its failed fetch reaches the scheduler, so the forward
+        // implication (fault fired → rollback) is only asserted on plans
+        // with no executor churn at all.
+        let churn_free = !plan.has_kills() && !plan.has_drains();
+        match r.store {
+            ShuffleStoreKind::Hdfs => {
+                if r.rollbacks > 0 && r.fetch_faults == 0 {
+                    return Err(self.fail(
+                        r.store,
+                        format!(
+                            "{} stage(s) rolled back under shared shuffle with no injected \
+                             fetch failure ({} executor losses) — executor loss must not \
+                             cascade when blocks survive",
+                            r.rollbacks, r.executor_losses
+                        ),
+                        plan,
+                    ));
+                }
+                if churn_free && r.fetch_faults > 0 && r.rollbacks == 0 {
+                    return Err(self.fail(
+                        r.store,
+                        format!(
+                            "{} injected fetch failure(s) fired but no stage rolled back",
+                            r.fetch_faults
+                        ),
+                        plan,
+                    ));
+                }
+            }
+            ShuffleStoreKind::Local => {
+                let explained =
+                    r.expected_rollback || r.fetch_faults > 0 || plan.has_drains();
+                if r.rollbacks > 0 && !explained {
+                    return Err(self.fail(
+                        r.store,
+                        format!(
+                            "{} stage(s) rolled back though no kill destroyed live shuffle \
+                             blocks and no fetch failure was injected",
+                            r.rollbacks
+                        ),
+                        plan,
+                    ));
+                }
+                if r.expected_rollback && r.rollbacks == 0 {
+                    return Err(self.fail(
+                        r.store,
+                        "a kill destroyed live shuffle blocks of a completed stage but no \
+                         rollback was recorded"
+                            .into(),
+                        plan,
+                    ));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::ChaosSparkPi;
+
+    #[test]
+    fn oracle_accepts_the_empty_plan() {
+        let w = ChaosSparkPi::small();
+        let oracle = Oracle::new(&w, ChaosTopology::default());
+        let outcome = oracle.check(&FaultPlan::empty()).expect("empty plan passes");
+        assert_eq!(outcome.hdfs.fingerprint, outcome.local.fingerprint);
+        assert_eq!(outcome.hdfs.rollbacks + outcome.local.rollbacks, 0);
+        assert_eq!(outcome.hdfs.kills + outcome.local.kills, 0);
+    }
+
+    #[test]
+    fn failure_prints_a_parseable_repro_line() {
+        let f = ChaosFailure {
+            workload: "pagerank".into(),
+            store: ShuffleStoreKind::Local,
+            reason: "test".into(),
+            plan: FaultPlan::generate(7),
+        };
+        let line = f.repro_line();
+        let json = line.split_once("CHAOS_PLAN=").unwrap().1;
+        assert_eq!(FaultPlan::from_json(json).unwrap(), FaultPlan::generate(7));
+        assert!(line.starts_with("CHAOS_SEED=7 "));
+        assert!(f.to_string().contains("replay: CHAOS_SEED=7"));
+    }
+}

@@ -1,0 +1,227 @@
+//! A tiny JSON reader for fault plans.
+//!
+//! The hermetic workspace has no serde, and fault plans only need a sliver
+//! of JSON: objects, arrays, strings and unsigned integers. This module
+//! parses exactly that sliver with a recursive-descent parser; the writer
+//! side is plain string formatting in [`crate::FaultPlan::to_json`].
+
+/// A parsed JSON value restricted to what fault plans use.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Json {
+    /// An unsigned integer (all plan fields are non-negative).
+    Num(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, keys in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A required numeric field of an object.
+    pub fn num(&self, key: &str) -> Result<u64, String> {
+        match self.get(key) {
+            Some(Json::Num(n)) => Ok(*n),
+            Some(_) => Err(format!("field {key:?} is not a number")),
+            None => Err(format!("missing field {key:?}")),
+        }
+    }
+
+    /// A required string field of an object.
+    pub fn str_field(&self, key: &str) -> Result<&str, String> {
+        match self.get(key) {
+            Some(Json::Str(s)) => Ok(s),
+            Some(_) => Err(format!("field {key:?} is not a string")),
+            None => Err(format!("missing field {key:?}")),
+        }
+    }
+}
+
+/// Parses a complete JSON document (trailing garbage is an error).
+pub(crate) fn parse(src: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing input at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // Plan strings are bare identifiers; only the escapes a
+                    // hand-edited plan could plausibly contain are accepted.
+                    match self.bytes.get(self.pos + 1) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit())
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_plan_shape() {
+        let v = parse(r#"{"seed":7,"events":[{"type":"kill","at_us":5000000}]}"#).unwrap();
+        assert_eq!(v.num("seed").unwrap(), 7);
+        let Some(Json::Arr(events)) = v.get("events") else {
+            panic!("events missing");
+        };
+        assert_eq!(events[0].str_field("type").unwrap(), "kill");
+        assert_eq!(events[0].num("at_us").unwrap(), 5_000_000);
+    }
+
+    #[test]
+    fn whitespace_is_ignored() {
+        let v = parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.get("a"), Some(&Json::Arr(vec![Json::Num(1), Json::Num(2)])));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_tokens() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"open").is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Shrinking: reduce a failing plan to a minimal reproduction.
+//!
+//! Every case is deterministic, so shrinking is a pure search: greedily
+//! drop one event at a time, keeping any candidate that still violates
+//! the oracle, until a fixed point (ddmin-lite — the plans are ≤5 events,
+//! so the quadratic greedy pass is minimal in practice).
+
+use crate::harness::{ChaosFailure, Oracle, PlanOutcome};
+use crate::plan::FaultPlan;
+
+/// Greedily removes events from `plan` while `still_fails` keeps holding.
+/// Runs to a fixed point; never returns an empty plan (a failure with no
+/// events means the reference itself is broken, which the caller should
+/// surface as-is).
+pub fn shrink_events(
+    plan: &FaultPlan,
+    mut still_fails: impl FnMut(&FaultPlan) -> bool,
+) -> FaultPlan {
+    let mut current = plan.clone();
+    let mut progress = true;
+    while progress {
+        progress = false;
+        let mut i = 0;
+        while i < current.events.len() && current.events.len() > 1 {
+            let mut candidate = current.clone();
+            candidate.events.remove(i);
+            if still_fails(&candidate) {
+                current = candidate;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    current
+}
+
+/// Checks `plan` against `oracle`; on violation, shrinks the plan and
+/// returns the failure for the minimal reproduction, its repro line
+/// already printed to stderr so a panicking caller still leaves the
+/// `CHAOS_SEED=… CHAOS_PLAN=…` line in the test log.
+pub fn check_or_shrink(
+    oracle: &Oracle<'_>,
+    plan: &FaultPlan,
+) -> Result<PlanOutcome, Box<ChaosFailure>> {
+    match oracle.check(plan) {
+        Ok(outcome) => Ok(outcome),
+        Err(original) => {
+            let minimal = shrink_events(plan, |p| oracle.check(p).is_err());
+            let failure = match oracle.check(&minimal) {
+                Err(f) => f,
+                // Determinism makes this unreachable, but prefer the
+                // original over a bogus "minimal" plan if it ever isn't.
+                Ok(_) => original,
+            };
+            eprintln!("{failure}");
+            Err(failure)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultEvent;
+
+    fn plan_of(n: u64) -> FaultPlan {
+        FaultPlan {
+            seed: 9,
+            events: (0..n)
+                .map(|i| FaultEvent::FetchFail { nth: i + 1 })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_guilty_event() {
+        // Predicate: fails iff the plan still contains FetchFail{nth: 3}.
+        let guilty = FaultEvent::FetchFail { nth: 3 };
+        let shrunk = shrink_events(&plan_of(5), |p| p.events.contains(&guilty));
+        assert_eq!(shrunk.events, vec![guilty]);
+        assert_eq!(shrunk.seed, 9, "shrinking preserves the seed");
+    }
+
+    #[test]
+    fn shrinks_conjunctions_to_their_minimal_pair() {
+        // Fails only when events 2 AND 4 are both present.
+        let a = FaultEvent::FetchFail { nth: 2 };
+        let b = FaultEvent::FetchFail { nth: 4 };
+        let shrunk = shrink_events(&plan_of(6), |p| {
+            p.events.contains(&a) && p.events.contains(&b)
+        });
+        assert_eq!(shrunk.events, vec![a, b]);
+    }
+
+    #[test]
+    fn never_shrinks_below_one_event() {
+        let shrunk = shrink_events(&plan_of(4), |_| true);
+        assert_eq!(shrunk.events.len(), 1);
+    }
+}

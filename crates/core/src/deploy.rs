@@ -15,8 +15,8 @@ use splitserve_des::{Fabric, Sim};
 use splitserve_engine::{Engine, EngineConfig, ExecutorDesc, ExecutorId};
 use splitserve_obs::SpanId;
 use splitserve_storage::{
-    BlockStore, HdfsSpec, HdfsStore, InstrumentedStore, LocalDiskStore, RedisSpec, RedisStore,
-    S3Spec, S3Store, SqsSpec, SqsStore,
+    HdfsSpec, HdfsStore, InstrumentedStore, LocalDiskStore, RedisSpec, RedisStore, S3Spec, S3Store,
+    SharedStore, SqsSpec, SqsStore,
 };
 
 /// Which substrate holds intermediate shuffle state.
@@ -111,10 +111,27 @@ impl Deployment {
         master_type: InstanceType,
         engine_cfg: EngineConfig,
     ) -> Self {
+        Self::with_wrapped_store(sim, cloud_spec, store_kind, master_type, engine_cfg, |s| s)
+    }
+
+    /// Like [`Deployment::with_engine_config`], additionally threading the
+    /// freshly built store through `wrap` before instrumentation. This is
+    /// the seam the chaos plane uses to interpose its fault-injecting
+    /// decorator *underneath* the metrics layer, so injected latency and
+    /// errors are visible in `store_op_seconds` / `store_ops_total` like
+    /// any organic slowness or failure would be.
+    pub fn with_wrapped_store(
+        sim: &mut Sim,
+        cloud_spec: CloudSpec,
+        store_kind: ShuffleStoreKind,
+        master_type: InstanceType,
+        engine_cfg: EngineConfig,
+        wrap: impl FnOnce(SharedStore) -> SharedStore,
+    ) -> Self {
         let fabric = Fabric::new();
         let cloud = Cloud::new(cloud_spec, fabric.clone());
         let master_vm = cloud.provision_vm_ready(sim, master_type);
-        let store: Rc<dyn BlockStore> = match store_kind {
+        let store: SharedStore = match store_kind {
             ShuffleStoreKind::Local => Rc::new(LocalDiskStore::new(fabric.clone())),
             ShuffleStoreKind::Hdfs => {
                 let hdfs = HdfsStore::new(HdfsSpec::default(), fabric.clone());
@@ -138,6 +155,7 @@ impl Deployment {
                 ))
             }
         };
+        let store = wrap(store);
         // With observability on, every store op is measured on the shared
         // registry; with it off this is the identity function.
         let store = InstrumentedStore::wrap(store, engine_cfg.obs.metrics.clone());

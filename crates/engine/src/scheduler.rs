@@ -50,6 +50,9 @@ struct ExecMeta {
     idle_since: SimTime,
     tasks_done: u64,
     on_drained: Option<DrainCallback>,
+    /// Multiplier on the executor's core speed (1.0 = nominal). The chaos
+    /// plane lowers it to turn an executor into a straggler.
+    speed_factor: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -250,6 +253,7 @@ impl Engine {
                     idle_since: sim.now(),
                     tasks_done: 0,
                     on_drained: None,
+                    speed_factor: 1.0,
                 },
             );
             self.tele.executor_registered(sim.now(), &id, kind);
@@ -388,6 +392,45 @@ impl Engine {
             }
         }
         self.progress_all_jobs(sim);
+    }
+
+    /// Whether killing `id` *right now* would roll a stage back: true iff
+    /// the shuffle store dies with its executors and `id` holds registered
+    /// map outputs of a `Done` shuffle-map stage in a live job. This is
+    /// the query the chaos plane's differential oracle uses to predict
+    /// `StageRolledBack` events before performing a kill.
+    pub fn would_rollback_on_loss(&self, id: &ExecutorId) -> bool {
+        if self.store.survives_executor_loss() {
+            return false;
+        }
+        let inner = self.inner.borrow();
+        inner.jobs.values().filter(|j| !j.done).any(|job| {
+            job.graph.stages.iter().any(|stage| {
+                let StageKind::ShuffleMap(dep) = &stage.kind else {
+                    return false;
+                };
+                job.status[stage.id.0 as usize].state == Some(StageState::Done)
+                    && inner.tracker.has_outputs_from(dep.id, id)
+            })
+        })
+    }
+
+    /// Scales an executor's effective core speed by `factor` (1.0 =
+    /// nominal; 0.25 runs tasks four times slower). The chaos plane uses
+    /// this to inject stragglers; the change applies to computations
+    /// started after the call.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    pub fn set_executor_speed_factor(&self, id: &ExecutorId, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "invalid speed factor {factor}"
+        );
+        if let Some(meta) = self.inner.borrow_mut().executors.get_mut(id) {
+            meta.speed_factor = factor;
+        }
     }
 
     fn decommission(&self, sim: &mut Sim, id: ExecutorId) {
@@ -767,12 +810,25 @@ impl Engine {
     ) {
         // Every input shuffle gets an entry even when this reduce partition
         // receives no bytes from it (all buckets empty).
-        let mut base: HashMap<ShuffleId, Vec<Bytes>> = HashMap::new();
+        let mut base: HashMap<ShuffleId, Vec<(usize, Bytes)>> = HashMap::new();
         for id in &shuffle_ids {
             base.insert(*id, Vec::new());
         }
+        // Sorting by map index gives every reduce task a canonical input
+        // order regardless of fetch-completion timing.
+        fn in_map_order(
+            results: HashMap<ShuffleId, Vec<(usize, Bytes)>>,
+        ) -> HashMap<ShuffleId, Vec<Bytes>> {
+            results
+                .into_iter()
+                .map(|(id, mut blocks)| {
+                    blocks.sort_by_key(|(m, _)| *m);
+                    (id, blocks.into_iter().map(|(_, b)| b).collect())
+                })
+                .collect()
+        }
         if plan.is_empty() {
-            self.run_compute(sim, attempt, base, 0);
+            self.run_compute(sim, attempt, in_map_order(base), 0);
             return;
         }
         let (client, fetch_span) = {
@@ -792,7 +848,12 @@ impl Engine {
         let fetched_bytes: u64 = plan.iter().map(|(_, _, _, s)| s).sum();
         struct FetchState {
             queue: VecDeque<(ShuffleId, usize, BlockId)>,
-            results: HashMap<ShuffleId, Vec<Bytes>>,
+            /// Fetched blocks with their map index: completions arrive in
+            /// whatever order the store finishes them (fault injection and
+            /// latency windows reshuffle that order), so blocks are sorted
+            /// by map index before compute — task inputs, and therefore
+            /// outputs, stay bit-identical across fault schedules.
+            results: HashMap<ShuffleId, Vec<(usize, Bytes)>>,
             outstanding: usize,
             aborted: bool,
             span: SpanId,
@@ -856,7 +917,7 @@ impl Engine {
                             let done = {
                                 let mut st = state2.borrow_mut();
                                 st.outstanding -= 1;
-                                st.results.entry(shuffle).or_default().push(bytes);
+                                st.results.entry(shuffle).or_default().push((map, bytes));
                                 st.queue.is_empty() && st.outstanding == 0
                             };
                             if done {
@@ -867,7 +928,7 @@ impl Engine {
                                 engine2
                                     .tele
                                     .shuffle_phase_finished(sim.now(), span, "fetch", started);
-                                engine2.run_compute(sim, attempt, results, fetched_bytes);
+                                engine2.run_compute(sim, attempt, in_map_order(results), fetched_bytes);
                             } else {
                                 spawn_next(&engine2, sim, attempt, &state2, client, fetched_bytes);
                             }
@@ -915,7 +976,7 @@ impl Engine {
                 stage.kind.clone(),
                 info.part,
                 inner.cfg.work.clone(),
-                meta.desc.core_speed,
+                meta.desc.core_speed * meta.speed_factor,
                 meta.desc.memory_bytes(),
             )
         };

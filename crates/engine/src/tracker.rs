@@ -98,6 +98,16 @@ impl MapOutputTracker {
             .collect()
     }
 
+    /// Whether `executor` currently holds any registered output of shuffle
+    /// `id` — i.e. whether losing it would leave the shuffle incomplete.
+    pub fn has_outputs_from(&self, id: ShuffleId, executor: &ExecutorId) -> bool {
+        self.shuffles.get(&id).is_some_and(|maps| {
+            maps.iter()
+                .flatten()
+                .any(|s| &s.executor == executor)
+        })
+    }
+
     /// Forgets every output written by `executor` (its local blocks died
     /// with it). Returns the shuffles that lost outputs, with how many.
     pub fn unregister_executor(&mut self, executor: &ExecutorId) -> Vec<(ShuffleId, usize)> {

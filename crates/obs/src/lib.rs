@@ -87,6 +87,16 @@ impl Obs {
         self.spans.instant(at, lane, track, name);
         self.metrics.counter_add("obs_marks_total", &[("name", name)], 1);
     }
+
+    /// Records one injected fault of `kind` as
+    /// `faults_injected_total{kind}` — the counter the chaos plane bumps
+    /// for every kill, drain, straggle, latency window and storage fault
+    /// it performs, so a metrics dump distinguishes injected trouble from
+    /// organic trouble.
+    pub fn count_fault(&self, kind: &str) {
+        self.metrics
+            .counter_add("faults_injected_total", &[("kind", kind)], 1);
+    }
 }
 
 #[cfg(test)]

@@ -83,6 +83,14 @@ pub enum StoreError {
     },
     /// The store rejected the request (e.g. block exceeds a service limit).
     Rejected(String),
+    /// A deliberately injected fault (chaos testing): which operation was
+    /// struck and its 1-based ordinal in the store's request sequence.
+    Injected {
+        /// The struck operation ("get" or "put").
+        op: &'static str,
+        /// 1-based position in that operation's request sequence.
+        ordinal: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -93,6 +101,9 @@ impl fmt::Display for StoreError {
                 write!(f, "executor {executor} lost; block {block} gone")
             }
             StoreError::Rejected(m) => write!(f, "request rejected: {m}"),
+            StoreError::Injected { op, ordinal } => {
+                write!(f, "injected fault: {op} #{ordinal}")
+            }
         }
     }
 }

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 mod api;
+mod fault;
 mod hdfs;
 mod local;
 mod obs;
@@ -28,6 +29,7 @@ mod util;
 pub use api::{
     BlockId, BlockStore, ClientLoc, GetCallback, PutCallback, StoreError, StoreStats,
 };
+pub use fault::{FaultStore, StoreFaults};
 pub use hdfs::{HdfsSpec, HdfsStore};
 pub use local::LocalDiskStore;
 pub use obs::InstrumentedStore;

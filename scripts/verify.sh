@@ -56,6 +56,13 @@ assert all(r["median_ns"] > 0 for r in records), "non-positive median"
 print(f"OK: {len(records)} benchmarks, all medians positive")
 '
 
+echo "==> chaos smoke: fault plane must be bit-deterministic across runs"
+cargo run --release --offline --example chaos_smoke > target/chaos_smoke_run1.txt
+cargo run --release --offline --example chaos_smoke > target/chaos_smoke_run2.txt
+diff target/chaos_smoke_run1.txt target/chaos_smoke_run2.txt
+grep -q "64/64 cases completed" target/chaos_smoke_run1.txt
+tail -1 target/chaos_smoke_run1.txt
+
 echo "==> checking for non-path dependencies"
 cargo metadata --offline --format-version 1 |
     python3 -c '

@@ -1,13 +1,19 @@
 //! Failure-injection tests across the whole stack: Lambda lifetime kills,
 //! the rollback cascade with local shuffle, and its absence with the
 //! shared HDFS layer — the architectural heart of the paper.
+//!
+//! The churn schedules are named, replayable [`FaultPlan`]s armed through
+//! the chaos injector rather than hand-rolled `schedule_at` loops; a
+//! failing scenario can be reprinted (`plan.to_json()`) and replayed
+//! bit-for-bit from the JSON alone.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use splitserve::{Deployment, DriverProgram, ShuffleStoreKind};
+use splitserve_chaos::{inject, FaultPlan};
 use splitserve_cloud::{CloudSpec, M4_XLARGE};
-use splitserve_des::{Dist, Sim, SimDuration, SimTime};
+use splitserve_des::{Dist, Sim, SimDuration};
 use splitserve_engine::{collect_partitions, Dataset, EngineEventKind};
 use splitserve_workloads::PageRank;
 
@@ -27,11 +33,19 @@ fn long_job() -> Dataset<(u64, u64)> {
         .reduce_by_key(8, |a, b| a + b)
 }
 
+/// The named replacement-wave schedule of the original hand-rolled test:
+/// overlapping fresh capacity every 5 s while 20 s-lifetime containers
+/// age out underneath it.
+fn lifetime_churn_plan(waves: u32) -> FaultPlan {
+    FaultPlan::replacement_waves(waves, 5, 2)
+}
+
 #[test]
 fn lambda_lifetime_kill_mid_job_recovers_with_hdfs() {
     // 4 Lambdas with a 20 s lifetime on a ~80 s job: every container is
-    // killed and replaced by fresh requests from the test driver; shuffle
-    // data survives on HDFS so only in-flight tasks are redone.
+    // killed and replaced by fresh requests from the replacement-wave
+    // plan; shuffle data survives on HDFS so only in-flight tasks are
+    // redone.
     let mut sim = Sim::new(9);
     let d = Deployment::new(
         &mut sim,
@@ -40,15 +54,13 @@ fn lambda_lifetime_kill_mid_job_recovers_with_hdfs() {
         M4_XLARGE,
     );
     d.add_lambda_executors(&mut sim, 4);
-    // Overlapping replacement waves, as the launching facility would
-    // provide: fresh capacity arrives every 5 s while old containers age
-    // out at 20 s.
-    for wave in 1..30u64 {
-        let d2 = d.clone();
-        sim.schedule_at(SimTime::from_secs(wave * 5), move |sim| {
-            d2.add_lambda_executors(sim, 2);
-        });
-    }
+    let plan = lifetime_churn_plan(29);
+    assert_eq!(
+        FaultPlan::from_json(&plan.to_json()).unwrap(),
+        plan,
+        "the scenario is replayable from its printed form"
+    );
+    let report = inject::arm(&mut sim, &d, &plan);
     let out = Rc::new(RefCell::new(None));
     let o = Rc::clone(&out);
     d.engine().submit_job(&mut sim, long_job().node(), move |_, r| {
@@ -62,7 +74,8 @@ fn lambda_lifetime_kill_mid_job_recovers_with_hdfs() {
     rows.sort();
     assert_eq!(rows.len(), 8);
     assert!(rows.iter().all(|(_, c)| *c == 20_000));
-    // Kills definitely happened…
+    assert_eq!(report.capacity_adds(), 29, "every wave fired");
+    // Kills definitely happened (the platform's, not the injector's)…
     let events = d.engine().event_log().snapshot();
     let kills = events
         .iter()
@@ -90,22 +103,12 @@ fn same_churn_with_local_shuffle_triggers_rollback_but_still_finishes() {
         M4_XLARGE,
     );
     d.add_lambda_executors(&mut sim, 4);
-    for wave in 1..12u64 {
-        let d2 = d.clone();
-        sim.schedule_at(SimTime::from_secs(wave * 5), move |sim| {
-            d2.add_lambda_executors(sim, 2);
-        });
-    }
     // With executor-local shuffle, perpetual churn livelocks: map outputs
     // die before reducers can drain them (exactly why pure-Lambda vanilla
     // Spark is untenable). Stable VM capacity arriving at t=60 s ends the
     // rollback storm.
-    {
-        let d2 = d.clone();
-        sim.schedule_at(SimTime::from_secs(60), move |sim| {
-            d2.add_vm_workers(sim, splitserve_cloud::M4_4XLARGE, 8);
-        });
-    }
+    let plan = lifetime_churn_plan(11).with_vm_rescue(60, 8);
+    inject::arm(&mut sim, &d, &plan);
     let out = Rc::new(RefCell::new(None));
     let o = Rc::clone(&out);
     d.engine().submit_job(&mut sim, long_job().node(), move |_, r| {
@@ -143,23 +146,12 @@ fn same_churn_with_local_shuffle_triggers_rollback_but_still_finishes() {
 fn rollback_makes_local_store_slower_than_hdfs_under_churn() {
     // The quantitative version of the two tests above: identical churn,
     // identical job — the store choice decides how much work is redone.
+    let plan = lifetime_churn_plan(11).with_vm_rescue(60, 8);
     let run = |store: ShuffleStoreKind| {
         let mut sim = Sim::new(13);
         let d = Deployment::new(&mut sim, short_lifetime_cloud(20), store, M4_XLARGE);
         d.add_lambda_executors(&mut sim, 4);
-        for wave in 1..12u64 {
-            let d2 = d.clone();
-            sim.schedule_at(SimTime::from_secs(wave * 5), move |sim| {
-                d2.add_lambda_executors(sim, 2);
-            });
-        }
-        // Identical VM rescue for both stores.
-        {
-            let d2 = d.clone();
-            sim.schedule_at(SimTime::from_secs(60), move |sim| {
-                d2.add_vm_workers(sim, splitserve_cloud::M4_4XLARGE, 8);
-            });
-        }
+        inject::arm(&mut sim, &d, &plan);
         let done = Rc::new(RefCell::new(None));
         let dn = Rc::clone(&done);
         d.engine().submit_job(&mut sim, long_job().node(), move |sim, r| {
