@@ -7,6 +7,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use splitserve_bench::timing::{bench, black_box};
 use splitserve_des::{Fabric, Sim};
@@ -26,7 +27,7 @@ fn bench_map_combine() {
     let ds = Dataset::parallelize((0..1_000_000u64).map(|i| (i % 256, 1u64)).collect(), 1)
         .reduce_by_key(8, |a, b| a + b);
     let deps = input_shuffles(&ds.node());
-    let dep = Rc::clone(&deps[0]);
+    let dep = Arc::clone(&deps[0]);
     bench("shuffle/map_combine_encode_1m", SAMPLES, || {
         let mut ctx = TaskContext::empty(WorkModel::default());
         let data = dep.parent.compute(&mut ctx, 0);
@@ -40,7 +41,7 @@ fn bench_map_encode_only() {
     let ds = Dataset::parallelize((0..500_000u64).map(|i| (i % 1024, i)).collect(), 1)
         .group_by_key(8);
     let deps = input_shuffles(&ds.node());
-    let dep = Rc::clone(&deps[0]);
+    let dep = Arc::clone(&deps[0]);
     bench("shuffle/map_encode_nocombine_500k", SAMPLES, || {
         let mut ctx = TaskContext::empty(WorkModel::default());
         let data = dep.parent.compute(&mut ctx, 0);
@@ -55,7 +56,7 @@ fn bench_reduce_merge() {
         .reduce_by_key(1, |a, b| a + b);
     let node = ds.node();
     let deps = input_shuffles(&node);
-    let dep = Rc::clone(&deps[0]);
+    let dep = Arc::clone(&deps[0]);
     let mut blocks = Vec::new();
     for m in 0..dep.parent.num_partitions() {
         let mut ctx = TaskContext::empty(WorkModel::default());
@@ -75,9 +76,19 @@ fn bench_reduce_merge() {
 }
 
 fn rig(seed: u64, execs: usize) -> (Sim, Engine) {
+    rig_workers(seed, execs, 1)
+}
+
+fn rig_workers(seed: u64, execs: usize, workers: usize) -> (Sim, Engine) {
     let fabric = Fabric::new();
     let store = Rc::new(LocalDiskStore::new(fabric.clone()));
-    let engine = Engine::new(EngineConfig::default(), store);
+    let engine = Engine::new(
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        },
+        store,
+    );
     let mut sim = Sim::new(seed);
     for i in 0..execs {
         let nic = fabric.add_link(1e9, format!("n{i}"));
@@ -90,8 +101,18 @@ fn rig(seed: u64, execs: usize) -> (Sim, Engine) {
 /// Submits `plan` on a fresh 4-executor rig and runs the sim to
 /// completion, returning the output row count (asserted non-zero so the
 /// optimizer cannot elide the job).
-fn run_plan<T: Clone + 'static>(plan: &Dataset<T>) -> usize {
-    let (mut sim, engine) = rig(7, 4);
+fn run_plan<T: Clone + Send + Sync + 'static>(plan: &Dataset<T>) -> usize {
+    run_plan_workers(plan, 4, 1)
+}
+
+/// `run_plan` with an explicit executor count and worker-pool size, for
+/// the `parallel/*` benchmarks that scale the data plane.
+fn run_plan_workers<T: Clone + Send + Sync + 'static>(
+    plan: &Dataset<T>,
+    execs: usize,
+    workers: usize,
+) -> usize {
+    let (mut sim, engine) = rig_workers(7, execs, workers);
     let out = Rc::new(RefCell::new(0usize));
     let o = Rc::clone(&out);
     engine.submit_job(&mut sim, plan.node(), move |_, r| {
@@ -129,9 +150,24 @@ fn bench_workloads() {
     });
 }
 
+/// End-to-end PageRank wall time as the worker pool scales: same job,
+/// same virtual-time answer, different real elapsed time. Sized so task
+/// bodies (contribution flat_map, combine+encode, decode+merge) dominate
+/// the run — the speedup `scripts/verify.sh` gates on lives here, and
+/// `scripts/bench.sh` routes these records into `BENCH_parallel.json`.
+fn bench_parallel_pagerank() {
+    for workers in [1usize, 2, 4, 8] {
+        bench(&format!("parallel/pagerank_e2e_w{workers}"), SAMPLES, || {
+            let pr = PageRank::new(200_000, 2, 8, 9);
+            black_box(run_plan_workers(&pr.plan(), 8, workers));
+        });
+    }
+}
+
 fn main() {
     bench_map_combine();
     bench_map_encode_only();
     bench_reduce_merge();
     bench_workloads();
+    bench_parallel_pagerank();
 }

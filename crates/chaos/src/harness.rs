@@ -53,6 +53,10 @@ pub struct ChaosTopology {
     /// Lambda platform lifetime in seconds; 0 keeps the spec default
     /// (long enough to never fire in a chaos case).
     pub lambda_lifetime_s: u64,
+    /// Worker threads for the engine's task data plane (1 = inline).
+    /// Virtual-time results are byte-identical at any setting, which the
+    /// differential harness exploits to cross-check the parallel path.
+    pub workers: usize,
 }
 
 impl Default for ChaosTopology {
@@ -67,6 +71,7 @@ impl Default for ChaosTopology {
             rescue_at_s: 60,
             rescue_cores: 8,
             lambda_lifetime_s: 0,
+            workers: 1,
         }
     }
 }
@@ -138,6 +143,7 @@ pub fn run_case(
     }
     let cfg = EngineConfig {
         obs: obs.clone(),
+        workers: topo.workers,
         ..EngineConfig::default()
     };
     let wrapped = faults.clone();

@@ -94,6 +94,13 @@ pub struct EngineConfig {
     /// RPC on the single-threaded scheduler loop). This is what bends the
     /// profiling curve back up at high degrees of parallelism (Fig. 4).
     pub driver_dispatch: SimDuration,
+    /// Worker threads executing task bodies (map compute, shuffle
+    /// combine+encode, reduce decode+merge). `1` (the default) runs task
+    /// bodies inline on the simulation thread; `>= 2` offloads them to a
+    /// real thread pool. Virtual-time results are byte-identical at any
+    /// setting — only wall-clock changes (see DESIGN.md "Parallel task
+    /// data plane").
+    pub workers: usize,
 }
 
 impl Default for EngineConfig {
@@ -105,6 +112,7 @@ impl Default for EngineConfig {
             obs: splitserve_obs::Obs::disabled(),
             max_fetch_concurrency: 8,
             driver_dispatch: SimDuration::from_millis(4),
+            workers: 1,
         }
     }
 }

@@ -23,20 +23,29 @@ pub struct TaskContext {
 
 impl TaskContext {
     /// Creates a context with the given fetched shuffle inputs.
+    ///
+    /// Deserialization of every fetched block is charged here, up front:
+    /// all fetched bytes get decoded exactly once by the consuming
+    /// operator, and charging at construction lets the scheduler bound a
+    /// task's virtual duration from below *before* the body runs — the
+    /// anchor the parallel data plane's join events are scheduled on
+    /// (see DESIGN.md "Parallel task data plane").
     pub fn new(work: WorkModel, shuffle_in: HashMap<ShuffleId, Vec<Bytes>>) -> Self {
-        let bytes_in = shuffle_in
+        let bytes_in: u64 = shuffle_in
             .values()
             .flat_map(|v| v.iter())
             .map(|b| b.len() as u64)
             .sum();
-        TaskContext {
+        let mut ctx = TaskContext {
             shuffle_in,
             work,
             cpu_secs: 0.0,
             bytes_in,
             bytes_out: 0,
             obs: Obs::disabled(),
-        }
+        };
+        ctx.charge_deser(bytes_in);
+        ctx
     }
 
     /// Attaches an observability handle so shuffle operators can record
@@ -128,6 +137,16 @@ impl TaskContext {
     pub fn bytes_out(&self) -> u64 {
         self.bytes_out
     }
+
+    /// Applies charge deltas recorded by an earlier task verbatim — used
+    /// by `cache()` to bill every reader of a memoized partition the
+    /// exact cost its fill incurred, so accounted durations never depend
+    /// on which task won the (real-time) race to fill the cache.
+    pub(crate) fn replay_charges(&mut self, cpu_secs: f64, bytes_in: u64, bytes_out: u64) {
+        self.cpu_secs += cpu_secs;
+        self.bytes_in += bytes_in;
+        self.bytes_out += bytes_out;
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +182,11 @@ mod tests {
         );
         let mut ctx = TaskContext::new(WorkModel::default(), m);
         assert_eq!(ctx.bytes_in(), 6);
+        let deser = 6.0 * ctx.work_model().deser_secs_per_byte;
+        assert!(
+            (ctx.cpu_secs() - deser).abs() < 1e-15,
+            "deser for fetched blocks is charged at construction"
+        );
         let blocks = ctx.shuffle_input(ShuffleId(0));
         assert_eq!(blocks.len(), 2);
     }

@@ -4,18 +4,22 @@
 //! dependencies are computed by recursive calls within one task
 //! (pipelining); [`ShuffleDep`] edges are the stage boundaries where data
 //! is partitioned by key, serialized and moved through the block store.
+//!
+//! The whole layer is `Send + Sync`: task bodies execute on the engine's
+//! worker-thread pool, so plan nodes, partition payloads and the closures
+//! inside them must be shareable across threads.
 
 use std::any::Any;
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use splitserve_rt::Bytes;
 
 use crate::context::TaskContext;
 
-/// A computed partition: `Rc<Vec<T>>` behind `Any`. Cheap to clone and
-/// share between pipelined operators.
-pub type PartitionData = Rc<dyn Any>;
+/// A computed partition: `Arc<Vec<T>>` behind `Any`. Cheap to clone,
+/// shared between pipelined operators, and movable to worker threads.
+pub type PartitionData = Arc<dyn Any + Send + Sync>;
 
 /// Identifies a plan node within a process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,27 +35,17 @@ impl std::fmt::Display for ShuffleId {
     }
 }
 
-thread_local! {
-    static NEXT_NODE: Cell<u64> = const { Cell::new(0) };
-    static NEXT_SHUFFLE: Cell<u64> = const { Cell::new(0) };
-}
+static NEXT_NODE: AtomicU64 = AtomicU64::new(0);
+static NEXT_SHUFFLE: AtomicU64 = AtomicU64::new(0);
 
 /// Allocates a fresh node id (process-unique).
 pub fn next_node_id() -> NodeId {
-    NEXT_NODE.with(|c| {
-        let v = c.get();
-        c.set(v + 1);
-        NodeId(v)
-    })
+    NodeId(NEXT_NODE.fetch_add(1, Ordering::Relaxed))
 }
 
 /// Allocates a fresh shuffle id (process-unique).
 pub fn next_shuffle_id() -> ShuffleId {
-    NEXT_SHUFFLE.with(|c| {
-        let v = c.get();
-        c.set(v + 1);
-        ShuffleId(v)
-    })
+    ShuffleId(NEXT_SHUFFLE.fetch_add(1, Ordering::Relaxed))
 }
 
 /// One serialized shuffle bucket produced by a map task: the bytes bound
@@ -73,7 +67,7 @@ pub struct ShuffleBucket {
 /// partition, applies any map-side combine, partitions by key and
 /// serializes — returning one bucket per reduce partition. Charges its
 /// CPU work to the context.
-pub type Partitioner = Rc<dyn Fn(&mut TaskContext, PartitionData) -> Vec<ShuffleBucket>>;
+pub type Partitioner = Arc<dyn Fn(&mut TaskContext, PartitionData) -> Vec<ShuffleBucket> + Send + Sync>;
 
 /// A wide (shuffle) dependency: the child reads `parent`'s output
 /// re-partitioned into `num_partitions` buckets by `partitioner`.
@@ -81,7 +75,7 @@ pub struct ShuffleDep {
     /// The shuffle's id (names its blocks in the store).
     pub id: ShuffleId,
     /// The map-side plan.
-    pub parent: Rc<dyn PlanNode>,
+    pub parent: Arc<dyn PlanNode>,
     /// Number of reduce partitions.
     pub num_partitions: usize,
     /// Type-erased map-side work (see [`Partitioner`]).
@@ -102,9 +96,9 @@ impl std::fmt::Debug for ShuffleDep {
 #[derive(Clone)]
 pub enum Dep {
     /// Same-stage dependency: child's `compute` calls parent's `compute`.
-    Narrow(Rc<dyn PlanNode>),
+    Narrow(Arc<dyn PlanNode>),
     /// Stage boundary: child reads the shuffle's blocks.
-    Shuffle(Rc<ShuffleDep>),
+    Shuffle(Arc<ShuffleDep>),
 }
 
 impl std::fmt::Debug for Dep {
@@ -119,7 +113,9 @@ impl std::fmt::Debug for Dep {
 /// A lineage node. Implementations are the operator library in
 /// [`crate::ops`]; workloads interact through the typed
 /// [`Dataset`](crate::Dataset) wrapper instead.
-pub trait PlanNode {
+///
+/// `Send + Sync` because `compute` runs on worker threads.
+pub trait PlanNode: Send + Sync {
     /// This node's id.
     fn id(&self) -> NodeId;
     /// Human-readable operator name for logs ("map", "reduceByKey", …).
@@ -135,9 +131,9 @@ pub trait PlanNode {
 
 /// Walks the narrow-dependency closure of `node` (the nodes that execute
 /// within its stage) and returns every [`ShuffleDep`] feeding that stage.
-pub fn input_shuffles(node: &Rc<dyn PlanNode>) -> Vec<Rc<ShuffleDep>> {
+pub fn input_shuffles(node: &Arc<dyn PlanNode>) -> Vec<Arc<ShuffleDep>> {
     let mut out = Vec::new();
-    let mut stack = vec![Rc::clone(node)];
+    let mut stack = vec![Arc::clone(node)];
     let mut seen = std::collections::HashSet::new();
     while let Some(n) = stack.pop() {
         if !seen.insert(n.id()) {

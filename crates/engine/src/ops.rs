@@ -16,11 +16,15 @@
 //! buffers are sized exactly via [`Encode::encoded_len`] and recycled
 //! through [`splitserve_rt::pool`], and the reduce side consumes blocks
 //! through a streaming decoder instead of materializing them.
+//!
+//! Everything here is `Send + Sync` — plan nodes, partition payloads and
+//! the user closures inside them — because task bodies execute on the
+//! engine's worker-thread pool (see DESIGN.md "Parallel task data
+//! plane").
 
-use std::cell::RefCell;
 use std::hash::Hash;
 use std::marker::PhantomData;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use splitserve_codec::{Decode, Encode};
 use splitserve_rt::hash::shuffle_hash;
@@ -48,14 +52,14 @@ use crate::node::{
 /// assert_eq!(evens.num_partitions(), 4);
 /// ```
 pub struct Dataset<T> {
-    node: Rc<dyn PlanNode>,
+    node: Arc<dyn PlanNode>,
     _t: PhantomData<fn() -> T>,
 }
 
 impl<T> Clone for Dataset<T> {
     fn clone(&self) -> Self {
         Dataset {
-            node: Rc::clone(&self.node),
+            node: Arc::clone(&self.node),
             _t: PhantomData,
         }
     }
@@ -91,12 +95,12 @@ fn rows<T: 'static>(data: &PartitionData) -> &Vec<T> {
         .expect("partition type mismatch: engine invariant violated")
 }
 
-fn wrap<T: 'static>(v: Vec<T>) -> PartitionData {
-    Rc::new(v)
+fn wrap<T: Send + Sync + 'static>(v: Vec<T>) -> PartitionData {
+    Arc::new(v)
 }
 
-impl<T: 'static> Dataset<T> {
-    pub(crate) fn from_node(node: Rc<dyn PlanNode>) -> Self {
+impl<T: Send + Sync + 'static> Dataset<T> {
+    pub(crate) fn from_node(node: Arc<dyn PlanNode>) -> Self {
         Dataset {
             node,
             _t: PhantomData,
@@ -104,8 +108,8 @@ impl<T: 'static> Dataset<T> {
     }
 
     /// The underlying plan node (for job submission).
-    pub fn node(&self) -> Rc<dyn PlanNode> {
-        Rc::clone(&self.node)
+    pub fn node(&self) -> Arc<dyn PlanNode> {
+        Arc::clone(&self.node)
     }
 
     /// Number of partitions.
@@ -126,8 +130,8 @@ impl<T: 'static> Dataset<T> {
         for (i, x) in data.into_iter().enumerate() {
             parts[(i / chunk).min(partitions - 1)].push(x);
         }
-        let parts: Vec<Rc<Vec<T>>> = parts.into_iter().map(Rc::new).collect();
-        Dataset::from_node(Rc::new(ParallelizeNode {
+        let parts: Vec<Arc<Vec<T>>> = parts.into_iter().map(Arc::new).collect();
+        Dataset::from_node(Arc::new(ParallelizeNode {
             id: next_node_id(),
             parts,
             bytes_per_record: std::mem::size_of::<T>().max(8) as u64,
@@ -138,73 +142,85 @@ impl<T: 'static> Dataset<T> {
     /// `gen(partition_index)` — the way workload inputs are materialized
     /// without the driver holding them. `gen` must be deterministic in its
     /// argument.
-    pub fn generate(partitions: usize, gen: impl Fn(usize) -> Vec<T> + 'static) -> Self {
+    pub fn generate(
+        partitions: usize,
+        gen: impl Fn(usize) -> Vec<T> + Send + Sync + 'static,
+    ) -> Self {
         assert!(partitions > 0, "need at least one partition");
-        Dataset::from_node(Rc::new(GenerateNode {
+        Dataset::from_node(Arc::new(GenerateNode {
             id: next_node_id(),
             partitions,
-            gen: Rc::new(gen),
+            gen: Arc::new(gen),
             bytes_per_record: std::mem::size_of::<T>().max(8) as u64,
         }))
     }
 
     /// Element-wise transformation.
-    pub fn map<U: 'static>(&self, f: impl Fn(&T) -> U + 'static) -> Dataset<U> {
+    pub fn map<U: Send + Sync + 'static>(
+        &self,
+        f: impl Fn(&T) -> U + Send + Sync + 'static,
+    ) -> Dataset<U> {
         self.map_with_cost(f, None)
     }
 
     /// Like [`Dataset::map`] but charging `cost_secs_per_record` instead of
     /// the default narrow-operator rate — for compute-heavy user functions
     /// (distance computations, parsing, …).
-    pub fn map_with_cost<U: 'static>(
+    pub fn map_with_cost<U: Send + Sync + 'static>(
         &self,
-        f: impl Fn(&T) -> U + 'static,
+        f: impl Fn(&T) -> U + Send + Sync + 'static,
         cost_secs_per_record: Option<f64>,
     ) -> Dataset<U> {
-        Dataset::from_node(Rc::new(MapNode {
+        Dataset::from_node(Arc::new(MapNode {
             id: next_node_id(),
             parent: self.node(),
-            f: Rc::new(f),
+            f: Arc::new(f),
             cost: cost_secs_per_record,
         }))
     }
 
     /// Keeps the records for which `f` is true.
-    pub fn filter(&self, f: impl Fn(&T) -> bool + 'static) -> Dataset<T>
+    pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Dataset<T>
     where
         T: Clone,
     {
-        Dataset::from_node(Rc::new(FilterNode {
+        Dataset::from_node(Arc::new(FilterNode {
             id: next_node_id(),
             parent: self.node(),
-            f: Rc::new(f),
+            f: Arc::new(f),
         }))
     }
 
     /// Maps each record to zero or more outputs.
-    pub fn flat_map<U: 'static>(&self, f: impl Fn(&T) -> Vec<U> + 'static) -> Dataset<U> {
-        Dataset::from_node(Rc::new(FlatMapNode {
+    pub fn flat_map<U: Send + Sync + 'static>(
+        &self,
+        f: impl Fn(&T) -> Vec<U> + Send + Sync + 'static,
+    ) -> Dataset<U> {
+        Dataset::from_node(Arc::new(FlatMapNode {
             id: next_node_id(),
             parent: self.node(),
-            f: Rc::new(f),
+            f: Arc::new(f),
         }))
     }
 
     /// Whole-partition transformation with direct access to the context
     /// for custom cost accounting.
-    pub fn map_partitions<U: 'static>(
+    pub fn map_partitions<U: Send + Sync + 'static>(
         &self,
-        f: impl Fn(&mut TaskContext, &[T]) -> Vec<U> + 'static,
+        f: impl Fn(&mut TaskContext, &[T]) -> Vec<U> + Send + Sync + 'static,
     ) -> Dataset<U> {
-        Dataset::from_node(Rc::new(MapPartitionsNode {
+        Dataset::from_node(Arc::new(MapPartitionsNode {
             id: next_node_id(),
             parent: self.node(),
-            f: Rc::new(f),
+            f: Arc::new(f),
         }))
     }
 
     /// Pairs each record with a key.
-    pub fn key_by<K: 'static>(&self, f: impl Fn(&T) -> K + 'static) -> Dataset<(K, T)>
+    pub fn key_by<K: Send + Sync + 'static>(
+        &self,
+        f: impl Fn(&T) -> K + Send + Sync + 'static,
+    ) -> Dataset<(K, T)>
     where
         T: Clone,
     {
@@ -213,7 +229,7 @@ impl<T: 'static> Dataset<T> {
 
     /// Concatenates two datasets (partitions are appended, no shuffle).
     pub fn union(&self, other: &Dataset<T>) -> Dataset<T> {
-        Dataset::from_node(Rc::new(UnionNode::<T> {
+        Dataset::from_node(Arc::new(UnionNode::<T> {
             id: next_node_id(),
             parents: vec![self.node(), other.node()],
             _t: PhantomData,
@@ -225,22 +241,22 @@ impl<T: 'static> Dataset<T> {
     /// invalidated by executor loss — documented simplification).
     pub fn cache(&self) -> Dataset<T> {
         let n = self.num_partitions();
-        Dataset::from_node(Rc::new(CacheNode::<T> {
+        Dataset::from_node(Arc::new(CacheNode::<T> {
             id: next_node_id(),
             parent: self.node(),
-            slots: RefCell::new(vec![None; n]),
+            slots: Mutex::new((0..n).map(|_| None).collect()),
             _t: PhantomData,
         }))
     }
 }
 
 /// Bound bundle for keys crossing a shuffle.
-pub trait ShuffleKey: Ord + Hash + Clone + Encode + Decode + 'static {}
-impl<K: Ord + Hash + Clone + Encode + Decode + 'static> ShuffleKey for K {}
+pub trait ShuffleKey: Ord + Hash + Clone + Encode + Decode + Send + Sync + 'static {}
+impl<K: Ord + Hash + Clone + Encode + Decode + Send + Sync + 'static> ShuffleKey for K {}
 
 /// Bound bundle for values crossing a shuffle.
-pub trait ShuffleValue: Clone + Encode + Decode + 'static {}
-impl<V: Clone + Encode + Decode + 'static> ShuffleValue for V {}
+pub trait ShuffleValue: Clone + Encode + Decode + Send + Sync + 'static {}
+impl<V: Clone + Encode + Decode + Send + Sync + 'static> ShuffleValue for V {}
 
 impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
     /// Merges values per key with `f`, shuffling into `partitions`
@@ -248,18 +264,18 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
     pub fn reduce_by_key(
         &self,
         partitions: usize,
-        f: impl Fn(&V, &V) -> V + 'static,
+        f: impl Fn(&V, &V) -> V + Send + Sync + 'static,
     ) -> Dataset<(K, V)> {
-        let f: CombineFn<V> = Rc::new(f);
-        let dep = Rc::new(ShuffleDep {
+        let f: CombineFn<V> = Arc::new(f);
+        let dep = Arc::new(ShuffleDep {
             id: next_shuffle_id(),
             parent: self.node(),
             num_partitions: partitions,
-            partitioner: make_partitioner::<K, V>(partitions, Some(Rc::clone(&f))),
+            partitioner: make_partitioner::<K, V>(partitions, Some(Arc::clone(&f))),
         });
-        let merge: MergeFn<(K, V)> = Rc::new(move |ctx: &mut TaskContext, blocks: Vec<Bytes>| {
+        let merge: MergeFn<(K, V)> = Arc::new(move |ctx: &mut TaskContext, blocks: Vec<Bytes>| {
             let mut acc: HashGroup<K, V> = HashGroup::with_capacity(64);
-            for (k, v) in decode_stream::<K, V>(ctx, blocks) {
+            for (k, v) in decode_stream::<K, V>(blocks) {
                 let h = shuffle_hash(&k);
                 let merged = acc.upsert_owned(h, k, v, |v| v, |a, v| {
                     let m = f(a, &v);
@@ -271,7 +287,7 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
             }
             acc.into_pairs().collect::<Vec<(K, V)>>()
         });
-        Dataset::from_node(Rc::new(ShuffledNode {
+        Dataset::from_node(Arc::new(ShuffledNode {
             id: next_node_id(),
             label: "reduceByKey",
             dep,
@@ -282,21 +298,21 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
     /// Groups all values per key (Spark's `groupByKey`; no map-side
     /// combine, so it shuffles every record).
     pub fn group_by_key(&self, partitions: usize) -> Dataset<(K, Vec<V>)> {
-        let dep = Rc::new(ShuffleDep {
+        let dep = Arc::new(ShuffleDep {
             id: next_shuffle_id(),
             parent: self.node(),
             num_partitions: partitions,
             partitioner: make_partitioner::<K, V>(partitions, None),
         });
-        let merge: MergeFn<(K, Vec<V>)> = Rc::new(move |ctx: &mut TaskContext, blocks: Vec<Bytes>| {
+        let merge: MergeFn<(K, Vec<V>)> = Arc::new(move |ctx: &mut TaskContext, blocks: Vec<Bytes>| {
             let mut acc: HashGroup<K, Vec<V>> = HashGroup::with_capacity(64);
-            for (k, v) in decode_stream::<K, V>(ctx, blocks) {
+            for (k, v) in decode_stream::<K, V>(blocks) {
                 ctx.charge_combine(1);
                 acc.upsert_owned(shuffle_hash(&k), k, v, |v| vec![v], |a, v| a.push(v));
             }
             acc.into_pairs().collect::<Vec<(K, Vec<V>)>>()
         });
-        Dataset::from_node(Rc::new(ShuffledNode {
+        Dataset::from_node(Arc::new(ShuffledNode {
             id: next_node_id(),
             label: "groupByKey",
             dep,
@@ -311,19 +327,19 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
         other: &Dataset<(K, W)>,
         partitions: usize,
     ) -> Dataset<(K, (V, W))> {
-        let left = Rc::new(ShuffleDep {
+        let left = Arc::new(ShuffleDep {
             id: next_shuffle_id(),
             parent: self.node(),
             num_partitions: partitions,
             partitioner: make_partitioner::<K, V>(partitions, None),
         });
-        let right = Rc::new(ShuffleDep {
+        let right = Arc::new(ShuffleDep {
             id: next_shuffle_id(),
             parent: other.node(),
             num_partitions: partitions,
             partitioner: make_partitioner::<K, W>(partitions, None),
         });
-        Dataset::from_node(Rc::new(JoinNode::<K, V, W> {
+        Dataset::from_node(Arc::new(JoinNode::<K, V, W> {
             id: next_node_id(),
             left,
             right,
@@ -332,7 +348,10 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
     }
 
     /// Transforms values, keeping keys (no shuffle).
-    pub fn map_values<U: 'static>(&self, f: impl Fn(&V) -> U + 'static) -> Dataset<(K, U)> {
+    pub fn map_values<U: Send + Sync + 'static>(
+        &self,
+        f: impl Fn(&V) -> U + Send + Sync + 'static,
+    ) -> Dataset<(K, U)> {
         self.map(move |(k, v)| (k.clone(), f(v)))
     }
 }
@@ -340,7 +359,7 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
 /// Extracts and concatenates the typed records of a job's output
 /// partitions (the driver-side half of `collect()`).
 ///
-/// Takes the partitions by value: whenever a partition's `Rc` is the
+/// Takes the partitions by value: whenever a partition's `Arc` is the
 /// last handle (the common case — the scheduler hands its only reference
 /// over), the rows are moved out instead of cloned, and the first
 /// non-empty partition's vector is taken over wholesale. Shared
@@ -349,13 +368,13 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
 /// # Panics
 ///
 /// Panics if the partitions hold a different record type.
-pub fn collect_partitions<T: Clone + 'static>(parts: Vec<PartitionData>) -> Vec<T> {
+pub fn collect_partitions<T: Clone + Send + Sync + 'static>(parts: Vec<PartitionData>) -> Vec<T> {
     let mut out: Vec<T> = Vec::new();
     for p in parts {
         let rc = p
             .downcast::<Vec<T>>()
             .unwrap_or_else(|_| panic!("partition type mismatch: engine invariant violated"));
-        match Rc::try_unwrap(rc) {
+        match Arc::try_unwrap(rc) {
             Ok(v) => {
                 if out.is_empty() {
                     out = v;
@@ -373,9 +392,10 @@ pub fn collect_partitions<T: Clone + 'static>(parts: Vec<PartitionData>) -> Vec<
 
 /// Streaming decoder over fetched shuffle blocks: yields records one at
 /// a time with no intermediate `Vec`, so reduce-side merges fold each
-/// record straight into their accumulator. Deserialization cost is
-/// charged for all blocks up front (the bytes will all be decoded), so
-/// the iterator itself never needs the context.
+/// record straight into their accumulator. Deserialization cost for
+/// every fetched block is charged once when the task's context is built
+/// (see [`TaskContext::new`]) — the bytes will all be decoded — so the
+/// stream itself never touches the context and can run on any thread.
 pub(crate) struct DecodeStream<K, V> {
     blocks: Vec<Bytes>,
     block: usize,
@@ -403,13 +423,7 @@ impl<K: Decode, V: Decode> Iterator for DecodeStream<K, V> {
     }
 }
 
-pub(crate) fn decode_stream<K: Decode, V: Decode>(
-    ctx: &mut TaskContext,
-    blocks: Vec<Bytes>,
-) -> DecodeStream<K, V> {
-    for b in &blocks {
-        ctx.charge_deser(b.len() as u64);
-    }
+pub(crate) fn decode_stream<K: Decode, V: Decode>(blocks: Vec<Bytes>) -> DecodeStream<K, V> {
     DecodeStream {
         blocks,
         block: 0,
@@ -420,7 +434,7 @@ pub(crate) fn decode_stream<K: Decode, V: Decode>(
 
 /// Commutative/associative combiner used by map-side and reduce-side
 /// aggregation.
-type CombineFn<V> = Rc<dyn Fn(&V, &V) -> V>;
+type CombineFn<V> = Arc<dyn Fn(&V, &V) -> V + Send + Sync>;
 
 /// Histogram bounds for `shuffle_combine_seconds` (virtual CPU seconds
 /// of one map task's combine phase — much finer than request latencies).
@@ -519,7 +533,7 @@ pub(crate) fn make_partitioner<K: ShuffleKey, V: ShuffleValue>(
     num: usize,
     combine: Option<CombineFn<V>>,
 ) -> Partitioner {
-    Rc::new(move |ctx: &mut TaskContext, data: PartitionData| {
+    Arc::new(move |ctx: &mut TaskContext, data: PartitionData| {
         let records = rows::<(K, V)>(&data);
         ctx.charge_records(records.len() as u64);
         match &combine {
@@ -557,11 +571,11 @@ pub(crate) fn make_partitioner<K: ShuffleKey, V: ShuffleValue>(
 
 struct ParallelizeNode<T> {
     id: NodeId,
-    parts: Vec<Rc<Vec<T>>>,
+    parts: Vec<Arc<Vec<T>>>,
     bytes_per_record: u64,
 }
 
-impl<T: 'static> PlanNode for ParallelizeNode<T> {
+impl<T: Send + Sync + 'static> PlanNode for ParallelizeNode<T> {
     fn id(&self) -> NodeId {
         self.id
     }
@@ -577,18 +591,18 @@ impl<T: 'static> PlanNode for ParallelizeNode<T> {
     fn compute(&self, ctx: &mut TaskContext, part: usize) -> PartitionData {
         let p = &self.parts[part];
         ctx.charge_scan(p.len() as u64 * self.bytes_per_record);
-        Rc::clone(p) as PartitionData
+        Arc::clone(p) as PartitionData
     }
 }
 
 struct GenerateNode<T> {
     id: NodeId,
     partitions: usize,
-    gen: Rc<dyn Fn(usize) -> Vec<T>>,
+    gen: Arc<dyn Fn(usize) -> Vec<T> + Send + Sync>,
     bytes_per_record: u64,
 }
 
-impl<T: 'static> PlanNode for GenerateNode<T> {
+impl<T: Send + Sync + 'static> PlanNode for GenerateNode<T> {
     fn id(&self) -> NodeId {
         self.id
     }
@@ -610,12 +624,12 @@ impl<T: 'static> PlanNode for GenerateNode<T> {
 
 struct MapNode<T, U> {
     id: NodeId,
-    parent: Rc<dyn PlanNode>,
-    f: Rc<dyn Fn(&T) -> U>,
+    parent: Arc<dyn PlanNode>,
+    f: Arc<dyn Fn(&T) -> U + Send + Sync>,
     cost: Option<f64>,
 }
 
-impl<T: 'static, U: 'static> PlanNode for MapNode<T, U> {
+impl<T: Send + Sync + 'static, U: Send + Sync + 'static> PlanNode for MapNode<T, U> {
     fn id(&self) -> NodeId {
         self.id
     }
@@ -626,7 +640,7 @@ impl<T: 'static, U: 'static> PlanNode for MapNode<T, U> {
         self.parent.num_partitions()
     }
     fn deps(&self) -> Vec<Dep> {
-        vec![Dep::Narrow(Rc::clone(&self.parent))]
+        vec![Dep::Narrow(Arc::clone(&self.parent))]
     }
     fn compute(&self, ctx: &mut TaskContext, part: usize) -> PartitionData {
         let input = self.parent.compute(ctx, part);
@@ -641,11 +655,11 @@ impl<T: 'static, U: 'static> PlanNode for MapNode<T, U> {
 
 struct FilterNode<T> {
     id: NodeId,
-    parent: Rc<dyn PlanNode>,
-    f: Rc<dyn Fn(&T) -> bool>,
+    parent: Arc<dyn PlanNode>,
+    f: Arc<dyn Fn(&T) -> bool + Send + Sync>,
 }
 
-impl<T: Clone + 'static> PlanNode for FilterNode<T> {
+impl<T: Clone + Send + Sync + 'static> PlanNode for FilterNode<T> {
     fn id(&self) -> NodeId {
         self.id
     }
@@ -656,7 +670,7 @@ impl<T: Clone + 'static> PlanNode for FilterNode<T> {
         self.parent.num_partitions()
     }
     fn deps(&self) -> Vec<Dep> {
-        vec![Dep::Narrow(Rc::clone(&self.parent))]
+        vec![Dep::Narrow(Arc::clone(&self.parent))]
     }
     fn compute(&self, ctx: &mut TaskContext, part: usize) -> PartitionData {
         let input = self.parent.compute(ctx, part);
@@ -672,15 +686,15 @@ impl<T: Clone + 'static> PlanNode for FilterNode<T> {
 }
 
 /// Per-record expansion function of `flat_map`.
-type FlatMapFn<T, U> = Rc<dyn Fn(&T) -> Vec<U>>;
+type FlatMapFn<T, U> = Arc<dyn Fn(&T) -> Vec<U> + Send + Sync>;
 
 struct FlatMapNode<T, U> {
     id: NodeId,
-    parent: Rc<dyn PlanNode>,
+    parent: Arc<dyn PlanNode>,
     f: FlatMapFn<T, U>,
 }
 
-impl<T: 'static, U: 'static> PlanNode for FlatMapNode<T, U> {
+impl<T: Send + Sync + 'static, U: Send + Sync + 'static> PlanNode for FlatMapNode<T, U> {
     fn id(&self) -> NodeId {
         self.id
     }
@@ -691,7 +705,7 @@ impl<T: 'static, U: 'static> PlanNode for FlatMapNode<T, U> {
         self.parent.num_partitions()
     }
     fn deps(&self) -> Vec<Dep> {
-        vec![Dep::Narrow(Rc::clone(&self.parent))]
+        vec![Dep::Narrow(Arc::clone(&self.parent))]
     }
     fn compute(&self, ctx: &mut TaskContext, part: usize) -> PartitionData {
         let input = self.parent.compute(ctx, part);
@@ -706,15 +720,15 @@ impl<T: 'static, U: 'static> PlanNode for FlatMapNode<T, U> {
 }
 
 /// Whole-partition transformation of `map_partitions`.
-type MapPartitionsFn<T, U> = Rc<dyn Fn(&mut TaskContext, &[T]) -> Vec<U>>;
+type MapPartitionsFn<T, U> = Arc<dyn Fn(&mut TaskContext, &[T]) -> Vec<U> + Send + Sync>;
 
 struct MapPartitionsNode<T, U> {
     id: NodeId,
-    parent: Rc<dyn PlanNode>,
+    parent: Arc<dyn PlanNode>,
     f: MapPartitionsFn<T, U>,
 }
 
-impl<T: 'static, U: 'static> PlanNode for MapPartitionsNode<T, U> {
+impl<T: Send + Sync + 'static, U: Send + Sync + 'static> PlanNode for MapPartitionsNode<T, U> {
     fn id(&self) -> NodeId {
         self.id
     }
@@ -725,7 +739,7 @@ impl<T: 'static, U: 'static> PlanNode for MapPartitionsNode<T, U> {
         self.parent.num_partitions()
     }
     fn deps(&self) -> Vec<Dep> {
-        vec![Dep::Narrow(Rc::clone(&self.parent))]
+        vec![Dep::Narrow(Arc::clone(&self.parent))]
     }
     fn compute(&self, ctx: &mut TaskContext, part: usize) -> PartitionData {
         let input = self.parent.compute(ctx, part);
@@ -736,11 +750,11 @@ impl<T: 'static, U: 'static> PlanNode for MapPartitionsNode<T, U> {
 
 struct UnionNode<T> {
     id: NodeId,
-    parents: Vec<Rc<dyn PlanNode>>,
+    parents: Vec<Arc<dyn PlanNode>>,
     _t: PhantomData<fn() -> T>,
 }
 
-impl<T: 'static> PlanNode for UnionNode<T> {
+impl<T: Send + Sync + 'static> PlanNode for UnionNode<T> {
     fn id(&self) -> NodeId {
         self.id
     }
@@ -753,7 +767,7 @@ impl<T: 'static> PlanNode for UnionNode<T> {
     fn deps(&self) -> Vec<Dep> {
         self.parents
             .iter()
-            .map(|p| Dep::Narrow(Rc::clone(p)))
+            .map(|p| Dep::Narrow(Arc::clone(p)))
             .collect()
     }
     fn compute(&self, ctx: &mut TaskContext, part: usize) -> PartitionData {
@@ -768,14 +782,26 @@ impl<T: 'static> PlanNode for UnionNode<T> {
     }
 }
 
+/// One memoized partition: the rows plus the work-model deltas the fill
+/// charged, replayed verbatim to every later reader. Without the replay,
+/// whichever task happened to fill the cache first would be the only one
+/// charged for the parent's work — a real-time race once tasks run on
+/// worker threads, and a determinism hole in accounted durations.
+struct CacheSlot {
+    data: PartitionData,
+    cpu_secs: f64,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
 struct CacheNode<T> {
     id: NodeId,
-    parent: Rc<dyn PlanNode>,
-    slots: RefCell<Vec<Option<PartitionData>>>,
+    parent: Arc<dyn PlanNode>,
+    slots: Mutex<Vec<Option<CacheSlot>>>,
     _t: PhantomData<fn() -> T>,
 }
 
-impl<T: 'static> PlanNode for CacheNode<T> {
+impl<T: Send + Sync + 'static> PlanNode for CacheNode<T> {
     fn id(&self) -> NodeId {
         self.id
     }
@@ -786,29 +812,40 @@ impl<T: 'static> PlanNode for CacheNode<T> {
         self.parent.num_partitions()
     }
     fn deps(&self) -> Vec<Dep> {
-        vec![Dep::Narrow(Rc::clone(&self.parent))]
+        vec![Dep::Narrow(Arc::clone(&self.parent))]
     }
     fn compute(&self, ctx: &mut TaskContext, part: usize) -> PartitionData {
-        if let Some(hit) = &self.slots.borrow()[part] {
-            return Rc::clone(hit);
+        // Hold the lock across the fill so concurrent readers of one
+        // partition compute it exactly once; losers replay the stored
+        // charges and see identical accounted cost.
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(slot) = &slots[part] {
+            ctx.replay_charges(slot.cpu_secs, slot.bytes_in, slot.bytes_out);
+            return Arc::clone(&slot.data);
         }
+        let (cpu0, in0, out0) = (ctx.cpu_secs(), ctx.bytes_in(), ctx.bytes_out());
         let data = self.parent.compute(ctx, part);
-        self.slots.borrow_mut()[part] = Some(Rc::clone(&data));
+        slots[part] = Some(CacheSlot {
+            data: Arc::clone(&data),
+            cpu_secs: ctx.cpu_secs() - cpu0,
+            bytes_in: ctx.bytes_in() - in0,
+            bytes_out: ctx.bytes_out() - out0,
+        });
         data
     }
 }
 
 /// Reduce-side merge: decodes this partition's blocks and merges records.
-type MergeFn<C> = Rc<dyn Fn(&mut TaskContext, Vec<Bytes>) -> Vec<C>>;
+type MergeFn<C> = Arc<dyn Fn(&mut TaskContext, Vec<Bytes>) -> Vec<C> + Send + Sync>;
 
 struct ShuffledNode<C> {
     id: NodeId,
     label: &'static str,
-    dep: Rc<ShuffleDep>,
+    dep: Arc<ShuffleDep>,
     merge: MergeFn<C>,
 }
 
-impl<C: 'static> PlanNode for ShuffledNode<C> {
+impl<C: Send + Sync + 'static> PlanNode for ShuffledNode<C> {
     fn id(&self) -> NodeId {
         self.id
     }
@@ -819,7 +856,7 @@ impl<C: 'static> PlanNode for ShuffledNode<C> {
         self.dep.num_partitions
     }
     fn deps(&self) -> Vec<Dep> {
-        vec![Dep::Shuffle(Rc::clone(&self.dep))]
+        vec![Dep::Shuffle(Arc::clone(&self.dep))]
     }
     fn compute(&self, ctx: &mut TaskContext, _part: usize) -> PartitionData {
         let blocks = ctx.shuffle_input(self.dep.id);
@@ -831,8 +868,8 @@ type JoinMarker<K, V, W> = PhantomData<fn() -> (K, V, W)>;
 
 struct JoinNode<K, V, W> {
     id: NodeId,
-    left: Rc<ShuffleDep>,
-    right: Rc<ShuffleDep>,
+    left: Arc<ShuffleDep>,
+    right: Arc<ShuffleDep>,
     _t: JoinMarker<K, V, W>,
 }
 
@@ -847,7 +884,7 @@ impl<K: ShuffleKey, V: ShuffleValue, W: ShuffleValue> PlanNode for JoinNode<K, V
         self.left.num_partitions
     }
     fn deps(&self) -> Vec<Dep> {
-        vec![Dep::Shuffle(Rc::clone(&self.left)), Dep::Shuffle(Rc::clone(&self.right))]
+        vec![Dep::Shuffle(Arc::clone(&self.left)), Dep::Shuffle(Arc::clone(&self.right))]
     }
     fn compute(&self, ctx: &mut TaskContext, _part: usize) -> PartitionData {
         let left_blocks = ctx.shuffle_input(self.left.id);
@@ -855,12 +892,12 @@ impl<K: ShuffleKey, V: ShuffleValue, W: ShuffleValue> PlanNode for JoinNode<K, V
         // Hash join: build a table from the left stream, probe with the
         // right stream — records never sit in an intermediate Vec.
         let mut table: HashGroup<K, Vec<V>> = HashGroup::with_capacity(64);
-        for (k, v) in decode_stream::<K, V>(ctx, left_blocks) {
+        for (k, v) in decode_stream::<K, V>(left_blocks) {
             ctx.charge_combine(1);
             table.upsert_owned(shuffle_hash(&k), k, v, |v| vec![v], |a, v| a.push(v));
         }
         let mut out: Vec<(K, (V, W))> = Vec::new();
-        for (k, w) in decode_stream::<K, W>(ctx, right_blocks) {
+        for (k, w) in decode_stream::<K, W>(right_blocks) {
             ctx.charge_combine(1);
             if let Some(vs) = table.get(shuffle_hash(&k), &k) {
                 for v in vs {
@@ -882,7 +919,7 @@ mod tests {
         TaskContext::empty(WorkModel::default())
     }
 
-    fn compute_all<T: Clone + 'static>(ds: &Dataset<T>) -> Vec<T> {
+    fn compute_all<T: Clone + Send + Sync + 'static>(ds: &Dataset<T>) -> Vec<T> {
         let node = ds.node();
         let parts: Vec<PartitionData> = (0..node.num_partitions())
             .map(|p| node.compute(&mut ctx(), p))
@@ -931,11 +968,11 @@ mod tests {
 
     #[test]
     fn cache_memoizes_partitions() {
-        use std::cell::Cell;
-        let calls = Rc::new(Cell::new(0u32));
-        let c = Rc::clone(&calls);
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
         let ds = Dataset::<u32>::generate(2, move |p| {
-            c.set(c.get() + 1);
+            c.fetch_add(1, Ordering::Relaxed);
             vec![p as u32]
         })
         .cache();
@@ -943,7 +980,25 @@ mod tests {
         node.compute(&mut ctx(), 0);
         node.compute(&mut ctx(), 0);
         node.compute(&mut ctx(), 1);
-        assert_eq!(calls.get(), 2, "partition 0 computed once");
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "partition 0 computed once");
+    }
+
+    #[test]
+    fn cache_replays_identical_charges_to_every_reader() {
+        let ds = Dataset::parallelize((0..100u64).collect(), 1)
+            .map(|x| x * 2)
+            .cache();
+        let node = ds.node();
+        let mut first = ctx();
+        node.compute(&mut first, 0);
+        let mut second = ctx();
+        node.compute(&mut second, 0);
+        assert!(first.cpu_secs() > 0.0, "fill must charge work");
+        assert_eq!(
+            first.cpu_secs().to_bits(),
+            second.cpu_secs().to_bits(),
+            "cache hit must replay the fill's exact charge"
+        );
     }
 
     #[test]

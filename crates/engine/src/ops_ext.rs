@@ -2,7 +2,7 @@
 //! range-partitioned sort — the rest of the RDD API surface a Spark user
 //! would expect, built on the same shuffle machinery as `ops`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use splitserve_rt::hash::shuffle_hash;
 
@@ -28,7 +28,7 @@ impl<K: ShuffleKey> SortKey for K {}
 /// both sides.
 pub type Cogrouped<K, V, W> = Dataset<(K, (Vec<V>, Vec<W>))>;
 
-impl<T: Clone + 'static> Dataset<T> {
+impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     /// Counts all records (runs when the job executes; the count arrives
     /// as the single record of the single result partition).
     pub fn count(&self) -> Dataset<u64> {
@@ -37,26 +37,26 @@ impl<T: Clone + 'static> Dataset<T> {
     }
 }
 
-impl<T: 'static> Dataset<(u8, T)> {
+impl<T: Send + Sync + 'static> Dataset<(u8, T)> {
     /// Internal helper: single-partition fold via one shuffle. Exposed
     /// through `count`/`sum_values`.
     fn collect_into_single<A>(
         &self,
-        fold: impl Fn(A, T) -> A + 'static,
+        fold: impl Fn(A, T) -> A + Send + Sync + 'static,
         init: A,
     ) -> Dataset<A>
     where
         T: ShuffleValue,
-        A: Clone + 'static,
+        A: Clone + Send + Sync + 'static,
     {
-        let dep = Rc::new(ShuffleDep {
+        let dep = Arc::new(ShuffleDep {
             id: next_shuffle_id(),
             parent: self.node(),
             num_partitions: 1,
             partitioner: make_partitioner::<u8, T>(1, None),
         });
-        let fold = Rc::new(fold);
-        Dataset::from_node(Rc::new(FoldNode {
+        let fold = Arc::new(fold);
+        Dataset::from_node(Arc::new(FoldNode {
             id: next_node_id(),
             dep,
             init,
@@ -67,12 +67,12 @@ impl<T: 'static> Dataset<(u8, T)> {
 
 struct FoldNode<T, A> {
     id: NodeId,
-    dep: Rc<ShuffleDep>,
+    dep: Arc<ShuffleDep>,
     init: A,
-    fold: Rc<dyn Fn(A, T) -> A>,
+    fold: Arc<dyn Fn(A, T) -> A + Send + Sync>,
 }
 
-impl<T: ShuffleValue, A: Clone + 'static> PlanNode for FoldNode<T, A> {
+impl<T: ShuffleValue, A: Clone + Send + Sync + 'static> PlanNode for FoldNode<T, A> {
     fn id(&self) -> NodeId {
         self.id
     }
@@ -83,16 +83,16 @@ impl<T: ShuffleValue, A: Clone + 'static> PlanNode for FoldNode<T, A> {
         1
     }
     fn deps(&self) -> Vec<Dep> {
-        vec![Dep::Shuffle(Rc::clone(&self.dep))]
+        vec![Dep::Shuffle(Arc::clone(&self.dep))]
     }
     fn compute(&self, ctx: &mut TaskContext, _part: usize) -> PartitionData {
         let blocks = ctx.shuffle_input(self.dep.id);
         let mut acc = self.init.clone();
-        for (_, v) in decode_stream::<u8, T>(ctx, blocks) {
+        for (_, v) in decode_stream::<u8, T>(blocks) {
             ctx.charge_combine(1);
             acc = (self.fold)(acc, v);
         }
-        Rc::new(vec![acc])
+        Arc::new(vec![acc])
     }
 }
 
@@ -104,8 +104,8 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
         &self,
         partitions: usize,
         init: A,
-        seq: impl Fn(&A, &V) -> A + 'static,
-        comb: impl Fn(&A, &A) -> A + 'static,
+        seq: impl Fn(&A, &V) -> A + Send + Sync + 'static,
+        comb: impl Fn(&A, &A) -> A + Send + Sync + 'static,
     ) -> Dataset<(K, A)>
     where
         A: ShuffleValue,
@@ -113,7 +113,7 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
         // Map side: fold raw values into accumulators, then shuffle the
         // (K, A) pairs with combiner `comb`.
         let init2 = init.clone();
-        let seq = Rc::new(seq);
+        let seq = Arc::new(seq);
         let pre: Dataset<(K, A)> = self.map_partitions(move |ctx, records: &[(K, V)]| {
             ctx.charge_combine(records.len() as u64);
             // Group by reference: keys are cloned once per distinct key at
@@ -150,19 +150,19 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
         other: &Dataset<(K, W)>,
         partitions: usize,
     ) -> Cogrouped<K, V, W> {
-        let left = Rc::new(ShuffleDep {
+        let left = Arc::new(ShuffleDep {
             id: next_shuffle_id(),
             parent: self.node(),
             num_partitions: partitions,
             partitioner: make_partitioner::<K, V>(partitions, None),
         });
-        let right = Rc::new(ShuffleDep {
+        let right = Arc::new(ShuffleDep {
             id: next_shuffle_id(),
             parent: other.node(),
             num_partitions: partitions,
             partitioner: make_partitioner::<K, W>(partitions, None),
         });
-        Dataset::from_node(Rc::new(CogroupNode::<K, V, W> {
+        Dataset::from_node(Arc::new(CogroupNode::<K, V, W> {
             id: next_node_id(),
             left,
             right,
@@ -179,13 +179,13 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
     /// [`sample_sort_bounds`]).
     pub fn sort_by_key(&self, bounds: Vec<K>) -> Dataset<(K, V)> {
         let partitions = bounds.len() + 1;
-        let bounds = Rc::new(bounds);
-        let b2 = Rc::clone(&bounds);
-        let dep = Rc::new(ShuffleDep {
+        let bounds = Arc::new(bounds);
+        let b2 = Arc::clone(&bounds);
+        let dep = Arc::new(ShuffleDep {
             id: next_shuffle_id(),
             parent: self.node(),
             num_partitions: partitions,
-            partitioner: Rc::new(move |ctx: &mut TaskContext, data: PartitionData| {
+            partitioner: Arc::new(move |ctx: &mut TaskContext, data: PartitionData| {
                 let records = rows::<(K, V)>(&data);
                 ctx.charge_records(records.len() as u64);
                 // Range buckets instead of hash buckets; the pooled
@@ -195,7 +195,7 @@ impl<K: ShuffleKey, V: ShuffleValue> Dataset<(K, V)> {
                 })
             }),
         });
-        Dataset::from_node(Rc::new(SortedNode {
+        Dataset::from_node(Arc::new(SortedNode {
             id: next_node_id(),
             dep,
             _t: std::marker::PhantomData::<fn() -> (K, V)>,
@@ -207,8 +207,8 @@ type CogroupMarker<K, V, W> = std::marker::PhantomData<fn() -> (K, V, W)>;
 
 struct CogroupNode<K, V, W> {
     id: NodeId,
-    left: Rc<ShuffleDep>,
-    right: Rc<ShuffleDep>,
+    left: Arc<ShuffleDep>,
+    right: Arc<ShuffleDep>,
     _t: CogroupMarker<K, V, W>,
 }
 
@@ -224,15 +224,15 @@ impl<K: ShuffleKey, V: ShuffleValue, W: ShuffleValue> PlanNode for CogroupNode<K
     }
     fn deps(&self) -> Vec<Dep> {
         vec![
-            Dep::Shuffle(Rc::clone(&self.left)),
-            Dep::Shuffle(Rc::clone(&self.right)),
+            Dep::Shuffle(Arc::clone(&self.left)),
+            Dep::Shuffle(Arc::clone(&self.right)),
         ]
     }
     fn compute(&self, ctx: &mut TaskContext, _part: usize) -> PartitionData {
         let lb = ctx.shuffle_input(self.left.id);
         let rb = ctx.shuffle_input(self.right.id);
         let mut groups: HashGroup<K, (Vec<V>, Vec<W>)> = HashGroup::with_capacity(64);
-        for (k, v) in decode_stream::<K, V>(ctx, lb) {
+        for (k, v) in decode_stream::<K, V>(lb) {
             ctx.charge_combine(1);
             groups.upsert_owned(
                 shuffle_hash(&k),
@@ -242,7 +242,7 @@ impl<K: ShuffleKey, V: ShuffleValue, W: ShuffleValue> PlanNode for CogroupNode<K
                 |a, v| a.0.push(v),
             );
         }
-        for (k, w) in decode_stream::<K, W>(ctx, rb) {
+        for (k, w) in decode_stream::<K, W>(rb) {
             ctx.charge_combine(1);
             groups.upsert_owned(
                 shuffle_hash(&k),
@@ -252,13 +252,13 @@ impl<K: ShuffleKey, V: ShuffleValue, W: ShuffleValue> PlanNode for CogroupNode<K
                 |a, w| a.1.push(w),
             );
         }
-        Rc::new(groups.into_pairs().collect::<Vec<(K, (Vec<V>, Vec<W>))>>())
+        Arc::new(groups.into_pairs().collect::<Vec<(K, (Vec<V>, Vec<W>))>>())
     }
 }
 
 struct SortedNode<K, V> {
     id: NodeId,
-    dep: Rc<ShuffleDep>,
+    dep: Arc<ShuffleDep>,
     _t: std::marker::PhantomData<fn() -> (K, V)>,
 }
 
@@ -273,16 +273,16 @@ impl<K: ShuffleKey, V: ShuffleValue> PlanNode for SortedNode<K, V> {
         self.dep.num_partitions
     }
     fn deps(&self) -> Vec<Dep> {
-        vec![Dep::Shuffle(Rc::clone(&self.dep))]
+        vec![Dep::Shuffle(Arc::clone(&self.dep))]
     }
     fn compute(&self, ctx: &mut TaskContext, _part: usize) -> PartitionData {
         let blocks = ctx.shuffle_input(self.dep.id);
-        let mut records: Vec<(K, V)> = decode_stream::<K, V>(ctx, blocks).collect();
+        let mut records: Vec<(K, V)> = decode_stream::<K, V>(blocks).collect();
         let n = records.len() as u64;
         // n log n comparison charge.
         ctx.charge_combine(n.max(1).ilog2() as u64 * n);
         records.sort_by(|a, b| a.0.cmp(&b.0));
-        Rc::new(records)
+        Arc::new(records)
     }
 }
 
@@ -307,7 +307,7 @@ mod tests {
     use splitserve_rt::Bytes;
 
     /// Runs an arbitrary one-or-two-shuffle plan to completion by hand.
-    fn run_plan<T: Clone + 'static>(ds: &Dataset<T>) -> Vec<T> {
+    fn run_plan<T: Clone + Send + Sync + 'static>(ds: &Dataset<T>) -> Vec<T> {
         // Breadth-first over stages using the engine's own builder.
         let graph = crate::stage::build_stages(ds.node());
         let mut tracker = crate::tracker::MapOutputTracker::new();
@@ -354,7 +354,7 @@ mod tests {
     }
 
     fn task_ctx(
-        inputs: &[Rc<ShuffleDep>],
+        inputs: &[Arc<ShuffleDep>],
         part: usize,
         tracker: &crate::tracker::MapOutputTracker,
         store: &std::collections::HashMap<(u64, usize, usize), Bytes>,

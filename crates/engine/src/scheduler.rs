@@ -19,8 +19,9 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
-use splitserve_rt::Bytes;
+use splitserve_rt::{Bytes, TaskHandle, WorkerPool};
 use splitserve_des::{Sim, SimDuration, SimTime};
 use splitserve_obs::SpanId;
 use splitserve_storage::{BlockId, BlockStore, StoreError};
@@ -163,6 +164,10 @@ pub struct Engine {
     store: Rc<dyn BlockStore>,
     log: EventLog,
     tele: Telemetry,
+    /// Worker threads for task bodies; `None` runs bodies inline on the
+    /// simulation thread (`workers <= 1`). Shared `Rc`: the pool joins
+    /// its threads when the last engine handle drops.
+    pool: Option<Rc<WorkerPool>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -182,6 +187,29 @@ enum ComputePayload {
     ResultOut(PartitionData),
 }
 
+/// What a task body hands back to the simulation: its output, total CPU
+/// charge and working-set size (the inputs of the duration model).
+type BodyResult = (ComputePayload, f64, u64);
+
+/// A task body between launch and its join event. Pooled bodies are
+/// already running on a worker thread; inline bodies (workers <= 1) run
+/// on the simulation thread when the join event fires. Both variants
+/// resolve at the same virtual instant, so event order is identical at
+/// any worker count.
+enum PendingBody {
+    Inline(Box<dyn FnOnce() -> BodyResult>),
+    Pooled(TaskHandle<BodyResult>),
+}
+
+impl PendingBody {
+    fn resolve(self) -> BodyResult {
+        match self {
+            PendingBody::Inline(f) => f(),
+            PendingBody::Pooled(h) => h.join(),
+        }
+    }
+}
+
 impl Engine {
     /// Creates an engine over the given shuffle store.
     pub fn new(cfg: EngineConfig, store: Rc<dyn BlockStore>) -> Self {
@@ -191,7 +219,9 @@ impl Engine {
             cfg.obs.metrics.clone(),
         );
         let tele = Telemetry::new(cfg.obs.clone());
+        let pool = (cfg.workers >= 2).then(|| Rc::new(WorkerPool::new(cfg.workers)));
         Engine {
+            pool,
             inner: Rc::new(RefCell::new(Inner {
                 cfg,
                 executors: BTreeMap::new(),
@@ -518,7 +548,7 @@ impl Engine {
     pub fn submit_job(
         &self,
         sim: &mut Sim,
-        final_node: Rc<dyn PlanNode>,
+        final_node: Arc<dyn PlanNode>,
         on_done: impl FnOnce(&mut Sim, JobOutput) + 'static,
     ) -> JobId {
         let job_id = {
@@ -731,13 +761,23 @@ impl Engine {
                 {
                     continue;
                 }
+                // Re-validate the executor chosen at the top of this
+                // iteration before binding the task to it. Nothing can
+                // intervene today (selection and binding share one borrow
+                // of the scheduler state), but a kill arriving in between
+                // must requeue the task, not panic the driver — this was
+                // an `.expect("dispatch picked a live executor")`.
+                let meta = match inner.executors.get_mut(&exec_id) {
+                    Some(m) if m.alive && !m.draining && m.running.is_none() => m,
+                    _ => {
+                        st.queued.insert(part);
+                        inner.pending.push_front((job_id, stage_id, part));
+                        continue;
+                    }
+                };
                 st.running.insert(part);
                 let attempt = AttemptId(inner.next_attempt);
                 inner.next_attempt += 1;
-                let meta = inner
-                    .executors
-                    .get_mut(&exec_id)
-                    .expect("dispatch picked a live executor");
                 meta.running = Some(attempt);
                 let span =
                     self.tele
@@ -952,8 +992,23 @@ impl Engine {
         }
     }
 
-    /// Runs the task's real computation and schedules its completion after
-    /// the modeled duration.
+    /// Launches the task's real computation and schedules the *join*
+    /// event where the simulation picks the result back up.
+    ///
+    /// With `workers >= 2` the body (map compute, shuffle combine+encode,
+    /// reduce decode+merge) is submitted to the worker pool here and the
+    /// join blocks (wall-clock only) until it finishes; with `workers <= 1`
+    /// the body runs inline on the simulation thread when the join event
+    /// fires. Both modes schedule the join at the same virtual instant —
+    /// `now + task_overhead + deser_bound/speed` — so the simulation
+    /// allocates identical event sequence numbers, and therefore an
+    /// identical event order, at every worker count.
+    ///
+    /// `deser_bound` is the deserialization charge [`TaskContext::new`]
+    /// levies for the fetched blocks: a lower bound on the body's total
+    /// CPU charge, which guarantees the completion instant derived at the
+    /// join (`launch + task_overhead + cpu/speed*gc`) never precedes the
+    /// join itself.
     fn run_compute(
         &self,
         sim: &mut Sim,
@@ -972,7 +1027,7 @@ impl Engine {
             let stage = job.graph.stage(info.stage);
             let meta = &inner.executors[&info.exec];
             (
-                Rc::clone(&stage.terminal),
+                Arc::clone(&stage.terminal),
                 stage.kind.clone(),
                 info.part,
                 inner.cfg.work.clone(),
@@ -980,18 +1035,62 @@ impl Engine {
                 meta.desc.memory_bytes(),
             )
         };
-        let mut ctx = TaskContext::new(work.clone(), inputs).with_obs(self.tele.obs().clone());
-        let data = terminal.compute(&mut ctx, part);
-        let payload = match &kind {
-            StageKind::ShuffleMap(dep) => ComputePayload::MapOut((dep.partitioner)(&mut ctx, data)),
-            StageKind::Result => ComputePayload::ResultOut(data),
+        let deser_secs = inputs
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|b| b.len() as u64)
+            .sum::<u64>() as f64
+            * work.deser_secs_per_byte;
+        let obs = self.tele.obs().clone();
+        let body_work = work.clone();
+        let body = move || {
+            let mut ctx = TaskContext::new(body_work, inputs).with_obs(obs);
+            let data = terminal.compute(&mut ctx, part);
+            let payload = match &kind {
+                StageKind::ShuffleMap(dep) => {
+                    ComputePayload::MapOut((dep.partitioner)(&mut ctx, data))
+                }
+                StageKind::Result => ComputePayload::ResultOut(data),
+            };
+            (payload, ctx.cpu_secs(), ctx.working_set_bytes())
         };
-        let cpu = ctx.cpu_secs();
-        let pressure = ctx.working_set_bytes() as f64 / mem_bytes as f64;
+        let pending = match &self.pool {
+            Some(pool) => PendingBody::Pooled(pool.submit(body)),
+            None => PendingBody::Inline(Box::new(body)),
+        };
+        let launched_at = sim.now();
+        let join_at = launched_at
+            + work.task_overhead
+            + SimDuration::from_secs_f64(deser_secs / speed);
+        let engine = self.clone();
+        sim.schedule_at(join_at, move |sim| {
+            engine.join_compute(sim, attempt, pending, launched_at, work, speed, mem_bytes);
+        });
+    }
+
+    /// The join event: collects the task body's result and schedules the
+    /// completion at the instant the duration model dictates. Runs even
+    /// when the attempt died mid-flight (`after_compute` discards dead
+    /// attempts) so the event structure never depends on fault timing.
+    #[allow(clippy::too_many_arguments)]
+    fn join_compute(
+        &self,
+        sim: &mut Sim,
+        attempt: AttemptId,
+        pending: PendingBody,
+        launched_at: SimTime,
+        work: crate::config::WorkModel,
+        speed: f64,
+        mem_bytes: u64,
+    ) {
+        let (payload, cpu, working_set) = pending.resolve();
+        let pressure = working_set as f64 / mem_bytes as f64;
         let gc = work.gc_factor(pressure);
         let dur = work.task_overhead + SimDuration::from_secs_f64(cpu / speed * gc);
         let engine = self.clone();
-        sim.schedule_in(dur, move |sim| {
+        // `cpu >= deser_bound` (charged at context construction) and
+        // `gc >= 1`, so `launched_at + dur >= now`: never in the past.
+        sim.schedule_at(launched_at + dur, move |sim| {
             engine.after_compute(sim, attempt, payload, cpu);
         });
     }

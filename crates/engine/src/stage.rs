@@ -2,7 +2,7 @@
 //! job of Spark's `DAGScheduler::getOrCreateShuffleMapStage`.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::node::{input_shuffles, PlanNode, ShuffleDep, ShuffleId};
 
@@ -20,7 +20,7 @@ impl std::fmt::Display for StageId {
 #[derive(Clone)]
 pub enum StageKind {
     /// Writes one shuffle's map outputs.
-    ShuffleMap(Rc<ShuffleDep>),
+    ShuffleMap(Arc<ShuffleDep>),
     /// Computes the job's final partitions.
     Result,
 }
@@ -43,13 +43,13 @@ pub struct Stage {
     /// Map stage or result stage.
     pub kind: StageKind,
     /// The node each task computes.
-    pub terminal: Rc<dyn PlanNode>,
+    pub terminal: Arc<dyn PlanNode>,
     /// Number of tasks (the terminal's partitions).
     pub num_tasks: usize,
     /// Stages whose shuffle output this stage reads.
     pub parents: Vec<StageId>,
     /// The shuffles this stage's tasks fetch.
-    pub input_shuffles: Vec<Rc<ShuffleDep>>,
+    pub input_shuffles: Vec<Arc<ShuffleDep>>,
 }
 
 impl std::fmt::Debug for Stage {
@@ -99,12 +99,12 @@ impl StageGraph {
 }
 
 /// Builds the stage DAG for a job ending at `final_node`.
-pub fn build_stages(final_node: Rc<dyn PlanNode>) -> StageGraph {
+pub fn build_stages(final_node: Arc<dyn PlanNode>) -> StageGraph {
     let mut stages: Vec<Stage> = Vec::new();
     let mut by_shuffle: HashMap<ShuffleId, StageId> = HashMap::new();
 
     fn stage_for_shuffle(
-        dep: &Rc<ShuffleDep>,
+        dep: &Arc<ShuffleDep>,
         stages: &mut Vec<Stage>,
         by_shuffle: &mut HashMap<ShuffleId, StageId>,
     ) -> StageId {
@@ -119,8 +119,8 @@ pub fn build_stages(final_node: Rc<dyn PlanNode>) -> StageGraph {
         let id = StageId(stages.len() as u64);
         stages.push(Stage {
             id,
-            kind: StageKind::ShuffleMap(Rc::clone(dep)),
-            terminal: Rc::clone(&dep.parent),
+            kind: StageKind::ShuffleMap(Arc::clone(dep)),
+            terminal: Arc::clone(&dep.parent),
             num_tasks: dep.parent.num_partitions(),
             parents,
             input_shuffles: inputs,
@@ -138,7 +138,7 @@ pub fn build_stages(final_node: Rc<dyn PlanNode>) -> StageGraph {
     stages.push(Stage {
         id: result,
         kind: StageKind::Result,
-        terminal: Rc::clone(&final_node),
+        terminal: Arc::clone(&final_node),
         num_tasks: final_node.num_partitions(),
         parents,
         input_shuffles: inputs,

@@ -47,7 +47,7 @@ fn hdfs_rig(executors: usize) -> Rig {
     Rig { sim, fabric, engine }
 }
 
-fn run_job<T: Clone + 'static>(
+fn run_job<T: Clone + Send + Sync + 'static>(
     rig: &mut Rig,
     ds: &Dataset<T>,
 ) -> (Vec<T>, splitserve_engine::JobMetrics) {

@@ -8,7 +8,7 @@
 //!    replays and cross-substrate reruns stay reproducible.
 
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use splitserve_engine::{
     collect_partitions, input_shuffles, Dataset, PartitionData, ShuffleDep, TaskContext, WorkModel,
@@ -64,13 +64,13 @@ fn shuffle_metrics_record_only_when_enabled() {
 /// then reduce-partition order) for byte-level comparison.
 fn run_shuffle<K, C>(shuffled: &Dataset<(K, C)>) -> (Vec<(K, C)>, Vec<Bytes>)
 where
-    K: Clone + 'static,
-    C: Clone + 'static,
+    K: Clone + Send + Sync + 'static,
+    C: Clone + Send + Sync + 'static,
 {
     let node = shuffled.node();
     let deps = input_shuffles(&node);
     assert_eq!(deps.len(), 1);
-    let dep: &Rc<ShuffleDep> = &deps[0];
+    let dep: &Arc<ShuffleDep> = &deps[0];
     let reduces = dep.num_partitions;
     let mut blocks_flat = Vec::new();
     let mut buckets: Vec<Vec<Bytes>> = vec![Vec::new(); reduces];

@@ -42,7 +42,7 @@ pub(crate) fn to_chrome_trace(rec: &SpanRecorder) -> String {
     let Some(inner) = &rec.inner else {
         return "{\"traceEvents\":[]}".to_string();
     };
-    let inner = inner.borrow();
+    let inner = crate::span::lock(inner);
 
     // Deterministic pid per lane and tid per (lane, track).
     let mut lanes: BTreeMap<&str, u64> = BTreeMap::new();

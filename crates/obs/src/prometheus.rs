@@ -57,7 +57,7 @@ pub(crate) fn render(reg: &MetricsRegistry) -> String {
     let Some(inner) = &reg.inner else {
         return String::new();
     };
-    let inner = inner.borrow();
+    let inner = crate::registry::lock(inner);
     let mut out = String::new();
 
     let mut last_name = "";

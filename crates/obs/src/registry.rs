@@ -1,9 +1,8 @@
 //! The metrics registry: named counters, gauges, and fixed-bucket
 //! histograms, each keyed by a label set.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Default histogram buckets for operation latencies in (virtual)
 /// seconds — spanning sub-millisecond block-store round-trips up to
@@ -78,9 +77,20 @@ pub(crate) struct RegistryInner {
 /// call is one branch. Clones of an enabled registry share storage, so a
 /// handle can be threaded through engine, policy and storage layers while
 /// one exporter reads the aggregate.
+///
+/// Storage is behind a `Mutex`, so clones may record from worker threads
+/// (task bodies running on the engine's worker pool) concurrently with
+/// the simulation thread. Counter and histogram updates commute, so the
+/// aggregate is independent of thread interleaving.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    pub(crate) inner: Option<Rc<RefCell<RegistryInner>>>,
+    pub(crate) inner: Option<Arc<Mutex<RegistryInner>>>,
+}
+
+/// Locks a registry's storage, recovering from poison: a panicking task
+/// body must not wedge the telemetry of the run that reports it.
+pub(crate) fn lock(inner: &Arc<Mutex<RegistryInner>>) -> MutexGuard<'_, RegistryInner> {
+    inner.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
@@ -96,7 +106,7 @@ impl MetricsRegistry {
     /// A registry that records.
     pub fn enabled() -> Self {
         MetricsRegistry {
-            inner: Some(Rc::new(RefCell::new(RegistryInner::default()))),
+            inner: Some(Arc::new(Mutex::new(RegistryInner::default()))),
         }
     }
 
@@ -114,8 +124,7 @@ impl MetricsRegistry {
     /// first touch).
     pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
         let Some(inner) = &self.inner else { return };
-        *inner
-            .borrow_mut()
+        *lock(inner)
             .counters
             .entry(key(name, labels))
             .or_insert(0) += delta;
@@ -124,8 +133,7 @@ impl MetricsRegistry {
     /// Current value of a counter (zero if never touched or disabled).
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
         let Some(inner) = &self.inner else { return 0 };
-        inner
-            .borrow()
+        lock(inner)
             .counters
             .get(&key(name, labels))
             .copied()
@@ -135,13 +143,13 @@ impl MetricsRegistry {
     /// Sets the gauge `name{labels}` to `value`.
     pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], value: f64) {
         let Some(inner) = &self.inner else { return };
-        inner.borrow_mut().gauges.insert(key(name, labels), value);
+        lock(inner).gauges.insert(key(name, labels), value);
     }
 
     /// Current value of a gauge, if it was ever set.
     pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
         let inner = self.inner.as_ref()?;
-        inner.borrow().gauges.get(&key(name, labels)).copied()
+        lock(inner).gauges.get(&key(name, labels)).copied()
     }
 
     /// Records `value` into the histogram `name{labels}` using
@@ -155,8 +163,7 @@ impl MetricsRegistry {
     /// bounds — a histogram's buckets are fixed at birth).
     pub fn observe_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64], value: f64) {
         let Some(inner) = &self.inner else { return };
-        inner
-            .borrow_mut()
+        lock(inner)
             .histograms
             .entry(key(name, labels))
             .or_insert_with(|| Histogram::new(bounds))
@@ -166,8 +173,7 @@ impl MetricsRegistry {
     /// Snapshot of one histogram, if it exists.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistogramSnapshot> {
         let inner = self.inner.as_ref()?;
-        inner
-            .borrow()
+        lock(inner)
             .histograms
             .get(&key(name, labels))
             .map(|h| HistogramSnapshot {
@@ -181,8 +187,7 @@ impl MetricsRegistry {
     /// Sum of a counter across all label sets sharing `name`.
     pub fn counter_total(&self, name: &str) -> u64 {
         let Some(inner) = &self.inner else { return 0 };
-        inner
-            .borrow()
+        lock(inner)
             .counters
             .iter()
             .filter(|((n, _), _)| n == name)

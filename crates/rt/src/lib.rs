@@ -17,12 +17,16 @@
 //!   generation, fixed iteration budget, failing-seed reporting) that the
 //!   workspace's property suites run on.
 //!
-//! Two further modules serve the shuffle data-plane fast path:
+//! Three further modules serve the parallel shuffle data plane:
 //!
 //! * [`hash`] — a seeded XXH64 hasher with a fixed shuffle seed, so
 //!   bucket placement is fast *and* frozen across runs and toolchains.
-//! * [`pool`] — a bounded thread-local pool of reusable byte buffers
-//!   that damps per-task encode allocations.
+//! * [`pool`] — a bounded pool of reusable byte buffers (per-thread
+//!   lock-free free lists, process-wide aggregated stats) that damps
+//!   per-task encode allocations.
+//! * [`worker`] — a fixed-size worker-thread pool the engine offloads
+//!   task bodies onto; [`rng::derive_seed`] is the per-task seeding rule
+//!   that keeps those bodies deterministic wherever they run.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -32,6 +36,8 @@ pub mod check;
 pub mod hash;
 pub mod pool;
 pub mod rng;
+pub mod worker;
 
 pub use bytes::{Bytes, BytesMut};
 pub use rng::Rng;
+pub use worker::{TaskHandle, WorkerPool};

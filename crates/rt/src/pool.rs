@@ -1,4 +1,4 @@
-//! A thread-local pool of reusable byte buffers.
+//! A per-thread pool of reusable byte buffers with cross-thread stats.
 //!
 //! Every shuffle map task encodes its output into freshly grown `Vec`s,
 //! and a wide stage runs thousands of tasks — under the old path the
@@ -11,17 +11,24 @@
 //! The pool is deliberately modest and bounded — it is a steady-state
 //! allocation damper, not a general allocator:
 //!
-//! - thread-local, so there is no locking (the simulator is
-//!   single-threaded per run anyway);
-//! - at most [`MAX_POOLED_BUFFERS`] buffers retained, each at most
-//!   [`MAX_BUFFER_CAPACITY`] bytes, so a one-off giant record cannot pin
-//!   memory forever.
+//! - the buffer free lists are **thread-local and lock-free**: with task
+//!   bodies running on a worker pool, every worker recycles its own
+//!   buffers with no cross-thread contention on the hot path;
+//! - the **counters are aggregated across threads**: [`stats`] sums the
+//!   per-thread atomic counters of every thread that ever touched the
+//!   pool, and [`reset`] zeroes them all — so tests and benches measure
+//!   the whole process, not whichever thread happened to call;
+//! - at most [`MAX_POOLED_BUFFERS`] buffers retained per thread, each at
+//!   most [`MAX_BUFFER_CAPACITY`] bytes, so a one-off giant record
+//!   cannot pin memory forever.
 //!
 //! Returned buffers are always cleared; `take` never exposes stale
 //! bytes. Pooling only affects *where* scratch space comes from, never
 //! the bytes written through it, so determinism is unaffected.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Most buffers the pool retains per thread.
 pub const MAX_POOLED_BUFFERS: usize = 32;
@@ -31,6 +38,8 @@ pub const MAX_POOLED_BUFFERS: usize = 32;
 pub const MAX_BUFFER_CAPACITY: usize = 8 << 20;
 
 /// Counters describing pool effectiveness, for tests and benches.
+/// Aggregated over every thread that used the pool since the last
+/// [`reset`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// `take` calls served from the pool.
@@ -43,14 +52,68 @@ pub struct PoolStats {
     pub rejects: u64,
 }
 
+/// One thread's counters, shared with the global registry so [`stats`]
+/// can sum them and [`reset`] can zero them from any thread. The free
+/// list itself never leaves its owning thread.
 #[derive(Default)]
+struct ThreadStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    returns: AtomicU64,
+    rejects: AtomicU64,
+}
+
+impl ThreadStats {
+    fn zero(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.returns.store(0, Ordering::Relaxed);
+        self.rejects.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Every thread's stats block, registered on that thread's first pool
+/// use. Entries outlive their threads (a handful of `AtomicU64`s each),
+/// which keeps `stats()` sums stable after workers exit.
+static REGISTRY: Mutex<Vec<Arc<ThreadStats>>> = Mutex::new(Vec::new());
+
+/// Bumped by [`reset`]; threads drop their pooled buffers lazily when
+/// they notice the generation moved, so `reset` empties every thread's
+/// free list without touching another thread's `RefCell`.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
 struct Pool {
     bufs: Vec<Vec<u8>>,
-    stats: PoolStats,
+    stats: Arc<ThreadStats>,
+    generation: u64,
+}
+
+impl Pool {
+    fn new() -> Pool {
+        let stats = Arc::new(ThreadStats::default());
+        REGISTRY
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&stats));
+        Pool {
+            bufs: Vec::new(),
+            stats,
+            generation: GENERATION.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops stale buffers after a cross-thread [`reset`].
+    fn sync_generation(&mut self) {
+        let current = GENERATION.load(Ordering::Relaxed);
+        if self.generation != current {
+            self.bufs.clear();
+            self.generation = current;
+        }
+    }
 }
 
 thread_local! {
-    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+    static POOL: RefCell<Pool> = RefCell::new(Pool::new());
 }
 
 /// Takes a cleared buffer with `capacity() >= min_capacity`.
@@ -70,6 +133,7 @@ thread_local! {
 pub fn take(min_capacity: usize) -> Vec<u8> {
     POOL.with(|p| {
         let mut p = p.borrow_mut();
+        p.sync_generation();
         let best = p
             .bufs
             .iter()
@@ -79,18 +143,18 @@ pub fn take(min_capacity: usize) -> Vec<u8> {
             .map(|(i, _)| i);
         match best {
             Some(i) => {
-                p.stats.hits += 1;
+                p.stats.hits.fetch_add(1, Ordering::Relaxed);
                 p.bufs.swap_remove(i)
             }
             None => {
-                p.stats.misses += 1;
+                p.stats.misses.fetch_add(1, Ordering::Relaxed);
                 Vec::with_capacity(min_capacity)
             }
         }
     })
 }
 
-/// Returns `buf` to the pool for reuse.
+/// Returns `buf` to the calling thread's pool for reuse.
 ///
 /// The buffer is cleared before it is stored. Oversized buffers and
 /// returns beyond the pool's bound are dropped (allocator takes them
@@ -98,39 +162,63 @@ pub fn take(min_capacity: usize) -> Vec<u8> {
 pub fn give(mut buf: Vec<u8>) {
     POOL.with(|p| {
         let mut p = p.borrow_mut();
+        p.sync_generation();
         if buf.capacity() == 0
             || buf.capacity() > MAX_BUFFER_CAPACITY
             || p.bufs.len() >= MAX_POOLED_BUFFERS
         {
-            p.stats.rejects += 1;
+            p.stats.rejects.fetch_add(1, Ordering::Relaxed);
             return;
         }
         buf.clear();
-        p.stats.returns += 1;
+        p.stats.returns.fetch_add(1, Ordering::Relaxed);
         p.bufs.push(buf);
     });
 }
 
-/// This thread's pool counters.
+/// The pool counters summed across every thread that used the pool.
 pub fn stats() -> PoolStats {
-    POOL.with(|p| p.borrow().stats)
+    let registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let mut total = PoolStats::default();
+    for t in registry.iter() {
+        total.hits += t.hits.load(Ordering::Relaxed);
+        total.misses += t.misses.load(Ordering::Relaxed);
+        total.returns += t.returns.load(Ordering::Relaxed);
+        total.rejects += t.rejects.load(Ordering::Relaxed);
+    }
+    total
 }
 
-/// Drops all pooled buffers and zeroes the counters (test isolation).
+/// Zeroes the counters of **all** registered threads and schedules every
+/// thread's pooled buffers for release (each thread drops its free list
+/// on its next pool operation; the calling thread drops its own
+/// immediately). Test isolation across a whole worker pool.
 pub fn reset() {
-    POOL.with(|p| {
-        let mut p = p.borrow_mut();
-        p.bufs.clear();
-        p.stats = PoolStats::default();
-    });
+    GENERATION.fetch_add(1, Ordering::Relaxed);
+    {
+        let registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        for t in registry.iter() {
+            t.zero();
+        }
+    }
+    POOL.with(|p| p.borrow_mut().sync_generation());
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Stats are process-global now, so tests touching them must not
+    /// interleave with each other.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn round_trip_reuses_the_allocation() {
+        let _guard = serial();
         reset();
         let mut a = take(100);
         a.extend_from_slice(b"scratch");
@@ -147,6 +235,7 @@ mod tests {
 
     #[test]
     fn undersized_buffers_are_skipped_not_grown() {
+        let _guard = serial();
         reset();
         give(Vec::with_capacity(16));
         let big = take(1 << 16);
@@ -160,6 +249,7 @@ mod tests {
 
     #[test]
     fn pool_is_bounded() {
+        let _guard = serial();
         reset();
         for _ in 0..MAX_POOLED_BUFFERS + 5 {
             give(Vec::with_capacity(64));
@@ -174,10 +264,54 @@ mod tests {
 
     #[test]
     fn best_fit_prefers_tightest_capacity() {
+        let _guard = serial();
         reset();
         give(Vec::with_capacity(4096));
         give(Vec::with_capacity(256));
         let b = take(100);
         assert!(b.capacity() < 4096, "tightest fitting buffer serves first");
+    }
+
+    #[test]
+    fn stats_aggregate_across_threads() {
+        let _guard = serial();
+        reset();
+        give(Vec::with_capacity(64)); // this thread: 1 return
+        std::thread::spawn(|| {
+            let buf = take(32); // other thread: 1 miss (its pool is empty)
+            give(buf); // …and 1 return
+        })
+        .join()
+        .expect("helper thread");
+        let s = stats();
+        assert_eq!(s.misses, 1, "other thread's miss must be visible");
+        assert_eq!(s.returns, 2, "returns sum over both threads");
+    }
+
+    #[test]
+    fn reset_clears_other_threads_counters_and_buffers() {
+        let _guard = serial();
+        reset();
+        // Seed another thread's pool, then reset from this one; the other
+        // thread must observe zeroed stats and an emptied free list.
+        let (seed_tx, seed_rx) = std::sync::mpsc::channel();
+        let (reset_tx, reset_rx) = std::sync::mpsc::channel();
+        let helper = std::thread::spawn(move || {
+            give(Vec::with_capacity(64));
+            seed_tx.send(()).unwrap();
+            reset_rx.recv().unwrap();
+            // After the cross-thread reset the pooled buffer is gone, so
+            // this take must miss.
+            let buf = take(8);
+            assert!(buf.capacity() >= 8);
+        });
+        seed_rx.recv().unwrap();
+        assert_eq!(stats().returns, 1);
+        reset();
+        assert_eq!(stats(), PoolStats::default(), "reset zeroes every thread");
+        reset_tx.send(()).unwrap();
+        helper.join().expect("helper thread");
+        let s = stats();
+        assert_eq!((s.hits, s.misses), (0, 1), "post-reset take missed");
     }
 }

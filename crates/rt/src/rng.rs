@@ -42,7 +42,42 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Mixes a base seed with a stream index (partition number, task index,
+/// …) into a decorrelated derived seed, via the SplitMix64 finalizer.
+///
+/// This is the canonical per-task seeding rule of the workspace: a task
+/// computing partition `p` of a dataset seeded `s` draws from
+/// `Rng::seed_from_u64(derive_seed(s, p))`, which is a pure function of
+/// `(s, p)` — the same stream whether the task runs inline, on any
+/// worker thread, or is recomputed after a failure.
+///
+/// # Examples
+///
+/// ```
+/// use splitserve_rt::rng::derive_seed;
+///
+/// assert_eq!(derive_seed(7, 3), derive_seed(7, 3));
+/// assert_ne!(derive_seed(7, 3), derive_seed(7, 4));
+/// assert_ne!(derive_seed(7, 3), derive_seed(8, 3));
+/// ```
+#[inline]
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(stream.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 impl Rng {
+    /// Creates a generator for stream `stream` of base seed `seed` —
+    /// shorthand for `seed_from_u64(derive_seed(seed, stream))`, the
+    /// per-task seeding rule (see [`derive_seed`]).
+    pub fn for_stream(seed: u64, stream: u64) -> Rng {
+        Rng::seed_from_u64(derive_seed(seed, stream))
+    }
+
     /// Creates a generator whose stream is a pure function of `seed`.
     pub fn seed_from_u64(seed: u64) -> Rng {
         let mut sm = seed;

@@ -1,0 +1,194 @@
+//! A small fixed-size worker-thread pool for offloading task bodies.
+//!
+//! The engine's scheduler stays a single-threaded discrete-event loop,
+//! but task *compute* (map pipelines, shuffle combine+encode, reduce-side
+//! decode+merge) is pure with respect to the simulation: it reads a
+//! snapshot of `Send`-able inputs and returns encoded blocks. This pool
+//! runs those bodies on real OS threads so wall-clock throughput scales
+//! with cores while the event order — and therefore every virtual
+//! timestamp — stays byte-identical to the single-threaded run (see
+//! DESIGN.md "Parallel task data plane").
+//!
+//! The pool is deliberately minimal and dependency-free: `N` threads
+//! loop over one shared channel of boxed jobs; each submission gets its
+//! own result channel. Panics inside a job are caught on the worker and
+//! re-raised at the join point on the submitting thread, so a failing
+//! task body surfaces exactly where the inline execution path would have
+//! panicked.
+//!
+//! # Examples
+//!
+//! ```
+//! use splitserve_rt::worker::WorkerPool;
+//!
+//! let pool = WorkerPool::new(2);
+//! let a = pool.submit(|| 20 + 1);
+//! let b = pool.submit(|| 21 + 1);
+//! assert_eq!(a.join() + b.join(), 43);
+//! ```
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads consuming jobs from one shared
+/// queue. Dropping the pool closes the queue and joins every worker.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of exactly `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or the OS refuses to spawn a thread.
+    pub fn new(threads: usize) -> WorkerPool {
+        assert!(threads > 0, "worker pool needs at least one thread");
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                thread::Builder::new()
+                    .name(format!("splitserve-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while dequeuing, never while
+                        // running the job, so workers drain in parallel.
+                        let job = {
+                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // queue closed: pool dropped
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits `f` to run on some worker; returns a handle whose
+    /// [`TaskHandle::join`] blocks for — and returns — the result.
+    pub fn submit<T, F>(&self, f: F) -> TaskHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (tx, rx) = channel();
+        let job: Job = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            // A receiver that hung up means the submitter abandoned the
+            // task; the result (or panic payload) is simply dropped.
+            let _ = tx.send(result);
+        });
+        self.tx
+            .as_ref()
+            .expect("worker pool already shut down")
+            .send(job)
+            .expect("worker pool hung up");
+        TaskHandle { rx }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the sender ends every worker's recv loop.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// The pending result of one submitted job.
+pub struct TaskHandle<T> {
+    rx: Receiver<thread::Result<T>>,
+}
+
+impl<T> std::fmt::Debug for TaskHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TaskHandle")
+    }
+}
+
+impl<T> TaskHandle<T> {
+    /// Blocks until the job finishes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the job's panic if it panicked, and panics if the pool
+    /// was torn down before the job produced a result.
+    pub fn join(self) -> T {
+        match self.rx.recv() {
+            Ok(Ok(v)) => v,
+            Ok(Err(payload)) => resume_unwind(payload),
+            Err(_) => panic!("worker task dropped without producing a result"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_per_submission() {
+        let pool = WorkerPool::new(4);
+        let handles: Vec<_> = (0..32u64).map(|i| pool.submit(move || i * i)).collect();
+        let got: Vec<u64> = handles.into_iter().map(|h| h.join()).collect();
+        let expect: Vec<u64> = (0..32).map(|i| i * i).collect();
+        assert_eq!(got, expect, "results map to their own submissions");
+    }
+
+    #[test]
+    fn join_can_happen_out_of_submission_order() {
+        let pool = WorkerPool::new(2);
+        let a = pool.submit(|| "a");
+        let b = pool.submit(|| "b");
+        assert_eq!(b.join(), "b");
+        assert_eq!(a.join(), "a");
+    }
+
+    #[test]
+    fn panics_propagate_to_the_join_point() {
+        let pool = WorkerPool::new(1);
+        let h = pool.submit(|| -> u32 { panic!("task body exploded") });
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| h.join()))
+            .expect_err("join must re-raise");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("exploded"), "panic payload survives: {msg:?}");
+        // The worker survives a panicking job.
+        assert_eq!(pool.submit(|| 7u32).join(), 7);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let pool = WorkerPool::new(3);
+        let h = pool.submit(|| 1u8);
+        assert_eq!(h.join(), 1);
+        drop(pool); // must not hang
+    }
+}

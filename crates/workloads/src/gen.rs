@@ -8,14 +8,13 @@
 use splitserve_rt::rng::SmallRng;
 
 /// A deterministic RNG for partition `part` of a dataset seeded `seed`.
+///
+/// Delegates to the runtime's canonical per-task seeding rule
+/// ([`splitserve_rt::rng::derive_seed`], the SplitMix64 finalizer over
+/// `(seed, part)`), so the stream is identical wherever the task body
+/// runs — inline, on a worker thread, or recomputed after a failure.
 pub fn partition_rng(seed: u64, part: usize) -> SmallRng {
-    // SplitMix-style mixing so (seed, part) pairs decorrelate.
-    let mut z = seed
-        .wrapping_add(0x9e3779b97f4a7c15)
-        .wrapping_add((part as u64).wrapping_mul(0xbf58476d1ce4e5b9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    SmallRng::seed_from_u64(z ^ (z >> 31))
+    SmallRng::for_stream(seed, part as u64)
 }
 
 /// Splits `total` items into `parts` near-equal ranges; returns the

@@ -18,7 +18,16 @@ use splitserve_rt::hash::XxHash64;
 const SEEDS: u64 = 16;
 
 fn main() {
-    let topo = ChaosTopology::default();
+    // SPLITSERVE_WORKERS sets the engine's worker-thread count; the
+    // digest must not change with it (`scripts/verify.sh` diffs 1 vs 4).
+    let workers = std::env::var("SPLITSERVE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let topo = ChaosTopology {
+        workers,
+        ..ChaosTopology::default()
+    };
     let workloads: [&dyn ChaosWorkload; 2] =
         [&ChaosPageRank::small(), &ChaosCloudSort::small()];
     // Digest over every per-case line, so the final line alone certifies

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Shuffle data-plane benchmark harness: runs the `shuffle_hot` bench
-# (map-side combine+encode, reduce-side decode+merge micro-benchmarks
-# plus the four paper workloads end to end) and collects the one-line
-# JSON records it prints into BENCH_shuffle.json at the repo root.
+# (map-side combine+encode, reduce-side decode+merge micro-benchmarks,
+# the four paper workloads end to end, and the `parallel/*` worker-pool
+# scaling series) and collects the one-line JSON records it prints.
 #
-# Usage: scripts/bench.sh [output.json]
+# Records whose name starts with `parallel/` go to the second output
+# (the worker-pool scaling medians); everything else goes to the first.
+#
+# Usage: scripts/bench.sh [shuffle_out.json] [parallel_out.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_shuffle.json}"
+parallel_out="${2:-BENCH_parallel.json}"
 
 echo "==> cargo bench -p splitserve-bench --bench shuffle_hot"
 raw=$(cargo bench --offline -p splitserve-bench --bench shuffle_hot)
@@ -17,23 +21,30 @@ raw=$(cargo bench --offline -p splitserve-bench --bench shuffle_hot)
 printf '%s\n' "$raw" | grep '^{' | python3 -c '
 import json, sys
 
+shuffle_out, parallel_out = sys.argv[1], sys.argv[2]
 records = [json.loads(line) for line in sys.stdin]
 assert records, "bench produced no JSON records"
 for r in records:
     for key in ("bench", "median_ns", "min_ns", "max_ns", "samples"):
         assert key in r, f"record missing {key}: {r}"
     assert r["median_ns"] > 0, f"non-positive median: {r}"
-json.dump(records, sys.stdout, indent=2)
-sys.stdout.write("\n")
-' >"$out"
+shuffle = [r for r in records if not r["bench"].startswith("parallel/")]
+parallel = [r for r in records if r["bench"].startswith("parallel/")]
+assert parallel, "bench produced no parallel/ records"
+for path, recs in ((shuffle_out, shuffle), (parallel_out, parallel)):
+    with open(path, "w") as f:
+        json.dump(recs, f, indent=2)
+        f.write("\n")
+' "$out" "$parallel_out"
 
-echo "==> wrote $out"
+echo "==> wrote $out and $parallel_out"
 python3 -c '
 import json, sys
 
-with open(sys.argv[1]) as f:
-    records = json.load(f)
-for r in records:
-    name, med, n = r["bench"], r["median_ns"] / 1e6, r["samples"]
-    print(f"{name:40s} median {med:10.3f} ms  ({n} samples)")
-' "$out"
+for path in sys.argv[1:]:
+    with open(path) as f:
+        records = json.load(f)
+    for r in records:
+        name, med, n = r["bench"], r["median_ns"] / 1e6, r["samples"]
+        print(f"{name:40s} median {med:10.3f} ms  ({n} samples)")
+' "$out" "$parallel_out"

@@ -34,7 +34,7 @@ print(f"OK: {len(events)} trace events across lanes {sorted(lanes)}")
 '
 
 echo "==> perf smoke: shuffle_hot bench + BENCH_shuffle.json shape"
-scripts/bench.sh target/BENCH_shuffle.json >/dev/null
+scripts/bench.sh target/BENCH_shuffle.json target/BENCH_parallel.json >/dev/null
 python3 -c '
 import json
 
@@ -56,12 +56,48 @@ assert all(r["median_ns"] > 0 for r in records), "non-positive median"
 print(f"OK: {len(records)} benchmarks, all medians positive")
 '
 
+echo "==> parallel data plane: worker-pool scaling medians"
+python3 -c '
+import json, os
+
+with open("target/BENCH_parallel.json") as f:
+    records = json.load(f)
+med = {r["bench"]: r["median_ns"] for r in records}
+expected = {f"parallel/pagerank_e2e_w{w}" for w in (1, 2, 4, 8)}
+missing = expected - med.keys()
+assert not missing, f"missing parallel benchmarks: {sorted(missing)}"
+speedup = med["parallel/pagerank_e2e_w1"] / med["parallel/pagerank_e2e_w4"]
+cores = os.cpu_count() or 1
+if cores >= 4:
+    assert speedup >= 2.5, (
+        f"4-worker PageRank e2e speedup {speedup:.2f}x < 2.5x on a "
+        f"{cores}-core host"
+    )
+    print(f"OK: 4-worker speedup {speedup:.2f}x (>= 2.5x, {cores} cores)")
+else:
+    # A wall-clock parallel speedup needs real cores; on a starved host
+    # only record the ratio and bound the pool overhead instead.
+    assert speedup >= 0.5, f"worker pool overhead is pathological: {speedup:.2f}x"
+    print(
+        f"SKIP speedup gate: host has {cores} core(s); "
+        f"recorded w1/w4 ratio {speedup:.2f}x"
+    )
+'
+
 echo "==> chaos smoke: fault plane must be bit-deterministic across runs"
 cargo run --release --offline --example chaos_smoke > target/chaos_smoke_run1.txt
 cargo run --release --offline --example chaos_smoke > target/chaos_smoke_run2.txt
 diff target/chaos_smoke_run1.txt target/chaos_smoke_run2.txt
 grep -q "64/64 cases completed" target/chaos_smoke_run1.txt
 tail -1 target/chaos_smoke_run1.txt
+
+echo "==> chaos smoke: digests identical at workers=1 and workers=4"
+SPLITSERVE_WORKERS=1 cargo run --release --offline --example chaos_smoke \
+    > target/chaos_smoke_w1.txt
+SPLITSERVE_WORKERS=4 cargo run --release --offline --example chaos_smoke \
+    > target/chaos_smoke_w4.txt
+diff target/chaos_smoke_w1.txt target/chaos_smoke_w4.txt
+tail -1 target/chaos_smoke_w4.txt
 
 echo "==> checking for non-path dependencies"
 cargo metadata --offline --format-version 1 |
