@@ -20,7 +20,7 @@ use splitserve::{run_scenario, DriverProgram, Scenario};
 use splitserve_bench::experiments::{fig6_spec, fig6_workload, Fidelity};
 use splitserve_bench::timing::{bench, black_box};
 use splitserve_des::SimTime;
-use splitserve_obs::{MetricsRegistry, Obs, SpanRecorder};
+use splitserve_obs::{FlightRecorder, MetricsRegistry, Obs, Rollups, SpanRecorder};
 
 const SAMPLES: usize = 9;
 const HOT_CALLS: u64 = 1_000_000;
@@ -47,6 +47,47 @@ fn bench_hot_path_disabled() {
         }
         black_box(&spans);
     });
+    // The telemetry plane's three new record paths, all disabled: each
+    // must stay one branch, inside the budget PR'd with the original
+    // obs layer (single-digit nanoseconds per call).
+    bench("obs/hot_path_disabled_1m_digest_records", SAMPLES, || {
+        for i in 0..HOT_CALLS {
+            metrics.record_quantile("task_run_seconds", &[("kind", "vm")], i as f64 * 1e-6);
+        }
+        black_box(&metrics);
+    });
+    let rollups = Rollups::disabled();
+    bench("obs/hot_path_disabled_1m_rollup_records", SAMPLES, || {
+        for i in 0..HOT_CALLS {
+            rollups.record(
+                "task_run_seconds",
+                &[("kind", "vm")],
+                SimTime::from_micros(i),
+                i as f64 * 1e-6,
+            );
+        }
+        black_box(&rollups);
+    });
+    let flight = FlightRecorder::disabled();
+    bench("obs/hot_path_disabled_1m_flight_records", SAMPLES, || {
+        for i in 0..HOT_CALLS {
+            flight.record(SimTime::from_micros(i), "task-finished", &[("part", "0")]);
+        }
+        black_box(&flight);
+    });
+}
+
+/// What the *enabled* digest costs per record: the log-bucket index is
+/// one `ln` plus a BTreeMap upsert. Not on any disabled-path budget,
+/// but recorded so regressions in the sketch itself are visible.
+fn bench_digest_enabled() {
+    let metrics = MetricsRegistry::enabled();
+    bench("obs/digest_enabled_1m_records", SAMPLES, || {
+        for i in 0..HOT_CALLS {
+            metrics.record_quantile("task_run_seconds", &[("kind", "vm")], (i + 1) as f64 * 1e-6);
+        }
+        black_box(&metrics);
+    });
 }
 
 fn scenario_walltime(name: &str, enable: bool) -> u128 {
@@ -66,6 +107,7 @@ fn scenario_walltime(name: &str, enable: bool) -> u128 {
 
 fn main() {
     bench_hot_path_disabled();
+    bench_digest_enabled();
     let disabled = scenario_walltime("obs/scenario_obs_disabled", false);
     let enabled = scenario_walltime("obs/scenario_obs_enabled", true);
     let ratio = enabled as f64 / disabled as f64;

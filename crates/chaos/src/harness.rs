@@ -242,6 +242,11 @@ pub struct ChaosFailure {
     pub reason: String,
     /// The plan that provoked it (possibly shrunk).
     pub plan: FaultPlan,
+    /// The violating run's flight-recorder dump — a replayable JSON
+    /// snapshot of its recent task transitions, rollbacks and injected
+    /// faults, with [`ChaosFailure::repro_line`] embedded. `None` only
+    /// for failures constructed without a run (e.g. in tests).
+    pub flight_dump: Option<String>,
 }
 
 impl ChaosFailure {
@@ -335,27 +340,32 @@ impl<'a> Oracle<'a> {
         Ok(PlanOutcome { hdfs, local })
     }
 
-    fn fail(
-        &self,
-        store: ShuffleStoreKind,
-        reason: String,
-        plan: &FaultPlan,
-    ) -> Box<ChaosFailure> {
-        Box::new(ChaosFailure {
+    fn fail(&self, r: &CaseResult, reason: String, plan: &FaultPlan) -> Box<ChaosFailure> {
+        let mut failure = ChaosFailure {
             workload: self.workload.name().to_string(),
-            store,
+            store: r.store,
             reason,
             plan: plan.clone(),
-        })
+            flight_dump: None,
+        };
+        // Dump the violating run's flight ring with the repro line
+        // embedded: the dump is both post-mortem evidence and, via the
+        // line, a deterministic test vector.
+        failure.flight_dump = Some(
+            r.obs
+                .flight
+                .dump_json(&failure.reason, Some(&failure.repro_line())),
+        );
+        Box::new(failure)
     }
 
     fn check_store(&self, r: &CaseResult, plan: &FaultPlan) -> Result<(), Box<ChaosFailure>> {
         let Some(fp) = r.fingerprint else {
-            return Err(self.fail(r.store, "run did not complete".into(), plan));
+            return Err(self.fail(r, "run did not complete".into(), plan));
         };
         if fp != self.reference {
             return Err(self.fail(
-                r.store,
+                r,
                 format!(
                     "output fingerprint {fp:#018x} diverged from fault-free reference {:#018x}",
                     self.reference
@@ -372,7 +382,7 @@ impl<'a> Oracle<'a> {
             ShuffleStoreKind::Hdfs => {
                 if r.rollbacks > 0 && r.fetch_faults == 0 {
                     return Err(self.fail(
-                        r.store,
+                        r,
                         format!(
                             "{} stage(s) rolled back under shared shuffle with no injected \
                              fetch failure ({} executor losses) — executor loss must not \
@@ -384,7 +394,7 @@ impl<'a> Oracle<'a> {
                 }
                 if churn_free && r.fetch_faults > 0 && r.rollbacks == 0 {
                     return Err(self.fail(
-                        r.store,
+                        r,
                         format!(
                             "{} injected fetch failure(s) fired but no stage rolled back",
                             r.fetch_faults
@@ -398,7 +408,7 @@ impl<'a> Oracle<'a> {
                     r.expected_rollback || r.fetch_faults > 0 || plan.has_drains();
                 if r.rollbacks > 0 && !explained {
                     return Err(self.fail(
-                        r.store,
+                        r,
                         format!(
                             "{} stage(s) rolled back though no kill destroyed live shuffle \
                              blocks and no fetch failure was injected",
@@ -409,7 +419,7 @@ impl<'a> Oracle<'a> {
                 }
                 if r.expected_rollback && r.rollbacks == 0 {
                     return Err(self.fail(
-                        r.store,
+                        r,
                         "a kill destroyed live shuffle blocks of a completed stage but no \
                          rollback was recorded"
                             .into(),
@@ -445,6 +455,7 @@ mod tests {
             store: ShuffleStoreKind::Local,
             reason: "test".into(),
             plan: FaultPlan::generate(7),
+            flight_dump: None,
         };
         let line = f.repro_line();
         let json = line.split_once("CHAOS_PLAN=").unwrap().1;

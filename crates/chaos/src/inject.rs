@@ -100,7 +100,7 @@ fn kill_one(sim: &mut Sim, d: &Deployment, report: &InjectionReport, id: &Execut
     if d.engine().would_rollback_on_loss(id) {
         report.inner.borrow_mut().expected_rollback = true;
     }
-    d.engine().obs().count_fault("kill");
+    d.engine().obs().fault_event(sim.now(), "kill");
     report.inner.borrow_mut().kills += 1;
     d.engine().kill_executor(sim, id);
 }
@@ -141,7 +141,7 @@ pub fn arm(sim: &mut Sim, deployment: &Deployment, plan: &FaultPlan) -> Injectio
                     Some(info) if info.alive && !info.draining => {}
                     _ => return,
                 }
-                d.engine().obs().count_fault("drain");
+                d.engine().obs().fault_event(sim.now(), "drain");
                 r.inner.borrow_mut().drains += 1;
                 d.drain_lambda_executor(sim, &id);
             }),
@@ -158,7 +158,7 @@ pub fn arm(sim: &mut Sim, deployment: &Deployment, plan: &FaultPlan) -> Injectio
                     Some(info) if info.alive => {}
                     _ => return,
                 }
-                d.engine().obs().count_fault("straggle");
+                d.engine().obs().fault_event(sim.now(), "straggle");
                 r.inner.borrow_mut().straggles += 1;
                 // Tasks launched during the window run slower; the factor
                 // is sampled at launch, so an in-flight task keeps its

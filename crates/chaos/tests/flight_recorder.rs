@@ -1,0 +1,93 @@
+//! Flight-recorder integration with the chaos plane: a case that injects
+//! kills into the executor-local store must leave a dump showing the
+//! injected fault *and* the rollback it caused, and the repro line
+//! embedded in that dump must replay — deterministically — to the very
+//! same event stream.
+
+use splitserve::ShuffleStoreKind;
+use splitserve_chaos::workloads::ChaosPageRank;
+use splitserve_chaos::{run_case, CaseResult, ChaosTopology, FaultPlan};
+
+/// Scans the deterministic plan space for the first seed whose
+/// executor-local run both killed an executor and rolled a stage back —
+/// the shape of case a post-mortem exists for.
+fn first_rollback_case() -> (u64, CaseResult) {
+    let w = ChaosPageRank::small();
+    let topo = ChaosTopology::default();
+    for seed in 0..64u64 {
+        let plan = FaultPlan::generate(seed);
+        let r = run_case(&w, ShuffleStoreKind::Local, Some(&plan), &topo);
+        if r.kills > 0 && r.rollbacks > 0 && r.fingerprint.is_some() {
+            return (seed, r);
+        }
+    }
+    panic!("no seed in 0..64 produced a kill-induced rollback");
+}
+
+#[test]
+fn dump_contains_the_injected_fault_and_the_rollback() {
+    let (seed, r) = first_rollback_case();
+    let plan = FaultPlan::generate(seed);
+    let repro = format!("CHAOS_SEED={} CHAOS_PLAN={}", plan.seed, plan.to_json());
+    let dump = r.obs.flight.dump_json("kill-induced rollback", Some(&repro));
+
+    // The injected fault is in the ring…
+    assert!(
+        dump.contains("\"kind\":\"fault-injected\""),
+        "dump must contain the injected fault: {dump}"
+    );
+    assert!(dump.contains("\"kind\":\"kill\""), "fault kind must be kill");
+    // …alongside the rollback transition it caused…
+    assert!(
+        dump.contains("\"kind\":\"stage-rollback\""),
+        "dump must contain the rollback transition"
+    );
+    // …the task transitions around them…
+    assert!(dump.contains("\"kind\":\"task-started\""));
+    assert!(dump.contains("\"kind\":\"task-finished\""));
+    // …and the replay line.
+    assert!(dump.contains(&format!("\"repro\":\"CHAOS_SEED={seed} ")));
+}
+
+#[test]
+fn embedded_repro_line_replays_to_the_same_event_stream() {
+    let (seed, r) = first_rollback_case();
+    let plan = FaultPlan::generate(seed);
+    let repro = format!("CHAOS_SEED={} CHAOS_PLAN={}", plan.seed, plan.to_json());
+    let dump = r.obs.flight.dump_json("kill-induced rollback", Some(&repro));
+
+    // Parse the repro line back out of the dump the way a human would:
+    // take the `repro` field, split off the plan JSON, rebuild the plan.
+    let repro_field = dump
+        .split("\"repro\":\"")
+        .nth(1)
+        .and_then(|s| s.split("\",\"overwritten\"").next())
+        .expect("dump carries a repro field")
+        .replace("\\\"", "\"");
+    let plan_json = repro_field
+        .split_once("CHAOS_PLAN=")
+        .expect("repro line has a plan")
+        .1;
+    let replayed_plan = FaultPlan::from_json(plan_json).expect("plan JSON round-trips");
+    assert_eq!(replayed_plan, plan);
+
+    // Replaying the line reproduces the same run bit-for-bit: same output
+    // fingerprint, same flight-recorder dump.
+    let w = ChaosPageRank::small();
+    let replay = run_case(
+        &w,
+        ShuffleStoreKind::Local,
+        Some(&replayed_plan),
+        &ChaosTopology::default(),
+    );
+    assert_eq!(replay.fingerprint, r.fingerprint);
+    assert_eq!(replay.rollbacks, r.rollbacks);
+    assert_eq!(
+        replay
+            .obs
+            .flight
+            .dump_json("kill-induced rollback", Some(&repro)),
+        dump,
+        "replay must reproduce the identical event stream"
+    );
+}

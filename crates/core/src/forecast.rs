@@ -116,6 +116,15 @@ impl ProvisionPolicy {
             ProvisionPolicy::Mean => p.mean,
         }
     }
+
+    /// A stable, filename-safe label for dashboards and artifacts, e.g.
+    /// `"mean+2.0sigma"` or `"mean"`.
+    pub fn label(&self) -> String {
+        match self {
+            ProvisionPolicy::MeanPlusSigma(k) => format!("mean+{k:.1}sigma"),
+            ProvisionPolicy::Mean => "mean".to_string(),
+        }
+    }
 }
 
 /// What a provisioning policy costs and how often it falls short.

@@ -117,6 +117,11 @@ fn commence_drain(sim: &mut Sim, deployment: &Deployment, timeout: SimDuration) 
         .engine()
         .obs()
         .mark(sim.now(), "driver", "segue", "segue commences");
+    deployment
+        .engine()
+        .obs()
+        .flight
+        .record(sim.now(), "segue-commences", &[]);
     for exec in deployment.lambda_executors() {
         let Some(info) = deployment.engine().executor_info(&exec) else {
             continue;

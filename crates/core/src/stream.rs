@@ -13,6 +13,7 @@ use std::rc::Rc;
 
 use splitserve_cloud::InstanceType;
 use splitserve_des::{Sim, SimDuration};
+use splitserve_obs::{BillLedger, SloLedger, TenantId};
 
 use crate::allocator::{start_allocator, AllocatorConfig};
 use crate::deploy::{Deployment, ShuffleStoreKind};
@@ -82,15 +83,18 @@ pub struct StreamOutcome {
     pub cost_usd: f64,
     /// Lambdas launched by the controller (0 for the VM-only policy).
     pub lambdas_launched: u32,
+    /// SLO attainment ledger fed one point per job completion — the
+    /// accounting source of truth (replaces counting `met_slo` ad hoc).
+    pub slo: SloLedger,
+    /// Cumulative-bill ledger: one accrued-cost point per job
+    /// completion plus a final finalization charge.
+    pub bill: BillLedger,
 }
 
 impl StreamOutcome {
-    /// Fraction of jobs meeting their SLO.
+    /// Fraction of jobs meeting their SLO, from the [`SloLedger`].
     pub fn slo_attainment(&self) -> f64 {
-        if self.jobs.is_empty() {
-            return 1.0;
-        }
-        self.jobs.iter().filter(|j| j.met_slo()).count() as f64 / self.jobs.len() as f64
+        self.slo.attainment(&TenantId::default())
     }
 
     /// Mean job latency in seconds.
@@ -148,6 +152,12 @@ pub fn run_job_stream(
     let outcomes: Rc<RefCell<Vec<Option<JobOutcome>>>> =
         Rc::new(RefCell::new(vec![None; jobs.len()]));
     let remaining = Rc::new(std::cell::Cell::new(jobs.len()));
+    let slo = SloLedger::new();
+    let bill = BillLedger::new();
+    // Running total already charged to the bill ledger; each completion
+    // charges the accrued-cost delta since the previous point, so the
+    // ledger's cumulative curve tracks `accrued_cost` exactly.
+    let billed = Rc::new(std::cell::Cell::new(0.0f64));
     for (i, job) in jobs.iter().enumerate() {
         let program = workload(job.cores);
         let d2 = d.clone();
@@ -155,6 +165,9 @@ pub fn run_job_stream(
         let remaining2 = Rc::clone(&remaining);
         let handle2 = handle.clone();
         let job2 = job.clone();
+        let slo2 = slo.clone();
+        let bill2 = bill.clone();
+        let billed2 = Rc::clone(&billed);
         sim.schedule_at(
             splitserve_des::SimTime::from_secs_f64(job.arrive_at_secs),
             move |sim| {
@@ -165,11 +178,24 @@ pub fn run_job_stream(
                     sim,
                     &engine,
                     Box::new(move |sim| {
+                        let finished = sim.now();
                         outcomes3.borrow_mut()[i] = Some(JobOutcome {
                             arrived_at: arrived,
-                            finished_at: sim.now().as_secs_f64(),
+                            finished_at: finished.as_secs_f64(),
                             slo_secs: job2.slo_secs,
                         });
+                        slo2.record_job(
+                            &TenantId::default(),
+                            finished,
+                            finished.as_secs_f64() - arrived,
+                            job2.slo_secs,
+                        );
+                        let accrued = d2.cloud().accrued_cost(finished);
+                        let delta = accrued - billed2.get();
+                        if delta > 0.0 {
+                            bill2.charge(&TenantId::default(), finished, delta, "accrued");
+                            billed2.set(accrued);
+                        }
                         remaining2.set(remaining2.get() - 1);
                         if remaining2.get() == 0 {
                             if let Some(h) = &handle2 {
@@ -189,11 +215,27 @@ pub fn run_job_stream(
         .iter()
         .map(|o| o.expect("every stream job must complete"))
         .collect();
+    let cost_usd = d.cloud().total_cost();
+    // Shutdown finalizes running resources; settle the ledger to the
+    // exact final bill.
+    let settle = cost_usd - billed.get();
+    if settle > 0.0 {
+        bill.charge(
+            &TenantId::default(),
+            splitserve_des::SimTime::from_secs_f64(
+                jobs_done.iter().map(|j| j.finished_at).fold(0.0, f64::max),
+            ),
+            settle,
+            "final",
+        );
+    }
     StreamOutcome {
         policy,
         jobs: jobs_done,
-        cost_usd: d.cloud().total_cost(),
+        cost_usd,
         lambdas_launched: handle.map(|h| h.lambdas_launched()).unwrap_or(0),
+        slo,
+        bill,
     }
 }
 

@@ -71,6 +71,33 @@ impl WorkModel {
     }
 }
 
+/// Knobs of the straggler watch (detection only, no speculative
+/// re-launch): on every task completion the scheduler folds the run time
+/// into a per-stage streaming quantile digest and flags still-running
+/// attempts of the same stage whose elapsed virtual time exceeds
+/// `quantile`'s value times `multiple`. Active only while observability
+/// is enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StragglerConfig {
+    /// Which quantile of completed-task run time anchors the threshold.
+    pub quantile: f64,
+    /// Threshold = quantile value × this multiple.
+    pub multiple: f64,
+    /// Minimum completed tasks in a stage before the watch arms — too few
+    /// samples make the quantile meaningless.
+    pub min_samples: u64,
+}
+
+impl Default for StragglerConfig {
+    fn default() -> Self {
+        StragglerConfig {
+            quantile: 0.95,
+            multiple: 2.0,
+            min_samples: 4,
+        }
+    }
+}
+
 /// Scheduler-level configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -80,9 +107,11 @@ pub struct EngineConfig {
     /// timeline figures. Cheap; on by default.
     pub event_log: bool,
     /// Optional cap on the event log: past this many events, pushes are
-    /// dropped and counted (`engine_event_log_dropped_total`) instead of
+    /// dropped and counted (`event_log_dropped_total`) instead of
     /// growing the log — the safety valve for long streaming scenarios.
     pub event_log_capacity: Option<usize>,
+    /// The straggler watch's quantile/multiple/arming knobs.
+    pub straggler: StragglerConfig,
     /// The observability handle ([`splitserve_obs::Obs`]): metrics
     /// registry plus span recorder, shared with the policy and storage
     /// layers. Disabled by default — every record call is one branch.
@@ -109,6 +138,7 @@ impl Default for EngineConfig {
             work: WorkModel::default(),
             event_log: true,
             event_log_capacity: None,
+            straggler: StragglerConfig::default(),
             obs: splitserve_obs::Obs::disabled(),
             max_fetch_concurrency: 8,
             driver_dispatch: SimDuration::from_millis(4),

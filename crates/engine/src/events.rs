@@ -169,7 +169,7 @@ impl EventLog {
     /// Creates a log holding at most `capacity` events (unbounded when
     /// `None`). Events past the cap are dropped and counted — locally
     /// (see [`EventLog::dropped`]) and on `registry` as the
-    /// `engine_event_log_dropped_total` counter.
+    /// `event_log_dropped_total` counter.
     pub fn bounded(
         enabled: bool,
         capacity: Option<usize>,
@@ -193,7 +193,7 @@ impl EventLog {
             if self.events.borrow().len() >= cap {
                 self.dropped.set(self.dropped.get() + 1);
                 self.registry
-                    .counter_add("engine_event_log_dropped_total", &[], 1);
+                    .counter_add("event_log_dropped_total", &[], 1);
                 return;
             }
         }
@@ -279,7 +279,7 @@ mod tests {
         assert_eq!(log.len(), 2, "capacity respected");
         assert_eq!(log.dropped(), 3);
         assert_eq!(
-            registry.counter_value("engine_event_log_dropped_total", &[]),
+            registry.counter_value("event_log_dropped_total", &[]),
             3
         );
         // The retained events are the earliest ones, in order.

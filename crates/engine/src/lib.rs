@@ -39,7 +39,7 @@ mod stage;
 mod telemetry;
 mod tracker;
 
-pub use config::{EngineConfig, WorkModel};
+pub use config::{EngineConfig, StragglerConfig, WorkModel};
 pub use context::TaskContext;
 pub use events::{EngineEvent, EngineEventKind, EventLog, JobId};
 pub use executor::{ExecutorDesc, ExecutorId, ExecutorKind};

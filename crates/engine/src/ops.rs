@@ -554,12 +554,19 @@ pub(crate) fn make_partitioner<K: ShuffleKey, V: ShuffleValue>(
                         ctx.charge_combine(1);
                     }
                 }
+                let combine_secs = ctx.cpu_secs() - combine_started;
                 ctx.obs().metrics.observe_with(
                     "shuffle_combine_seconds",
                     &[],
                     COMBINE_BUCKETS,
-                    ctx.cpu_secs() - combine_started,
+                    combine_secs,
                 );
+                // Worker-thread path: exercises the sharded digest store
+                // (per-thread shard, merged at snapshot), so recording
+                // here never contends with the simulation thread.
+                ctx.obs()
+                    .metrics
+                    .record_quantile("shuffle_combine_seconds", &[], combine_secs);
                 encode_grouped(ctx, num, &groups)
             }
             None => encode_buckets_by(ctx, records, num, |k| bucket_of(k, num)),

@@ -64,6 +64,11 @@ struct AttemptInfo {
     exec: ExecutorId,
     /// The task's executor-lane span (no-op id when obs is disabled).
     span: SpanId,
+    /// When the attempt was dispatched (the span's open instant) — the
+    /// anchor for wall-clock run time and the straggler watch.
+    started_at: SimTime,
+    /// Already flagged by the straggler watch; flag-once per attempt.
+    straggler_flagged: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +107,10 @@ struct Inner {
     next_attempt: u64,
     tracker: MapOutputTracker,
     driver_free_at: SimTime,
+    /// Live completion-time digests per (job, stage), feeding the
+    /// straggler watch. Only populated while observability is enabled;
+    /// entries live as long as their `JobState`.
+    stage_runtimes: HashMap<(JobId, StageId), splitserve_obs::QuantileDigest>,
 }
 
 /// A snapshot of one executor's state, for policy layers (SplitServe's
@@ -232,6 +241,7 @@ impl Engine {
                 next_attempt: 0,
                 tracker: MapOutputTracker::new(),
                 driver_free_at: SimTime::ZERO,
+                stage_runtimes: HashMap::new(),
             })),
             store,
             log,
@@ -400,6 +410,8 @@ impl Engine {
                             sim.now(),
                             &mut job.metrics,
                             info.span,
+                            info.stage,
+                            info.part,
                             FailureKind::ExecutorLost,
                         );
                         let st = &mut job.status[info.stage.0 as usize];
@@ -790,6 +802,8 @@ impl Engine {
                         part,
                         exec: exec_id.clone(),
                         span,
+                        started_at: sim.now(),
+                        straggler_flagged: false,
                     },
                 );
                 self.log.push(
@@ -1331,10 +1345,22 @@ impl Engine {
             meta.tasks_done += 1;
             let kind = meta.desc.kind;
             let drain = meta.draining && meta.alive;
+            let run_secs = sim.now().saturating_since(info.started_at).as_secs_f64();
             if let Some(job) = inner.jobs.get_mut(&info.job.0) {
-                self.tele
-                    .task_finished(sim.now(), &mut job.metrics, kind, info.span, cpu);
+                self.tele.task_finished(
+                    sim.now(),
+                    &mut job.metrics,
+                    kind,
+                    info.span,
+                    info.stage,
+                    info.part,
+                    cpu,
+                    run_secs,
+                );
                 job.status[info.stage.0 as usize].running.remove(&info.part);
+            }
+            if self.tele.obs().is_enabled() {
+                self.straggler_watch(sim.now(), inner, &info, run_secs);
             }
             self.log.push(
                 sim.now(),
@@ -1351,6 +1377,42 @@ impl Engine {
             self.decommission(sim, exec);
         }
         self.progress_job(sim, job_id);
+    }
+
+    /// The straggler watch: fold the just-completed attempt's run time
+    /// into its stage's live completion digest, then compare every
+    /// still-running attempt of the same stage against a configurable
+    /// multiple of the digest's quantile. Detection only — suspects get a
+    /// counter, a span annotation and a flight-recorder breadcrumb, never
+    /// a speculative re-launch. Runs only while observability is enabled,
+    /// so the disabled path stays one branch.
+    fn straggler_watch(&self, now: SimTime, inner: &mut Inner, done: &AttemptInfo, run_secs: f64) {
+        let threshold = {
+            let digest = inner
+                .stage_runtimes
+                .entry((done.job, done.stage))
+                .or_default();
+            digest.record(run_secs);
+            let sc = &inner.cfg.straggler;
+            if digest.count() < sc.min_samples {
+                return;
+            }
+            match digest.quantile(sc.quantile) {
+                Some(q) if q * sc.multiple > 0.0 => q * sc.multiple,
+                _ => return,
+            }
+        };
+        for info in inner.attempts.values_mut() {
+            if info.job != done.job || info.stage != done.stage || info.straggler_flagged {
+                continue;
+            }
+            let elapsed = now.saturating_since(info.started_at).as_secs_f64();
+            if elapsed > threshold {
+                info.straggler_flagged = true;
+                self.tele
+                    .straggler_suspected(now, info.span, info.stage, info.part, elapsed, threshold);
+            }
+        }
     }
 
     /// A shuffle fetch failed: requeue the task, invalidate the lost map
@@ -1395,6 +1457,8 @@ impl Engine {
                     sim.now(),
                     &mut job.metrics,
                     info.span,
+                    info.stage,
+                    info.part,
                     FailureKind::FetchFailed,
                 );
                 let st = &mut job.status[info.stage.0 as usize];
@@ -1432,6 +1496,8 @@ impl Engine {
                     sim.now(),
                     &mut job.metrics,
                     info.span,
+                    info.stage,
+                    info.part,
                     FailureKind::WriteFailed,
                 );
                 let st = &mut job.status[info.stage.0 as usize];

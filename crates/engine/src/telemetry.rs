@@ -84,16 +84,29 @@ impl Telemetry {
             &format!("task s{}.{}", stage.0, part),
         );
         self.obs.spans.annotate(span, "stage", &stage.0.to_string());
+        self.obs.flight.record(
+            at,
+            "task-started",
+            &[
+                ("exec", &exec.0),
+                ("stage", &stage.0.to_string()),
+                ("part", &part.to_string()),
+            ],
+        );
         span
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub fn task_finished(
         &self,
         at: SimTime,
         metrics: &mut JobMetrics,
         kind: ExecutorKind,
         span: SpanId,
+        stage: StageId,
+        part: usize,
         cpu_secs: f64,
+        run_secs: f64,
     ) {
         metrics.count_task(kind);
         let labels = [("kind", kind_label(kind))];
@@ -102,9 +115,25 @@ impl Telemetry {
             .counter_add("tasks_completed_total", &labels, 1);
         self.obs.metrics.observe("task_cpu_seconds", &labels, cpu_secs);
         self.obs
+            .metrics
+            .record_quantile("task_run_seconds", &labels, run_secs);
+        self.obs
+            .rollups
+            .record("task_run_seconds", &labels, at, run_secs);
+        self.obs
             .spans
             .annotate(span, "cpu_secs", &format!("{cpu_secs:.6}"));
         self.obs.spans.close(span, at);
+        self.obs.flight.record(
+            at,
+            "task-finished",
+            &[
+                ("kind", kind_label(kind)),
+                ("stage", &stage.0.to_string()),
+                ("part", &part.to_string()),
+                ("run_secs", &format!("{run_secs:.6}")),
+            ],
+        );
     }
 
     /// A task attempt failed and will be re-queued: count the recompute
@@ -114,6 +143,8 @@ impl Telemetry {
         at: SimTime,
         metrics: &mut JobMetrics,
         span: SpanId,
+        stage: StageId,
+        part: usize,
         why: FailureKind,
     ) {
         metrics.tasks_recomputed += 1;
@@ -122,6 +153,48 @@ impl Telemetry {
             .counter_add("tasks_failed_total", &[("reason", why.label())], 1);
         self.obs.spans.annotate(span, "failed", why.label());
         self.obs.spans.close(span, at);
+        self.obs.flight.record(
+            at,
+            "task-failed",
+            &[
+                ("stage", &stage.0.to_string()),
+                ("part", &part.to_string()),
+                ("reason", why.label()),
+            ],
+        );
+    }
+
+    /// A running task has outlived the configured multiple of its stage's
+    /// live completion-time quantile: count it, annotate its span and
+    /// leave a flight-recorder breadcrumb. Detection only — the scheduler
+    /// takes no action.
+    pub fn straggler_suspected(
+        &self,
+        at: SimTime,
+        span: SpanId,
+        stage: StageId,
+        part: usize,
+        elapsed_secs: f64,
+        threshold_secs: f64,
+    ) {
+        self.obs
+            .metrics
+            .counter_add("stragglers_suspected_total", &[], 1);
+        self.obs.spans.annotate(
+            span,
+            "straggler",
+            &format!("elapsed {elapsed_secs:.6}s > threshold {threshold_secs:.6}s"),
+        );
+        self.obs.flight.record(
+            at,
+            "straggler-suspected",
+            &[
+                ("stage", &stage.0.to_string()),
+                ("part", &part.to_string()),
+                ("elapsed_secs", &format!("{elapsed_secs:.6}")),
+                ("threshold_secs", &format!("{threshold_secs:.6}")),
+            ],
+        );
     }
 
     pub fn task_cpu(&self, metrics: &mut JobMetrics, cpu_secs: f64) {
@@ -155,11 +228,14 @@ impl Telemetry {
 
     pub fn shuffle_phase_finished(&self, at: SimTime, span: SpanId, phase: &str, started: SimTime) {
         self.obs.spans.close(span, at);
-        self.obs.metrics.observe(
-            "shuffle_phase_seconds",
-            &[("phase", phase)],
-            at.saturating_since(started).as_secs_f64(),
-        );
+        let secs = at.saturating_since(started).as_secs_f64();
+        let labels = [("phase", phase)];
+        self.obs
+            .metrics
+            .observe("shuffle_phase_seconds", &labels, secs);
+        self.obs
+            .metrics
+            .record_quantile("shuffle_phase_seconds", &labels, secs);
     }
 
     /// A shuffle phase ended without completing (store error, executor
@@ -190,18 +266,41 @@ impl Telemetry {
             "driver",
             &format!("rollback s{}", stage.0),
         );
+        self.obs.flight.record(
+            at,
+            "stage-rollback",
+            &[
+                ("stage", &stage.0.to_string()),
+                ("missing", &missing.to_string()),
+            ],
+        );
     }
 
     pub fn job_completed(&self, at: SimTime, job: JobId, metrics: &JobMetrics) {
         self.obs.metrics.counter_add("jobs_completed_total", &[], 1);
+        let secs = metrics.execution_time().as_secs_f64();
         self.obs.metrics.observe_with(
             "job_execution_seconds",
             &[],
             &[1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0],
-            metrics.execution_time().as_secs_f64(),
+            secs,
         );
+        self.obs
+            .metrics
+            .record_quantile("job_execution_seconds", &[], secs);
+        self.obs
+            .rollups
+            .record("job_execution_seconds", &[], at, secs);
         self.obs
             .spans
             .instant(at, "driver", "driver", &format!("{job} completed"));
+        self.obs.flight.record(
+            at,
+            "job-completed",
+            &[
+                ("job", &job.to_string()),
+                ("execution_secs", &format!("{secs:.6}")),
+            ],
+        );
     }
 }

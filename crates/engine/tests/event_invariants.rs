@@ -191,6 +191,47 @@ fn invariants_survive_executor_kill_and_rollback() {
 }
 
 #[test]
+fn event_log_overflow_is_surfaced_as_a_drop_counter() {
+    // A capacity far below what one shuffle job emits: the log must hold
+    // exactly `cap` events and surface every dropped push as
+    // `event_log_dropped_total`, so a truncated timeline is detectable
+    // from a metrics dump alone.
+    let cap = 8;
+    let mut rig = {
+        let fabric = Fabric::new();
+        let store = Rc::new(LocalDiskStore::new(fabric.clone()));
+        let cfg = EngineConfig {
+            obs: Obs::enabled(),
+            event_log_capacity: Some(cap),
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(cfg, store);
+        let mut sim = Sim::new(11);
+        for i in 0..2 {
+            let nic = fabric.add_link(1e9, format!("nic-{i}"));
+            let disk = fabric.add_link(1e9, format!("disk-{i}"));
+            engine
+                .register_executor(&mut sim, ExecutorDesc::vm(format!("e-vm-{i}"), nic, disk, 8192));
+        }
+        Rig { sim, engine }
+    };
+    run_shuffle_job(&mut rig);
+    let events = rig.engine.event_log().snapshot();
+    assert_eq!(events.len(), cap, "log must stop at its capacity");
+    let dropped = rig
+        .engine
+        .obs()
+        .metrics
+        .counter_total("event_log_dropped_total");
+    assert!(dropped > 0, "overflow must be counted, not silent");
+    // Retained + dropped = everything an uncapped run would have logged.
+    let mut uncapped = observed_rig(2);
+    run_shuffle_job(&mut uncapped);
+    let full = uncapped.engine.event_log().snapshot().len() as u64;
+    assert_eq!(cap as u64 + dropped, full, "drop count must be exact");
+}
+
+#[test]
 fn disabled_obs_records_nothing() {
     let mut rig = {
         let fabric = Fabric::new();

@@ -73,6 +73,11 @@ struct Footprint {
     events: Vec<EngineEvent>,
     blocks: BTreeMap<String, Vec<u8>>,
     exec_secs: f64,
+    /// Canonical bytes of the run's quantile digests — including
+    /// `shuffle_combine_seconds`, which worker-pool threads record into
+    /// the sharded digest store. Merged snapshots must not depend on how
+    /// records landed on shards.
+    digest_bytes: Vec<u8>,
 }
 
 /// Runs `plan` (shared across calls so shuffle ids coincide) on a fresh
@@ -84,8 +89,10 @@ fn run_with_workers(plan: &Dataset<(u64, u64)>, workers: usize) -> Footprint {
         inner: LocalDiskStore::new(fabric.clone()),
         puts: Rc::clone(&puts),
     });
+    let obs = splitserve_obs::Obs::enabled();
     let cfg = EngineConfig {
         workers,
+        obs: obs.clone(),
         ..EngineConfig::default()
     };
     let engine = Engine::new(cfg, store);
@@ -103,11 +110,25 @@ fn run_with_workers(plan: &Dataset<(u64, u64)>, workers: usize) -> Footprint {
     sim.run();
     let out = slot.borrow_mut().take().expect("job completes");
     let blocks = puts.borrow().clone();
+    let mut digest_bytes = Vec::new();
+    for (name, labels) in [
+        ("shuffle_combine_seconds", &[][..]),
+        ("task_run_seconds", &[("kind", "vm")][..]),
+        ("job_execution_seconds", &[][..]),
+    ] {
+        let d = obs
+            .metrics
+            .quantile_digest(name, labels)
+            .unwrap_or_else(|| panic!("digest {name} must be populated"));
+        digest_bytes.extend_from_slice(name.as_bytes());
+        digest_bytes.extend_from_slice(&d.canonical_bytes());
+    }
     Footprint {
         rows: collect_partitions::<(u64, u64)>(out.partitions),
         events: engine.event_log().snapshot(),
         blocks,
         exec_secs: out.metrics.execution_time().as_secs_f64(),
+        digest_bytes,
     }
 }
 
@@ -139,6 +160,10 @@ fn worker_count_never_changes_bytes_events_or_rows() {
             got.exec_secs.to_bits(),
             base.exec_secs.to_bits(),
             "virtual duration differs at workers={workers}"
+        );
+        assert_eq!(
+            got.digest_bytes, base.digest_bytes,
+            "quantile-digest snapshot differs at workers={workers}"
         );
         assert_eq!(
             got.blocks.len(),

@@ -1,0 +1,209 @@
+//! The flight recorder: a bounded ring of recent structured events.
+//!
+//! When a chaos case violates the differential oracle, the repro line
+//! (`CHAOS_SEED=… CHAOS_PLAN=…`) says *how to rerun* the failure but not
+//! *what happened* on the way there. The flight recorder fills that gap:
+//! engine layers push cheap structured events (task transitions,
+//! rollbacks, injected faults) into a fixed-capacity ring, and on failure
+//! the ring is dumped as a self-contained JSON snapshot with the repro
+//! line embedded — replaying the line reproduces the same event stream,
+//! so the dump is both evidence and test vector.
+//!
+//! Off by default like every obs component: a disabled recorder is one
+//! branch per record call. The ring overwrites its oldest events when
+//! full (and counts how many), so long runs keep the *recent* history a
+//! post-mortem actually needs.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use splitserve_des::SimTime;
+
+use crate::chrome::escape_json;
+
+/// Default ring capacity in events.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEvent {
+    /// When it happened on the virtual clock.
+    pub at: SimTime,
+    /// Event kind, e.g. `"task-failed"`, `"stage-rollback"`,
+    /// `"fault-injected"`.
+    pub kind: String,
+    /// Structured detail, insertion order preserved.
+    pub fields: Vec<(String, String)>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    capacity: usize,
+    events: VecDeque<FlightEvent>,
+    overwritten: u64,
+}
+
+/// Bounded ring of recent structured events with a JSON dump.
+///
+/// Cloneable handle; clones share the ring. The [`Default`] is disabled.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    inner: Option<Arc<Mutex<Ring>>>,
+}
+
+fn lock(inner: &Arc<Mutex<Ring>>) -> MutexGuard<'_, Ring> {
+    inner.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl FlightRecorder {
+    /// A recording ring with [`DEFAULT_FLIGHT_CAPACITY`].
+    pub fn enabled() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// A recording ring holding at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            inner: Some(Arc::new(Mutex::new(Ring {
+                capacity,
+                events: VecDeque::with_capacity(capacity),
+                overwritten: 0,
+            }))),
+        }
+    }
+
+    /// A recorder that drops everything (also the [`Default`]).
+    pub fn disabled() -> Self {
+        FlightRecorder::default()
+    }
+
+    /// Whether record calls have any effect.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one event, evicting the oldest when the ring is full.
+    pub fn record(&self, at: SimTime, kind: &str, fields: &[(&str, &str)]) {
+        let Some(inner) = &self.inner else { return };
+        let mut ring = lock(inner);
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+            ring.overwritten += 1;
+        }
+        let event = FlightEvent {
+            at,
+            kind: kind.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        };
+        ring.events.push_back(event);
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| lock(i).events.len())
+    }
+
+    /// `true` when no events are held (or the recorder is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn overwritten(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| lock(i).overwritten)
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        self.inner
+            .as_ref()
+            .map(|i| lock(i).events.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Dumps the ring as a replayable JSON snapshot. `reason` says why
+    /// the dump was taken; `repro` carries the deterministic replay line
+    /// (e.g. a chaos `CHAOS_SEED=… CHAOS_PLAN=…` line) when one exists.
+    /// Deterministic: same ring, same string.
+    pub fn dump_json(&self, reason: &str, repro: Option<&str>) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = write!(out, "{{\"reason\":\"{}\",", escape_json(reason));
+        match repro {
+            Some(r) => {
+                let _ = write!(out, "\"repro\":\"{}\",", escape_json(r));
+            }
+            None => out.push_str("\"repro\":null,"),
+        }
+        let _ = write!(out, "\"overwritten\":{},\"events\":[", self.overwritten());
+        for (i, e) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"t_us\":{},\"kind\":\"{}\",\"fields\":{{",
+                e.at.as_micros(),
+                escape_json(&e.kind)
+            );
+            for (fi, (k, v)) in e.fields.iter().enumerate() {
+                if fi > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let f = FlightRecorder::disabled();
+        f.record(SimTime::ZERO, "x", &[]);
+        assert!(f.is_empty());
+        assert_eq!(f.dump_json("why", None), "{\"reason\":\"why\",\"repro\":null,\"overwritten\":0,\"events\":[]}");
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let f = FlightRecorder::with_capacity(3);
+        for i in 0..5u64 {
+            f.record(SimTime::from_secs(i), "e", &[("i", &i.to_string())]);
+        }
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.overwritten(), 2);
+        let snap = f.snapshot();
+        assert_eq!(snap[0].fields[0].1, "2", "oldest retained is the third");
+        assert_eq!(snap[2].fields[0].1, "4");
+    }
+
+    #[test]
+    fn dump_embeds_repro_and_escapes() {
+        let f = FlightRecorder::with_capacity(8);
+        f.record(SimTime::from_micros(42), "fault-injected", &[("kind", "ki\"ll")]);
+        let dump = f.dump_json("oracle-violation", Some("CHAOS_SEED=7 CHAOS_PLAN={\"seed\":7}"));
+        assert!(dump.contains("\"reason\":\"oracle-violation\""));
+        assert!(dump.contains("\"repro\":\"CHAOS_SEED=7 CHAOS_PLAN={\\\"seed\\\":7}\""));
+        assert!(dump.contains("\"t_us\":42"));
+        assert!(dump.contains("\"kind\":\"ki\\\"ll\""));
+        assert_eq!(dump, f.dump_json("oracle-violation", Some("CHAOS_SEED=7 CHAOS_PLAN={\"seed\":7}")));
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let f = FlightRecorder::enabled();
+        f.clone().record(SimTime::ZERO, "x", &[]);
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! SLO and billing ledgers — the tenant-facing trajectory view.
+//!
+//! The paper's Figure 3 judgement ("which provisioning policy should I
+//! buy?") is made from two curves per tenant: SLO attainment over time
+//! and cumulative bill over time. [`SloLedger`] and [`BillLedger`]
+//! produce exactly those from a stream of job completions and charges,
+//! keyed by an opaque [`TenantId`] so the single-tenant reproduction and
+//! ROADMAP's multi-tenant job server share one accounting path.
+//!
+//! Ledgers are explicit objects (not hidden behind the [`Obs`](crate::Obs)
+//! enable flag): whoever runs a job stream constructs them, feeds them
+//! from job-completion callbacks, and reads the curves at the end.
+//! Cloneable handles; clones share storage.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use splitserve_des::SimTime;
+
+use crate::digest::QuantileDigest;
+
+/// Opaque tenant key. The default tenant is `"default"` — a single-tenant
+/// deployment never needs to mention tenants at all.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(String);
+
+impl TenantId {
+    /// A tenant key from any string-like id.
+    pub fn new(id: impl Into<String>) -> Self {
+        TenantId(id.into())
+    }
+
+    /// The raw key.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for TenantId {
+    fn default() -> Self {
+        TenantId("default".to_string())
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One point on a tenant's SLO-attainment curve: the state just after a
+/// job completed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPoint {
+    /// Completion instant on the virtual clock.
+    pub at: SimTime,
+    /// The completing job's latency in seconds.
+    pub latency_secs: f64,
+    /// The completing job's SLO in seconds.
+    pub slo_secs: f64,
+    /// Whether that job met its SLO.
+    pub met: bool,
+    /// Cumulative attainment (met / completed) after this job.
+    pub attainment: f64,
+}
+
+#[derive(Debug, Default)]
+struct TenantSlo {
+    met: u64,
+    points: Vec<SloPoint>,
+    latency: Option<QuantileDigest>,
+}
+
+/// Per-tenant SLO accounting: feed it job completions, read the
+/// attainment curve and latency quantiles.
+#[derive(Debug, Clone, Default)]
+pub struct SloLedger {
+    inner: Arc<Mutex<BTreeMap<TenantId, TenantSlo>>>,
+}
+
+fn lock<T>(inner: &Arc<Mutex<T>>) -> MutexGuard<'_, T> {
+    inner.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl SloLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        SloLedger::default()
+    }
+
+    /// Records one job completion for `tenant`, returning whether the job
+    /// met its SLO (`latency_secs <= slo_secs`).
+    pub fn record_job(
+        &self,
+        tenant: &TenantId,
+        at: SimTime,
+        latency_secs: f64,
+        slo_secs: f64,
+    ) -> bool {
+        let met = latency_secs <= slo_secs;
+        let mut inner = lock(&self.inner);
+        let t = inner.entry(tenant.clone()).or_default();
+        if met {
+            t.met += 1;
+        }
+        let total = t.points.len() as u64 + 1;
+        t.points.push(SloPoint {
+            at,
+            latency_secs,
+            slo_secs,
+            met,
+            attainment: t.met as f64 / total as f64,
+        });
+        t.latency
+            .get_or_insert_with(QuantileDigest::default)
+            .record(latency_secs);
+        met
+    }
+
+    /// Jobs recorded for `tenant`.
+    pub fn jobs(&self, tenant: &TenantId) -> u64 {
+        lock(&self.inner)
+            .get(tenant)
+            .map_or(0, |t| t.points.len() as u64)
+    }
+
+    /// Current attainment for `tenant`: fraction of recorded jobs that
+    /// met their SLO (vacuously 1.0 with no jobs).
+    pub fn attainment(&self, tenant: &TenantId) -> f64 {
+        lock(&self.inner).get(tenant).map_or(1.0, |t| {
+            if t.points.is_empty() {
+                1.0
+            } else {
+                t.met as f64 / t.points.len() as f64
+            }
+        })
+    }
+
+    /// The attainment curve: one point per completed job, completion
+    /// order.
+    pub fn curve(&self, tenant: &TenantId) -> Vec<SloPoint> {
+        lock(&self.inner)
+            .get(tenant)
+            .map(|t| t.points.clone())
+            .unwrap_or_default()
+    }
+
+    /// A latency quantile for `tenant` from the ledger's streaming digest
+    /// (within the digest's documented relative error).
+    pub fn latency_quantile(&self, tenant: &TenantId, q: f64) -> Option<f64> {
+        lock(&self.inner)
+            .get(tenant)?
+            .latency
+            .as_ref()?
+            .quantile(q)
+    }
+
+    /// A copy of the tenant's latency digest, if any job was recorded.
+    pub fn latency_digest(&self, tenant: &TenantId) -> Option<QuantileDigest> {
+        lock(&self.inner).get(tenant)?.latency.clone()
+    }
+
+    /// All tenants that recorded at least one job, sorted.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        lock(&self.inner).keys().cloned().collect()
+    }
+}
+
+/// One point on a tenant's cumulative-bill curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BillPoint {
+    /// Charge instant on the virtual clock.
+    pub at: SimTime,
+    /// This charge's amount in USD.
+    pub amount_usd: f64,
+    /// Cumulative spend after this charge.
+    pub cumulative_usd: f64,
+    /// Free-form charge category (e.g. `"vm"`, `"lambda"`, `"accrued"`).
+    pub kind: String,
+}
+
+/// Per-tenant billing accounting: feed it charges, read the cumulative
+/// bill curve.
+#[derive(Debug, Clone, Default)]
+pub struct BillLedger {
+    inner: Arc<Mutex<BTreeMap<TenantId, Vec<BillPoint>>>>,
+}
+
+impl BillLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        BillLedger::default()
+    }
+
+    /// Records a charge of `usd` for `tenant` at `at`.
+    pub fn charge(&self, tenant: &TenantId, at: SimTime, usd: f64, kind: &str) {
+        let mut inner = lock(&self.inner);
+        let points = inner.entry(tenant.clone()).or_default();
+        let cumulative = points.last().map_or(0.0, |p| p.cumulative_usd) + usd;
+        points.push(BillPoint {
+            at,
+            amount_usd: usd,
+            cumulative_usd: cumulative,
+            kind: kind.to_string(),
+        });
+    }
+
+    /// Total spend recorded for `tenant`.
+    pub fn total(&self, tenant: &TenantId) -> f64 {
+        lock(&self.inner)
+            .get(tenant)
+            .and_then(|p| p.last())
+            .map_or(0.0, |p| p.cumulative_usd)
+    }
+
+    /// The cumulative-bill curve: one point per charge, charge order.
+    pub fn curve(&self, tenant: &TenantId) -> Vec<BillPoint> {
+        lock(&self.inner)
+            .get(tenant)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// All tenants that recorded at least one charge, sorted.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        lock(&self.inner).keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tenant_is_default() {
+        assert_eq!(TenantId::default().as_str(), "default");
+        assert_eq!(TenantId::default().to_string(), "default");
+    }
+
+    #[test]
+    fn attainment_curve_tracks_met_fraction() {
+        let l = SloLedger::new();
+        let t = TenantId::default();
+        assert_eq!(l.attainment(&t), 1.0, "vacuous attainment");
+        assert!(l.record_job(&t, SimTime::from_secs(1), 2.0, 5.0));
+        assert!(!l.record_job(&t, SimTime::from_secs(2), 9.0, 5.0));
+        assert!(l.record_job(&t, SimTime::from_secs(3), 4.0, 5.0));
+        assert_eq!(l.jobs(&t), 3);
+        let curve = l.curve(&t);
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[0].attainment, 1.0);
+        assert_eq!(curve[1].attainment, 0.5);
+        assert!((curve[2].attainment - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(l.attainment(&t), curve[2].attainment);
+        let p50 = l.latency_quantile(&t, 0.5).unwrap();
+        assert!((p50 - 4.0).abs() <= 0.05, "p50 latency ~4s, got {p50}");
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let l = SloLedger::new();
+        let a = TenantId::new("a");
+        let b = TenantId::new("b");
+        l.record_job(&a, SimTime::ZERO, 1.0, 2.0);
+        l.record_job(&b, SimTime::ZERO, 9.0, 2.0);
+        assert_eq!(l.attainment(&a), 1.0);
+        assert_eq!(l.attainment(&b), 0.0);
+        assert_eq!(l.tenants(), vec![a, b]);
+    }
+
+    #[test]
+    fn bill_curve_is_cumulative() {
+        let l = BillLedger::new();
+        let t = TenantId::default();
+        l.charge(&t, SimTime::from_secs(1), 0.5, "vm");
+        l.charge(&t, SimTime::from_secs(2), 0.25, "lambda");
+        let curve = l.curve(&t);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].cumulative_usd, 0.5);
+        assert_eq!(curve[1].cumulative_usd, 0.75);
+        assert_eq!(l.total(&t), 0.75);
+        assert_eq!(curve[1].kind, "lambda");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let l = SloLedger::new();
+        let c = l.clone();
+        c.record_job(&TenantId::default(), SimTime::ZERO, 1.0, 2.0);
+        assert_eq!(l.jobs(&TenantId::default()), 1);
+    }
+}

@@ -40,12 +40,20 @@
 #![warn(missing_docs)]
 
 mod chrome;
+mod digest;
+mod flight;
+mod ledger;
 mod prometheus;
 mod registry;
 mod span;
+mod timeseries;
 
+pub use digest::{QuantileDigest, DEFAULT_DIGEST_ALPHA, MIN_TRACKABLE};
+pub use flight::{FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use ledger::{BillLedger, BillPoint, SloLedger, SloPoint, TenantId};
 pub use registry::{HistogramSnapshot, MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
 pub use span::{Span, SpanId, SpanRecorder};
+pub use timeseries::{RollupSpec, Rollups, WindowSnapshot};
 
 use splitserve_des::SimTime;
 
@@ -55,10 +63,15 @@ use splitserve_des::SimTime;
 /// Cloneable handle; clones share the underlying storage.
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
-    /// Counters, gauges, histograms.
+    /// Counters, gauges, histograms and streaming quantile digests.
     pub metrics: MetricsRegistry,
     /// Structured spans for timeline export.
     pub spans: SpanRecorder,
+    /// Windowed time-series rollups over virtual time.
+    pub rollups: Rollups,
+    /// Bounded ring of recent structured events, dumpable as a
+    /// replayable JSON snapshot on failure.
+    pub flight: FlightRecorder,
 }
 
 impl Obs {
@@ -73,12 +86,17 @@ impl Obs {
         Obs {
             metrics: MetricsRegistry::enabled(),
             spans: SpanRecorder::enabled(),
+            rollups: Rollups::enabled(),
+            flight: FlightRecorder::enabled(),
         }
     }
 
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
-        self.metrics.is_enabled() || self.spans.is_enabled()
+        self.metrics.is_enabled()
+            || self.spans.is_enabled()
+            || self.rollups.is_enabled()
+            || self.flight.is_enabled()
     }
 
     /// Convenience: an instant marker on the spans plus a counter bump —
@@ -96,6 +114,14 @@ impl Obs {
     pub fn count_fault(&self, kind: &str) {
         self.metrics
             .counter_add("faults_injected_total", &[("kind", kind)], 1);
+    }
+
+    /// [`Obs::count_fault`] plus a flight-recorder event, for injectors
+    /// that know *when* the fault fired — so a post-mortem dump shows
+    /// injected trouble inline with the task transitions it caused.
+    pub fn fault_event(&self, at: SimTime, kind: &str) {
+        self.count_fault(kind);
+        self.flight.record(at, "fault-injected", &[("kind", kind)]);
     }
 }
 

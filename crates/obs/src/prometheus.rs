@@ -104,8 +104,39 @@ pub(crate) fn render(reg: &MetricsRegistry) -> String {
             "{name}_bucket{} {cumulative}",
             labels_block(labels, Some(("le", "+Inf")))
         );
-        let _ = writeln!(out, "{name}_sum{} {}", labels_block(labels, None), h.sum);
+        let _ = writeln!(
+            out,
+            "{name}_sum{} {}",
+            labels_block(labels, None),
+            fmt_value(h.sum)
+        );
         let _ = writeln!(out, "{name}_count{} {cumulative}", labels_block(labels, None));
+    }
+
+    // Streaming-digest quantiles, rendered as gauges (`<name>_quantile`
+    // with a `quantile` label) so they cannot collide with a histogram of
+    // the same base name. Values are within the digest's relative-error
+    // bound (see the `digest` module).
+    if let Some(shards) = &reg.digests {
+        last_name = "";
+        for ((name, labels), d) in &shards.merged() {
+            if d.is_empty() {
+                continue;
+            }
+            if name != last_name {
+                let _ = writeln!(out, "# TYPE {name}_quantile gauge");
+                last_name = name;
+            }
+            for q in [0.5, 0.9, 0.95, 0.99] {
+                let Some(v) = d.quantile(q) else { continue };
+                let _ = writeln!(
+                    out,
+                    "{name}_quantile{} {}",
+                    labels_block(labels, Some(("quantile", &fmt_value(q)))),
+                    fmt_value(v)
+                );
+            }
+        }
     }
     out
 }
@@ -149,5 +180,58 @@ mod tests {
         let r = MetricsRegistry::enabled();
         r.counter_add("weird_total", &[("p", "a\"b\\c")], 1);
         assert!(r.render_prometheus().contains("p=\"a\\\"b\\\\c\""));
+    }
+
+    #[test]
+    fn hostile_label_values_cannot_break_the_exposition() {
+        // The full hostile triple of the text-format spec: backslash,
+        // double quote and a raw newline, in one label value, across all
+        // metric families. None may survive unescaped — a raw newline
+        // would split the sample line and corrupt the whole scrape.
+        let hostile = "a\\b\"c\nd";
+        let r = MetricsRegistry::enabled();
+        r.counter_add("h_total", &[("p", hostile)], 1);
+        r.gauge_set("h_gauge", &[("p", hostile)], 2.0);
+        r.observe_with("h_seconds", &[("p", hostile)], &[1.0], 0.5);
+        r.record_quantile("h_digest_seconds", &[("p", hostile)], 0.5);
+        let text = r.render_prometheus();
+        let escaped = "p=\"a\\\\b\\\"c\\nd\"";
+        assert!(text.contains(&format!("h_total{{{escaped}}} 1")));
+        assert!(text.contains(&format!("h_gauge{{{escaped}}} 2")));
+        assert!(text.contains(&format!("h_seconds_count{{{escaped}}} 1")));
+        assert!(text.contains("h_digest_seconds_quantile{"));
+        for line in text.lines() {
+            assert!(
+                !line.contains("a\\b\"c") || line.contains("a\\\\b\\\"c"),
+                "unescaped hostile value leaked: {line}"
+            );
+        }
+        // The raw (unescaped) newline must not have produced a dangling
+        // continuation line anywhere.
+        assert!(text.lines().all(|l| !l.starts_with('d') || l.starts_with("d=")));
+    }
+
+    #[test]
+    fn digest_quantiles_render_as_gauges() {
+        let r = MetricsRegistry::enabled();
+        for i in 1..=100 {
+            r.record_quantile("task_run_seconds", &[("kind", "vm")], i as f64 * 0.01);
+        }
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE task_run_seconds_quantile gauge"));
+        assert!(text.contains("task_run_seconds_quantile{kind=\"vm\",quantile=\"0.5\"}"));
+        assert!(text.contains("task_run_seconds_quantile{kind=\"vm\",quantile=\"0.99\"}"));
+        assert_eq!(
+            text.matches("# TYPE task_run_seconds_quantile").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn histogram_sum_uses_prometheus_float_format() {
+        let r = MetricsRegistry::enabled();
+        r.observe_with("inf_seconds", &[], &[1.0], f64::INFINITY);
+        let text = r.render_prometheus();
+        assert!(text.contains("inf_seconds_sum +Inf"), "got: {text}");
     }
 }

@@ -2,7 +2,10 @@
 //! histograms, each keyed by a label set.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::digest::QuantileDigest;
 
 /// Default histogram buckets for operation latencies in (virtual)
 /// seconds — spanning sub-millisecond block-store round-trips up to
@@ -71,6 +74,81 @@ pub(crate) struct RegistryInner {
     pub histograms: BTreeMap<MetricKey, Histogram>,
 }
 
+/// Shard count for quantile-digest recording. Each recording thread is
+/// pinned to one shard, so worker-pool task bodies recording digest
+/// samples contend (almost) only with themselves, never with the
+/// simulation thread — the parallel data plane stays contention-free.
+pub(crate) const DIGEST_SHARDS: usize = 8;
+
+/// Round-robin shard assignment: each thread grabs the next shard index
+/// the first time it records and keeps it for its lifetime.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static SHARD_IDX: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % DIGEST_SHARDS;
+}
+
+/// Per-thread-sharded quantile digests. Records go to the calling
+/// thread's shard; reads merge all shards. Digest merging is exactly
+/// commutative/associative (count addition), so the merged view depends
+/// only on the multiset of recorded values — never on which thread
+/// recorded what.
+#[derive(Debug)]
+pub(crate) struct DigestShards {
+    shards: [Mutex<BTreeMap<MetricKey, QuantileDigest>>; DIGEST_SHARDS],
+}
+
+impl DigestShards {
+    fn new() -> Self {
+        DigestShards {
+            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    fn shard_lock(
+        shard: &Mutex<BTreeMap<MetricKey, QuantileDigest>>,
+    ) -> MutexGuard<'_, BTreeMap<MetricKey, QuantileDigest>> {
+        shard.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn record(&self, key: MetricKey, value: f64) {
+        let idx = SHARD_IDX.with(|i| *i);
+        Self::shard_lock(&self.shards[idx])
+            .entry(key)
+            .or_default()
+            .record(value);
+    }
+
+    /// The merged digest for one key, if any shard recorded it.
+    fn merged_for(&self, key: &MetricKey) -> Option<QuantileDigest> {
+        let mut out: Option<QuantileDigest> = None;
+        for shard in &self.shards {
+            if let Some(d) = Self::shard_lock(shard).get(key) {
+                match &mut out {
+                    Some(m) => m.merge(d),
+                    None => out = Some(d.clone()),
+                }
+            }
+        }
+        out
+    }
+
+    /// All digests, merged across shards, sorted by key.
+    pub(crate) fn merged(&self) -> BTreeMap<MetricKey, QuantileDigest> {
+        let mut out: BTreeMap<MetricKey, QuantileDigest> = BTreeMap::new();
+        for shard in &self.shards {
+            for (k, d) in Self::shard_lock(shard).iter() {
+                match out.get_mut(k) {
+                    Some(m) => m.merge(d),
+                    None => {
+                        out.insert(k.clone(), d.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
 /// Named counters, gauges and fixed-bucket histograms.
 ///
 /// A disabled registry (the [`Default`]) holds no storage: every record
@@ -85,6 +163,9 @@ pub(crate) struct RegistryInner {
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     pub(crate) inner: Option<Arc<Mutex<RegistryInner>>>,
+    /// Streaming quantile digests, sharded per recording thread (see
+    /// [`DigestShards`]); merged lazily at snapshot/export time.
+    pub(crate) digests: Option<Arc<DigestShards>>,
 }
 
 /// Locks a registry's storage, recovering from poison: a panicking task
@@ -107,6 +188,7 @@ impl MetricsRegistry {
     pub fn enabled() -> Self {
         MetricsRegistry {
             inner: Some(Arc::new(Mutex::new(RegistryInner::default()))),
+            digests: Some(Arc::new(DigestShards::new())),
         }
     }
 
@@ -182,6 +264,30 @@ impl MetricsRegistry {
                 sum: h.sum,
                 count: h.total,
             })
+    }
+
+    /// Records `value` into the streaming quantile digest `name{labels}`
+    /// (created with [`crate::DEFAULT_DIGEST_ALPHA`] on first touch).
+    /// Unlike [`MetricsRegistry::observe`], the digest answers arbitrary
+    /// quantiles within a documented relative error instead of bucket
+    /// resolution, and records shard per thread so worker-pool task
+    /// bodies do not contend with the simulation thread.
+    pub fn record_quantile(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let Some(shards) = &self.digests else { return };
+        shards.record(key(name, labels), value);
+    }
+
+    /// The merged (cross-shard) digest for `name{labels}`, if anything
+    /// was recorded. The result depends only on the recorded multiset —
+    /// byte-identical at any worker count.
+    pub fn quantile_digest(&self, name: &str, labels: &[(&str, &str)]) -> Option<QuantileDigest> {
+        self.digests.as_ref()?.merged_for(&key(name, labels))
+    }
+
+    /// The value at quantile `q` of the digest `name{labels}`, within the
+    /// digest's relative-error bound. `None` when nothing was recorded.
+    pub fn quantile_value(&self, name: &str, labels: &[(&str, &str)], q: f64) -> Option<f64> {
+        self.quantile_digest(name, labels)?.quantile(q)
     }
 
     /// Sum of a counter across all label sets sharing `name`.

@@ -68,11 +68,10 @@ impl BlockStore for InstrumentedStore {
             block,
             data,
             Box::new(move |sim, result| {
-                m.observe(
-                    "store_op_seconds",
-                    &[("store", kind), ("op", "put")],
-                    sim.now().saturating_since(started).as_secs_f64(),
-                );
+                let secs = sim.now().saturating_since(started).as_secs_f64();
+                let labels = [("store", kind), ("op", "put")];
+                m.observe("store_op_seconds", &labels, secs);
+                m.record_quantile("store_op_seconds", &labels, secs);
                 let outcome = if result.is_ok() { "ok" } else { "err" };
                 m.counter_add(
                     "store_ops_total",
@@ -96,11 +95,10 @@ impl BlockStore for InstrumentedStore {
             client,
             block,
             Box::new(move |sim, result| {
-                m.observe(
-                    "store_op_seconds",
-                    &[("store", kind), ("op", "get")],
-                    sim.now().saturating_since(started).as_secs_f64(),
-                );
+                let secs = sim.now().saturating_since(started).as_secs_f64();
+                let labels = [("store", kind), ("op", "get")];
+                m.observe("store_op_seconds", &labels, secs);
+                m.record_quantile("store_op_seconds", &labels, secs);
                 let outcome = if result.is_ok() { "ok" } else { "err" };
                 m.counter_add(
                     "store_ops_total",

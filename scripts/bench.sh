@@ -2,42 +2,60 @@
 # Shuffle data-plane benchmark harness: runs the `shuffle_hot` bench
 # (map-side combine+encode, reduce-side decode+merge micro-benchmarks,
 # the four paper workloads end to end, and the `parallel/*` worker-pool
-# scaling series) and collects the one-line JSON records it prints.
+# scaling series) plus the `obs_overhead` bench (disabled-path record
+# costs for counters, histograms, spans, digests, rollups and the flight
+# recorder, and the enabled/disabled scenario walltime ratio), and
+# collects the one-line JSON records they print.
 #
 # Records whose name starts with `parallel/` go to the second output
-# (the worker-pool scaling medians); everything else goes to the first.
+# (the worker-pool scaling medians); `obs/*` records go to the third;
+# everything else goes to the first.
 #
-# Usage: scripts/bench.sh [shuffle_out.json] [parallel_out.json]
+# Usage: scripts/bench.sh [shuffle_out.json] [parallel_out.json] [obs_out.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_shuffle.json}"
 parallel_out="${2:-BENCH_parallel.json}"
+obs_out="${3:-BENCH_obs.json}"
 
 echo "==> cargo bench -p splitserve-bench --bench shuffle_hot"
 raw=$(cargo bench --offline -p splitserve-bench --bench shuffle_hot)
+echo "==> cargo bench -p splitserve-bench --bench obs_overhead"
+raw_obs=$(cargo bench --offline -p splitserve-bench --bench obs_overhead)
 
 # Keep only the JSON result lines; everything else is cargo/bench chatter.
-printf '%s\n' "$raw" | grep '^{' | python3 -c '
+printf '%s\n%s\n' "$raw" "$raw_obs" | grep '^{' | python3 -c '
 import json, sys
 
-shuffle_out, parallel_out = sys.argv[1], sys.argv[2]
+shuffle_out, parallel_out, obs_out = sys.argv[1], sys.argv[2], sys.argv[3]
 records = [json.loads(line) for line in sys.stdin]
 assert records, "bench produced no JSON records"
 for r in records:
+    if "ratio" in r:
+        # The obs enabled/disabled summary record: a ratio, not a timing.
+        for key in ("bench", "ratio", "enabled_ns", "disabled_ns"):
+            assert key in r, f"ratio record missing {key}: {r}"
+        assert r["ratio"] > 0, f"non-positive ratio: {r}"
+        continue
     for key in ("bench", "median_ns", "min_ns", "max_ns", "samples"):
         assert key in r, f"record missing {key}: {r}"
     assert r["median_ns"] > 0, f"non-positive median: {r}"
-shuffle = [r for r in records if not r["bench"].startswith("parallel/")]
+shuffle = [
+    r for r in records
+    if not r["bench"].startswith(("parallel/", "obs/"))
+]
 parallel = [r for r in records if r["bench"].startswith("parallel/")]
+obs = [r for r in records if r["bench"].startswith("obs/")]
 assert parallel, "bench produced no parallel/ records"
-for path, recs in ((shuffle_out, shuffle), (parallel_out, parallel)):
+assert obs, "bench produced no obs/ records"
+for path, recs in ((shuffle_out, shuffle), (parallel_out, parallel), (obs_out, obs)):
     with open(path, "w") as f:
         json.dump(recs, f, indent=2)
         f.write("\n")
-' "$out" "$parallel_out"
+' "$out" "$parallel_out" "$obs_out"
 
-echo "==> wrote $out and $parallel_out"
+echo "==> wrote $out, $parallel_out and $obs_out"
 python3 -c '
 import json, sys
 
@@ -45,6 +63,11 @@ for path in sys.argv[1:]:
     with open(path) as f:
         records = json.load(f)
     for r in records:
-        name, med, n = r["bench"], r["median_ns"] / 1e6, r["samples"]
-        print(f"{name:40s} median {med:10.3f} ms  ({n} samples)")
-' "$out" "$parallel_out"
+        name = r["bench"]
+        if "ratio" in r:
+            ratio = r["ratio"]
+            print(f"{name:44s} ratio  {ratio:10.4f}")
+            continue
+        med, n = r["median_ns"] / 1e6, r["samples"]
+        print(f"{name:44s} median {med:10.3f} ms  ({n} samples)")
+' "$out" "$parallel_out" "$obs_out"

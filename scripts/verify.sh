@@ -33,8 +33,9 @@ for lane in ("vm", "lambda", "segue"):
 print(f"OK: {len(events)} trace events across lanes {sorted(lanes)}")
 '
 
-echo "==> perf smoke: shuffle_hot bench + BENCH_shuffle.json shape"
-scripts/bench.sh target/BENCH_shuffle.json target/BENCH_parallel.json >/dev/null
+echo "==> perf smoke: benches + BENCH_*.json shape"
+scripts/bench.sh target/BENCH_shuffle.json target/BENCH_parallel.json \
+    target/BENCH_obs.json >/dev/null
 python3 -c '
 import json
 
@@ -82,6 +83,82 @@ else:
         f"SKIP speedup gate: host has {cores} core(s); "
         f"recorded w1/w4 ratio {speedup:.2f}x"
     )
+'
+
+echo "==> obs overhead: disabled-path record calls stay within budget"
+python3 -c '
+import json
+
+with open("target/BENCH_obs.json") as f:
+    records = json.load(f)
+med = {r["bench"]: r.get("median_ns") for r in records}
+expected = {
+    f"obs/hot_path_disabled_1m_{k}"
+    for k in ("counter_adds", "observes", "span_pairs",
+              "digest_records", "rollup_records", "flight_records")
+}
+missing = expected - med.keys()
+assert missing == set(), f"missing obs benchmarks: {sorted(missing)}"
+# The documented budget: a disabled record call is one Option branch,
+# single-digit ns. Gate at 15 ns/call to absorb shared-host noise.
+for name in sorted(expected):
+    per_call = med[name] / 1e6  # 1M calls per sample
+    assert per_call <= 15.0, (
+        f"{name}: {per_call:.2f} ns/call exceeds the 15 ns disabled budget"
+    )
+    print(f"OK: {name} {per_call:.2f} ns/call")
+ratio = next(r for r in records if r["bench"] == "obs/enabled_over_disabled_ratio")
+ratio_val = ratio["ratio"]
+print(f"OK: enabled/disabled scenario walltime ratio {ratio_val:.4f}")
+'
+
+echo "==> slo dashboard: bit-deterministic across runs and worker counts"
+cargo run --release --offline --example slo_dashboard \
+    target/slo_dashboard_run1.json >/dev/null
+cargo run --release --offline --example slo_dashboard \
+    target/slo_dashboard_run2.json >/dev/null
+diff target/slo_dashboard_run1.json target/slo_dashboard_run2.json
+SPLITSERVE_WORKERS=1 cargo run --release --offline --example slo_dashboard \
+    target/slo_dashboard_w1.json >/dev/null
+SPLITSERVE_WORKERS=4 cargo run --release --offline --example slo_dashboard \
+    target/slo_dashboard_w4.json >/dev/null
+# The artifact embeds the worker count it ran with; normalize that one
+# field, then the two runs must be byte-identical.
+sed 's/"workers":[0-9]*/"workers":N/' target/slo_dashboard_w1.json \
+    > target/slo_dashboard_w1.norm.json
+sed 's/"workers":[0-9]*/"workers":N/' target/slo_dashboard_w4.json \
+    > target/slo_dashboard_w4.norm.json
+diff target/slo_dashboard_w1.norm.json target/slo_dashboard_w4.norm.json
+python3 -c '
+import json
+
+with open("target/slo_dashboard_run1.json") as f:
+    dash = json.load(f)
+policies = dash["policies"]
+assert {p["policy"] for p in policies} == {"vm-pool-only", "splitserve"}, policies
+for p in policies:
+    assert p["jobs"] > 0
+    assert 0.0 <= p["slo_attainment"] <= 1.0
+    assert p["cost_usd"] > 0.0
+    assert p["attainment_curve"], "attainment curve must be non-empty"
+    assert p["bill_curve"], "bill curve must be non-empty"
+    q = p["latency_quantiles"]
+    assert set(q) == {"p50", "p90", "p95", "p99"}, q
+    assert q["p50"] <= q["p99"], f"quantiles out of order: {q}"
+    cumulative = p["bill_curve"][-1]["cumulative_usd"]
+    cost = p["cost_usd"]
+    # Both sides are printed at 6 decimals; allow one ulp of that grid.
+    assert abs(cumulative - cost) <= 2e-6, (
+        f"bill ledger ({cumulative}) must settle to the cloud bill ({cost})"
+    )
+vm, ss = (next(p for p in policies if p["policy"] == k)
+          for k in ("vm-pool-only", "splitserve"))
+vm_att, ss_att = vm["slo_attainment"], ss["slo_attainment"]
+assert ss_att > vm_att, (
+    "splitserve must beat vm-pool-only on SLO attainment in the burst scenario"
+)
+print(f"OK: slo_dashboard attainment vm-pool-only {vm_att:.3f} "
+      f"vs splitserve {ss_att:.3f}")
 '
 
 echo "==> chaos smoke: fault plane must be bit-deterministic across runs"
