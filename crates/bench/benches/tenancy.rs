@@ -1,0 +1,87 @@
+//! Control-plane microbenchmarks: raw admission throughput (the pure
+//! controller, no engine) and trace-generation throughput. These guard
+//! the fleet example's scalability — at 10k+ jobs the controller and the
+//! generators are on the per-job hot path.
+
+use splitserve::tenancy::{
+    generate_jobs, AdmissionController, AdmissionRequest, ArrivalProcess, ArrivalSpec,
+    DurationModel, SloClass, TenantSpec,
+};
+use splitserve_bench::timing::{bench, black_box};
+use splitserve_obs::TenantId;
+
+const SAMPLES: usize = 5;
+
+fn specs(n: usize) -> Vec<TenantSpec> {
+    (0..n)
+        .map(|i| TenantSpec {
+            id: TenantId::new(format!("t{i:03}")),
+            class: SloClass::all()[i % 3],
+            weight: 1 + (i % 3) as u32,
+            max_concurrent: 4,
+        })
+        .collect()
+}
+
+/// Pushes `jobs` admissions through a 64-slot controller over `tenants`
+/// tenants, completing the oldest running job whenever the pool is more
+/// than half full — a steady-state mix of arrivals, dispatches, and
+/// completions.
+fn admission_churn(tenants: usize, jobs: u64) -> usize {
+    let specs = specs(tenants);
+    let mut ctrl = AdmissionController::new(64, &specs);
+    let mut running: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    let mut now = 0u64;
+    for job in 0..jobs {
+        now += 1_000;
+        let ds = ctrl.on_arrival(
+            now,
+            AdmissionRequest {
+                job,
+                tenant: specs[(job as usize) % tenants].id.clone(),
+                cores: 1 + (job % 4) as u32,
+                service_estimate_us: 500_000,
+            },
+        );
+        running.extend(ds.iter().map(|d| d.job));
+        while ctrl.slots_free() < 32 {
+            let done = running.pop_front().expect("slots held by someone");
+            now += 100;
+            let ds = ctrl.on_complete(now, done);
+            running.extend(ds.iter().map(|d| d.job));
+        }
+    }
+    while let Some(done) = running.pop_front() {
+        now += 100;
+        let ds = ctrl.on_complete(now, done);
+        running.extend(ds.iter().map(|d| d.job));
+    }
+    assert!(ctrl.is_idle());
+    ctrl.log().len()
+}
+
+fn main() {
+    bench("tenancy/admission_50k_jobs_100_tenants", SAMPLES, || {
+        black_box(admission_churn(100, 50_000));
+    });
+    bench("tenancy/admission_50k_jobs_8_tenants", SAMPLES, || {
+        black_box(admission_churn(8, 50_000));
+    });
+    bench("tenancy/arrivals_100k_poisson", SAMPLES, || {
+        let spec = ArrivalSpec {
+            process: ArrivalProcess::Poisson {
+                rate_per_sec: 100.0,
+            },
+            duration: DurationModel {
+                mean_secs: 1.0,
+                cv: 0.8,
+            },
+            cores_choices: vec![(1, 2), (2, 1), (4, 1)],
+            slo_multiple: 4.0,
+            slo_floor_secs: 2.0,
+            horizon_secs: 1_000.0,
+            max_jobs: 100_000,
+        };
+        black_box(generate_jobs(&spec, 7));
+    });
+}

@@ -12,8 +12,11 @@
 //!    (kills, correlated burst kills, segue drains, nth-op fetch/write
 //!    failures, store latency windows, stragglers, capacity churn). One
 //!    `u64` seed deterministically expands to one plan
-//!    ([`FaultPlan::generate`]), and every plan round-trips through a
-//!    one-line JSON form ([`FaultPlan::to_json`]).
+//!    ([`FaultPlan::generate`], or [`FaultPlan::generate_in_window`] to
+//!    aim the same event mix at a caller-chosen time window — e.g. the
+//!    tenant-fleet sweeps, whose traces run much longer than a single
+//!    job), and every plan round-trips through a one-line JSON form
+//!    ([`FaultPlan::to_json`]).
 //! 2. **The injector** ([`inject::arm`]) — arms a plan against a live
 //!    [`Deployment`](splitserve::Deployment): kills ride the engine's
 //!    real `kill_executor` path, storage faults ride a store decorator

@@ -197,11 +197,22 @@ impl FaultPlan {
     /// kind; timestamps land in the 2–45 s window where the harness
     /// topology has jobs in flight.
     pub fn generate(seed: u64) -> FaultPlan {
+        Self::generate_in_window(seed, 2_000_000, 45_000_000)
+    }
+
+    /// [`FaultPlan::generate`] with an explicit `[from_us, until_us)`
+    /// timestamp window, for harnesses whose jobs-in-flight phase differs
+    /// from the default chaos topology (e.g. the multi-tenant fleet,
+    /// where arrivals span minutes). `generate(seed)` is exactly
+    /// `generate_in_window(seed, 2_000_000, 45_000_000)` — same RNG
+    /// stream, same plans.
+    pub fn generate_in_window(seed: u64, from_us: u64, until_us: u64) -> FaultPlan {
+        assert!(until_us > from_us, "empty fault window");
         let mut rng = Rng::seed_from_u64(seed ^ PLAN_STREAM);
         let n = 2 + rng.bounded_u64(4);
         let mut events = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            let at_us = 2_000_000 + rng.bounded_u64(43_000_000);
+            let at_us = from_us + rng.bounded_u64(until_us - from_us);
             events.push(match rng.bounded_u64(10) {
                 0..=2 => FaultEvent::Kill {
                     at_us,
@@ -360,6 +371,32 @@ mod tests {
             assert_eq!(FaultPlan::generate(seed), FaultPlan::generate(seed));
         }
         assert_ne!(FaultPlan::generate(1), FaultPlan::generate(2));
+    }
+
+    #[test]
+    fn windowed_generation_respects_bounds_and_default_window_matches() {
+        for seed in 0..32 {
+            assert_eq!(
+                FaultPlan::generate(seed),
+                FaultPlan::generate_in_window(seed, 2_000_000, 45_000_000),
+            );
+            let plan = FaultPlan::generate_in_window(seed, 7_000_000, 90_000_000);
+            for ev in &plan.events {
+                let at = match ev {
+                    FaultEvent::Kill { at_us, .. }
+                    | FaultEvent::BurstKill { at_us, .. }
+                    | FaultEvent::Drain { at_us, .. }
+                    | FaultEvent::Straggle { at_us, .. }
+                    | FaultEvent::AddLambdas { at_us, .. }
+                    | FaultEvent::AddVmCores { at_us, .. } => Some(*at_us),
+                    FaultEvent::Latency { from_us, .. } => Some(*from_us),
+                    FaultEvent::FetchFail { .. } | FaultEvent::WriteFail { .. } => None,
+                };
+                if let Some(at) = at {
+                    assert!((7_000_000..90_000_000).contains(&at), "{ev:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,15 @@ use splitserve_engine::ExecutorKind;
 use crate::deploy::Deployment;
 
 /// Controller knobs.
+///
+/// Note the saturation fixed point implied by the scale-out rule: the
+/// loop launches `ceil(pending / tasks_per_executor) - live_total`
+/// Lambdas, so under sustained backlog the live executor count converges
+/// to `admitted_width / (1 + tasks_per_executor)` of the offered load —
+/// with `tasks_per_executor = 1`, half the admitted slot width. A
+/// provisioning policy that wants Lambdas to actually launch must admit
+/// more than `(1 + tasks_per_executor) ×` the resident pool (see
+/// `TenantFleetConfig::for_policy`).
 #[derive(Debug, Clone)]
 pub struct AllocatorConfig {
     /// Hard cap on concurrently live Lambda executors.

@@ -51,6 +51,7 @@ mod profiler;
 mod scenario;
 mod segue;
 mod stream;
+pub mod tenancy;
 
 pub use allocator::{start_allocator, AllocatorConfig, AllocatorHandle};
 pub use deploy::{Deployment, ShuffleStoreKind};
@@ -66,4 +67,8 @@ pub use scenario::{
 pub use segue::{arm_segue, ReplacementSource, SegueConfig};
 pub use stream::{
     bursty_arrivals, run_job_stream, JobOutcome, StreamJob, StreamOutcome, StreamPolicy,
+};
+pub use tenancy::{
+    run_tenant_fleet, run_tenant_fleet_with, AdmissionController, FleetJob, FleetOutcome,
+    FleetPolicy, SloClass, TenantFleetConfig, TenantJobOutcome, TenantSpec,
 };

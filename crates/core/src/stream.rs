@@ -12,12 +12,18 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use splitserve_cloud::InstanceType;
-use splitserve_des::{Sim, SimDuration};
+use splitserve_des::{SimDuration, SimTime};
 use splitserve_obs::{BillLedger, SloLedger, TenantId};
 
-use crate::allocator::{start_allocator, AllocatorConfig};
-use crate::deploy::{Deployment, ShuffleStoreKind};
+use crate::allocator::AllocatorConfig;
+use crate::deploy::ShuffleStoreKind;
 use crate::scenario::{DriverProgram, ScenarioSpec};
+use crate::tenancy::{
+    run_tenant_fleet, FleetJob, FleetPolicy, SloClass, TenantFleetConfig, TenantSpec,
+};
+
+/// Pre-built driver programs, handed out one per dispatch.
+type ProgramVec = Rc<RefCell<Vec<Option<Box<dyn DriverProgram>>>>>;
 
 /// One job in the stream.
 #[derive(Debug, Clone)]
@@ -92,12 +98,20 @@ pub struct StreamOutcome {
 }
 
 impl StreamOutcome {
-    /// Fraction of jobs meeting their SLO, from the [`SloLedger`].
+    /// Fraction of jobs meeting their SLO across **all** tenants, from
+    /// the [`SloLedger`]. (Historically this silently reported only
+    /// `TenantId::default()`; multi-tenant streams were misreported.
+    /// Use [`StreamOutcome::slo_attainment_for`] for one tenant.)
     pub fn slo_attainment(&self) -> f64 {
-        self.slo.attainment(&TenantId::default())
+        self.slo.fleet_attainment()
     }
 
-    /// Mean job latency in seconds.
+    /// One tenant's SLO attainment.
+    pub fn slo_attainment_for(&self, tenant: &TenantId) -> f64 {
+        self.slo.attainment(tenant)
+    }
+
+    /// Mean job latency in seconds across all jobs (fleet-wide).
     pub fn mean_latency(&self) -> f64 {
         if self.jobs.is_empty() {
             return 0.0;
@@ -109,6 +123,13 @@ impl StreamOutcome {
 /// Runs a job stream against `vm_pool_cores` of fixed capacity under the
 /// given policy. The `workload` factory receives each job's `cores` so it
 /// can size itself (as the inter-job manager's prescription would).
+///
+/// This is now a thin wrapper over the multi-tenant control plane
+/// ([`run_tenant_fleet`]): the whole stream runs as a single
+/// default-tenant with unlimited admission slots and no concurrency cap,
+/// so every job dispatches the instant it arrives — exactly the
+/// pre-control-plane behavior — while the accounting (per-tenant
+/// ledgers, accrual + settlement) flows through the shared path.
 pub fn run_job_stream(
     policy: StreamPolicy,
     vm_pool_cores: u32,
@@ -117,125 +138,80 @@ pub fn run_job_stream(
     jobs: &[StreamJob],
     workload: &dyn Fn(u32) -> Box<dyn DriverProgram>,
 ) -> StreamOutcome {
-    let mut sim = Sim::new(spec.seed);
-    let d = Deployment::with_engine_config(
-        &mut sim,
-        spec.cloud.clone(),
-        ShuffleStoreKind::Hdfs,
-        spec.master_type.clone(),
-        spec.engine.clone(),
-    );
-    d.set_lambda_memory_mb(spec.lambda_memory_mb);
-    // The fixed pool.
-    let mut remaining = vm_pool_cores;
-    while remaining > 0 {
-        let batch = remaining.min(worker_type.vcpus);
-        d.add_vm_workers(&mut sim, worker_type.clone(), batch);
-        remaining -= batch;
-    }
-    // The launching facility, if enabled.
-    let handle = (policy == StreamPolicy::SplitServe).then(|| {
-        start_allocator(
-            &mut sim,
-            &d,
-            AllocatorConfig {
-                max_lambdas: 128,
-                idle_timeout: SimDuration::from_secs(5),
-                ..AllocatorConfig::default()
-            },
-        )
-    });
-
-    // Submit every job at its arrival time. When the last one completes,
-    // stop the controller (its pending tick would otherwise keep the
-    // event queue alive forever) and finalize the bill.
-    let outcomes: Rc<RefCell<Vec<Option<JobOutcome>>>> =
-        Rc::new(RefCell::new(vec![None; jobs.len()]));
-    let remaining = Rc::new(std::cell::Cell::new(jobs.len()));
-    let slo = SloLedger::new();
-    let bill = BillLedger::new();
-    // Running total already charged to the bill ledger; each completion
-    // charges the accrued-cost delta since the previous point, so the
-    // ledger's cumulative curve tracks `accrued_cost` exactly.
-    let billed = Rc::new(std::cell::Cell::new(0.0f64));
-    for (i, job) in jobs.iter().enumerate() {
-        let program = workload(job.cores);
-        let d2 = d.clone();
-        let outcomes2 = Rc::clone(&outcomes);
-        let remaining2 = Rc::clone(&remaining);
-        let handle2 = handle.clone();
-        let job2 = job.clone();
-        let slo2 = slo.clone();
-        let bill2 = bill.clone();
-        let billed2 = Rc::clone(&billed);
-        sim.schedule_at(
-            splitserve_des::SimTime::from_secs_f64(job.arrive_at_secs),
-            move |sim| {
-                let arrived = sim.now().as_secs_f64();
-                let outcomes3 = Rc::clone(&outcomes2);
-                let engine = d2.engine().clone();
-                program.submit(
-                    sim,
-                    &engine,
-                    Box::new(move |sim| {
-                        let finished = sim.now();
-                        outcomes3.borrow_mut()[i] = Some(JobOutcome {
-                            arrived_at: arrived,
-                            finished_at: finished.as_secs_f64(),
-                            slo_secs: job2.slo_secs,
-                        });
-                        slo2.record_job(
-                            &TenantId::default(),
-                            finished,
-                            finished.as_secs_f64() - arrived,
-                            job2.slo_secs,
-                        );
-                        let accrued = d2.cloud().accrued_cost(finished);
-                        let delta = accrued - billed2.get();
-                        if delta > 0.0 {
-                            bill2.charge(&TenantId::default(), finished, delta, "accrued");
-                            billed2.set(accrued);
-                        }
-                        remaining2.set(remaining2.get() - 1);
-                        if remaining2.get() == 0 {
-                            if let Some(h) = &handle2 {
-                                h.stop();
-                            }
-                            d2.shutdown(sim);
-                        }
-                    }),
-                );
-            },
-        );
-    }
-    sim.run();
-
-    let jobs_done: Vec<JobOutcome> = outcomes
-        .borrow()
+    let tenant = TenantId::default();
+    let cfg = TenantFleetConfig {
+        seed: spec.seed,
+        policy: match policy {
+            StreamPolicy::VmPoolOnly => FleetPolicy::VmOnly,
+            StreamPolicy::SplitServe => FleetPolicy::SplitServe,
+        },
+        tenants: vec![TenantSpec {
+            id: tenant.clone(),
+            class: SloClass::Standard,
+            weight: 1,
+            max_concurrent: u32::MAX,
+        }],
+        slots: u32::MAX,
+        pool_cores: vm_pool_cores,
+        worker_type,
+        master_type: spec.master_type.clone(),
+        store: ShuffleStoreKind::Hdfs,
+        cloud: spec.cloud.clone(),
+        engine: spec.engine.clone(),
+        lambda_memory_mb: spec.lambda_memory_mb,
+        allocator: (policy == StreamPolicy::SplitServe).then(|| AllocatorConfig {
+            max_lambdas: 128,
+            idle_timeout: SimDuration::from_secs(5),
+            ..AllocatorConfig::default()
+        }),
+        settle_tenant: tenant,
+    };
+    let fleet_jobs: Vec<FleetJob> = jobs
         .iter()
-        .map(|o| o.expect("every stream job must complete"))
+        .enumerate()
+        .map(|(i, j)| FleetJob {
+            job: i as u64,
+            tenant_idx: 0,
+            arrive_at_us: SimTime::from_secs_f64(j.arrive_at_secs).as_micros(),
+            // With unlimited slots the estimate never schedules anything;
+            // the SLO is the natural stand-in.
+            duration_us: SimTime::from_secs_f64(j.slo_secs).as_micros(),
+            cores: j.cores,
+            slo_us: SimTime::from_secs_f64(j.slo_secs).as_micros(),
+        })
         .collect();
-    let cost_usd = d.cloud().total_cost();
-    // Shutdown finalizes running resources; settle the ledger to the
-    // exact final bill.
-    let settle = cost_usd - billed.get();
-    if settle > 0.0 {
-        bill.charge(
-            &TenantId::default(),
-            splitserve_des::SimTime::from_secs_f64(
-                jobs_done.iter().map(|j| j.finished_at).fold(0.0, f64::max),
-            ),
-            settle,
-            "final",
-        );
-    }
+    // The stream API hands out a borrowed factory; the control plane
+    // needs `'static` ones (it builds programs at dispatch time, inside
+    // sim events). Unlimited admission dispatches exactly at arrival, so
+    // building every program up front — the old behavior — is identical;
+    // the dispatch hook just takes them out one by one.
+    let programs: ProgramVec = Rc::new(RefCell::new(
+        jobs.iter().map(|j| Some(workload(j.cores))).collect(),
+    ));
+    let r = run_tenant_fleet(
+        &cfg,
+        &fleet_jobs,
+        Rc::new(move |fj: &FleetJob| {
+            programs.borrow_mut()[fj.job as usize]
+                .take()
+                .expect("each stream job dispatches exactly once")
+        }),
+    );
     StreamOutcome {
         policy,
-        jobs: jobs_done,
-        cost_usd,
-        lambdas_launched: handle.map(|h| h.lambdas_launched()).unwrap_or(0),
-        slo,
-        bill,
+        jobs: r
+            .outcomes
+            .iter()
+            .map(|o| JobOutcome {
+                arrived_at: o.arrived_us as f64 / 1e6,
+                finished_at: o.finished_us as f64 / 1e6,
+                slo_secs: o.slo_us as f64 / 1e6,
+            })
+            .collect(),
+        cost_usd: r.cost_usd,
+        lambdas_launched: r.lambdas_launched,
+        slo: r.slo,
+        bill: r.bill,
     }
 }
 
@@ -260,7 +236,7 @@ pub fn bursty_arrivals(n: usize, waves: usize, window_secs: f64, slo_secs: f64) 
 mod tests {
     use super::*;
     use splitserve_cloud::{CloudSpec, M4_4XLARGE};
-    use splitserve_des::Dist;
+    use splitserve_des::{Dist, Sim};
     use splitserve_engine::{Dataset, Engine};
 
     struct BurstLoad {

@@ -1,0 +1,263 @@
+//! Invariant suite for the multi-tenant [`AdmissionController`]: no
+//! starvation under random load, weighted fair-share bounds within an
+//! ε of one maximal job, strict-priority ordering, per-tenant caps at
+//! every event-log step, and head-of-line blocking attribution —
+//! all driven through a toy executor (a completion heap) so the
+//! controller is exercised with realistic interleavings but no engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use splitserve::tenancy::{
+    verify_log, AdmissionController, AdmissionEvent, AdmissionEventKind, AdmissionRequest,
+    SloClass, TenantSpec,
+};
+use splitserve_obs::TenantId;
+use splitserve_rt::check::{self, Gen};
+
+fn spec(id: &str, class: SloClass, weight: u32, cap: u32) -> TenantSpec {
+    TenantSpec {
+        id: TenantId::new(id),
+        class,
+        weight,
+        max_concurrent: cap,
+    }
+}
+
+fn req(job: u64, tenant: &str, cores: u32, estimate_us: u64) -> AdmissionRequest {
+    AdmissionRequest {
+        job,
+        tenant: TenantId::new(tenant),
+        cores,
+        service_estimate_us: estimate_us,
+    }
+}
+
+/// One arrival for the toy executor: `(at_us, request, duration_us)`.
+type Arrival = (u64, AdmissionRequest, u64);
+
+/// Drives the controller through a full workload against a toy executor:
+/// every dispatch immediately starts "running" and completes after its
+/// duration; completions and arrivals interleave in time order
+/// (completions first on ties, so slots free up before same-instant
+/// arrivals). Returns the final event log.
+fn run_toy(mut ctrl: AdmissionController, mut arrivals: Vec<Arrival>) -> Vec<AdmissionEvent> {
+    arrivals.sort_by_key(|(at, r, _)| (*at, r.job));
+    let durations: HashMap<u64, u64> = arrivals.iter().map(|(_, r, d)| (r.job, *d)).collect();
+    // Min-heap of (finish_us, job).
+    let mut running: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let start = |now: u64,
+                     dispatches: Vec<splitserve::tenancy::Dispatch>,
+                     running: &mut BinaryHeap<Reverse<(u64, u64)>>| {
+        for d in dispatches {
+            running.push(Reverse((now + durations[&d.job], d.job)));
+        }
+    };
+    for (at, r, _) in arrivals {
+        while let Some(Reverse((finish, job))) = running.peek().copied() {
+            if finish > at {
+                break;
+            }
+            running.pop();
+            let freed = ctrl.on_complete(finish, job);
+            start(finish, freed, &mut running);
+        }
+        let new = ctrl.on_arrival(at, r);
+        start(at, new, &mut running);
+    }
+    while let Some(Reverse((finish, job))) = running.pop() {
+        let freed = ctrl.on_complete(finish, job);
+        start(finish, freed, &mut running);
+    }
+    assert!(ctrl.is_idle(), "controller left work stranded");
+    ctrl.into_log()
+}
+
+/// A random tenant population plus a random workload over it.
+fn arb_population(g: &mut Gen) -> (u32, Vec<TenantSpec>, Vec<Arrival>) {
+    let n_tenants = g.usize_in(2, 6);
+    let slots = g.u64_in(2, 12) as u32;
+    let classes = SloClass::all();
+    let specs: Vec<TenantSpec> = (0..n_tenants)
+        .map(|i| {
+            spec(
+                &format!("t{i}"),
+                classes[g.usize_in(0, 2)],
+                g.u64_in(1, 4) as u32,
+                g.u64_in(1, 4) as u32,
+            )
+        })
+        .collect();
+    let n_jobs = g.usize_in(30, 120);
+    let mut t = 0u64;
+    let arrivals = (0..n_jobs as u64)
+        .map(|job| {
+            t += g.u64_in(0, 300_000);
+            let owner = &specs[g.usize_in(0, n_tenants - 1)].id;
+            let cores = g.u64_in(1, u64::from(slots)) as u32;
+            let est = g.u64_in(50_000, 2_000_000);
+            (t, req(job, owner.as_str(), cores, est), g.u64_in(50_000, 1_500_000))
+        })
+        .collect();
+    (slots, specs, arrivals)
+}
+
+#[test]
+fn random_load_never_starves_and_log_replays_clean() {
+    check::run("admission/no-starvation", 40, |g| {
+        let (slots, specs, arrivals) = arb_population(g);
+        let n_jobs = arrivals.len();
+        let log = run_toy(AdmissionController::new(slots, &specs), arrivals);
+        verify_log(slots, &specs, &log).expect("log replay");
+        let dispatched = log
+            .iter()
+            .filter(|e| matches!(e.kind, AdmissionEventKind::Dispatched { .. }))
+            .count();
+        let completed = log
+            .iter()
+            .filter(|e| matches!(e.kind, AdmissionEventKind::Completed))
+            .count();
+        assert_eq!(dispatched, n_jobs, "every job must eventually dispatch");
+        assert_eq!(completed, n_jobs, "every job must eventually complete");
+    });
+}
+
+#[test]
+fn caps_and_slots_hold_at_every_log_step() {
+    check::run("admission/caps", 40, |g| {
+        let (slots, specs, arrivals) = arb_population(g);
+        let caps: HashMap<&TenantId, u32> =
+            specs.iter().map(|s| (&s.id, s.max_concurrent)).collect();
+        let log = run_toy(AdmissionController::new(slots, &specs), arrivals);
+        for e in &log {
+            assert!(
+                e.tenant_running_after <= caps[&e.tenant],
+                "cap violated at t={}: {} running {} > cap {}",
+                e.at_us,
+                e.tenant.as_str(),
+                e.tenant_running_after,
+                caps[&e.tenant]
+            );
+            assert!(e.slots_free_after <= slots, "slot pool overflowed");
+        }
+    });
+}
+
+/// Saturating same-class workload: every tenant keeps a backlog the
+/// whole run, so dispatched service must track the weights. The bound
+/// is ε = one maximal job's service — fair share can never be exact
+/// because service is granted in whole-job quanta.
+#[test]
+fn fair_share_tracks_weights_within_one_job_quantum() {
+    check::run("admission/fair-share", 24, |g| {
+        let w_a = g.u64_in(1, 3) as u32;
+        let w_b = g.u64_in(1, 3) as u32;
+        let specs = vec![
+            spec("a", SloClass::Standard, w_a, 8),
+            spec("b", SloClass::Standard, w_b, 8),
+        ];
+        // Everyone arrives at t=0 with far more work than the pool can
+        // hold, so both queues stay backlogged until the tail.
+        let est = 1_000_000u64;
+        let dur = 1_000_000u64;
+        let n_each = 40u64;
+        let mut arrivals = Vec::new();
+        for j in 0..n_each {
+            arrivals.push((0, req(j, "a", 1, est), dur));
+            arrivals.push((0, req(n_each + j, "b", 1, est), dur));
+        }
+        let log = run_toy(AdmissionController::new(4, &specs), arrivals);
+        // Measure shares over the saturated window: the first `n_each`
+        // dispatches cannot have drained either queue even at a 3:1
+        // weight ratio (the favored tenant holds `n_each` jobs).
+        let window = n_each as usize;
+        let mut svc: HashMap<String, u64> = HashMap::new();
+        for e in log
+            .iter()
+            .filter(|e| matches!(e.kind, AdmissionEventKind::Dispatched { .. }))
+            .take(window)
+        {
+            *svc.entry(e.tenant.as_str().to_string()).or_default() += est;
+        }
+        let sa = svc.get("a").copied().unwrap_or(0) as f64;
+        let sb = svc.get("b").copied().unwrap_or(0) as f64;
+        // Weight-normalized services must agree within one job quantum
+        // per unit weight.
+        let gap = (sa / f64::from(w_a) - sb / f64::from(w_b)).abs();
+        let quantum = est as f64 * (1.0 / f64::from(w_a) + 1.0 / f64::from(w_b));
+        assert!(
+            gap <= quantum + 1.0,
+            "weighted shares diverged: a={sa} (w{w_a}), b={sb} (w{w_b}), gap {gap} > ε {quantum}"
+        );
+    });
+}
+
+#[test]
+fn strict_priority_never_lets_lower_classes_overtake() {
+    // Batch tenant saturates the pool; an interactive job arriving later
+    // must be the very next dispatch once slots free up.
+    let specs = vec![
+        spec("batch", SloClass::Batch, 1, 8),
+        spec("inter", SloClass::Interactive, 1, 8),
+    ];
+    let mut arrivals: Vec<Arrival> = (0..10)
+        .map(|j| (0, req(j, "batch", 2, 500_000), 1_000_000))
+        .collect();
+    arrivals.push((100_000, req(100, "inter", 2, 200_000), 300_000));
+    let log = run_toy(AdmissionController::new(4, &specs), arrivals);
+    verify_log(4, &specs, &log).unwrap();
+    let order: Vec<(u64, String)> = log
+        .iter()
+        .filter(|e| matches!(e.kind, AdmissionEventKind::Dispatched { .. }))
+        .map(|e| (e.job, e.tenant.as_str().to_string()))
+        .collect();
+    // Two batch jobs dispatch at t=0 (4 slots / 2 cores); the first
+    // dispatch after the interactive arrival must be the interactive job.
+    let inter_pos = order.iter().position(|(j, _)| *j == 100).unwrap();
+    assert_eq!(inter_pos, 2, "interactive job must dispatch ahead of queued batch: {order:?}");
+}
+
+#[test]
+fn random_priority_runs_dispatch_higher_classes_first_at_equal_instants() {
+    check::run("admission/strict-priority", 24, |g| {
+        let (slots, specs, arrivals) = arb_population(g);
+        let log = run_toy(AdmissionController::new(slots, &specs), arrivals);
+        // verify_log carries the strict-priority invariant (a class-C
+        // dispatch requires every higher class to be capped or empty);
+        // here we just confirm it holds for the random population too.
+        verify_log(slots, &specs, &log).expect("strict priority / replay");
+    });
+}
+
+#[test]
+fn hol_blocking_is_measured_and_bounded_by_wait() {
+    // One wide job behind a long narrow job: the wide job's wait is
+    // pure head-of-line blocking once it reaches the queue head.
+    let specs = vec![spec("a", SloClass::Standard, 1, 8)];
+    let arrivals = vec![
+        (0, req(0, "a", 3, 4_000_000), 4_000_000),
+        (100_000, req(1, "a", 4, 1_000_000), 1_000_000),
+    ];
+    let log = run_toy(AdmissionController::new(4, &specs), arrivals);
+    let (waited, hol) = log
+        .iter()
+        .find_map(|e| match e.kind {
+            AdmissionEventKind::Dispatched { waited_us, hol_us } if e.job == 1 => {
+                Some((waited_us, hol_us))
+            }
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(waited, 3_900_000, "wide job waits for the narrow one to finish");
+    assert_eq!(hol, waited, "its whole wait is head-of-line blocking");
+
+    check::run("admission/hol-bounded", 32, |g| {
+        let (slots, specs, arrivals) = arb_population(g);
+        let log = run_toy(AdmissionController::new(slots, &specs), arrivals);
+        for e in &log {
+            if let AdmissionEventKind::Dispatched { waited_us, hol_us } = e.kind {
+                assert!(hol_us <= waited_us, "HOL time cannot exceed total wait");
+            }
+        }
+    });
+}

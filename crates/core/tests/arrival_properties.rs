@@ -1,0 +1,249 @@
+//! Property suite for the trace-style arrival generators
+//! (`tenancy::arrivals`): determinism as byte-identity, monotone
+//! integer-microsecond clocks, calibration of the empirical rates
+//! against the configured processes, and burst windows actually
+//! containing their configured surplus.
+
+use splitserve::tenancy::{
+    generate_jobs, schedule_bytes, schedule_digest, tenant_seed, ArrivalProcess, ArrivalSpec,
+    BurstSpec, DurationModel,
+};
+use splitserve_rt::check::{self, Gen};
+
+/// Draws a random-but-sane spec: any of the three processes, a
+/// log-normal duration model, and a small weighted cores menu.
+fn arb_spec(g: &mut Gen) -> ArrivalSpec {
+    let process = match g.usize_in(0, 2) {
+        0 => ArrivalProcess::Poisson {
+            rate_per_sec: g.f64_in(0.2, 5.0),
+        },
+        1 => ArrivalProcess::Bursty {
+            base_rate_per_sec: g.f64_in(0.2, 2.0),
+            burst: BurstSpec {
+                every_secs: g.f64_in(40.0, 120.0),
+                len_secs: g.f64_in(5.0, 20.0),
+                multiplier: g.f64_in(2.0, 6.0),
+            },
+        },
+        _ => ArrivalProcess::Diurnal {
+            mean_rate_per_sec: g.f64_in(0.2, 3.0),
+            amplitude: g.f64_in(0.1, 0.9),
+            period_secs: g.f64_in(100.0, 400.0),
+        },
+    };
+    let n_choices = g.usize_in(1, 3);
+    let cores_choices = (0..n_choices)
+        .map(|_| (g.u64_in(1, 8) as u32, g.u64_in(1, 4) as u32))
+        .collect();
+    ArrivalSpec {
+        process,
+        duration: DurationModel {
+            mean_secs: g.f64_in(0.2, 5.0),
+            cv: g.f64_in(0.1, 1.5),
+        },
+        cores_choices,
+        slo_multiple: g.f64_in(2.0, 8.0),
+        slo_floor_secs: g.f64_in(1.0, 10.0),
+        horizon_secs: g.f64_in(100.0, 400.0),
+        max_jobs: 50_000,
+    }
+}
+
+#[test]
+fn same_seed_is_byte_identical_and_seeds_decorrelate() {
+    check::run("arrivals/determinism", 48, |g| {
+        let spec = arb_spec(g);
+        let seed = g.u64();
+        let a = generate_jobs(&spec, seed);
+        let b = generate_jobs(&spec, seed);
+        assert_eq!(schedule_bytes(&a), schedule_bytes(&b));
+        assert_eq!(schedule_digest(&a), schedule_digest(&b));
+        // A different seed must change the schedule whenever there is
+        // anything to change (an empty schedule is trivially equal).
+        let c = generate_jobs(&spec, seed ^ 0x5555_5555_5555_5555);
+        if !a.is_empty() || !c.is_empty() {
+            assert_ne!(
+                schedule_bytes(&a),
+                schedule_bytes(&c),
+                "seed change did not move the schedule ({} jobs)",
+                a.len()
+            );
+        }
+    });
+}
+
+#[test]
+fn schedules_are_monotone_nonnegative_and_in_spec() {
+    check::run("arrivals/monotone", 48, |g| {
+        let spec = arb_spec(g);
+        let seed = g.u64();
+        let jobs = generate_jobs(&spec, seed);
+        let horizon_us = (spec.horizon_secs * 1e6).round() as u64;
+        let menu: Vec<u32> = spec.cores_choices.iter().map(|(c, _)| *c).collect();
+        let mut prev = 0u64;
+        for j in &jobs {
+            assert!(j.arrive_at_us >= prev, "arrivals must be non-decreasing");
+            prev = j.arrive_at_us;
+            // Rounding can push the last arrival onto the horizon edge,
+            // never past it by more than half a microsecond.
+            assert!(j.arrive_at_us <= horizon_us);
+            assert!(
+                (50_000..=120_000_000).contains(&j.duration_us),
+                "duration outside the clamp band: {}",
+                j.duration_us
+            );
+            assert!(menu.contains(&j.cores), "cores {} not on the menu", j.cores);
+            // slo = max(duration · multiple, floor): it must clear both
+            // bounds, up to microsecond-rounding slack.
+            let floor_us = (spec.slo_floor_secs * 1e6).round() as u64;
+            assert!(j.slo_us + 1 >= floor_us, "slo below the floor");
+            assert!(
+                j.slo_us as f64 + 16.0 >= j.duration_us as f64 * spec.slo_multiple,
+                "slo {} below duration {} x multiple {}",
+                j.slo_us,
+                j.duration_us,
+                spec.slo_multiple
+            );
+        }
+    });
+}
+
+#[test]
+fn poisson_empirical_rate_matches_configured_rate() {
+    check::run("arrivals/poisson-rate", 24, |g| {
+        let rate = g.f64_in(1.0, 6.0);
+        let horizon = 600.0;
+        let spec = ArrivalSpec {
+            process: ArrivalProcess::Poisson { rate_per_sec: rate },
+            duration: DurationModel {
+                mean_secs: 1.0,
+                cv: 0.5,
+            },
+            cores_choices: vec![(1, 1)],
+            slo_multiple: 4.0,
+            slo_floor_secs: 2.0,
+            horizon_secs: horizon,
+            max_jobs: 100_000,
+        };
+        let jobs = generate_jobs(&spec, g.u64());
+        let expected = rate * horizon;
+        // n ~ Poisson(expected): 6 sigma of slack keeps the flake rate
+        // effectively zero while still catching a mis-scaled rate.
+        let sigma = expected.sqrt();
+        let n = jobs.len() as f64;
+        assert!(
+            (n - expected).abs() < 6.0 * sigma + 5.0,
+            "poisson rate {rate}/s over {horizon}s: expected ~{expected:.0} jobs, got {n}"
+        );
+        // Mean inter-arrival must sit near 1/rate as well.
+        if jobs.len() > 50 {
+            let span_secs = (jobs.last().unwrap().arrive_at_us - jobs[0].arrive_at_us) as f64 / 1e6;
+            let mean_gap = span_secs / (jobs.len() - 1) as f64;
+            assert!(
+                (mean_gap - 1.0 / rate).abs() < 0.25 / rate,
+                "mean inter-arrival {mean_gap:.3}s vs expected {:.3}s",
+                1.0 / rate
+            );
+        }
+    });
+}
+
+#[test]
+fn burst_windows_contain_the_configured_surplus() {
+    check::run("arrivals/burst-surplus", 16, |g| {
+        let base = g.f64_in(0.5, 1.5);
+        let burst = BurstSpec {
+            every_secs: 100.0,
+            len_secs: 20.0,
+            multiplier: g.f64_in(3.0, 6.0),
+        };
+        let horizon = 2_000.0; // 20 burst cycles
+        let spec = ArrivalSpec {
+            process: ArrivalProcess::Bursty {
+                base_rate_per_sec: base,
+                burst,
+            },
+            duration: DurationModel {
+                mean_secs: 1.0,
+                cv: 0.5,
+            },
+            cores_choices: vec![(1, 1)],
+            slo_multiple: 4.0,
+            slo_floor_secs: 2.0,
+            horizon_secs: horizon,
+            max_jobs: 200_000,
+        };
+        let jobs = generate_jobs(&spec, g.u64());
+        let (mut inside, mut outside) = (0usize, 0usize);
+        for j in &jobs {
+            if burst.contains(j.arrive_at_us as f64 / 1e6) {
+                inside += 1;
+            } else {
+                outside += 1;
+            }
+        }
+        // Time shares: 20% of the horizon is in-burst. The in-window
+        // rate is `multiplier` times the out-window rate, so the
+        // empirical per-second ratio must reflect the surplus.
+        let in_rate = inside as f64 / (horizon * 0.2);
+        let out_rate = outside as f64 / (horizon * 0.8);
+        assert!(
+            in_rate > out_rate * (burst.multiplier * 0.6),
+            "burst windows carry no surplus: in {in_rate:.2}/s vs out {out_rate:.2}/s \
+             (multiplier {})",
+            burst.multiplier
+        );
+        assert!(
+            in_rate < out_rate * (burst.multiplier * 1.5),
+            "burst surplus overshoots: in {in_rate:.2}/s vs out {out_rate:.2}/s"
+        );
+    });
+}
+
+#[test]
+fn diurnal_peak_half_outdraws_trough_half() {
+    check::run("arrivals/diurnal-shape", 16, |g| {
+        let mean = g.f64_in(0.5, 2.0);
+        let amplitude = g.f64_in(0.4, 0.9);
+        let period = 400.0;
+        let spec = ArrivalSpec {
+            process: ArrivalProcess::Diurnal {
+                mean_rate_per_sec: mean,
+                amplitude,
+                period_secs: period,
+            },
+            duration: DurationModel {
+                mean_secs: 1.0,
+                cv: 0.5,
+            },
+            cores_choices: vec![(1, 1)],
+            slo_multiple: 4.0,
+            slo_floor_secs: 2.0,
+            horizon_secs: 2.0 * period,
+            max_jobs: 100_000,
+        };
+        let jobs = generate_jobs(&spec, g.u64());
+        // sin > 0 on the first half of each period — the "day" half.
+        let day = jobs
+            .iter()
+            .filter(|j| (j.arrive_at_us as f64 / 1e6).rem_euclid(period) < period / 2.0)
+            .count();
+        let night = jobs.len() - day;
+        assert!(
+            day > night,
+            "diurnal day half ({day}) should outdraw the night half ({night})"
+        );
+    });
+}
+
+#[test]
+fn tenant_seed_depends_only_on_fleet_seed_and_id() {
+    check::run("arrivals/tenant-seed", 64, |g| {
+        let fleet = g.u64();
+        let id = g.lowercase(1, 12);
+        assert_eq!(tenant_seed(fleet, &id), tenant_seed(fleet, &id));
+        let other = format!("{id}x");
+        assert_ne!(tenant_seed(fleet, &id), tenant_seed(fleet, &other));
+        assert_ne!(tenant_seed(fleet, &id), tenant_seed(fleet ^ 1, &id));
+    });
+}

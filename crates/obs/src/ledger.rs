@@ -164,6 +164,44 @@ impl SloLedger {
     pub fn tenants(&self) -> Vec<TenantId> {
         lock(&self.inner).keys().cloned().collect()
     }
+
+    /// Jobs recorded across **all** tenants.
+    pub fn fleet_jobs(&self) -> u64 {
+        lock(&self.inner)
+            .values()
+            .map(|t| t.points.len() as u64)
+            .sum()
+    }
+
+    /// Fleet-wide attainment: met / recorded across all tenants
+    /// (vacuously 1.0 with no jobs). Multi-tenant outcomes must use
+    /// this — per-tenant [`SloLedger::attainment`] reports one tenant.
+    pub fn fleet_attainment(&self) -> f64 {
+        let inner = lock(&self.inner);
+        let total: u64 = inner.values().map(|t| t.points.len() as u64).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let met: u64 = inner.values().map(|t| t.met).sum();
+        met as f64 / total as f64
+    }
+
+    /// Every tenant's latency digest merged into one fleet digest (the
+    /// merge is exactly commutative and associative, so the result does
+    /// not depend on tenant order). `None` if no job was recorded.
+    pub fn fleet_latency_digest(&self) -> Option<QuantileDigest> {
+        let inner = lock(&self.inner);
+        let mut acc: Option<QuantileDigest> = None;
+        for t in inner.values() {
+            if let Some(d) = &t.latency {
+                match &mut acc {
+                    Some(a) => a.merge(d),
+                    None => acc = Some(d.clone()),
+                }
+            }
+        }
+        acc
+    }
 }
 
 /// One point on a tenant's cumulative-bill curve.
@@ -225,6 +263,16 @@ impl BillLedger {
     pub fn tenants(&self) -> Vec<TenantId> {
         lock(&self.inner).keys().cloned().collect()
     }
+
+    /// Total spend across **all** tenants.
+    pub fn fleet_total(&self) -> f64 {
+        let inner = lock(&self.inner);
+        inner
+            .values()
+            .filter_map(|p| p.last())
+            .map(|p| p.cumulative_usd)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +328,34 @@ mod tests {
         assert_eq!(curve[1].cumulative_usd, 0.75);
         assert_eq!(l.total(&t), 0.75);
         assert_eq!(curve[1].kind, "lambda");
+    }
+
+    #[test]
+    fn fleet_accessors_aggregate_all_tenants() {
+        let l = SloLedger::new();
+        assert_eq!(l.fleet_attainment(), 1.0, "vacuous fleet attainment");
+        assert!(l.fleet_latency_digest().is_none());
+        let a = TenantId::new("a");
+        let b = TenantId::new("b");
+        l.record_job(&a, SimTime::from_secs(1), 1.0, 2.0);
+        l.record_job(&a, SimTime::from_secs(2), 3.0, 2.0);
+        l.record_job(&b, SimTime::from_secs(3), 9.0, 2.0);
+        assert_eq!(l.fleet_jobs(), 3);
+        assert!((l.fleet_attainment() - 1.0 / 3.0).abs() < 1e-12);
+        let d = l.fleet_latency_digest().unwrap();
+        assert_eq!(d.count(), 3);
+        // The merged digest must equal merging the per-tenant digests by
+        // hand, byte for byte.
+        let mut by_hand = l.latency_digest(&a).unwrap();
+        by_hand.merge(&l.latency_digest(&b).unwrap());
+        assert_eq!(d.canonical_bytes(), by_hand.canonical_bytes());
+
+        let bill = BillLedger::new();
+        assert_eq!(bill.fleet_total(), 0.0);
+        bill.charge(&a, SimTime::from_secs(1), 0.5, "vm");
+        bill.charge(&b, SimTime::from_secs(2), 0.25, "lambda");
+        bill.charge(&a, SimTime::from_secs(3), 0.5, "vm");
+        assert!((bill.fleet_total() - 1.25).abs() < 1e-12);
     }
 
     #[test]

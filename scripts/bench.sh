@@ -2,33 +2,39 @@
 # Shuffle data-plane benchmark harness: runs the `shuffle_hot` bench
 # (map-side combine+encode, reduce-side decode+merge micro-benchmarks,
 # the four paper workloads end to end, and the `parallel/*` worker-pool
-# scaling series) plus the `obs_overhead` bench (disabled-path record
+# scaling series), the `obs_overhead` bench (disabled-path record
 # costs for counters, histograms, spans, digests, rollups and the flight
-# recorder, and the enabled/disabled scenario walltime ratio), and
-# collects the one-line JSON records they print.
+# recorder, and the enabled/disabled scenario walltime ratio), and the
+# `tenancy` bench (admission-control throughput and trace-generation
+# rates for the multi-tenant control plane), and collects the one-line
+# JSON records they print.
 #
 # Records whose name starts with `parallel/` go to the second output
 # (the worker-pool scaling medians); `obs/*` records go to the third;
-# everything else goes to the first.
+# `tenancy/*` records go to the fourth; everything else goes to the
+# first.
 #
-# Usage: scripts/bench.sh [shuffle_out.json] [parallel_out.json] [obs_out.json]
+# Usage: scripts/bench.sh [shuffle_out.json] [parallel_out.json] [obs_out.json] [tenancy_out.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_shuffle.json}"
 parallel_out="${2:-BENCH_parallel.json}"
 obs_out="${3:-BENCH_obs.json}"
+tenancy_out="${4:-BENCH_tenancy.json}"
 
 echo "==> cargo bench -p splitserve-bench --bench shuffle_hot"
 raw=$(cargo bench --offline -p splitserve-bench --bench shuffle_hot)
 echo "==> cargo bench -p splitserve-bench --bench obs_overhead"
 raw_obs=$(cargo bench --offline -p splitserve-bench --bench obs_overhead)
+echo "==> cargo bench -p splitserve-bench --bench tenancy"
+raw_tenancy=$(cargo bench --offline -p splitserve-bench --bench tenancy)
 
 # Keep only the JSON result lines; everything else is cargo/bench chatter.
-printf '%s\n%s\n' "$raw" "$raw_obs" | grep '^{' | python3 -c '
+printf '%s\n%s\n%s\n' "$raw" "$raw_obs" "$raw_tenancy" | grep '^{' | python3 -c '
 import json, sys
 
-shuffle_out, parallel_out, obs_out = sys.argv[1], sys.argv[2], sys.argv[3]
+shuffle_out, parallel_out, obs_out, tenancy_out = sys.argv[1:5]
 records = [json.loads(line) for line in sys.stdin]
 assert records, "bench produced no JSON records"
 for r in records:
@@ -43,19 +49,26 @@ for r in records:
     assert r["median_ns"] > 0, f"non-positive median: {r}"
 shuffle = [
     r for r in records
-    if not r["bench"].startswith(("parallel/", "obs/"))
+    if not r["bench"].startswith(("parallel/", "obs/", "tenancy/"))
 ]
 parallel = [r for r in records if r["bench"].startswith("parallel/")]
 obs = [r for r in records if r["bench"].startswith("obs/")]
+tenancy = [r for r in records if r["bench"].startswith("tenancy/")]
 assert parallel, "bench produced no parallel/ records"
 assert obs, "bench produced no obs/ records"
-for path, recs in ((shuffle_out, shuffle), (parallel_out, parallel), (obs_out, obs)):
+assert tenancy, "bench produced no tenancy/ records"
+for path, recs in (
+    (shuffle_out, shuffle),
+    (parallel_out, parallel),
+    (obs_out, obs),
+    (tenancy_out, tenancy),
+):
     with open(path, "w") as f:
         json.dump(recs, f, indent=2)
         f.write("\n")
-' "$out" "$parallel_out" "$obs_out"
+' "$out" "$parallel_out" "$obs_out" "$tenancy_out"
 
-echo "==> wrote $out, $parallel_out and $obs_out"
+echo "==> wrote $out, $parallel_out, $obs_out and $tenancy_out"
 python3 -c '
 import json, sys
 
@@ -70,4 +83,4 @@ for path in sys.argv[1:]:
             continue
         med, n = r["median_ns"] / 1e6, r["samples"]
         print(f"{name:44s} median {med:10.3f} ms  ({n} samples)")
-' "$out" "$parallel_out" "$obs_out"
+' "$out" "$parallel_out" "$obs_out" "$tenancy_out"

@@ -35,7 +35,7 @@ print(f"OK: {len(events)} trace events across lanes {sorted(lanes)}")
 
 echo "==> perf smoke: benches + BENCH_*.json shape"
 scripts/bench.sh target/BENCH_shuffle.json target/BENCH_parallel.json \
-    target/BENCH_obs.json >/dev/null
+    target/BENCH_obs.json target/BENCH_tenancy.json >/dev/null
 python3 -c '
 import json
 
@@ -111,6 +111,93 @@ ratio = next(r for r in records if r["bench"] == "obs/enabled_over_disabled_rati
 ratio_val = ratio["ratio"]
 print(f"OK: enabled/disabled scenario walltime ratio {ratio_val:.4f}")
 '
+
+echo "==> tenancy control plane: admission throughput recorded"
+python3 -c '
+import json
+
+with open("target/BENCH_tenancy.json") as f:
+    records = json.load(f)
+med = {r["bench"]: r["median_ns"] for r in records}
+expected = {
+    "tenancy/admission_50k_jobs_100_tenants",
+    "tenancy/admission_50k_jobs_8_tenants",
+    "tenancy/arrivals_100k_poisson",
+}
+missing = expected - med.keys()
+assert not missing, f"missing tenancy benchmarks: {sorted(missing)}"
+# 50k jobs through the 100-tenant controller: demand at least 20k
+# admission decisions per second (measured ~230k/s; 10x headroom).
+jobs_per_sec = 50_000 / (med["tenancy/admission_50k_jobs_100_tenants"] / 1e9)
+assert jobs_per_sec >= 20_000, (
+    f"admission throughput {jobs_per_sec:,.0f} jobs/s below the 20k floor"
+)
+print(f"OK: admission throughput {jobs_per_sec:,.0f} jobs/s at 100 tenants")
+'
+
+echo "==> tenant fleet: bit-deterministic across runs and worker counts"
+cargo run --release --offline --example tenant_fleet \
+    target/tenant_fleet_run1.json >/dev/null
+cargo run --release --offline --example tenant_fleet \
+    target/tenant_fleet_run2.json >/dev/null
+diff target/tenant_fleet_run1.json target/tenant_fleet_run2.json
+SPLITSERVE_WORKERS=1 cargo run --release --offline --example tenant_fleet \
+    target/tenant_fleet_w1.json >/dev/null
+SPLITSERVE_WORKERS=4 cargo run --release --offline --example tenant_fleet \
+    target/tenant_fleet_w4.json >/dev/null
+# The artifact embeds the worker count it ran with; normalize that one
+# field, then the two runs must be byte-identical.
+sed 's/"workers":[0-9]*/"workers":N/' target/tenant_fleet_w1.json \
+    > target/tenant_fleet_w1.norm.json
+sed 's/"workers":[0-9]*/"workers":N/' target/tenant_fleet_w4.json \
+    > target/tenant_fleet_w4.norm.json
+diff target/tenant_fleet_w1.norm.json target/tenant_fleet_w4.norm.json
+python3 <<'FLEET_CHECK'
+import json
+
+with open("target/tenant_fleet_run1.json") as f:
+    fleet = json.load(f)
+assert fleet["tenants"] >= 100, f"fleet below tenant floor: {fleet['tenants']}"
+assert fleet["jobs"] >= 10_000, f"fleet below job floor: {fleet['jobs']}"
+policies = fleet["policies"]
+assert {p["policy"] for p in policies} == {"vm-only", "splitserve", "lambda-heavy"}
+fingerprints = set()
+for p in policies:
+    assert p["jobs"] == fleet["jobs"], "every policy must run every job"
+    assert 0.0 <= p["fleet_slo_attainment"] <= 1.0
+    assert p["cost_usd"] > 0.0
+    assert p["admission_events"] == 3 * p["jobs"], (
+        "each job must log arrive/dispatch/complete"
+    )
+    fingerprints.add(p["fingerprint"])
+    classes = {c["class"] for c in p["classes"]}
+    assert classes == {"interactive", "standard", "batch"}, classes
+    class_bill = 0.0
+    for c in p["classes"]:
+        assert c["jobs"] > 0, f"empty class {c['class']} under {p['policy']}"
+        assert 0.0 <= c["slo_attainment"] <= 1.0
+        assert c["attainment_curve"], "attainment curve must be non-empty"
+        assert c["bill_curve"], "bill curve must be non-empty"
+        assert abs(c["bill_curve"][-1]["cumulative_usd"] - c["bill_total_usd"]) <= 2e-6
+        class_bill += c["bill_total_usd"]
+    # Per-tenant accrual plus the final settlement must land exactly on
+    # the cloud bill (6-decimal print grid; allow one ulp of it).
+    assert abs(p["bill_total_usd"] - p["cost_usd"]) <= 2e-6, (
+        f"{p['policy']}: ledger {p['bill_total_usd']} != bill {p['cost_usd']}"
+    )
+    assert abs(class_bill + p["bill_settle_usd"] - p["bill_total_usd"]) <= 2e-6
+assert len(fingerprints) == 1, (
+    f"policies computed different data: {sorted(fingerprints)}"
+)
+vm, ss = (next(p for p in policies if p["policy"] == k)
+          for k in ("vm-only", "splitserve"))
+assert ss["fleet_slo_attainment"] > vm["fleet_slo_attainment"], (
+    "splitserve must beat vm-only on fleet SLO attainment"
+)
+print(f"OK: tenant_fleet {fleet['tenants']} tenants x {fleet['jobs']} jobs; "
+      f"attainment vm-only {vm['fleet_slo_attainment']:.3f} "
+      f"vs splitserve {ss['fleet_slo_attainment']:.3f}; bills settle")
+FLEET_CHECK
 
 echo "==> slo dashboard: bit-deterministic across runs and worker counts"
 cargo run --release --offline --example slo_dashboard \
