@@ -1,0 +1,149 @@
+//! Fleet-scale hot-loop benchmarks guarding the allocation-free fast
+//! path. Run with `cargo bench --bench fleet_hot`; one JSON line per
+//! benchmark, routed by `scripts/bench.sh` into `BENCH_fleet_hot.json`.
+//!
+//! Three questions:
+//!
+//! 1. **Does the dense admission controller hold up under churn?** The
+//!    `admission_*` benchmarks push 10k/50k arrivals through a 64-slot
+//!    controller with steady completions — the pure control-plane loop,
+//!    no engine — exercising the single-pass weighted-fair `pick()` over
+//!    the dense tenant table.
+//! 2. **What does an *enabled* pre-resolved metric handle cost?** The
+//!    `handle_record_*_1m` benchmarks time a million record calls
+//!    through `CounterHandle` / `HistogramHandle` / `QuantileHandle` on
+//!    an enabled registry. `scripts/verify.sh` gates the counter path at
+//!    ≤50 ns/call (the string-keyed slow path re-hashes the full label
+//!    set every call; the handle is one `OnceLock` deref plus an atomic
+//!    or a lock-free bucket bump).
+//! 3. **Does the fleet end-to-end loop scale with workers?** The
+//!    `fleet_e2e_w{1,4}` pair runs a reduced tenant fleet (one policy)
+//!    at 1 and 4 engine worker threads; `scripts/verify.sh` gates the
+//!    w1/w4 walltime ratio ≥1.5× on ≥4-core hosts. The data fingerprint
+//!    is asserted identical across worker counts — the byte-identity
+//!    invariant at bench scale.
+
+use splitserve::tenancy::{
+    combined_fingerprint, default_fleet_jobs, default_tenant_specs, fleet_workload,
+    run_tenant_fleet, AdmissionController, AdmissionRequest, FleetPolicy, SloClass,
+    TenantFleetConfig, TenantSpec,
+};
+use splitserve_bench::timing::{bench, black_box};
+use splitserve_obs::{MetricsRegistry, TenantId};
+
+const SAMPLES: usize = 5;
+const HOT_CALLS: u64 = 1_000_000;
+
+fn specs(n: usize) -> Vec<TenantSpec> {
+    (0..n)
+        .map(|i| TenantSpec {
+            id: TenantId::new(format!("t{i:03}")),
+            class: SloClass::all()[i % 3],
+            weight: 1 + (i % 3) as u32,
+            max_concurrent: 4,
+        })
+        .collect()
+}
+
+/// Steady-state admission churn: arrivals every ms, completions drain
+/// the pool back to half whenever it fills past half — the same mix the
+/// fleet example produces, minus the engine.
+fn admission_churn(tenants: usize, jobs: u64) -> usize {
+    let specs = specs(tenants);
+    let mut ctrl = AdmissionController::new(64, &specs);
+    let mut running: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    let mut now = 0u64;
+    for job in 0..jobs {
+        now += 1_000;
+        let ds = ctrl.on_arrival(
+            now,
+            AdmissionRequest {
+                job,
+                tenant: specs[(job as usize) % tenants].id.clone(),
+                cores: 1 + (job % 4) as u32,
+                service_estimate_us: 500_000,
+            },
+        );
+        running.extend(ds.iter().map(|d| d.job));
+        while ctrl.slots_free() < 32 {
+            let done = running.pop_front().expect("slots held by someone");
+            now += 100;
+            let ds = ctrl.on_complete(now, done);
+            running.extend(ds.iter().map(|d| d.job));
+        }
+    }
+    while let Some(done) = running.pop_front() {
+        now += 100;
+        let ds = ctrl.on_complete(now, done);
+        running.extend(ds.iter().map(|d| d.job));
+    }
+    assert!(ctrl.is_idle());
+    ctrl.log().len()
+}
+
+fn bench_handle_records() {
+    let metrics = MetricsRegistry::enabled();
+    let counter = metrics.counter_handle("tasks_completed_total", &[("kind", "vm")]);
+    bench("fleet_hot/handle_record_counter_1m", SAMPLES, || {
+        for i in 0..HOT_CALLS {
+            counter.add(i & 1);
+        }
+        black_box(&counter);
+    });
+    let hist = metrics.histogram_handle("task_run_seconds", &[("kind", "vm")]);
+    bench("fleet_hot/handle_record_histogram_1m", SAMPLES, || {
+        for i in 0..HOT_CALLS {
+            hist.observe(i as f64 * 1e-6);
+        }
+        black_box(&hist);
+    });
+    let quant = metrics.quantile_handle("task_run_seconds", &[("kind", "vm")]);
+    bench("fleet_hot/handle_record_quantile_1m", SAMPLES, || {
+        for i in 0..HOT_CALLS {
+            quant.record(i as f64 * 1e-6);
+        }
+        black_box(&quant);
+    });
+}
+
+/// One reduced fleet run (one policy, dense jobs, full engine plus
+/// fabric, admission and billing) at the given worker-thread count.
+/// Returns the data fingerprint so the caller can assert worker-count
+/// invariance.
+fn fleet_run(workers: usize, tenants: &[TenantSpec], jobs: &[splitserve::tenancy::FleetJob]) -> u64 {
+    let mut cfg = TenantFleetConfig::for_policy(FleetPolicy::SplitServe, tenants.to_vec(), 40);
+    cfg.engine.workers = workers;
+    let (wl, sink) = fleet_workload(8);
+    let r = run_tenant_fleet(&cfg, jobs, wl);
+    black_box(r.cost_usd);
+    let fp = combined_fingerprint(&sink.borrow());
+    black_box(fp)
+}
+
+fn bench_fleet_e2e() {
+    let tenants = default_tenant_specs(24);
+    let jobs = default_fleet_jobs(&tenants, 11, 1_500, 240.0);
+    let fp1 = fleet_run(1, &tenants, &jobs);
+    let fp4 = fleet_run(4, &tenants, &jobs);
+    assert_eq!(
+        fp1, fp4,
+        "fleet data fingerprint must not depend on worker count"
+    );
+    bench("fleet_hot/fleet_e2e_w1", 3, || {
+        black_box(fleet_run(1, &tenants, &jobs));
+    });
+    bench("fleet_hot/fleet_e2e_w4", 3, || {
+        black_box(fleet_run(4, &tenants, &jobs));
+    });
+}
+
+fn main() {
+    bench("fleet_hot/admission_10k_jobs_100_tenants", SAMPLES, || {
+        black_box(admission_churn(100, 10_000));
+    });
+    bench("fleet_hot/admission_50k_jobs_100_tenants", SAMPLES, || {
+        black_box(admission_churn(100, 50_000));
+    });
+    bench_handle_records();
+    bench_fleet_e2e();
+}

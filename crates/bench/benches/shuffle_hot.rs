@@ -5,7 +5,6 @@
 //! one JSON line per benchmark (see `scripts/bench.sh`).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -68,7 +67,7 @@ fn bench_reduce_merge() {
         }
     }
     bench("shuffle/reduce_decode_merge_1m", SAMPLES, || {
-        let mut inputs = HashMap::new();
+        let mut inputs = splitserve_rt::FastMap::default();
         inputs.insert(dep.id, blocks.clone());
         let mut ctx = TaskContext::new(WorkModel::default(), inputs);
         black_box(node.compute(&mut ctx, 0));

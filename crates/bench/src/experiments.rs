@@ -331,12 +331,12 @@ pub fn timeline_of(r: &ScenarioResult) -> Timeline {
         let at = e.at.as_secs_f64();
         match &e.kind {
             EngineEventKind::ExecutorRegistered { exec, kind } => {
-                kinds.insert(exec.0.clone(), kind.to_string());
+                kinds.insert(exec.as_str().to_string(), kind.to_string());
             }
             EngineEventKind::TaskStarted { exec, .. } => {
-                let lane = lanes.entry(exec.0.clone()).or_insert_with(|| TimelineLane {
-                    executor: exec.0.clone(),
-                    kind: kinds.get(&exec.0).cloned().unwrap_or_default(),
+                let lane = lanes.entry(exec.as_str().to_string()).or_insert_with(|| TimelineLane {
+                    executor: exec.as_str().to_string(),
+                    kind: kinds.get(exec.as_str()).cloned().unwrap_or_default(),
                     first_start: at,
                     last_end: at,
                     tasks: 0,
@@ -344,7 +344,7 @@ pub fn timeline_of(r: &ScenarioResult) -> Timeline {
                 lane.first_start = lane.first_start.min(at);
             }
             EngineEventKind::TaskFinished { exec, .. } => {
-                if let Some(lane) = lanes.get_mut(&exec.0) {
+                if let Some(lane) = lanes.get_mut(exec.as_str()) {
                     lane.last_end = lane.last_end.max(at);
                     lane.tasks += 1;
                 }

@@ -80,7 +80,7 @@ fn nth_lambda(d: &Deployment, n: u32) -> Option<ExecutorId> {
     if ids.is_empty() {
         return None;
     }
-    Some(ids[n as usize % ids.len()].clone())
+    Some(ids[n as usize % ids.len()])
 }
 
 /// Schedules `f` at `at_us`, clamped forward to "now" when the plan is

@@ -254,7 +254,7 @@ impl Deployment {
                 n
             };
             let desc = ExecutorDesc::vm(format!("e-vm-{n:04}"), nic, ebs, mem_per_core);
-            ids.push(desc.id.clone());
+            ids.push(desc.id);
             self.engine.register_executor(sim, desc);
         }
         ids
@@ -294,12 +294,12 @@ impl Deployment {
                 inner.next_lambda += 1;
                 n
             };
-            let exec_id = ExecutorId(format!("lambda-{n:04}"));
-            ids.push(exec_id.clone());
+            let exec_id = ExecutorId::new(format!("lambda-{n:04}"));
+            ids.push(exec_id);
             let this_ready = self.clone();
             let this_kill = self.clone();
-            let exec_ready = exec_id.clone();
-            let exec_kill = exec_id.clone();
+            let exec_ready = exec_id;
+            let exec_kill = exec_id;
             // The start span covers invoke → executor ready. Whether this
             // invoke is warm or cold is decided synchronously inside
             // `invoke_lambda`, so the span (whose name we only know then)
@@ -317,7 +317,7 @@ impl Deployment {
                 move |sim, lambda| {
                     obs_ready.spans.close(span_ready.get(), sim.now());
                     let desc = ExecutorDesc::lambda(
-                        exec_ready.0.clone(),
+                        exec_ready.as_str(),
                         this_ready.cloud.lambda_nic(lambda),
                         memory_mb,
                     );
@@ -333,7 +333,7 @@ impl Deployment {
             } else {
                 "cold start"
             };
-            start_span.set(obs.spans.open(invoked_at, "lambda", &exec_id.0, start));
+            start_span.set(obs.spans.open(invoked_at, "lambda", exec_id.as_str(), start));
             obs.metrics
                 .counter_add("lambda_starts_total", &[("start", start)], 1);
             self.inner.borrow_mut().lambda_execs.insert(exec_id, lambda);
@@ -371,7 +371,7 @@ impl Deployment {
         let drain_started = sim.now();
         let span = obs
             .spans
-            .open(drain_started, "segue", &exec.0, &format!("segue drain {exec}"));
+            .open(drain_started, "segue", exec.as_str(), &format!("segue drain {exec}"));
         self.engine.drain_executor(sim, exec, move |sim, _| {
             obs.spans.close(span, sim.now());
             obs.metrics.observe(
@@ -448,7 +448,7 @@ mod tests {
         assert_eq!(rows.len(), 8);
         // Lambdas actually did the work.
         let execs = d.engine().executors();
-        assert!(execs.iter().all(|e| e.id.0.starts_with("lambda-")));
+        assert!(execs.iter().all(|e| e.id.as_str().starts_with("lambda-")));
         assert!(execs.iter().any(|e| e.tasks_done > 0));
     }
 

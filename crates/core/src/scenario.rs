@@ -171,8 +171,9 @@ pub struct ScenarioResult {
     pub execution_secs: f64,
     /// Total marginal cost in USD (VMs + Lambdas + storage requests).
     pub cost_usd: f64,
-    /// Per-job metrics, submission order.
-    pub jobs: Vec<JobMetrics>,
+    /// Per-job metrics, submission order — shared with the engine's job
+    /// table ([`Engine::completed_job_metrics`] no longer deep-copies).
+    pub jobs: Vec<std::sync::Arc<JobMetrics>>,
     /// Task completions on VM executors.
     pub tasks_on_vm: u64,
     /// Task completions on Lambda executors.

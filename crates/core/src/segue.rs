@@ -198,7 +198,7 @@ mod tests {
             .engine()
             .executors()
             .iter()
-            .filter(|e| e.id.0.starts_with("lambda-") && e.alive)
+            .filter(|e| e.id.as_str().starts_with("lambda-") && e.alive)
             .count();
         assert_eq!(lambdas_alive, 0, "all lambdas decommissioned");
         let correct = collect_partitions::<(u64, f64)>(r.partitions);

@@ -163,19 +163,27 @@ struct TenantState {
     service: u128,
 }
 
+/// Outcome of one selection step, naming tenants by their dense index.
 enum Pick {
-    Dispatch(TenantId),
-    Blocked(TenantId),
+    Dispatch(usize),
+    Blocked(usize),
     Idle,
 }
 
 /// The admission controller: queues per tenant, one shared slots pool.
+///
+/// Tenant state lives in a dense `Vec` indexed by registration order;
+/// the id→index map is consulted only on arrivals. The dispatch loop —
+/// the control plane's hottest edge — walks the dense table and never
+/// rebuilds keys or clones id strings.
 #[derive(Debug)]
 pub struct AdmissionController {
     slots_total: u32,
     slots_free: u32,
-    tenants: BTreeMap<TenantId, TenantState>,
-    running_jobs: BTreeMap<u64, (TenantId, u32)>,
+    tenants: Vec<TenantState>,
+    index: BTreeMap<TenantId, u32>,
+    /// job → (tenant index, cores held).
+    running_jobs: BTreeMap<u64, (u32, u32)>,
     log: Vec<AdmissionEvent>,
     queued: usize,
 }
@@ -184,7 +192,8 @@ impl AdmissionController {
     /// A controller over `slots_total` shared slots for the given
     /// tenants. Panics on duplicate tenant ids, zero weights or caps.
     pub fn new(slots_total: u32, specs: &[TenantSpec]) -> AdmissionController {
-        let mut tenants = BTreeMap::new();
+        let mut tenants = Vec::with_capacity(specs.len());
+        let mut index = BTreeMap::new();
         for spec in specs {
             assert!(spec.weight >= 1, "tenant {} weight must be >= 1", spec.id);
             assert!(
@@ -192,21 +201,20 @@ impl AdmissionController {
                 "tenant {} cap must be >= 1",
                 spec.id
             );
-            let prev = tenants.insert(
-                spec.id.clone(),
-                TenantState {
-                    spec: spec.clone(),
-                    queue: VecDeque::new(),
-                    running: 0,
-                    service: 0,
-                },
-            );
+            let prev = index.insert(spec.id.clone(), tenants.len() as u32);
             assert!(prev.is_none(), "duplicate tenant id {}", spec.id);
+            tenants.push(TenantState {
+                spec: spec.clone(),
+                queue: VecDeque::new(),
+                running: 0,
+                service: 0,
+            });
         }
         AdmissionController {
             slots_total,
             slots_free: slots_total,
             tenants,
+            index,
             running_jobs: BTreeMap::new(),
             log: Vec::new(),
             queued: 0,
@@ -264,10 +272,11 @@ impl AdmissionController {
             req.cores,
             self.slots_total
         );
-        let state = self
-            .tenants
-            .get_mut(&req.tenant)
+        let idx = *self
+            .index
+            .get(&req.tenant)
             .unwrap_or_else(|| panic!("unregistered tenant {}", req.tenant));
+        let state = &mut self.tenants[idx as usize];
         let (tenant, class, cores) = (req.tenant.clone(), state.spec.class, req.cores);
         let (job, running) = (req.job, state.running);
         state.queue.push_back(Queued {
@@ -283,14 +292,14 @@ impl AdmissionController {
     /// A dispatched job completes at `now_us`, returning its slots.
     /// Returns the dispatches the freed slots unlocked.
     pub fn on_complete(&mut self, now_us: u64, job: u64) -> Vec<Dispatch> {
-        let (tenant, cores) = self
+        let (idx, cores) = self
             .running_jobs
             .remove(&job)
             .unwrap_or_else(|| panic!("completion for unknown job {job}"));
         self.slots_free += cores;
-        let state = self.tenants.get_mut(&tenant).expect("tenant of running job");
+        let state = &mut self.tenants[idx as usize];
         state.running -= 1;
-        let (class, running) = (state.spec.class, state.running);
+        let (tenant, class, running) = (state.spec.id.clone(), state.spec.class, state.running);
         self.push_event(
             now_us,
             job,
@@ -334,34 +343,48 @@ impl AdmissionController {
     /// but no head fits, the pool is head-of-line blocked: lower classes
     /// must NOT overtake (that would break strict priority), so
     /// dispatching stops there.
+    /// Weighted fair order: `a.service/a.weight < b.service/b.weight`,
+    /// compared exactly by cross-multiplication, ties by id. A total
+    /// order (ids are unique), so a single min-scan picks the same
+    /// tenant a full sort would put first.
+    fn fair_before(a: &TenantState, b: &TenantState) -> bool {
+        (a.service * u128::from(b.spec.weight))
+            .cmp(&(b.service * u128::from(a.spec.weight)))
+            .then_with(|| a.spec.id.cmp(&b.spec.id))
+            .is_lt()
+    }
+
     fn pick(&self) -> Pick {
         for class in SloClass::all() {
-            let mut eligible: Vec<&TenantState> = self
-                .tenants
-                .values()
-                .filter(|t| {
-                    t.spec.class == class
-                        && !t.queue.is_empty()
-                        && t.running < t.spec.max_concurrent
-                })
-                .collect();
-            if eligible.is_empty() {
-                continue;
-            }
-            // Weighted fair order: a.service/a.weight < b.service/b.weight,
-            // compared exactly by cross-multiplication.
-            eligible.sort_by(|a, b| {
-                (a.service * u128::from(b.spec.weight))
-                    .cmp(&(b.service * u128::from(a.spec.weight)))
-                    .then_with(|| a.spec.id.cmp(&b.spec.id))
-            });
-            for t in &eligible {
+            // One pass over the dense table, no allocation: track the
+            // fair-order minimum of all eligible tenants (the blocked
+            // head if nothing fits) and of those whose head job fits
+            // the free slots (the dispatch winner).
+            let mut first: Option<usize> = None;
+            let mut first_fit: Option<usize> = None;
+            for (i, t) in self.tenants.iter().enumerate() {
+                if t.spec.class != class
+                    || t.running >= t.spec.max_concurrent
+                    || t.queue.is_empty()
+                {
+                    continue;
+                }
+                if first.is_none_or(|b| Self::fair_before(t, &self.tenants[b])) {
+                    first = Some(i);
+                }
                 let head = t.queue.front().expect("eligible tenant has a head");
-                if head.req.cores <= self.slots_free {
-                    return Pick::Dispatch(t.spec.id.clone());
+                if head.req.cores <= self.slots_free
+                    && first_fit.is_none_or(|b| Self::fair_before(t, &self.tenants[b]))
+                {
+                    first_fit = Some(i);
                 }
             }
-            return Pick::Blocked(eligible[0].spec.id.clone());
+            if let Some(i) = first_fit {
+                return Pick::Dispatch(i);
+            }
+            if let Some(i) = first {
+                return Pick::Blocked(i);
+            }
         }
         Pick::Idle
     }
@@ -370,8 +393,8 @@ impl AdmissionController {
         let mut out = Vec::new();
         loop {
             match self.pick() {
-                Pick::Dispatch(tenant) => {
-                    let state = self.tenants.get_mut(&tenant).expect("picked tenant");
+                Pick::Dispatch(idx) => {
+                    let state = &mut self.tenants[idx];
                     let q = state.queue.pop_front().expect("picked tenant has a head");
                     let waited_us = now_us - q.arrived_us;
                     let hol_us = q.blocked_since.map_or(0, |since| now_us - since);
@@ -379,15 +402,16 @@ impl AdmissionController {
                     state.service +=
                         u128::from(q.req.cores) * u128::from(q.req.service_estimate_us);
                     let running = state.running;
+                    let (tenant, class) = (state.spec.id.clone(), state.spec.class);
                     self.slots_free -= q.req.cores;
                     self.queued -= 1;
                     self.running_jobs
-                        .insert(q.req.job, (tenant.clone(), q.req.cores));
+                        .insert(q.req.job, (idx as u32, q.req.cores));
                     self.push_event(
                         now_us,
                         q.req.job,
                         tenant.clone(),
-                        self.tenants[&tenant].spec.class,
+                        class,
                         q.req.cores,
                         AdmissionEventKind::Dispatched { waited_us, hol_us },
                         running,
@@ -400,9 +424,11 @@ impl AdmissionController {
                         hol_us,
                     });
                 }
-                Pick::Blocked(tenant) => {
-                    let state = self.tenants.get_mut(&tenant).expect("blocked tenant");
-                    let head = state.queue.front_mut().expect("blocked tenant has a head");
+                Pick::Blocked(idx) => {
+                    let head = self.tenants[idx]
+                        .queue
+                        .front_mut()
+                        .expect("blocked tenant has a head");
                     head.blocked_since.get_or_insert(now_us);
                     break;
                 }

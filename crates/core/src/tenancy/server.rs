@@ -19,7 +19,7 @@ use std::rc::Rc;
 use splitserve_cloud::{CloudSpec, InstanceType, M4_4XLARGE, M4_XLARGE};
 use splitserve_des::{Dist, Sim, SimDuration, SimTime};
 use splitserve_engine::{collect_partitions, Dataset, Engine, EngineConfig};
-use splitserve_obs::{BillLedger, Obs, SloLedger, TenantId};
+use splitserve_obs::{BillLedger, SloLedger, TenantId};
 use splitserve_rt::hash::XxHash64;
 use splitserve_storage::SharedStore;
 
@@ -385,7 +385,12 @@ struct Ctx {
     billed: Cell<f64>,
     slo: SloLedger,
     bill: BillLedger,
-    obs: Obs,
+    /// `admission_wait_seconds{tenant_class}` handles, one per tenant
+    /// spec (specs sharing a class share the underlying series) — the
+    /// dispatch loop records per job and must not rebuild metric keys.
+    admission_wait: Vec<splitserve_obs::HistogramHandle>,
+    /// `hol_blocking_seconds` handle, same reasoning.
+    hol_blocking: splitserve_obs::HistogramHandle,
     handle: Option<AllocatorHandle>,
 }
 
@@ -393,23 +398,16 @@ fn dispatch_all(sim: &mut Sim, ctx: &Rc<Ctx>, dispatches: Vec<Dispatch>) {
     for dsp in dispatches {
         let fj = ctx.jobs[dsp.job as usize];
         let spec = ctx.specs[fj.tenant_idx].clone();
-        ctx.obs.metrics.observe(
-            "admission_wait_seconds",
-            &[("tenant_class", spec.class.as_str())],
-            dsp.waited_us as f64 / 1e6,
-        );
+        ctx.admission_wait[fj.tenant_idx].observe(dsp.waited_us as f64 / 1e6);
         if dsp.hol_us > 0 {
-            ctx.obs
-                .metrics
-                .observe("hol_blocking_seconds", &[], dsp.hol_us as f64 / 1e6);
+            ctx.hol_blocking.observe(dsp.hol_us as f64 / 1e6);
         }
         let dispatched_us = sim.now().as_micros();
         let program = (ctx.workload)(&fj);
-        let engine = ctx.d.engine().clone();
         let ctx2 = Rc::clone(ctx);
         program.submit(
             sim,
-            &engine,
+            ctx.d.engine(),
             Box::new(move |sim| {
                 let finished = sim.now();
                 let outcome = TenantJobOutcome {
@@ -501,6 +499,15 @@ pub fn run_tenant_fleet_with(
     arm(&mut sim, &d);
 
     let obs = cfg.engine.obs.clone();
+    let admission_wait = cfg
+        .tenants
+        .iter()
+        .map(|spec| {
+            obs.metrics
+                .histogram_handle("admission_wait_seconds", &[("tenant_class", spec.class.as_str())])
+        })
+        .collect();
+    let hol_blocking = obs.metrics.histogram_handle("hol_blocking_seconds", &[]);
     let ctx = Rc::new(Ctx {
         d,
         ctrl: RefCell::new(AdmissionController::new(cfg.slots, &cfg.tenants)),
@@ -512,7 +519,8 @@ pub fn run_tenant_fleet_with(
         billed: Cell::new(0.0),
         slo: SloLedger::new(),
         bill: BillLedger::new(),
-        obs,
+        admission_wait,
+        hol_blocking,
         handle,
     });
     for j in jobs {

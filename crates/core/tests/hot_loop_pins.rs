@@ -1,0 +1,108 @@
+//! Byte-identity pins for the hot-loop fast path. The interned-id /
+//! pre-resolved-handle / dense-table optimizations claim to change *no
+//! output byte*: these tests pin the reduced-scale fleet artifact and
+//! the Prometheus exposition to hard xxhash64 constants, at both 1 and
+//! 4 engine worker threads. Any drift — a reordered map, a changed
+//! float path, a renamed label — fails here first, in debug mode, long
+//! before `scripts/verify.sh` re-derives the full-scale pins.
+//!
+//! Updating a pin is a deliberate act: rerun with the new value printed
+//! in the assertion message and justify the byte change in review.
+
+use std::hash::Hasher;
+
+use splitserve::tenancy::{
+    combined_fingerprint, default_fleet_jobs, default_tenant_specs, fleet_workload,
+    render_fleet_json, run_tenant_fleet, FleetPolicy, TenantFleetConfig,
+};
+use splitserve_rt::hash::XxHash64;
+
+fn digest(bytes: &str) -> u64 {
+    let mut h = XxHash64::with_seed(0);
+    h.write(bytes.as_bytes());
+    h.finish()
+}
+
+/// The reduced fleet: 5 tenants, 45 jobs, 120 s horizon, all three
+/// policies — the same machinery as `examples/tenant_fleet.rs`, small
+/// enough for debug-mode CI. `workers` is rendered as a fixed label so
+/// both counts must produce the same bytes.
+fn fleet_json(workers: usize) -> String {
+    let tenants = default_tenant_specs(5);
+    let jobs = default_fleet_jobs(&tenants, 11, 45, 120.0);
+    let mut results = Vec::new();
+    for policy in FleetPolicy::all() {
+        let mut cfg = TenantFleetConfig::for_policy(policy, tenants.clone(), 8);
+        cfg.engine.workers = workers;
+        let (wl, sink) = fleet_workload(8);
+        let r = run_tenant_fleet(&cfg, &jobs, wl);
+        let fp = combined_fingerprint(&sink.borrow());
+        results.push((r, fp));
+    }
+    render_fleet_json(0, &tenants, jobs.len(), &results)
+}
+
+#[test]
+fn fleet_artifact_digest_is_pinned_at_w1_and_w4() {
+    const PIN: u64 = 0x15ce_aee7_5e06_1437;
+    let w1 = fleet_json(1);
+    assert_eq!(
+        digest(&w1),
+        PIN,
+        "fleet artifact drifted at workers=1: digest {:016x} (len {})",
+        digest(&w1),
+        w1.len()
+    );
+    let w4 = fleet_json(4);
+    assert_eq!(
+        digest(&w4),
+        PIN,
+        "fleet artifact drifted at workers=4: digest {:016x}",
+        digest(&w4)
+    );
+}
+
+/// One obs-enabled reduced fleet run; returns the full Prometheus
+/// exposition. Every metric value is sim-derived (admission waits,
+/// HOL blocking, task spans, store ops), so the bytes are a pure
+/// function of the config — including across worker-thread counts.
+fn prometheus_render(workers: usize) -> String {
+    let tenants = default_tenant_specs(4);
+    let jobs = default_fleet_jobs(&tenants, 11, 30, 120.0);
+    let mut cfg =
+        TenantFleetConfig::for_policy(FleetPolicy::SplitServe, tenants.clone(), 8);
+    cfg.engine.workers = workers;
+    let obs = splitserve_obs::Obs::enabled();
+    cfg.engine.obs = obs.clone();
+    let (wl, _sink) = fleet_workload(8);
+    let r = run_tenant_fleet(&cfg, &jobs, wl);
+    assert_eq!(r.outcomes.len(), jobs.len());
+    obs.metrics.render_prometheus()
+}
+
+#[test]
+fn prometheus_exposition_is_pinned_at_w1_and_w4() {
+    const PIN: u64 = 0x8ab2_fd25_5aaf_c7c2;
+    let w1 = prometheus_render(1);
+    // (`hol_blocking_seconds` is legitimately absent at this scale: the
+    // reduced fleet never blocks a queue head, and an unobserved handle
+    // stays unmaterialized — the lazy-handle contract.)
+    assert!(
+        w1.contains("admission_wait_seconds"),
+        "fleet run must populate the pre-resolved admission histograms:\n{w1}"
+    );
+    assert_eq!(
+        digest(&w1),
+        PIN,
+        "prometheus exposition drifted at workers=1: digest {:016x} (len {})",
+        digest(&w1),
+        w1.len()
+    );
+    let w4 = prometheus_render(4);
+    assert_eq!(
+        digest(&w4),
+        PIN,
+        "prometheus exposition drifted at workers=4: digest {:016x}",
+        digest(&w4)
+    );
+}

@@ -13,8 +13,9 @@
 //! 16 shuffling executors) without per-packet simulation.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
+
+use splitserve_rt::FastMap;
 
 use crate::sim::{EventId, Sim};
 use crate::time::{SimDuration, SimTime};
@@ -36,12 +37,39 @@ struct Link {
 /// Completion continuation of a flow.
 type FlowComplete = Box<dyn FnOnce(&mut Sim)>;
 
+/// The links a flow crosses, stored inline: every real path is at most
+/// NIC → peer NIC → disk, so a heap `Vec` per flow (flows are created per
+/// block transfer) would be pure allocator churn.
+#[derive(Clone, Copy)]
+struct FlowLinks {
+    ids: [LinkId; 4],
+    len: u8,
+}
+
+impl FlowLinks {
+    fn new(links: &[LinkId]) -> Self {
+        assert!(links.len() <= 4, "a flow crosses at most 4 links");
+        let mut ids = [LinkId(0); 4];
+        ids[..links.len()].copy_from_slice(links);
+        FlowLinks {
+            ids,
+            len: links.len() as u8,
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.ids[..self.len as usize].iter().copied()
+    }
+}
+
 struct Flow {
     total: f64,     // bytes
     remaining: f64, // bytes
     rate: f64,      // bytes per second
     last_update: SimTime,
-    links: Vec<LinkId>,
+    links: FlowLinks,
+    /// Water-fill round this flow was last frozen in (see [`Inner::water_fill`]).
+    frozen_round: u64,
     event: Option<EventId>,
     on_complete: Option<FlowComplete>,
 }
@@ -49,10 +77,19 @@ struct Flow {
 #[derive(Default)]
 struct Inner {
     links: Vec<Link>,
-    flows: HashMap<u64, Flow>,
+    flows: FastMap<u64, Flow>,
     order: Vec<u64>, // deterministic iteration order of live flows
     next_flow: u64,
     bytes_completed: f64,
+    /// Monotone counter distinguishing water-fill rounds, so freezing a
+    /// flow is a field write instead of a per-call hash-map insert.
+    round: u64,
+    /// Reusable (flow, completion time) buffer for rebalance.
+    scratch: Vec<(u64, SimTime)>,
+    /// Reusable per-link buffers for water-fill (residual capacity and
+    /// unfrozen-flow counts).
+    residual: Vec<f64>,
+    unfrozen_on: Vec<usize>,
 }
 
 /// A cloneable handle to the shared flow-network state.
@@ -175,7 +212,8 @@ impl Fabric {
                     remaining: bytes as f64,
                     rate: 0.0,
                     last_update: now,
-                    links: links.to_vec(),
+                    links: FlowLinks::new(links),
+                    frozen_round: 0,
                     event: None,
                     on_complete: Some(Box::new(on_complete)),
                 },
@@ -235,15 +273,16 @@ impl Fabric {
 
     /// Recomputes max–min fair rates and reschedules completion events.
     fn rebalance(&self, sim: &mut Sim) {
-        let schedule: Vec<(u64, SimTime)> = {
+        let mut schedule = {
             let mut inner = self.inner.borrow_mut();
             let now = sim.now();
             inner.settle(now);
             inner.water_fill();
 
-            let mut schedule = Vec::new();
-            let order = inner.order.clone();
-            for id in order {
+            let mut schedule = std::mem::take(&mut inner.scratch);
+            schedule.clear();
+            for i in 0..inner.order.len() {
+                let id = inner.order[i];
                 let flow = inner.flows.get_mut(&id).expect("live flow in order list");
                 if let Some(ev) = flow.event.take() {
                     sim.cancel(ev);
@@ -255,7 +294,7 @@ impl Fabric {
             }
             schedule
         };
-        for (id, at) in schedule {
+        for &(id, at) in &schedule {
             let handle = self.clone();
             let ev = sim.schedule_at(at, move |sim| handle.complete(sim, id));
             self.inner
@@ -265,6 +304,8 @@ impl Fabric {
                 .expect("flow vanished while scheduling")
                 .event = Some(ev);
         }
+        schedule.clear();
+        self.inner.borrow_mut().scratch = schedule;
     }
 }
 
@@ -282,19 +323,30 @@ impl Inner {
     fn remove_flow(&mut self, id: u64) -> Option<Flow> {
         let f = self.flows.remove(&id)?;
         self.order.retain(|x| *x != id);
-        for l in &f.links {
+        for l in f.links.iter() {
             self.links[l.0].active.retain(|x| *x != id);
         }
         Some(f)
     }
 
     /// Progressive-filling (water-filling) max–min fair allocation.
+    ///
+    /// Runs on every flow arrival and departure, so it allocates nothing:
+    /// freezing a flow writes its `rate` in place, and membership in the
+    /// current round's frozen set is the `frozen_round == round` check
+    /// against the monotone round counter.
     fn water_fill(&mut self) {
-        let mut residual: Vec<f64> = self.links.iter().map(|l| l.capacity).collect();
-        let mut unfrozen_on: Vec<usize> = self.links.iter().map(|l| l.active.len()).collect();
-        let mut frozen: HashMap<u64, f64> = HashMap::new();
+        self.round += 1;
+        let round = self.round;
+        let mut residual = std::mem::take(&mut self.residual);
+        let mut unfrozen_on = std::mem::take(&mut self.unfrozen_on);
+        residual.clear();
+        residual.extend(self.links.iter().map(|l| l.capacity));
+        unfrozen_on.clear();
+        unfrozen_on.extend(self.links.iter().map(|l| l.active.len()));
+        let mut nfrozen = 0usize;
 
-        while frozen.len() < self.flows.len() {
+        while nfrozen < self.flows.len() {
             // Bottleneck link: smallest per-flow share among links that
             // still carry unfrozen flows.
             let mut best: Option<(usize, f64)> = None;
@@ -311,28 +363,25 @@ impl Inner {
             let (bottleneck, share) =
                 best.expect("unfrozen flows remain but no link carries them");
             // Freeze every unfrozen flow crossing the bottleneck at `share`.
-            let to_freeze: Vec<u64> = self.links[bottleneck]
-                .active
-                .iter()
-                .copied()
-                .filter(|id| !frozen.contains_key(id))
-                .collect();
-            debug_assert!(!to_freeze.is_empty());
-            for id in to_freeze {
-                frozen.insert(id, share);
-                for l in &self.flows[&id].links {
+            let frozen_before = nfrozen;
+            for j in 0..self.links[bottleneck].active.len() {
+                let id = self.links[bottleneck].active[j];
+                let f = self.flows.get_mut(&id).expect("active flow is live");
+                if f.frozen_round == round {
+                    continue;
+                }
+                f.frozen_round = round;
+                f.rate = share;
+                nfrozen += 1;
+                for l in f.links.iter() {
                     residual[l.0] = (residual[l.0] - share).max(0.0);
                     unfrozen_on[l.0] -= 1;
                 }
             }
+            debug_assert!(nfrozen > frozen_before);
         }
-
-        for (id, rate) in frozen {
-            self.flows
-                .get_mut(&id)
-                .expect("frozen flow is live")
-                .rate = rate;
-        }
+        self.residual = residual;
+        self.unfrozen_on = unfrozen_on;
     }
 }
 

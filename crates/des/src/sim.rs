@@ -8,7 +8,7 @@
 //! same seed bit-for-bit reproducible.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use splitserve_rt::Rng;
 
@@ -46,6 +46,50 @@ impl Ord for Entry {
     }
 }
 
+/// Liveness of scheduled events, one bit per sequence number.
+///
+/// Sequence numbers are dense and monotonically increasing, so a bitmap
+/// beats a hash set on the scheduler's hottest edge: every event is
+/// inserted once at schedule time and cleared once at fire/cancel time,
+/// and both become single word operations instead of hashes. Memory is
+/// one bit per event ever scheduled (an 8 M-event run costs 1 MB).
+#[derive(Default)]
+struct LiveBits {
+    words: Vec<u64>,
+}
+
+impl LiveBits {
+    #[inline]
+    fn insert(&mut self, seq: u64) {
+        let (w, b) = ((seq >> 6) as usize, seq & 63);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << b;
+    }
+
+    /// Clears the bit, reporting whether it was set — the cancel
+    /// contract: `true` exactly once per scheduled event, then `false`
+    /// forever (fired and cancelled events look identical).
+    #[inline]
+    fn remove(&mut self, seq: u64) -> bool {
+        let (w, b) = ((seq >> 6) as usize, seq & 63);
+        match self.words.get_mut(w) {
+            Some(word) if *word & (1 << b) != 0 => {
+                *word &= !(1 << b);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, seq: u64) -> bool {
+        let (w, b) = ((seq >> 6) as usize, seq & 63);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+}
+
 /// A deterministic discrete-event simulator.
 ///
 /// # Examples
@@ -68,7 +112,7 @@ impl Ord for Entry {
 pub struct Sim {
     now: SimTime,
     queue: BinaryHeap<Entry>,
-    live: HashSet<u64>,
+    live: LiveBits,
     next_seq: u64,
     executed: u64,
     rng: Rng,
@@ -93,7 +137,7 @@ impl Sim {
         Sim {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
-            live: HashSet::new(),
+            live: LiveBits::default(),
             next_seq: 0,
             executed: 0,
             rng: Rng::seed_from_u64(seed),
@@ -178,14 +222,14 @@ impl Sim {
     pub fn cancel(&mut self, id: EventId) -> bool {
         // The live set is the source of truth; heap entries for dead ids
         // are skipped when popped.
-        self.live.remove(&id.0)
+        self.live.remove(id.0)
     }
 
     /// Executes the next pending event, advancing the clock to its time.
     /// Returns `false` when no events remain.
     pub fn step(&mut self) -> bool {
         while let Some(entry) = self.queue.pop() {
-            if !self.live.remove(&entry.seq) {
+            if !self.live.remove(entry.seq) {
                 continue; // cancelled
             }
             debug_assert!(entry.at >= self.now, "event queue went backwards");
@@ -210,7 +254,7 @@ impl Sim {
             let next_at = loop {
                 match self.queue.peek() {
                     None => break None,
-                    Some(e) if !self.live.contains(&e.seq) => {
+                    Some(e) if !self.live.contains(e.seq) => {
                         self.queue.pop();
                     }
                     Some(e) => break Some(e.at),

@@ -1,9 +1,7 @@
 //! Per-task execution context: shuffle inputs and CPU-work accounting.
 
-use std::collections::HashMap;
-
 use splitserve_obs::Obs;
-use splitserve_rt::Bytes;
+use splitserve_rt::{Bytes, FastMap};
 
 use crate::config::WorkModel;
 use crate::node::ShuffleId;
@@ -13,7 +11,7 @@ use crate::node::ShuffleId;
 /// footprint, from which the scheduler derives the task's virtual duration.
 #[derive(Debug)]
 pub struct TaskContext {
-    shuffle_in: HashMap<ShuffleId, Vec<Bytes>>,
+    shuffle_in: FastMap<ShuffleId, Vec<Bytes>>,
     work: WorkModel,
     cpu_secs: f64,
     bytes_in: u64,
@@ -30,7 +28,7 @@ impl TaskContext {
     /// task's virtual duration from below *before* the body runs — the
     /// anchor the parallel data plane's join events are scheduled on
     /// (see DESIGN.md "Parallel task data plane").
-    pub fn new(work: WorkModel, shuffle_in: HashMap<ShuffleId, Vec<Bytes>>) -> Self {
+    pub fn new(work: WorkModel, shuffle_in: FastMap<ShuffleId, Vec<Bytes>>) -> Self {
         let bytes_in: u64 = shuffle_in
             .values()
             .flat_map(|v| v.iter())
@@ -63,7 +61,7 @@ impl TaskContext {
 
     /// An empty context (source stages with no shuffle inputs).
     pub fn empty(work: WorkModel) -> Self {
-        TaskContext::new(work, HashMap::new())
+        TaskContext::new(work, FastMap::default())
     }
 
     /// The fetched blocks for shuffle `id` (one per upstream map task that
@@ -175,7 +173,7 @@ mod tests {
 
     #[test]
     fn shuffle_input_counts_toward_bytes_in() {
-        let mut m = HashMap::new();
+        let mut m = FastMap::default();
         m.insert(
             ShuffleId(0),
             vec![Bytes::from_static(b"abcd"), Bytes::from_static(b"ef")],

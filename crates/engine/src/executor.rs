@@ -4,23 +4,80 @@
 //! "executor" and "core" are synonymous throughout.
 
 use splitserve_des::LinkId;
+use splitserve_rt::Interned;
 use splitserve_storage::ClientLoc;
 
 /// Unique executor id — also the executor's directory prefix in the block
 /// store (paper §4.3: "executors use their uniquely identifiable and
 /// distinguishable IDs as an entry point into this directory structure").
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ExecutorId(pub String);
+///
+/// A `Copy` handle over a process-wide interned name (see
+/// [`splitserve_rt::intern`]): equality and hashing are O(1) symbol
+/// compares, while `Ord` keeps the old `String` lexicographic order so
+/// id-sorted tables — and therefore dispatch order and every
+/// virtual-time artifact — are unchanged by the interning.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExecutorId(Interned);
+
+impl ExecutorId {
+    /// Interns `name` (or finds it) and returns the id.
+    pub fn new(name: impl AsRef<str>) -> ExecutorId {
+        ExecutorId(Interned::new(name.as_ref()))
+    }
+
+    /// The executor's name.
+    #[inline]
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// The interned handle backing this id.
+    #[inline]
+    pub fn interned(&self) -> Interned {
+        self.0
+    }
+
+    /// The dense `u32` symbol backing this id — index for sparse
+    /// per-engine side tables.
+    #[inline]
+    pub fn sym(&self) -> u32 {
+        self.0.sym()
+    }
+}
 
 impl std::fmt::Display for ExecutorId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::fmt::Debug for ExecutorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ExecutorId({:?})", self.as_str())
     }
 }
 
 impl From<&str> for ExecutorId {
     fn from(s: &str) -> Self {
-        ExecutorId(s.to_string())
+        ExecutorId::new(s)
+    }
+}
+
+impl From<&String> for ExecutorId {
+    fn from(s: &String) -> Self {
+        ExecutorId::new(s)
+    }
+}
+
+impl From<String> for ExecutorId {
+    fn from(s: String) -> Self {
+        ExecutorId::new(&s)
+    }
+}
+
+impl From<ExecutorId> for Interned {
+    fn from(id: ExecutorId) -> Self {
+        id.0
     }
 }
 
@@ -65,9 +122,9 @@ pub struct ExecutorDesc {
 
 impl ExecutorDesc {
     /// A full-speed VM executor.
-    pub fn vm(id: impl Into<String>, nic: LinkId, disk: LinkId, memory_mb: u64) -> Self {
+    pub fn vm(id: impl AsRef<str>, nic: LinkId, disk: LinkId, memory_mb: u64) -> Self {
         ExecutorDesc {
-            id: ExecutorId(id.into()),
+            id: ExecutorId::new(id),
             kind: ExecutorKind::Vm,
             nic: Some(nic),
             disk: Some(disk),
@@ -79,9 +136,9 @@ impl ExecutorDesc {
     /// A Lambda executor with `memory_mb` of memory. CPU scales with
     /// memory at AWS's measured rate of one full vCPU per 1 769 MB, so the
     /// paper's 1 536 MB executors run at ~0.87 of a VM core.
-    pub fn lambda(id: impl Into<String>, nic: LinkId, memory_mb: u64) -> Self {
+    pub fn lambda(id: impl AsRef<str>, nic: LinkId, memory_mb: u64) -> Self {
         ExecutorDesc {
-            id: ExecutorId(id.into()),
+            id: ExecutorId::new(id),
             kind: ExecutorKind::Lambda,
             nic: Some(nic),
             disk: None,

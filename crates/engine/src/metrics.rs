@@ -71,8 +71,10 @@ pub struct JobOutput {
     /// [`collect_partitions`](crate::collect_partitions) to extract typed
     /// records.
     pub partitions: Vec<PartitionData>,
-    /// Measurements.
-    pub metrics: JobMetrics,
+    /// Measurements, shared with the scheduler's job table (the same
+    /// allocation [`Engine::job_metrics`](crate::Engine::job_metrics)
+    /// hands out) — completion no longer deep-copies the block.
+    pub metrics: std::sync::Arc<JobMetrics>,
 }
 
 impl std::fmt::Debug for JobOutput {

@@ -1048,7 +1048,7 @@ mod tests {
         // reduce side
         let mut out = Vec::new();
         for (r, blocks) in buckets.into_iter().enumerate() {
-            let mut inputs = std::collections::HashMap::new();
+            let mut inputs = splitserve_rt::FastMap::default();
             inputs.insert(dep.id, blocks);
             let mut c = TaskContext::new(WorkModel::default(), inputs);
             let part = node.compute(&mut c, r);
@@ -1110,7 +1110,7 @@ mod tests {
         }
         let mut all: Vec<(String, Vec<u32>)> = Vec::new();
         for (r, blocks) in buckets.into_iter().enumerate() {
-            let mut inputs = std::collections::HashMap::new();
+            let mut inputs = splitserve_rt::FastMap::default();
             inputs.insert(dep.id, blocks);
             let mut c = TaskContext::new(WorkModel::default(), inputs);
             let part = node.compute(&mut c, r);
@@ -1153,7 +1153,7 @@ mod tests {
         let mut all: Vec<(u32, (String, u64))> = Vec::new();
         #[allow(clippy::needless_range_loop)] // `part` also names the computed partition
         for part in 0..2 {
-            let mut inputs = std::collections::HashMap::new();
+            let mut inputs = splitserve_rt::FastMap::default();
             for (di, dep) in deps.iter().enumerate() {
                 inputs.insert(dep.id, per_dep_buckets[di][part].clone());
             }

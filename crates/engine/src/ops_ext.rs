@@ -333,7 +333,7 @@ mod tests {
                             dep.id,
                             part,
                             crate::tracker::MapStatus {
-                                executor: crate::executor::ExecutorId("t".into()),
+                                executor: crate::executor::ExecutorId::new("t"),
                                 sizes,
                             },
                         );
@@ -359,7 +359,7 @@ mod tests {
         tracker: &crate::tracker::MapOutputTracker,
         store: &std::collections::HashMap<(u64, usize, usize), Bytes>,
     ) -> TaskContext {
-        let mut m = std::collections::HashMap::new();
+        let mut m = splitserve_rt::FastMap::default();
         for dep in inputs {
             let blocks: Vec<Bytes> = tracker
                 .inputs_for_reduce(dep.id, part)

@@ -16,12 +16,12 @@
 //!   facility relies on: a draining executor takes no new tasks, finishes
 //!   its current one, and decommissions when idle.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use splitserve_rt::{Bytes, TaskHandle, WorkerPool};
+use splitserve_rt::{Bytes, FastMap, FastSet, TaskHandle, WorkerPool};
 use splitserve_des::{Sim, SimDuration, SimTime};
 use splitserve_obs::SpanId;
 use splitserve_storage::{BlockId, BlockStore, StoreError};
@@ -56,7 +56,7 @@ struct ExecMeta {
     speed_factor: f64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct AttemptInfo {
     job: JobId,
     stage: StageId,
@@ -93,24 +93,96 @@ struct JobState {
     status: Vec<StageStatus>,
     result_parts: Vec<Option<PartitionData>>,
     on_done: Option<JobDoneCallback>,
-    metrics: JobMetrics,
+    /// Uniquely owned (`Arc::get_mut`) while the job runs; once the job
+    /// completes, accessors hand out cheap `Arc` clones instead of deep-
+    /// copying the whole metrics block.
+    metrics: Arc<JobMetrics>,
     done: bool,
 }
 
+impl JobState {
+    /// Mutable metrics access for the in-flight paths. The `Arc` is only
+    /// ever shared *after* `done` is set, so this never fails while the
+    /// job is live.
+    #[inline]
+    fn metrics_mut(&mut self) -> &mut JobMetrics {
+        Arc::get_mut(&mut self.metrics).expect("in-flight job metrics are uniquely owned")
+    }
+}
+
+/// Sentinel in the symbol→slot side table for "no executor with this
+/// symbol registered here".
+const NO_SLOT: u32 = u32::MAX;
+
 struct Inner {
     cfg: EngineConfig,
-    executors: BTreeMap<ExecutorId, ExecMeta>,
-    jobs: BTreeMap<u64, JobState>,
-    attempts: HashMap<AttemptId, AttemptInfo>,
+    /// Dense executor table; slots are assigned at registration and never
+    /// reused (dead executors stay, `alive = false`, exactly like the old
+    /// map entries did).
+    execs: Vec<ExecMeta>,
+    /// Slot indices sorted by executor *name*. The dispatch scan and the
+    /// `executors()` snapshot iterate this, preserving the old
+    /// `BTreeMap<ExecutorId, _>` lexicographic order — VM executors can
+    /// register after lambdas but sort before them, and dispatch order is
+    /// output-visible (core speeds differ by kind).
+    execs_by_name: Vec<u32>,
+    /// Interner-symbol → slot side table (`NO_SLOT` = absent). Symbols
+    /// are dense process-wide, so this stays small and O(1) to index.
+    exec_slots: Vec<u32>,
+    /// Dense job table indexed by `JobId.0` (ids are sequential from 0).
+    jobs: Vec<JobState>,
+    attempts: FastMap<AttemptId, AttemptInfo>,
     pending: VecDeque<(JobId, StageId, usize)>,
-    next_job: u64,
     next_attempt: u64,
     tracker: MapOutputTracker,
     driver_free_at: SimTime,
     /// Live completion-time digests per (job, stage), feeding the
     /// straggler watch. Only populated while observability is enabled;
     /// entries live as long as their `JobState`.
-    stage_runtimes: HashMap<(JobId, StageId), splitserve_obs::QuantileDigest>,
+    stage_runtimes: FastMap<(JobId, StageId), splitserve_obs::QuantileDigest>,
+}
+
+impl Inner {
+    /// Slot of a registered executor, dead or alive.
+    #[inline]
+    fn exec_slot(&self, id: ExecutorId) -> Option<usize> {
+        match self.exec_slots.get(id.sym() as usize) {
+            Some(&s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn exec(&self, id: ExecutorId) -> Option<&ExecMeta> {
+        self.exec_slot(id).map(|s| &self.execs[s])
+    }
+
+    #[inline]
+    fn exec_mut(&mut self, id: ExecutorId) -> Option<&mut ExecMeta> {
+        self.exec_slot(id).map(|s| &mut self.execs[s])
+    }
+
+    /// Registers a new executor slot, keeping `execs_by_name` sorted.
+    /// Returns `false` if the id is already present.
+    fn add_exec(&mut self, meta: ExecMeta) -> bool {
+        let id = meta.desc.id;
+        let sym = id.sym() as usize;
+        if sym >= self.exec_slots.len() {
+            self.exec_slots.resize(sym + 1, NO_SLOT);
+        }
+        if self.exec_slots[sym] != NO_SLOT {
+            return false;
+        }
+        let slot = u32::try_from(self.execs.len()).expect("executor slot overflow");
+        self.execs.push(meta);
+        self.exec_slots[sym] = slot;
+        let pos = self
+            .execs_by_name
+            .partition_point(|&s| self.execs[s as usize].desc.id < id);
+        self.execs_by_name.insert(pos, slot);
+        true
+    }
+
 }
 
 /// A snapshot of one executor's state, for policy layers (SplitServe's
@@ -183,7 +255,7 @@ impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let inner = self.inner.borrow();
         f.debug_struct("Engine")
-            .field("executors", &inner.executors.len())
+            .field("executors", &inner.execs.len())
             .field("jobs", &inner.jobs.len())
             .field("pending_tasks", &inner.pending.len())
             .field("store", &self.store.kind())
@@ -233,15 +305,16 @@ impl Engine {
             pool,
             inner: Rc::new(RefCell::new(Inner {
                 cfg,
-                executors: BTreeMap::new(),
-                jobs: BTreeMap::new(),
-                attempts: HashMap::new(),
+                execs: Vec::new(),
+                execs_by_name: Vec::new(),
+                exec_slots: Vec::new(),
+                jobs: Vec::new(),
+                attempts: FastMap::default(),
                 pending: VecDeque::new(),
-                next_job: 0,
                 next_attempt: 0,
                 tracker: MapOutputTracker::new(),
                 driver_free_at: SimTime::ZERO,
-                stage_runtimes: HashMap::new(),
+                stage_runtimes: FastMap::default(),
             })),
             store,
             log,
@@ -273,51 +346,48 @@ impl Engine {
     ///
     /// Panics if the id is already registered.
     pub fn register_executor(&self, sim: &mut Sim, desc: ExecutorDesc) {
-        self.store.register_executor(&desc.id.0, desc.client_loc());
+        self.store.register_executor(desc.id.as_str(), desc.client_loc());
         {
             let mut inner = self.inner.borrow_mut();
-            let id = desc.id.clone();
+            let id = desc.id;
             let kind = desc.kind;
-            assert!(
-                !inner.executors.contains_key(&id),
-                "duplicate executor {id}"
-            );
-            inner.executors.insert(
-                id.clone(),
-                ExecMeta {
-                    desc,
-                    alive: true,
-                    draining: false,
-                    running: None,
-                    registered_at: sim.now(),
-                    idle_since: sim.now(),
-                    tasks_done: 0,
-                    on_drained: None,
-                    speed_factor: 1.0,
-                },
-            );
-            self.tele.executor_registered(sim.now(), &id, kind);
+            let fresh = inner.add_exec(ExecMeta {
+                desc,
+                alive: true,
+                draining: false,
+                running: None,
+                registered_at: sim.now(),
+                idle_since: sim.now(),
+                tasks_done: 0,
+                on_drained: None,
+                speed_factor: 1.0,
+            });
+            assert!(fresh, "duplicate executor {id}");
+            self.tele.executor_registered(sim.now(), id, kind);
             self.log
                 .push(sim.now(), EngineEventKind::ExecutorRegistered { exec: id, kind });
         }
         self.dispatch(sim);
     }
 
-    /// Snapshot of all executors (registration order by id).
+    /// Snapshot of all executors (in id order).
     pub fn executors(&self) -> Vec<ExecutorInfo> {
         let inner = self.inner.borrow();
         inner
-            .executors
+            .execs_by_name
             .iter()
-            .map(|(id, m)| ExecutorInfo {
-                id: id.clone(),
-                kind: m.desc.kind,
-                registered_at: m.registered_at,
-                alive: m.alive,
-                draining: m.draining,
-                busy: m.running.is_some(),
-                idle_since: m.idle_since,
-                tasks_done: m.tasks_done,
+            .map(|&slot| {
+                let m = &inner.execs[slot as usize];
+                ExecutorInfo {
+                    id: m.desc.id,
+                    kind: m.desc.kind,
+                    registered_at: m.registered_at,
+                    alive: m.alive,
+                    draining: m.draining,
+                    busy: m.running.is_some(),
+                    idle_since: m.idle_since,
+                    tasks_done: m.tasks_done,
+                }
             })
             .collect()
     }
@@ -335,15 +405,15 @@ impl Engine {
 
     /// Whether any submitted job has not completed yet.
     pub fn has_active_jobs(&self) -> bool {
-        self.inner.borrow().jobs.values().any(|j| !j.done)
+        self.inner.borrow().jobs.iter().any(|j| !j.done)
     }
 
     /// Number of live, non-draining executors.
     pub fn active_executors(&self) -> usize {
         let inner = self.inner.borrow();
         inner
-            .executors
-            .values()
+            .execs
+            .iter()
             .filter(|m| m.alive && !m.draining)
             .count()
     }
@@ -360,7 +430,7 @@ impl Engine {
     ) {
         let finish_now = {
             let mut inner = self.inner.borrow_mut();
-            let Some(meta) = inner.executors.get_mut(id) else {
+            let Some(meta) = inner.exec_mut(*id) else {
                 return;
             };
             if !meta.alive || meta.draining {
@@ -368,12 +438,13 @@ impl Engine {
             }
             meta.draining = true;
             meta.on_drained = Some(Box::new(on_drained));
+            let idle = meta.running.is_none();
             self.log
-                .push(sim.now(), EngineEventKind::ExecutorDraining { exec: id.clone() });
-            meta.running.is_none()
+                .push(sim.now(), EngineEventKind::ExecutorDraining { exec: *id });
+            idle
         };
         if finish_now {
-            self.decommission(sim, id.clone());
+            self.decommission(sim, *id);
         }
     }
 
@@ -384,7 +455,7 @@ impl Engine {
     pub fn kill_executor(&self, sim: &mut Sim, id: &ExecutorId) {
         let killed = {
             let mut inner = self.inner.borrow_mut();
-            let Some(meta) = inner.executors.get_mut(id) else {
+            let Some(meta) = inner.exec_mut(*id) else {
                 return;
             };
             if !meta.alive {
@@ -393,7 +464,7 @@ impl Engine {
             meta.alive = false;
             let running = meta.running.take();
             self.log
-                .push(sim.now(), EngineEventKind::ExecutorLost { exec: id.clone() });
+                .push(sim.now(), EngineEventKind::ExecutorLost { exec: *id });
             if let Some(attempt) = running {
                 if let Some(info) = inner.attempts.remove(&attempt) {
                     self.log.push(
@@ -401,14 +472,14 @@ impl Engine {
                         EngineEventKind::TaskFailed {
                             stage: info.stage,
                             part: info.part,
-                            exec: id.clone(),
+                            exec: *id,
                             reason: "executor lost".into(),
                         },
                     );
-                    if let Some(job) = inner.jobs.get_mut(&info.job.0) {
+                    if let Some(job) = inner.jobs.get_mut(info.job.0 as usize) {
                         self.tele.task_failed(
                             sim.now(),
-                            &mut job.metrics,
+                            job.metrics_mut(),
                             info.span,
                             info.stage,
                             info.part,
@@ -426,7 +497,7 @@ impl Engine {
         if !killed {
             return;
         }
-        self.store.on_executor_lost(sim, &id.0);
+        self.store.on_executor_lost(sim, id.as_str());
         if !self.store.survives_executor_loss() {
             let affected = self.inner.borrow_mut().tracker.unregister_executor(id);
             if !affected.is_empty() {
@@ -446,7 +517,7 @@ impl Engine {
             return false;
         }
         let inner = self.inner.borrow();
-        inner.jobs.values().filter(|j| !j.done).any(|job| {
+        inner.jobs.iter().filter(|j| !j.done).any(|job| {
             job.graph.stages.iter().any(|stage| {
                 let StageKind::ShuffleMap(dep) = &stage.kind else {
                     return false;
@@ -470,7 +541,7 @@ impl Engine {
             factor.is_finite() && factor > 0.0,
             "invalid speed factor {factor}"
         );
-        if let Some(meta) = self.inner.borrow_mut().executors.get_mut(id) {
+        if let Some(meta) = self.inner.borrow_mut().exec_mut(*id) {
             meta.speed_factor = factor;
         }
     }
@@ -478,21 +549,22 @@ impl Engine {
     fn decommission(&self, sim: &mut Sim, id: ExecutorId) {
         let cb = {
             let mut inner = self.inner.borrow_mut();
-            let Some(meta) = inner.executors.get_mut(&id) else {
+            let Some(meta) = inner.exec_mut(id) else {
                 return;
             };
             if !meta.alive {
                 return;
             }
             meta.alive = false;
+            let cb = meta.on_drained.take();
             self.log.push(
                 sim.now(),
-                EngineEventKind::ExecutorDecommissioned { exec: id.clone() },
+                EngineEventKind::ExecutorDecommissioned { exec: id },
             );
-            meta.on_drained.take()
+            cb
         };
         // A decommissioned executor's node is gone; local blocks with it.
-        self.store.on_executor_lost(sim, &id.0);
+        self.store.on_executor_lost(sim, id.as_str());
         if !self.store.survives_executor_loss() {
             let affected = self.inner.borrow_mut().tracker.unregister_executor(&id);
             if !affected.is_empty() {
@@ -510,11 +582,12 @@ impl Engine {
     fn rollback_incomplete_stages(&self, sim: &mut Sim) {
         let mut inner = self.inner.borrow_mut();
         let inner = &mut *inner;
-        let mut dequeue: Vec<(JobId, StageId)> = Vec::new();
-        for (job_id, job) in inner.jobs.iter_mut() {
+        let mut dequeue: FastSet<(JobId, StageId)> = FastSet::default();
+        for (job_idx, job) in inner.jobs.iter_mut().enumerate() {
             if job.done {
                 continue;
             }
+            let job_id = JobId(job_idx as u64);
             for stage in &job.graph.stages {
                 let st = &mut job.status[stage.id.0 as usize];
                 if let StageKind::ShuffleMap(dep) = &stage.kind {
@@ -542,11 +615,13 @@ impl Engine {
                     if st.running.is_empty() {
                         st.state = Some(StageState::Waiting);
                     }
-                    dequeue.push((JobId(*job_id), stage.id));
+                    dequeue.insert((job_id, stage.id));
                 }
             }
         }
         if !dequeue.is_empty() {
+            // Set lookup per entry: the old `Vec::contains` scan was
+            // O(pending × rolled-back stages).
             inner
                 .pending
                 .retain(|(j, s, _)| !dequeue.contains(&(*j, *s)));
@@ -565,8 +640,7 @@ impl Engine {
     ) -> JobId {
         let job_id = {
             let mut inner = self.inner.borrow_mut();
-            let id = JobId(inner.next_job);
-            inner.next_job += 1;
+            let id = JobId(inner.jobs.len() as u64);
             let graph = build_stages(final_node);
             // Register every shuffle in the tracker.
             for stage in &graph.stages {
@@ -585,17 +659,14 @@ impl Engine {
             );
             let n_stages = graph.len();
             let result_width = graph.stage(graph.result).num_tasks;
-            inner.jobs.insert(
-                id.0,
-                JobState {
-                    graph,
-                    status: (0..n_stages).map(|_| StageStatus::default()).collect(),
-                    result_parts: vec![None; result_width],
-                    on_done: Some(Box::new(on_done)),
-                    metrics: JobMetrics::start(id, sim.now()),
-                    done: false,
-                },
-            );
+            inner.jobs.push(JobState {
+                graph,
+                status: (0..n_stages).map(|_| StageStatus::default()).collect(),
+                result_parts: vec![None; result_width],
+                on_done: Some(Box::new(on_done)),
+                metrics: Arc::new(JobMetrics::start(id, sim.now())),
+                done: false,
+            });
             id
         };
         self.progress_job(sim, job_id);
@@ -610,12 +681,17 @@ impl Engine {
         {
             let mut inner = self.inner.borrow_mut();
             let inner = &mut *inner;
-            let Some(job) = inner.jobs.get_mut(&job_id.0) else {
+            let Some(job) = inner.jobs.get_mut(job_id.0 as usize) else {
                 return;
             };
             if job.done {
                 return;
             }
+            // Split the metrics borrow off up front: the stage walk holds
+            // `job.graph` borrowed, and field-disjoint access is the only
+            // way to mutate metrics inside it.
+            let metrics =
+                Arc::get_mut(&mut job.metrics).expect("in-flight job metrics are uniquely owned");
             // Iterate stages in topological (id) order.
             for stage in &job.graph.stages {
                 let sidx = stage.id.0 as usize;
@@ -633,7 +709,7 @@ impl Engine {
                 if complete {
                     if st.state != Some(StageState::Done) {
                         st.state = Some(StageState::Done);
-                        self.tele.stage_completed(&mut job.metrics);
+                        self.tele.stage_completed(metrics);
                         self.log
                             .push(sim.now(), EngineEventKind::StageCompleted { stage: stage.id });
                     }
@@ -676,7 +752,7 @@ impl Engine {
             // Job completion.
             if job.result_parts.iter().all(Option::is_some) && !job.done {
                 job.done = true;
-                job.metrics.completed_at = sim.now();
+                metrics.completed_at = sim.now();
                 self.tele.job_completed(sim.now(), job_id, &job.metrics);
                 self.log
                     .push(sim.now(), EngineEventKind::JobCompleted { job: job_id });
@@ -690,7 +766,8 @@ impl Engine {
                     .collect();
                 let output = JobOutput {
                     partitions,
-                    metrics: job.metrics.clone(),
+                    // From here on the metrics block is frozen; share it.
+                    metrics: Arc::clone(&job.metrics),
                 };
                 if let Some(cb) = job.on_done.take() {
                     finished = Some((cb, output));
@@ -709,32 +786,36 @@ impl Engine {
             .borrow()
             .jobs
             .iter()
+            .enumerate()
             .filter(|(_, j)| !j.done)
-            .map(|(id, _)| JobId(*id))
+            .map(|(id, _)| JobId(id as u64))
             .collect();
         for id in ids {
             self.progress_job(sim, id);
         }
     }
 
-    /// Metrics of every job that has completed so far, in submission order.
-    pub fn completed_job_metrics(&self) -> Vec<JobMetrics> {
+    /// Metrics of every job that has completed so far, in submission
+    /// order. The returned `Arc`s share the scheduler's own metrics
+    /// blocks — no per-job deep copy.
+    pub fn completed_job_metrics(&self) -> Vec<Arc<JobMetrics>> {
         self.inner
             .borrow()
             .jobs
-            .values()
+            .iter()
             .filter(|j| j.done)
-            .map(|j| j.metrics.clone())
+            .map(|j| Arc::clone(&j.metrics))
             .collect()
     }
 
-    /// A completed job's metrics (available after `on_done` fired).
-    pub fn job_metrics(&self, job: JobId) -> Option<JobMetrics> {
+    /// A completed job's metrics (available after `on_done` fired),
+    /// shared rather than cloned.
+    pub fn job_metrics(&self, job: JobId) -> Option<Arc<JobMetrics>> {
         self.inner
             .borrow()
             .jobs
-            .get(&job.0)
-            .map(|j| j.metrics.clone())
+            .get(job.0 as usize)
+            .map(|j| Arc::clone(&j.metrics))
     }
 
     // ----- dispatch and the task state machine ---------------------------
@@ -745,18 +826,23 @@ impl Engine {
             let launch = {
                 let mut inner = self.inner.borrow_mut();
                 let inner = &mut *inner;
-                // Find an idle, live, non-draining executor.
-                let exec_id = inner
-                    .executors
+                // Find an idle, live, non-draining executor (name order —
+                // see `execs_by_name`).
+                let slot = inner
+                    .execs_by_name
                     .iter()
-                    .find(|(_, m)| m.alive && !m.draining && m.running.is_none())
-                    .map(|(id, _)| id.clone());
-                let Some(exec_id) = exec_id else { break };
+                    .map(|&s| s as usize)
+                    .find(|&s| {
+                        let m = &inner.execs[s];
+                        m.alive && !m.draining && m.running.is_none()
+                    });
+                let Some(slot) = slot else { break };
+                let exec_id = inner.execs[slot].desc.id;
                 // Pop the next dispatchable task.
                 let Some((job_id, stage_id, part)) = inner.pending.pop_front() else {
                     break;
                 };
-                let Some(job) = inner.jobs.get_mut(&job_id.0) else {
+                let Some(job) = inner.jobs.get_mut(job_id.0 as usize) else {
                     continue;
                 };
                 let st = &mut job.status[stage_id.0 as usize];
@@ -779,8 +865,8 @@ impl Engine {
                 // of the scheduler state), but a kill arriving in between
                 // must requeue the task, not panic the driver — this was
                 // an `.expect("dispatch picked a live executor")`.
-                let meta = match inner.executors.get_mut(&exec_id) {
-                    Some(m) if m.alive && !m.draining && m.running.is_none() => m,
+                let meta = match &mut inner.execs[slot] {
+                    m if m.alive && !m.draining && m.running.is_none() => m,
                     _ => {
                         st.queued.insert(part);
                         inner.pending.push_front((job_id, stage_id, part));
@@ -793,14 +879,14 @@ impl Engine {
                 meta.running = Some(attempt);
                 let span =
                     self.tele
-                        .task_started(sim.now(), &exec_id, meta.desc.kind, stage_id, part);
+                        .task_started(sim.now(), exec_id, meta.desc.kind, stage_id, part);
                 inner.attempts.insert(
                     attempt,
                     AttemptInfo {
                         job: job_id,
                         stage: stage_id,
                         part,
-                        exec: exec_id.clone(),
+                        exec: exec_id,
                         span,
                         started_at: sim.now(),
                         straggler_flagged: false,
@@ -811,22 +897,19 @@ impl Engine {
                     EngineEventKind::TaskStarted {
                         stage: stage_id,
                         part,
-                        exec: exec_id.clone(),
+                        exec: exec_id,
                     },
                 );
-                // Build the fetch plan: (shuffle, map index, block, size).
+                // Build the fetch plan: (shuffle, map index, writer, size).
+                // Blocks are identified lazily at fetch time — the plan
+                // carries only `Copy` handles, no per-block strings.
                 let shuffle_ids: Vec<ShuffleId> =
                     stage.input_shuffles.iter().map(|d| d.id).collect();
-                let mut plan: Vec<(ShuffleId, usize, BlockId, u64)> = Vec::new();
+                let mut plan: Vec<(ShuffleId, usize, ExecutorId, u64)> = Vec::new();
                 for dep in &stage.input_shuffles {
-                    for (m, writer, size) in inner.tracker.inputs_for_reduce(dep.id, part) {
-                        plan.push((
-                            dep.id,
-                            m,
-                            BlockId::shuffle(writer.0.clone(), dep.id.0, m as u64, part as u64),
-                            size,
-                        ));
-                    }
+                    inner
+                        .tracker
+                        .inputs_for_reduce_into(dep.id, part, &mut plan);
                 }
                 // The driver is a single-threaded dispatcher: task
                 // launches serialize through it.
@@ -860,19 +943,19 @@ impl Engine {
         sim: &mut Sim,
         attempt: AttemptId,
         shuffle_ids: Vec<ShuffleId>,
-        plan: Vec<(ShuffleId, usize, BlockId, u64)>,
+        plan: Vec<(ShuffleId, usize, ExecutorId, u64)>,
     ) {
         // Every input shuffle gets an entry even when this reduce partition
         // receives no bytes from it (all buckets empty).
-        let mut base: HashMap<ShuffleId, Vec<(usize, Bytes)>> = HashMap::new();
+        let mut base: FastMap<ShuffleId, Vec<(usize, Bytes)>> = FastMap::default();
         for id in &shuffle_ids {
             base.insert(*id, Vec::new());
         }
         // Sorting by map index gives every reduce task a canonical input
         // order regardless of fetch-completion timing.
         fn in_map_order(
-            results: HashMap<ShuffleId, Vec<(usize, Bytes)>>,
-        ) -> HashMap<ShuffleId, Vec<Bytes>> {
+            results: FastMap<ShuffleId, Vec<(usize, Bytes)>>,
+        ) -> FastMap<ShuffleId, Vec<Bytes>> {
             results
                 .into_iter()
                 .map(|(id, mut blocks)| {
@@ -885,39 +968,36 @@ impl Engine {
             self.run_compute(sim, attempt, in_map_order(base), 0);
             return;
         }
-        let (client, fetch_span) = {
+        let (client, fetch_span, part) = {
             let inner = self.inner.borrow();
             let Some(info) = inner.attempts.get(&attempt) else {
                 return;
             };
-            let meta = &inner.executors[&info.exec];
+            let meta = inner.exec(info.exec).expect("executor of live attempt");
             let span = self.tele.shuffle_phase_started(
                 sim.now(),
-                &info.exec,
+                info.exec,
                 meta.desc.kind,
                 "shuffle fetch",
             );
-            (meta.desc.client_loc(), span)
+            (meta.desc.client_loc(), span, info.part)
         };
         let fetched_bytes: u64 = plan.iter().map(|(_, _, _, s)| s).sum();
         struct FetchState {
-            queue: VecDeque<(ShuffleId, usize, BlockId)>,
+            queue: VecDeque<(ShuffleId, usize, ExecutorId)>,
             /// Fetched blocks with their map index: completions arrive in
             /// whatever order the store finishes them (fault injection and
             /// latency windows reshuffle that order), so blocks are sorted
             /// by map index before compute — task inputs, and therefore
             /// outputs, stay bit-identical across fault schedules.
-            results: HashMap<ShuffleId, Vec<(usize, Bytes)>>,
+            results: FastMap<ShuffleId, Vec<(usize, Bytes)>>,
             outstanding: usize,
             aborted: bool,
             span: SpanId,
             started: SimTime,
         }
         let state = Rc::new(RefCell::new(FetchState {
-            queue: plan
-                .iter()
-                .map(|(s, m, b, _)| (*s, *m, b.clone()))
-                .collect(),
+            queue: plan.iter().map(|&(s, m, w, _)| (s, m, w)).collect(),
             results: base,
             outstanding: 0,
             aborted: false,
@@ -930,6 +1010,7 @@ impl Engine {
             engine: &Engine,
             sim: &mut Sim,
             attempt: AttemptId,
+            part: usize,
             state: &Rc<RefCell<FetchState>>,
             client: splitserve_storage::ClientLoc,
             fetched_bytes: u64,
@@ -947,7 +1028,7 @@ impl Engine {
                     None => None,
                 }
             };
-            let Some((shuffle, map, block)) = next else {
+            let Some((shuffle, map, writer)) = next else {
                 return;
             };
             let engine2 = engine.clone();
@@ -955,7 +1036,7 @@ impl Engine {
             engine.store.get(
                 sim,
                 client,
-                block,
+                BlockId::shuffle(writer, shuffle.0, map as u64, part as u64),
                 Box::new(move |sim, result| {
                     if !engine2.attempt_live(attempt) {
                         let span = {
@@ -984,7 +1065,15 @@ impl Engine {
                                     .shuffle_phase_finished(sim.now(), span, "fetch", started);
                                 engine2.run_compute(sim, attempt, in_map_order(results), fetched_bytes);
                             } else {
-                                spawn_next(&engine2, sim, attempt, &state2, client, fetched_bytes);
+                                spawn_next(
+                                    &engine2,
+                                    sim,
+                                    attempt,
+                                    part,
+                                    &state2,
+                                    client,
+                                    fetched_bytes,
+                                );
                             }
                         }
                         Err(err) => {
@@ -1002,7 +1091,7 @@ impl Engine {
         }
 
         for _ in 0..window.min(plan.len()) {
-            spawn_next(self, sim, attempt, &state, client, fetched_bytes);
+            spawn_next(self, sim, attempt, part, &state, client, fetched_bytes);
         }
     }
 
@@ -1027,26 +1116,35 @@ impl Engine {
         &self,
         sim: &mut Sim,
         attempt: AttemptId,
-        inputs: HashMap<ShuffleId, Vec<Bytes>>,
+        inputs: FastMap<ShuffleId, Vec<Bytes>>,
         fetched_bytes: u64,
     ) {
         let (terminal, kind, part, work, speed, mem_bytes) = {
             let mut inner = self.inner.borrow_mut();
             let inner = &mut *inner;
-            let Some(info) = inner.attempts.get(&attempt) else {
+            let Some(&info) = inner.attempts.get(&attempt) else {
                 return;
             };
-            let job = &mut inner.jobs.get_mut(&info.job.0).expect("job of live attempt");
-            self.tele.shuffle_read(&mut job.metrics, fetched_bytes);
+            let (speed, mem_bytes) = {
+                let meta = inner.exec(info.exec).expect("executor of live attempt");
+                (
+                    meta.desc.core_speed * meta.speed_factor,
+                    meta.desc.memory_bytes(),
+                )
+            };
+            let job = inner
+                .jobs
+                .get_mut(info.job.0 as usize)
+                .expect("job of live attempt");
+            self.tele.shuffle_read(job.metrics_mut(), fetched_bytes);
             let stage = job.graph.stage(info.stage);
-            let meta = &inner.executors[&info.exec];
             (
                 Arc::clone(&stage.terminal),
                 stage.kind.clone(),
                 info.part,
                 inner.cfg.work.clone(),
-                meta.desc.core_speed * meta.speed_factor,
-                meta.desc.memory_bytes(),
+                speed,
+                mem_bytes,
             )
         };
         let deser_secs = inputs
@@ -1113,27 +1211,28 @@ impl Engine {
     fn after_compute(&self, sim: &mut Sim, attempt: AttemptId, payload: ComputePayload, cpu: f64) {
         let (info, shuffle_id, client) = {
             let inner = self.inner.borrow();
-            let Some(info) = inner.attempts.get(&attempt) else {
+            let Some(&info) = inner.attempts.get(&attempt) else {
                 return; // executor died while "computing"
             };
-            let job = &inner.jobs[&info.job.0];
+            let job = &inner.jobs[info.job.0 as usize];
             let sid = match &job.graph.stage(info.stage).kind {
                 StageKind::ShuffleMap(dep) => Some(dep.id),
                 StageKind::Result => None,
             };
-            (
-                info.clone(),
-                sid,
-                inner.executors[&info.exec].desc.client_loc(),
-            )
+            let client = inner
+                .exec(info.exec)
+                .expect("executor of live attempt")
+                .desc
+                .client_loc();
+            (info, sid, client)
         };
         match payload {
             ComputePayload::ResultOut(data) => {
                 {
                     let mut inner = self.inner.borrow_mut();
-                    if let Some(job) = inner.jobs.get_mut(&info.job.0) {
+                    if let Some(job) = inner.jobs.get_mut(info.job.0 as usize) {
                         job.result_parts[info.part] = Some(data);
-                        self.tele.task_cpu(&mut job.metrics, cpu);
+                        self.tele.task_cpu(job.metrics_mut(), cpu);
                     }
                 }
                 self.task_done(sim, attempt, cpu);
@@ -1147,22 +1246,17 @@ impl Engine {
                     .filter(|(_, b)| !b.bytes.is_empty())
                     .map(|(r, b)| {
                         (
-                            BlockId::shuffle(
-                                info.exec.0.clone(),
-                                sid.0,
-                                info.part as u64,
-                                r as u64,
-                            ),
+                            BlockId::shuffle(info.exec, sid.0, info.part as u64, r as u64),
                             b.bytes,
                         )
                     })
                     .collect();
                 {
                     let mut inner = self.inner.borrow_mut();
-                    if let Some(job) = inner.jobs.get_mut(&info.job.0) {
-                        self.tele.task_cpu(&mut job.metrics, cpu);
+                    if let Some(job) = inner.jobs.get_mut(info.job.0 as usize) {
+                        self.tele.task_cpu(job.metrics_mut(), cpu);
                         self.tele
-                            .shuffle_written(&mut job.metrics, sizes.iter().sum::<u64>());
+                            .shuffle_written(job.metrics_mut(), sizes.iter().sum::<u64>());
                     }
                 }
                 self.write_map_outputs(sim, attempt, sid, sizes, writes, client, cpu);
@@ -1191,9 +1285,13 @@ impl Engine {
             let Some(info) = inner.attempts.get(&attempt) else {
                 return;
             };
-            let kind = inner.executors[&info.exec].desc.kind;
+            let kind = inner
+                .exec(info.exec)
+                .expect("executor of live attempt")
+                .desc
+                .kind;
             self.tele
-                .shuffle_phase_started(sim.now(), &info.exec, kind, "shuffle write")
+                .shuffle_phase_started(sim.now(), info.exec, kind, "shuffle write")
         };
         struct WriteState {
             queue: VecDeque<(BlockId, Bytes)>,
@@ -1313,14 +1411,14 @@ impl Engine {
     ) {
         {
             let mut inner = self.inner.borrow_mut();
-            let Some(info) = inner.attempts.get(&attempt).cloned() else {
+            let Some(&info) = inner.attempts.get(&attempt) else {
                 return;
             };
             inner.tracker.register_output(
                 sid,
                 info.part,
                 MapStatus {
-                    executor: info.exec.clone(),
+                    executor: info.exec,
                     sizes,
                 },
             );
@@ -1337,8 +1435,7 @@ impl Engine {
                 return;
             };
             let meta = inner
-                .executors
-                .get_mut(&info.exec)
+                .exec_mut(info.exec)
                 .expect("executor of live attempt");
             meta.running = None;
             meta.idle_since = sim.now();
@@ -1346,10 +1443,10 @@ impl Engine {
             let kind = meta.desc.kind;
             let drain = meta.draining && meta.alive;
             let run_secs = sim.now().saturating_since(info.started_at).as_secs_f64();
-            if let Some(job) = inner.jobs.get_mut(&info.job.0) {
+            if let Some(job) = inner.jobs.get_mut(info.job.0 as usize) {
                 self.tele.task_finished(
                     sim.now(),
-                    &mut job.metrics,
+                    job.metrics_mut(),
                     kind,
                     info.span,
                     info.stage,
@@ -1367,11 +1464,11 @@ impl Engine {
                 EngineEventKind::TaskFinished {
                     stage: info.stage,
                     part: info.part,
-                    exec: info.exec.clone(),
+                    exec: info.exec,
                     cpu_secs: cpu,
                 },
             );
-            (info.job, drain.then(|| info.exec.clone()))
+            (info.job, drain.then_some(info.exec))
         };
         if let Some(exec) = decommission_target {
             self.decommission(sim, exec);
@@ -1444,18 +1541,18 @@ impl Engine {
                 EngineEventKind::TaskFailed {
                     stage: info.stage,
                     part: info.part,
-                    exec: info.exec.clone(),
+                    exec: info.exec,
                     reason: err.to_string(),
                 },
             );
             inner.tracker.unregister_output(shuffle, map);
-            if let Some(meta) = inner.executors.get_mut(&info.exec) {
+            if let Some(meta) = inner.exec_mut(info.exec) {
                 meta.running = None;
             }
-            if let Some(job) = inner.jobs.get_mut(&info.job.0) {
+            if let Some(job) = inner.jobs.get_mut(info.job.0 as usize) {
                 self.tele.task_failed(
                     sim.now(),
-                    &mut job.metrics,
+                    job.metrics_mut(),
                     info.span,
                     info.stage,
                     info.part,
@@ -1484,17 +1581,17 @@ impl Engine {
                 EngineEventKind::TaskFailed {
                     stage: info.stage,
                     part: info.part,
-                    exec: info.exec.clone(),
+                    exec: info.exec,
                     reason: err.to_string(),
                 },
             );
-            if let Some(meta) = inner.executors.get_mut(&info.exec) {
+            if let Some(meta) = inner.exec_mut(info.exec) {
                 meta.running = None;
             }
-            if let Some(job) = inner.jobs.get_mut(&info.job.0) {
+            if let Some(job) = inner.jobs.get_mut(info.job.0 as usize) {
                 self.tele.task_failed(
                     sim.now(),
-                    &mut job.metrics,
+                    job.metrics_mut(),
                     info.span,
                     info.stage,
                     info.part,

@@ -7,9 +7,18 @@
 //! in lock-step, and opens/closes the executor-lane spans the Chrome
 //! trace export turns into Figure-7-style timelines. The scheduler itself
 //! never touches a metrics field directly, so the two views cannot drift.
+//!
+//! Registry series the hot loop hits are resolved once at construction
+//! into [`CounterHandle`]/[`HistogramHandle`]/[`QuantileHandle`] cells —
+//! the per-task cost with observability on is atomic bumps, not key
+//! builds. Span and flight recording (and the `format!` arguments they
+//! consume) are gated on their recorders being enabled, so a run without
+//! observability pays one branch per event, not a pile of `String`s.
+
+use std::sync::Arc;
 
 use splitserve_des::SimTime;
-use splitserve_obs::{Obs, SpanId};
+use splitserve_obs::{CounterHandle, HistogramHandle, Obs, QuantileHandle, SpanId};
 
 use crate::events::JobId;
 use crate::executor::{ExecutorId, ExecutorKind};
@@ -35,6 +44,14 @@ impl FailureKind {
             FailureKind::WriteFailed => "write-failed",
         }
     }
+
+    fn idx(self) -> usize {
+        match self {
+            FailureKind::ExecutorLost => 0,
+            FailureKind::FetchFailed => 1,
+            FailureKind::WriteFailed => 2,
+        }
+    }
 }
 
 fn kind_label(kind: ExecutorKind) -> &'static str {
@@ -44,27 +61,104 @@ fn kind_label(kind: ExecutorKind) -> &'static str {
     }
 }
 
+fn kind_idx(kind: ExecutorKind) -> usize {
+    match kind {
+        ExecutorKind::Vm => 0,
+        ExecutorKind::Lambda => 1,
+    }
+}
+
+/// Buckets for whole-job execution times (seconds).
+const JOB_EXECUTION_BUCKETS: &[f64] = &[1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0];
+
+/// Every registry series the scheduler records on its steady-state path,
+/// resolved once. Indexed arrays follow [`kind_idx`] (vm, lambda),
+/// [`FailureKind::idx`], or fetch/write phase order.
+#[derive(Debug, Default)]
+struct Handles {
+    executors_registered: [CounterHandle; 2],
+    tasks_completed: [CounterHandle; 2],
+    task_cpu_seconds: [HistogramHandle; 2],
+    task_run_seconds: [QuantileHandle; 2],
+    tasks_failed: [CounterHandle; 3],
+    stragglers_suspected: CounterHandle,
+    shuffle_bytes_read: CounterHandle,
+    shuffle_bytes_written: CounterHandle,
+    shuffle_phase_seconds_hist: [HistogramHandle; 2],
+    shuffle_phase_seconds_quant: [QuantileHandle; 2],
+    stages_completed: CounterHandle,
+    stage_rollbacks: CounterHandle,
+    stage_rollback_missing: CounterHandle,
+    jobs_completed: CounterHandle,
+    job_execution_seconds_hist: HistogramHandle,
+    job_execution_seconds_quant: QuantileHandle,
+}
+
+impl Handles {
+    fn resolve(obs: &Obs) -> Self {
+        let m = &obs.metrics;
+        let per_kind_counter =
+            |name: &str| [0, 1].map(|i| m.counter_handle(name, &[("kind", ["vm", "lambda"][i])]));
+        Handles {
+            executors_registered: per_kind_counter("executors_registered_total"),
+            tasks_completed: per_kind_counter("tasks_completed_total"),
+            task_cpu_seconds: [0, 1].map(|i| {
+                m.histogram_handle("task_cpu_seconds", &[("kind", ["vm", "lambda"][i])])
+            }),
+            task_run_seconds: [0, 1].map(|i| {
+                m.quantile_handle("task_run_seconds", &[("kind", ["vm", "lambda"][i])])
+            }),
+            tasks_failed: [
+                FailureKind::ExecutorLost,
+                FailureKind::FetchFailed,
+                FailureKind::WriteFailed,
+            ]
+            .map(|why| m.counter_handle("tasks_failed_total", &[("reason", why.label())])),
+            stragglers_suspected: m.counter_handle("stragglers_suspected_total", &[]),
+            shuffle_bytes_read: m.counter_handle("shuffle_bytes_read_total", &[]),
+            shuffle_bytes_written: m.counter_handle("shuffle_bytes_written_total", &[]),
+            shuffle_phase_seconds_hist: [0, 1].map(|i| {
+                m.histogram_handle("shuffle_phase_seconds", &[("phase", ["fetch", "write"][i])])
+            }),
+            shuffle_phase_seconds_quant: [0, 1].map(|i| {
+                m.quantile_handle("shuffle_phase_seconds", &[("phase", ["fetch", "write"][i])])
+            }),
+            stages_completed: m.counter_handle("stages_completed_total", &[]),
+            stage_rollbacks: m.counter_handle("stage_rollbacks_total", &[]),
+            stage_rollback_missing: m.counter_handle("stage_rollback_missing_partitions_total", &[]),
+            jobs_completed: m.counter_handle("jobs_completed_total", &[]),
+            job_execution_seconds_hist: m.histogram_handle_with(
+                "job_execution_seconds",
+                &[],
+                JOB_EXECUTION_BUCKETS,
+            ),
+            job_execution_seconds_quant: m.quantile_handle("job_execution_seconds", &[]),
+        }
+    }
+}
+
 /// Shared recorder for everything the engine measures.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Telemetry {
     obs: Obs,
+    h: Arc<Handles>,
 }
 
 impl Telemetry {
     pub fn new(obs: Obs) -> Self {
-        Telemetry { obs }
+        let h = Arc::new(Handles::resolve(&obs));
+        Telemetry { obs, h }
     }
 
     pub fn obs(&self) -> &Obs {
         &self.obs
     }
 
-    pub fn executor_registered(&self, at: SimTime, exec: &ExecutorId, kind: ExecutorKind) {
-        let lane = kind_label(kind);
+    pub fn executor_registered(&self, at: SimTime, exec: ExecutorId, kind: ExecutorKind) {
+        self.h.executors_registered[kind_idx(kind)].inc();
         self.obs
-            .metrics
-            .counter_add("executors_registered_total", &[("kind", lane)], 1);
-        self.obs.spans.instant(at, lane, &exec.0, "registered");
+            .spans
+            .instant(at, kind_label(kind), exec.as_str(), "registered");
     }
 
     /// Opens the task's executor-lane span; the returned id rides in the
@@ -72,27 +166,34 @@ impl Telemetry {
     pub fn task_started(
         &self,
         at: SimTime,
-        exec: &ExecutorId,
+        exec: ExecutorId,
         kind: ExecutorKind,
         stage: StageId,
         part: usize,
     ) -> SpanId {
-        let span = self.obs.spans.open(
-            at,
-            kind_label(kind),
-            &exec.0,
-            &format!("task s{}.{}", stage.0, part),
-        );
-        self.obs.spans.annotate(span, "stage", &stage.0.to_string());
-        self.obs.flight.record(
-            at,
-            "task-started",
-            &[
-                ("exec", &exec.0),
-                ("stage", &stage.0.to_string()),
-                ("part", &part.to_string()),
-            ],
-        );
+        let span = if self.obs.spans.is_enabled() {
+            let span = self.obs.spans.open(
+                at,
+                kind_label(kind),
+                exec.as_str(),
+                &format!("task s{}.{}", stage.0, part),
+            );
+            self.obs.spans.annotate(span, "stage", &stage.0.to_string());
+            span
+        } else {
+            SpanId::NONE
+        };
+        if self.obs.flight.is_enabled() {
+            self.obs.flight.record(
+                at,
+                "task-started",
+                &[
+                    ("exec", exec.as_str()),
+                    ("stage", &stage.0.to_string()),
+                    ("part", &part.to_string()),
+                ],
+            );
+        }
         span
     }
 
@@ -109,31 +210,34 @@ impl Telemetry {
         run_secs: f64,
     ) {
         metrics.count_task(kind);
-        let labels = [("kind", kind_label(kind))];
-        self.obs
-            .metrics
-            .counter_add("tasks_completed_total", &labels, 1);
-        self.obs.metrics.observe("task_cpu_seconds", &labels, cpu_secs);
-        self.obs
-            .metrics
-            .record_quantile("task_run_seconds", &labels, run_secs);
-        self.obs
-            .rollups
-            .record("task_run_seconds", &labels, at, run_secs);
-        self.obs
-            .spans
-            .annotate(span, "cpu_secs", &format!("{cpu_secs:.6}"));
-        self.obs.spans.close(span, at);
-        self.obs.flight.record(
+        let k = kind_idx(kind);
+        self.h.tasks_completed[k].inc();
+        self.h.task_cpu_seconds[k].observe(cpu_secs);
+        self.h.task_run_seconds[k].record(run_secs);
+        self.obs.rollups.record(
+            "task_run_seconds",
+            &[("kind", kind_label(kind))],
             at,
-            "task-finished",
-            &[
-                ("kind", kind_label(kind)),
-                ("stage", &stage.0.to_string()),
-                ("part", &part.to_string()),
-                ("run_secs", &format!("{run_secs:.6}")),
-            ],
+            run_secs,
         );
+        if self.obs.spans.is_enabled() {
+            self.obs
+                .spans
+                .annotate(span, "cpu_secs", &format!("{cpu_secs:.6}"));
+            self.obs.spans.close(span, at);
+        }
+        if self.obs.flight.is_enabled() {
+            self.obs.flight.record(
+                at,
+                "task-finished",
+                &[
+                    ("kind", kind_label(kind)),
+                    ("stage", &stage.0.to_string()),
+                    ("part", &part.to_string()),
+                    ("run_secs", &format!("{run_secs:.6}")),
+                ],
+            );
+        }
     }
 
     /// A task attempt failed and will be re-queued: count the recompute
@@ -148,20 +252,22 @@ impl Telemetry {
         why: FailureKind,
     ) {
         metrics.tasks_recomputed += 1;
-        self.obs
-            .metrics
-            .counter_add("tasks_failed_total", &[("reason", why.label())], 1);
-        self.obs.spans.annotate(span, "failed", why.label());
-        self.obs.spans.close(span, at);
-        self.obs.flight.record(
-            at,
-            "task-failed",
-            &[
-                ("stage", &stage.0.to_string()),
-                ("part", &part.to_string()),
-                ("reason", why.label()),
-            ],
-        );
+        self.h.tasks_failed[why.idx()].inc();
+        if self.obs.spans.is_enabled() {
+            self.obs.spans.annotate(span, "failed", why.label());
+            self.obs.spans.close(span, at);
+        }
+        if self.obs.flight.is_enabled() {
+            self.obs.flight.record(
+                at,
+                "task-failed",
+                &[
+                    ("stage", &stage.0.to_string()),
+                    ("part", &part.to_string()),
+                    ("reason", why.label()),
+                ],
+            );
+        }
     }
 
     /// A running task has outlived the configured multiple of its stage's
@@ -177,24 +283,26 @@ impl Telemetry {
         elapsed_secs: f64,
         threshold_secs: f64,
     ) {
-        self.obs
-            .metrics
-            .counter_add("stragglers_suspected_total", &[], 1);
-        self.obs.spans.annotate(
-            span,
-            "straggler",
-            &format!("elapsed {elapsed_secs:.6}s > threshold {threshold_secs:.6}s"),
-        );
-        self.obs.flight.record(
-            at,
-            "straggler-suspected",
-            &[
-                ("stage", &stage.0.to_string()),
-                ("part", &part.to_string()),
-                ("elapsed_secs", &format!("{elapsed_secs:.6}")),
-                ("threshold_secs", &format!("{threshold_secs:.6}")),
-            ],
-        );
+        self.h.stragglers_suspected.inc();
+        if self.obs.spans.is_enabled() {
+            self.obs.spans.annotate(
+                span,
+                "straggler",
+                &format!("elapsed {elapsed_secs:.6}s > threshold {threshold_secs:.6}s"),
+            );
+        }
+        if self.obs.flight.is_enabled() {
+            self.obs.flight.record(
+                at,
+                "straggler-suspected",
+                &[
+                    ("stage", &stage.0.to_string()),
+                    ("part", &part.to_string()),
+                    ("elapsed_secs", &format!("{elapsed_secs:.6}")),
+                    ("threshold_secs", &format!("{threshold_secs:.6}")),
+                ],
+            );
+        }
     }
 
     pub fn task_cpu(&self, metrics: &mut JobMetrics, cpu_secs: f64) {
@@ -203,39 +311,38 @@ impl Telemetry {
 
     pub fn shuffle_read(&self, metrics: &mut JobMetrics, bytes: u64) {
         metrics.shuffle_bytes_read += bytes;
-        self.obs
-            .metrics
-            .counter_add("shuffle_bytes_read_total", &[], bytes);
+        self.h.shuffle_bytes_read.add(bytes);
     }
 
     pub fn shuffle_written(&self, metrics: &mut JobMetrics, bytes: u64) {
         metrics.shuffle_bytes_written += bytes;
-        self.obs
-            .metrics
-            .counter_add("shuffle_bytes_written_total", &[], bytes);
+        self.h.shuffle_bytes_written.add(bytes);
     }
 
     /// Opens a nested span for a task's shuffle fetch or write phase.
     pub fn shuffle_phase_started(
         &self,
         at: SimTime,
-        exec: &ExecutorId,
+        exec: ExecutorId,
         kind: ExecutorKind,
         phase: &str,
     ) -> SpanId {
-        self.obs.spans.open(at, kind_label(kind), &exec.0, phase)
+        self.obs
+            .spans
+            .open(at, kind_label(kind), exec.as_str(), phase)
     }
 
+    /// `phase` must be `"fetch"` or `"write"` — the two shuffle phases.
     pub fn shuffle_phase_finished(&self, at: SimTime, span: SpanId, phase: &str, started: SimTime) {
         self.obs.spans.close(span, at);
         let secs = at.saturating_since(started).as_secs_f64();
-        let labels = [("phase", phase)];
-        self.obs
-            .metrics
-            .observe("shuffle_phase_seconds", &labels, secs);
-        self.obs
-            .metrics
-            .record_quantile("shuffle_phase_seconds", &labels, secs);
+        let p = match phase {
+            "fetch" => 0,
+            "write" => 1,
+            other => panic!("unknown shuffle phase {other:?}"),
+        };
+        self.h.shuffle_phase_seconds_hist[p].observe(secs);
+        self.h.shuffle_phase_seconds_quant[p].record(secs);
     }
 
     /// A shuffle phase ended without completing (store error, executor
@@ -248,59 +355,52 @@ impl Telemetry {
 
     pub fn stage_completed(&self, metrics: &mut JobMetrics) {
         metrics.stages_run += 1;
-        self.obs.metrics.counter_add("stages_completed_total", &[], 1);
+        self.h.stages_completed.inc();
     }
 
     pub fn stage_rolled_back(&self, at: SimTime, stage: StageId, missing: usize) {
-        self.obs
-            .metrics
-            .counter_add("stage_rollbacks_total", &[], 1);
-        self.obs.metrics.counter_add(
-            "stage_rollback_missing_partitions_total",
-            &[],
-            missing as u64,
-        );
-        self.obs.spans.instant(
-            at,
-            "driver",
-            "driver",
-            &format!("rollback s{}", stage.0),
-        );
-        self.obs.flight.record(
-            at,
-            "stage-rollback",
-            &[
-                ("stage", &stage.0.to_string()),
-                ("missing", &missing.to_string()),
-            ],
-        );
+        self.h.stage_rollbacks.inc();
+        self.h.stage_rollback_missing.add(missing as u64);
+        if self.obs.spans.is_enabled() {
+            self.obs.spans.instant(
+                at,
+                "driver",
+                "driver",
+                &format!("rollback s{}", stage.0),
+            );
+        }
+        if self.obs.flight.is_enabled() {
+            self.obs.flight.record(
+                at,
+                "stage-rollback",
+                &[
+                    ("stage", &stage.0.to_string()),
+                    ("missing", &missing.to_string()),
+                ],
+            );
+        }
     }
 
     pub fn job_completed(&self, at: SimTime, job: JobId, metrics: &JobMetrics) {
-        self.obs.metrics.counter_add("jobs_completed_total", &[], 1);
+        self.h.jobs_completed.inc();
         let secs = metrics.execution_time().as_secs_f64();
-        self.obs.metrics.observe_with(
-            "job_execution_seconds",
-            &[],
-            &[1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0],
-            secs,
-        );
-        self.obs
-            .metrics
-            .record_quantile("job_execution_seconds", &[], secs);
-        self.obs
-            .rollups
-            .record("job_execution_seconds", &[], at, secs);
-        self.obs
-            .spans
-            .instant(at, "driver", "driver", &format!("{job} completed"));
-        self.obs.flight.record(
-            at,
-            "job-completed",
-            &[
-                ("job", &job.to_string()),
-                ("execution_secs", &format!("{secs:.6}")),
-            ],
-        );
+        self.h.job_execution_seconds_hist.observe(secs);
+        self.h.job_execution_seconds_quant.record(secs);
+        self.obs.rollups.record("job_execution_seconds", &[], at, secs);
+        if self.obs.spans.is_enabled() {
+            self.obs
+                .spans
+                .instant(at, "driver", "driver", &format!("{job} completed"));
+        }
+        if self.obs.flight.is_enabled() {
+            self.obs.flight.record(
+                at,
+                "job-completed",
+                &[
+                    ("job", &job.to_string()),
+                    ("execution_secs", &format!("{secs:.6}")),
+                ],
+            );
+        }
     }
 }

@@ -2,7 +2,7 @@
 //! big the per-reduce buckets are — the driver-side metadata Spark keeps in
 //! `MapOutputTracker`.
 
-use std::collections::HashMap;
+use splitserve_rt::FastMap;
 
 use crate::executor::ExecutorId;
 use crate::node::ShuffleId;
@@ -21,7 +21,7 @@ pub struct MapStatus {
 /// Driver-side shuffle metadata.
 #[derive(Debug, Default)]
 pub struct MapOutputTracker {
-    shuffles: HashMap<ShuffleId, Vec<Option<MapStatus>>>,
+    shuffles: FastMap<ShuffleId, Vec<Option<MapStatus>>>,
 }
 
 impl MapOutputTracker {
@@ -92,10 +92,41 @@ impl MapOutputTracker {
                 let s = s
                     .as_ref()
                     .unwrap_or_else(|| panic!("shuffle {id} map {m} incomplete"));
-                (m, s.executor.clone(), s.sizes[reduce])
+                (m, s.executor, s.sizes[reduce])
             })
             .filter(|(_, _, size)| *size > 0)
             .collect()
+    }
+
+    /// Appends the non-empty blocks a reduce task for partition `reduce`
+    /// must fetch onto `plan` as `(shuffle, map_index, writer, size)` —
+    /// the allocation-free form of [`inputs_for_reduce`] the dispatch hot
+    /// path uses (`plan` is the caller's task-scoped fetch plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shuffle is incomplete, like [`inputs_for_reduce`].
+    ///
+    /// [`inputs_for_reduce`]: MapOutputTracker::inputs_for_reduce
+    pub fn inputs_for_reduce_into(
+        &self,
+        id: ShuffleId,
+        reduce: usize,
+        plan: &mut Vec<(ShuffleId, usize, ExecutorId, u64)>,
+    ) {
+        let maps = self
+            .shuffles
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown shuffle {id}"));
+        for (m, s) in maps.iter().enumerate() {
+            let s = s
+                .as_ref()
+                .unwrap_or_else(|| panic!("shuffle {id} map {m} incomplete"));
+            let size = s.sizes[reduce];
+            if size > 0 {
+                plan.push((id, m, s.executor, size));
+            }
+        }
     }
 
     /// Whether `executor` currently holds any registered output of shuffle
@@ -155,7 +186,7 @@ mod tests {
 
     fn status(exec: &str, sizes: Vec<u64>) -> MapStatus {
         MapStatus {
-            executor: ExecutorId(exec.into()),
+            executor: ExecutorId::new(exec),
             sizes,
         }
     }
@@ -192,9 +223,12 @@ mod tests {
         t.register_output(s, 0, status("e1", vec![10, 0]));
         t.register_output(s, 1, status("e2", vec![0, 20]));
         let r0 = t.inputs_for_reduce(s, 0);
-        assert_eq!(r0, vec![(0, ExecutorId("e1".into()), 10)]);
+        assert_eq!(r0, vec![(0, ExecutorId::new("e1"), 10)]);
         let r1 = t.inputs_for_reduce(s, 1);
-        assert_eq!(r1, vec![(1, ExecutorId("e2".into()), 20)]);
+        assert_eq!(r1, vec![(1, ExecutorId::new("e2"), 20)]);
+        let mut plan = Vec::new();
+        t.inputs_for_reduce_into(s, 1, &mut plan);
+        assert_eq!(plan, vec![(s, 1, ExecutorId::new("e2"), 20)]);
         assert_eq!(t.shuffle_bytes(s), 30);
     }
 
@@ -208,7 +242,7 @@ mod tests {
         t.register_output(s1, 0, status("dead", vec![1]));
         t.register_output(s1, 1, status("alive", vec![1]));
         t.register_output(s2, 0, status("dead", vec![1]));
-        let affected = t.unregister_executor(&ExecutorId("dead".into()));
+        let affected = t.unregister_executor(&ExecutorId::new("dead"));
         assert_eq!(affected, vec![(s1, 1), (s2, 1)]);
         assert_eq!(t.missing(s1), vec![0]);
         assert!(!t.is_complete(s2));

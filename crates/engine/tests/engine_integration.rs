@@ -50,7 +50,7 @@ fn hdfs_rig(executors: usize) -> Rig {
 fn run_job<T: Clone + Send + Sync + 'static>(
     rig: &mut Rig,
     ds: &Dataset<T>,
-) -> (Vec<T>, splitserve_engine::JobMetrics) {
+) -> (Vec<T>, std::sync::Arc<splitserve_engine::JobMetrics>) {
     let slot: Rc<RefCell<Option<JobOutput>>> = Rc::new(RefCell::new(None));
     let s = Rc::clone(&slot);
     rig.engine.submit_job(&mut rig.sim, ds.node(), move |_, out| {

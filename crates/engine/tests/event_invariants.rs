@@ -66,11 +66,11 @@ fn assert_monotone(events: &[EngineEvent]) {
 /// Every TaskStarted is closed by exactly one TaskFinished or TaskFailed
 /// with the same (stage, part, exec).
 fn assert_tasks_paired(events: &[EngineEvent]) {
-    let mut open: HashMap<(u64, usize, String), u64> = HashMap::new();
+    let mut open: HashMap<(u64, usize, splitserve_engine::ExecutorId), u64> = HashMap::new();
     for e in events {
         match &e.kind {
             EngineEventKind::TaskStarted { stage, part, exec } => {
-                let slot = open.entry((stage.0, *part, exec.0.clone())).or_insert(0);
+                let slot = open.entry((stage.0, *part, *exec)).or_insert(0);
                 assert_eq!(
                     *slot, 0,
                     "task s{}.{} started twice on {} without ending",
@@ -80,7 +80,7 @@ fn assert_tasks_paired(events: &[EngineEvent]) {
             }
             EngineEventKind::TaskFinished { stage, part, exec, .. }
             | EngineEventKind::TaskFailed { stage, part, exec, .. } => {
-                let slot = open.entry((stage.0, *part, exec.0.clone())).or_insert(0);
+                let slot = open.entry((stage.0, *part, *exec)).or_insert(0);
                 assert_eq!(
                     *slot, 1,
                     "task s{}.{} ended on {} without a matching start",

@@ -7,7 +7,9 @@
 //!    plan instances — must serialize byte-identical shuffle blocks, so
 //!    replays and cross-substrate reruns stay reproducible.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use splitserve_rt::FastMap;
 use std::sync::Arc;
 
 use splitserve_engine::{
@@ -86,7 +88,7 @@ where
     }
     let mut parts: Vec<PartitionData> = Vec::new();
     for (r, blocks) in buckets.into_iter().enumerate() {
-        let mut inputs = HashMap::new();
+        let mut inputs = FastMap::default();
         inputs.insert(dep.id, blocks);
         let mut c = TaskContext::new(WorkModel::default(), inputs);
         parts.push(node.compute(&mut c, r));
@@ -156,7 +158,7 @@ fn group_by_key_matches_btreemap_reference() {
         }
         let mut got: Vec<(u64, Vec<u64>)> = Vec::new();
         for (r, blocks) in buckets.into_iter().enumerate() {
-            let mut inputs = HashMap::new();
+            let mut inputs = FastMap::default();
             inputs.insert(dep.id, blocks);
             let mut c = TaskContext::new(WorkModel::default(), inputs);
             got.extend(collect_partitions::<(u64, Vec<u64>)>(vec![

@@ -21,13 +21,18 @@ use crate::digest::QuantileDigest;
 
 /// Opaque tenant key. The default tenant is `"default"` — a single-tenant
 /// deployment never needs to mention tenants at all.
+///
+/// Backed by `Arc<str>`: tenant ids flow through every admission event
+/// and ledger entry, so cloning one is a refcount bump, not a string
+/// allocation. Ordering, equality and hashing all follow the string
+/// contents.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct TenantId(String);
+pub struct TenantId(Arc<str>);
 
 impl TenantId {
     /// A tenant key from any string-like id.
     pub fn new(id: impl Into<String>) -> Self {
-        TenantId(id.into())
+        TenantId(id.into().into())
     }
 
     /// The raw key.
@@ -38,7 +43,7 @@ impl TenantId {
 
 impl Default for TenantId {
     fn default() -> Self {
-        TenantId("default".to_string())
+        TenantId(Arc::from("default"))
     }
 }
 

@@ -51,7 +51,10 @@ mod timeseries;
 pub use digest::{QuantileDigest, DEFAULT_DIGEST_ALPHA, MIN_TRACKABLE};
 pub use flight::{FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use ledger::{BillLedger, BillPoint, SloLedger, SloPoint, TenantId};
-pub use registry::{HistogramSnapshot, MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
+pub use registry::{
+    CounterHandle, HistogramHandle, HistogramSnapshot, MetricsRegistry, QuantileHandle,
+    DEFAULT_LATENCY_BUCKETS,
+};
 pub use span::{Span, SpanId, SpanRecorder};
 pub use timeseries::{RollupSpec, Rollups, WindowSnapshot};
 

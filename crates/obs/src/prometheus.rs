@@ -61,11 +61,12 @@ pub(crate) fn render(reg: &MetricsRegistry) -> String {
     let mut out = String::new();
 
     let mut last_name = "";
-    for ((name, labels), value) in &inner.counters {
+    for ((name, labels), cell) in &inner.counters {
         if name != last_name {
             let _ = writeln!(out, "# TYPE {name} counter");
             last_name = name;
         }
+        let value = cell.load(std::sync::atomic::Ordering::Relaxed);
         let _ = writeln!(out, "{name}{} {value}", labels_block(labels, None));
     }
 
@@ -84,7 +85,8 @@ pub(crate) fn render(reg: &MetricsRegistry) -> String {
     }
 
     last_name = "";
-    for ((name, labels), h) in &inner.histograms {
+    for ((name, labels), cell) in &inner.histograms {
+        let h = crate::registry::hist_lock(cell);
         if name != last_name {
             let _ = writeln!(out, "# TYPE {name} histogram");
             last_name = name;

@@ -2,8 +2,8 @@
 //! histograms, each keyed by a label set.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use crate::digest::QuantileDigest;
 
@@ -69,9 +69,14 @@ pub struct HistogramSnapshot {
 
 #[derive(Debug, Default)]
 pub(crate) struct RegistryInner {
-    pub counters: BTreeMap<MetricKey, u64>,
+    /// Counter cells are `Arc`-shared so a [`CounterHandle`] can alias
+    /// one and bump it with a single atomic add, bypassing the key
+    /// build + map walk of [`MetricsRegistry::counter_add`].
+    pub counters: BTreeMap<MetricKey, Arc<AtomicU64>>,
     pub gauges: BTreeMap<MetricKey, f64>,
-    pub histograms: BTreeMap<MetricKey, Histogram>,
+    /// Histograms are `Arc<Mutex<_>>` for the same reason (see
+    /// [`HistogramHandle`]).
+    pub histograms: BTreeMap<MetricKey, Arc<Mutex<Histogram>>>,
 }
 
 /// Shard count for quantile-digest recording. Each recording thread is
@@ -94,8 +99,14 @@ thread_local! {
 /// recorded what.
 #[derive(Debug)]
 pub(crate) struct DigestShards {
-    shards: [Mutex<BTreeMap<MetricKey, QuantileDigest>>; DIGEST_SHARDS],
+    /// Digest cells are `Arc<Mutex<_>>` so a [`QuantileHandle`] can alias
+    /// its per-shard cell and record without the shard-map walk. Lock
+    /// order is always shard map → digest cell; handles lock the cell
+    /// alone, never the map, so the orders cannot interleave.
+    shards: [Mutex<BTreeMap<MetricKey, Arc<Mutex<QuantileDigest>>>>; DIGEST_SHARDS],
 }
+
+type ShardMap = BTreeMap<MetricKey, Arc<Mutex<QuantileDigest>>>;
 
 impl DigestShards {
     fn new() -> Self {
@@ -104,18 +115,20 @@ impl DigestShards {
         }
     }
 
-    fn shard_lock(
-        shard: &Mutex<BTreeMap<MetricKey, QuantileDigest>>,
-    ) -> MutexGuard<'_, BTreeMap<MetricKey, QuantileDigest>> {
+    fn shard_lock(shard: &Mutex<ShardMap>) -> MutexGuard<'_, ShardMap> {
         shard.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn cell_lock(cell: &Mutex<QuantileDigest>) -> MutexGuard<'_, QuantileDigest> {
+        cell.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn record(&self, key: MetricKey, value: f64) {
         let idx = SHARD_IDX.with(|i| *i);
-        Self::shard_lock(&self.shards[idx])
-            .entry(key)
-            .or_default()
-            .record(value);
+        let mut shard = Self::shard_lock(&self.shards[idx]);
+        let cell = Arc::clone(shard.entry(key).or_default());
+        drop(shard);
+        Self::cell_lock(&cell).record(value);
     }
 
     /// The merged digest for one key, if any shard recorded it.
@@ -123,8 +136,12 @@ impl DigestShards {
         let mut out: Option<QuantileDigest> = None;
         for shard in &self.shards {
             if let Some(d) = Self::shard_lock(shard).get(key) {
+                let d = Self::cell_lock(d);
+                if d.is_empty() {
+                    continue;
+                }
                 match &mut out {
-                    Some(m) => m.merge(d),
+                    Some(m) => m.merge(&d),
                     None => out = Some(d.clone()),
                 }
             }
@@ -132,13 +149,20 @@ impl DigestShards {
         out
     }
 
-    /// All digests, merged across shards, sorted by key.
+    /// All digests, merged across shards, sorted by key. Cells a handle
+    /// materialized but never recorded into are skipped, so resolving a
+    /// handle is invisible until the first record — exactly like the
+    /// string path, where the entry only exists once something recorded.
     pub(crate) fn merged(&self) -> BTreeMap<MetricKey, QuantileDigest> {
         let mut out: BTreeMap<MetricKey, QuantileDigest> = BTreeMap::new();
         for shard in &self.shards {
             for (k, d) in Self::shard_lock(shard).iter() {
+                let d = Self::cell_lock(d);
+                if d.is_empty() {
+                    continue;
+                }
                 match out.get_mut(k) {
-                    Some(m) => m.merge(d),
+                    Some(m) => m.merge(&d),
                     None => {
                         out.insert(k.clone(), d.clone());
                     }
@@ -174,6 +198,121 @@ pub(crate) fn lock(inner: &Arc<Mutex<RegistryInner>>) -> MutexGuard<'_, Registry
     inner.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Locks one histogram cell, recovering from poison like [`lock`].
+pub(crate) fn hist_lock(cell: &Mutex<Histogram>) -> MutexGuard<'_, Histogram> {
+    cell.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[derive(Debug)]
+struct CounterCore {
+    registry: Arc<Mutex<RegistryInner>>,
+    key: MetricKey,
+    /// The counter's cell, materialized in the registry on first
+    /// [`add`](CounterHandle::add) — a handle that never records leaves
+    /// the registry (and therefore the rendered exposition) untouched,
+    /// exactly like a counter name nobody ever added to.
+    cell: OnceLock<Arc<AtomicU64>>,
+}
+
+/// A pre-resolved counter: the `(name, sorted labels)` key is built once
+/// at wiring time; every [`add`](CounterHandle::add) after the first is a
+/// single relaxed atomic bump — no allocation, no registry lock. Handles
+/// from a disabled registry are inert (one branch per call). Cloning
+/// shares the resolution.
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle(Option<Arc<CounterCore>>);
+
+impl CounterHandle {
+    /// Adds `delta` to the counter.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        let Some(core) = &self.0 else { return };
+        core.cell
+            .get_or_init(|| {
+                Arc::clone(
+                    lock(&core.registry)
+                        .counters
+                        .entry(core.key.clone())
+                        .or_default(),
+                )
+            })
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    registry: Arc<Mutex<RegistryInner>>,
+    key: MetricKey,
+    bounds: Vec<f64>,
+    cell: OnceLock<Arc<Mutex<Histogram>>>,
+}
+
+/// A pre-resolved histogram: [`observe`](HistogramHandle::observe) after
+/// the first is one uncontended mutex lock plus a bucket increment. The
+/// cell is shared with the string path, so mixing `observe_with` calls
+/// and handle observations lands in the same series.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(Option<Arc<HistogramCore>>);
+
+impl HistogramHandle {
+    /// Records `value`.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        let Some(core) = &self.0 else { return };
+        let cell = core.cell.get_or_init(|| {
+            Arc::clone(
+                lock(&core.registry)
+                    .histograms
+                    .entry(core.key.clone())
+                    .or_insert_with(|| Arc::new(Mutex::new(Histogram::new(&core.bounds)))),
+            )
+        });
+        hist_lock(cell).observe(value);
+    }
+}
+
+#[derive(Debug)]
+struct QuantileCore {
+    shards: Arc<DigestShards>,
+    key: MetricKey,
+    /// One lazily-materialized cell per digest shard — each recording
+    /// thread touches only its own shard's cell, preserving the
+    /// contention-free property of the sharded string path.
+    cells: [OnceLock<Arc<Mutex<QuantileDigest>>>; DIGEST_SHARDS],
+}
+
+/// A pre-resolved streaming-quantile digest:
+/// [`record`](QuantileHandle::record) after the first is one uncontended
+/// mutex lock on the calling thread's shard cell plus the digest bucket
+/// bump. Merged reads are unchanged — handle records and
+/// [`MetricsRegistry::record_quantile`] land in the same shard maps.
+#[derive(Debug, Clone, Default)]
+pub struct QuantileHandle(Option<Arc<QuantileCore>>);
+
+impl QuantileHandle {
+    /// Records `value` into the calling thread's shard.
+    #[inline]
+    pub fn record(&self, value: f64) {
+        let Some(core) = &self.0 else { return };
+        let idx = SHARD_IDX.with(|i| *i);
+        let cell = core.cells[idx].get_or_init(|| {
+            Arc::clone(
+                DigestShards::shard_lock(&core.shards.shards[idx])
+                    .entry(core.key.clone())
+                    .or_default(),
+            )
+        });
+        DigestShards::cell_lock(cell).record(value);
+    }
+}
+
 fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
     let mut l: Vec<(String, String)> = labels
         .iter()
@@ -203,13 +342,16 @@ impl MetricsRegistry {
     }
 
     /// Adds `delta` to the counter `name{labels}` (created at zero on
-    /// first touch).
+    /// first touch). This is the slow path: it builds and sorts a key on
+    /// every call — hot loops should resolve a
+    /// [`CounterHandle`](MetricsRegistry::counter_handle) once instead.
     pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
         let Some(inner) = &self.inner else { return };
-        *lock(inner)
+        lock(inner)
             .counters
             .entry(key(name, labels))
-            .or_insert(0) += delta;
+            .or_default()
+            .fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current value of a counter (zero if never touched or disabled).
@@ -218,8 +360,21 @@ impl MetricsRegistry {
         lock(inner)
             .counters
             .get(&key(name, labels))
-            .copied()
+            .map(|c| c.load(Ordering::Relaxed))
             .unwrap_or(0)
+    }
+
+    /// Resolves the counter `name{labels}` to a reusable [`CounterHandle`]
+    /// — the key is built and sorted once, here; every
+    /// [`add`](CounterHandle::add) after that is an atomic bump.
+    pub fn counter_handle(&self, name: &str, labels: &[(&str, &str)]) -> CounterHandle {
+        CounterHandle(self.inner.as_ref().map(|inner| {
+            Arc::new(CounterCore {
+                registry: Arc::clone(inner),
+                key: key(name, labels),
+                cell: OnceLock::new(),
+            })
+        }))
     }
 
     /// Sets the gauge `name{labels}` to `value`.
@@ -245,25 +400,52 @@ impl MetricsRegistry {
     /// bounds — a histogram's buckets are fixed at birth).
     pub fn observe_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64], value: f64) {
         let Some(inner) = &self.inner else { return };
-        lock(inner)
-            .histograms
-            .entry(key(name, labels))
-            .or_insert_with(|| Histogram::new(bounds))
-            .observe(value);
+        let cell = Arc::clone(
+            lock(inner)
+                .histograms
+                .entry(key(name, labels))
+                .or_insert_with(|| Arc::new(Mutex::new(Histogram::new(bounds)))),
+        );
+        hist_lock(&cell).observe(value);
     }
 
     /// Snapshot of one histogram, if it exists.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistogramSnapshot> {
         let inner = self.inner.as_ref()?;
-        lock(inner)
-            .histograms
-            .get(&key(name, labels))
-            .map(|h| HistogramSnapshot {
-                bounds: h.bounds.clone(),
-                counts: h.counts.clone(),
-                sum: h.sum,
-                count: h.total,
+        let cell = lock(inner).histograms.get(&key(name, labels)).cloned()?;
+        let h = hist_lock(&cell);
+        Some(HistogramSnapshot {
+            bounds: h.bounds.clone(),
+            counts: h.counts.clone(),
+            sum: h.sum,
+            count: h.total,
+        })
+    }
+
+    /// Resolves the histogram `name{labels}` (created with
+    /// [`DEFAULT_LATENCY_BUCKETS`] on first observation) to a reusable
+    /// [`HistogramHandle`].
+    pub fn histogram_handle(&self, name: &str, labels: &[(&str, &str)]) -> HistogramHandle {
+        self.histogram_handle_with(name, labels, DEFAULT_LATENCY_BUCKETS)
+    }
+
+    /// Resolves the histogram `name{labels}` to a reusable
+    /// [`HistogramHandle`], creating it with `bounds` on its first
+    /// observation (string-path and handle observations share the cell).
+    pub fn histogram_handle_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> HistogramHandle {
+        HistogramHandle(self.inner.as_ref().map(|inner| {
+            Arc::new(HistogramCore {
+                registry: Arc::clone(inner),
+                key: key(name, labels),
+                bounds: bounds.to_vec(),
+                cell: OnceLock::new(),
             })
+        }))
     }
 
     /// Records `value` into the streaming quantile digest `name{labels}`
@@ -275,6 +457,18 @@ impl MetricsRegistry {
     pub fn record_quantile(&self, name: &str, labels: &[(&str, &str)], value: f64) {
         let Some(shards) = &self.digests else { return };
         shards.record(key(name, labels), value);
+    }
+
+    /// Resolves the digest `name{labels}` to a reusable [`QuantileHandle`]
+    /// that records straight into the calling thread's shard cell.
+    pub fn quantile_handle(&self, name: &str, labels: &[(&str, &str)]) -> QuantileHandle {
+        QuantileHandle(self.digests.as_ref().map(|shards| {
+            Arc::new(QuantileCore {
+                shards: Arc::clone(shards),
+                key: key(name, labels),
+                cells: std::array::from_fn(|_| OnceLock::new()),
+            })
+        }))
     }
 
     /// The merged (cross-shard) digest for `name{labels}`, if anything
@@ -297,7 +491,7 @@ impl MetricsRegistry {
             .counters
             .iter()
             .filter(|((n, _), _)| n == name)
-            .map(|(_, v)| *v)
+            .map(|(_, v)| v.load(Ordering::Relaxed))
             .sum()
     }
 
@@ -367,5 +561,79 @@ mod tests {
         r.gauge_set("pending", &[], 3.0);
         r.gauge_set("pending", &[], 1.0);
         assert_eq!(r.gauge_value("pending", &[]), Some(1.0));
+    }
+
+    #[test]
+    fn counter_handle_shares_the_string_path_series() {
+        let r = MetricsRegistry::enabled();
+        let h = r.counter_handle("mixed_total", &[("kind", "vm")]);
+        h.add(2);
+        r.counter_add("mixed_total", &[("kind", "vm")], 3);
+        h.inc();
+        assert_eq!(r.counter_value("mixed_total", &[("kind", "vm")]), 6);
+        assert_eq!(r.counter_total("mixed_total"), 6);
+    }
+
+    #[test]
+    fn histogram_handle_shares_the_string_path_series() {
+        let r = MetricsRegistry::enabled();
+        let h = r.histogram_handle_with("lat", &[], &[1.0, 10.0]);
+        h.observe(0.5);
+        r.observe_with("lat", &[], &[1.0, 10.0], 5.0);
+        h.observe(99.0);
+        let snap = r.histogram("lat", &[]).expect("exists");
+        assert_eq!(snap.counts, vec![1, 1, 1]);
+        assert_eq!(snap.count, 3);
+    }
+
+    #[test]
+    fn quantile_handle_shares_the_string_path_digest() {
+        let r = MetricsRegistry::enabled();
+        let h = r.quantile_handle("run_seconds", &[("kind", "vm")]);
+        for i in 1..=50 {
+            h.record(i as f64);
+        }
+        for i in 51..=100 {
+            r.record_quantile("run_seconds", &[("kind", "vm")], i as f64);
+        }
+        let d = r.quantile_digest("run_seconds", &[("kind", "vm")]).expect("recorded");
+        assert_eq!(d.count(), 100);
+    }
+
+    #[test]
+    fn unused_handles_leave_no_trace_in_the_exposition() {
+        // Resolving handles at wiring time must not change the rendered
+        // output of a run that never records through them — the pinned
+        // byte-identity of `render_prometheus` depends on it.
+        let r = MetricsRegistry::enabled();
+        r.counter_add("real_total", &[], 1);
+        let before = r.render_prometheus();
+        let _c = r.counter_handle("never_total", &[("k", "v")]);
+        let _h = r.histogram_handle("never_seconds", &[]);
+        let _q = r.quantile_handle("never_digest", &[]);
+        assert_eq!(r.render_prometheus(), before);
+        assert_eq!(r.counter_value("never_total", &[("k", "v")]), 0);
+    }
+
+    #[test]
+    fn handles_from_a_disabled_registry_are_inert() {
+        let r = MetricsRegistry::disabled();
+        let c = r.counter_handle("a_total", &[]);
+        let h = r.histogram_handle("b_seconds", &[]);
+        let q = r.quantile_handle("c_seconds", &[]);
+        c.add(5);
+        h.observe(1.0);
+        q.record(1.0);
+        assert!(r.render_prometheus().is_empty());
+    }
+
+    #[test]
+    fn cloned_handles_share_resolution() {
+        let r = MetricsRegistry::enabled();
+        let a = r.counter_handle("cloned_total", &[]);
+        let b = a.clone();
+        a.add(1);
+        b.add(2);
+        assert_eq!(r.counter_value("cloned_total", &[]), 3);
     }
 }

@@ -196,6 +196,88 @@ pub fn shuffle_hash<T: Hash + ?Sized>(value: &T) -> u64 {
     h.finish()
 }
 
+/// A fast, fixed-seed multiplicative hasher for small integer keys
+/// (FxHash-style word folding).
+///
+/// The scheduler's hot maps are keyed by dense integers — attempt ids,
+/// shuffle ids, `(job, stage)` pairs — where SipHash's DoS hardening is
+/// pure overhead: the keys come from the simulator itself, never from an
+/// adversary. `FxHasher64` folds each word in with a rotate + multiply,
+/// costing a couple of cycles per `u64`. It is deterministic across runs
+/// and platforms, so switching a `HashMap` to it makes iteration order
+/// *more* reproducible than `RandomState`, never less.
+///
+/// Not suitable for the shuffle's record partitioning (weak avalanche on
+/// the low bits) — that stays on [`XxHash64`].
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher64 {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while rest.len() >= 8 {
+            self.add_word(read_u64(rest));
+            rest = &rest[8..];
+        }
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Mix the high bits down: HashMap buckets use the low bits.
+        let h = self.hash;
+        h ^ (h >> 32)
+    }
+}
+
+/// `BuildHasher` for [`FxHasher64`]: a zero-sized, fixed-seed state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxBuildHasher;
+
+impl std::hash::BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher64;
+    #[inline]
+    fn build_hasher(&self) -> FxHasher64 {
+        FxHasher64::default()
+    }
+}
+
+/// A `HashMap` keyed with the fast fixed-seed hasher.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` keyed with the fast fixed-seed hasher.
+pub type FastSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +366,29 @@ mod tests {
                 "bucket {b} holds {c}, expected ~{expect}"
             );
         }
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic_and_spreads() {
+        use std::hash::BuildHasher;
+        let h = |k: u64| FxBuildHasher.hash_one(k);
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+        // Sequential keys must not collide in the low bits HashMap uses.
+        let mut low: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for k in 0u64..1024 {
+            low.insert(h(k) & 0x3ff);
+        }
+        assert!(low.len() > 512, "low-bit spread too poor: {}", low.len());
+    }
+
+    #[test]
+    fn fx_hasher_handles_byte_tails() {
+        use std::hash::BuildHasher;
+        let h = |s: &str| FxBuildHasher.hash_one(s);
+        assert_eq!(h("abc"), h("abc"));
+        assert_ne!(h("abc"), h("abd"));
+        assert_ne!(h("0123456789"), h("0123456788"));
     }
 
     #[test]

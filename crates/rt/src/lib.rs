@@ -27,6 +27,10 @@
 //! * [`worker`] — a fixed-size worker-thread pool the engine offloads
 //!   task bodies onto; [`rng::derive_seed`] is the per-task seeding rule
 //!   that keeps those bodies deterministic wherever they run.
+//! * [`intern`] — a process-wide string interner handing out copyable
+//!   `u32` symbols ([`Interned`]); executor ids and other hot-loop names
+//!   ride on it so the scheduler's steady-state path never clones a
+//!   `String`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -34,10 +38,13 @@
 pub mod bytes;
 pub mod check;
 pub mod hash;
+pub mod intern;
 pub mod pool;
 pub mod rng;
 pub mod worker;
 
 pub use bytes::{Bytes, BytesMut};
+pub use hash::{FastMap, FastSet};
+pub use intern::Interned;
 pub use rng::Rng;
 pub use worker::{TaskHandle, WorkerPool};

@@ -2,34 +2,85 @@
 
 use std::fmt;
 
-use splitserve_rt::Bytes;
+use splitserve_rt::{Bytes, Interned};
 use splitserve_des::{LinkId, Sim};
 
 /// A stored block, addressed Spark-style: each executor's *unique ID* is the
 /// entry point into the directory structure (paper §4.3), and the block name
 /// follows Spark's `shuffle_<shuffle>_<map>_<reduce>` convention.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// `Copy`: the executor is an interned symbol and shuffle names are kept
+/// structured (see [`BlockName`]), so block ids move through the store
+/// request path — built per fetch and per write — without allocating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId {
     /// The executor that wrote the block (directory prefix).
-    pub executor: String,
+    pub executor: Interned,
     /// Block name within the executor's directory.
-    pub name: String,
+    pub name: BlockName,
+}
+
+/// A block's name within its executor directory: either a structured
+/// shuffle triple (rendered in Spark's `shuffle_<s>_<m>_<r>` convention)
+/// or an interned free-form name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockName {
+    /// A shuffle block: `shuffle_<shuffle>_<map>_<reduce>`.
+    Shuffle {
+        /// Shuffle id.
+        shuffle: u64,
+        /// Map partition index.
+        map: u64,
+        /// Reduce partition index.
+        reduce: u64,
+    },
+    /// An arbitrary named block.
+    Named(Interned),
 }
 
 impl BlockId {
     /// A shuffle block id in Spark's naming convention.
-    pub fn shuffle(executor: impl Into<String>, shuffle: u64, map: u64, reduce: u64) -> Self {
+    pub fn shuffle(executor: impl Into<Interned>, shuffle: u64, map: u64, reduce: u64) -> Self {
         BlockId {
             executor: executor.into(),
-            name: format!("shuffle_{shuffle}_{map}_{reduce}"),
+            name: BlockName::Shuffle {
+                shuffle,
+                map,
+                reduce,
+            },
         }
     }
 
     /// An arbitrary named block.
-    pub fn named(executor: impl Into<String>, name: impl Into<String>) -> Self {
+    pub fn named(executor: impl Into<Interned>, name: impl Into<BlockName>) -> Self {
         BlockId {
             executor: executor.into(),
             name: name.into(),
+        }
+    }
+}
+
+impl From<Interned> for BlockName {
+    fn from(name: Interned) -> Self {
+        BlockName::Named(name)
+    }
+}
+
+impl From<&str> for BlockName {
+    fn from(name: &str) -> Self {
+        BlockName::Named(Interned::new(name))
+    }
+}
+
+impl fmt::Display for BlockName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockName::Shuffle {
+                shuffle,
+                map,
+                reduce,
+            } => write!(f, "shuffle_{shuffle}_{map}_{reduce}"),
+            BlockName::Named(name) => f.write_str(name.as_str()),
         }
     }
 }

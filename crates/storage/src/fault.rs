@@ -272,7 +272,7 @@ mod tests {
         store.put(
             &mut sim,
             client,
-            a.clone(),
+            a,
             Bytes::from(vec![1u8; 64]),
             Box::new(|_, r| r.expect("put #1 passes through")),
         );
@@ -322,7 +322,7 @@ mod tests {
         store.put(
             &mut sim,
             client,
-            blk.clone(),
+            blk,
             Bytes::from(vec![0u8; 32]),
             Box::new(move |sim, r| {
                 r.expect("delayed, not failed");
@@ -417,7 +417,7 @@ mod tests {
         stacked.put(
             &mut sim,
             client,
-            blk.clone(),
+            blk,
             Bytes::from(vec![0u8; 128]),
             Box::new(|_, r| r.expect("delayed, not failed")),
         );

@@ -10,10 +10,10 @@
 //! datanode whose links are that VM's NIC and EBS links.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+
 use std::rc::Rc;
 
-use splitserve_rt::Bytes;
+use splitserve_rt::{Bytes, FastMap};
 use splitserve_des::{Dist, Fabric, LinkId, Sim, SimDuration};
 
 use crate::api::{BlockId, BlockStore, ClientLoc, GetCallback, PutCallback, StoreError, StoreStats};
@@ -47,7 +47,7 @@ struct Inner {
     spec: HdfsSpec,
     datanodes: Vec<DataNode>,
     /// block → datanode indices holding replicas, plus the bytes.
-    blocks: HashMap<BlockId, (Vec<usize>, Bytes)>,
+    blocks: FastMap<BlockId, (Vec<usize>, Bytes)>,
     next_dn: usize,
     used_bytes: u64,
     stats: StoreStats,
@@ -92,7 +92,7 @@ impl HdfsStore {
             inner: Rc::new(RefCell::new(Inner {
                 spec,
                 datanodes: Vec::new(),
-                blocks: HashMap::new(),
+                blocks: FastMap::default(),
                 next_dn: 0,
                 used_bytes: 0,
                 stats: StoreStats::default(),
@@ -156,7 +156,6 @@ impl BlockStore for HdfsStore {
             let dn = self.inner.borrow().datanodes[*dn_idx];
             let links = link_path(&[client.nic, Some(dn.nic), Some(dn.disk)]);
             let this = self.clone();
-            let block = block.clone();
             let data = data.clone();
             let remaining = Rc::clone(&remaining);
             let targets = targets.clone();
@@ -250,7 +249,7 @@ mod tests {
         hdfs.put(
             &mut sim,
             client,
-            block.clone(),
+            block,
             Bytes::from_static(b"shuffle-bytes"),
             Box::new(|_, r| r.expect("put")),
         );
@@ -309,7 +308,7 @@ mod tests {
         hdfs.put(
             &mut sim,
             ClientLoc::default(),
-            block.clone(),
+            block,
             Bytes::from_static(b"x"),
             Box::new(|_, r| r.expect("put")),
         );

@@ -8,10 +8,9 @@
 //! is designed to avoid.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
-use splitserve_rt::Bytes;
+use splitserve_rt::{Bytes, FastMap, Interned};
 use splitserve_des::{Fabric, LinkId, Sim};
 
 use crate::api::{BlockId, BlockStore, ClientLoc, GetCallback, PutCallback, StoreError, StoreStats};
@@ -26,8 +25,8 @@ struct ExecutorLoc {
 
 #[derive(Default)]
 struct Inner {
-    executors: HashMap<String, ExecutorLoc>,
-    blocks: HashMap<BlockId, Bytes>,
+    executors: FastMap<Interned, ExecutorLoc>,
+    blocks: FastMap<BlockId, Bytes>,
     stats: StoreStats,
 }
 
@@ -83,7 +82,7 @@ impl LocalDiskStore {
     /// called before the executor writes or serves blocks.
     pub fn register_executor(
         &self,
-        executor: impl Into<String>,
+        executor: impl Into<Interned>,
         nic: Option<LinkId>,
         disk: Option<LinkId>,
     ) {
@@ -97,8 +96,8 @@ impl LocalDiskStore {
         );
     }
 
-    fn executor_loc(&self, executor: &str) -> Option<ExecutorLoc> {
-        self.inner.borrow().executors.get(executor).copied()
+    fn executor_loc(&self, executor: Interned) -> Option<ExecutorLoc> {
+        self.inner.borrow().executors.get(&executor).copied()
     }
 }
 
@@ -135,7 +134,7 @@ impl BlockStore for LocalDiskStore {
     }
 
     fn get(&self, sim: &mut Sim, client: ClientLoc, block: BlockId, cb: GetCallback) {
-        let owner = self.executor_loc(&block.executor);
+        let owner = self.executor_loc(block.executor);
         let (data, owner) = {
             let inner = self.inner.borrow();
             (inner.blocks.get(&block).cloned(), owner)
@@ -171,7 +170,7 @@ impl BlockStore for LocalDiskStore {
             }
             (Some(loc), _) if !loc.alive => {
                 self.inner.borrow_mut().stats.failed_gets += 1;
-                let executor = block.executor.clone();
+                let executor = block.executor.to_string();
                 cb(sim, Err(StoreError::ExecutorLost { executor, block }));
             }
             _ => {
@@ -186,8 +185,9 @@ impl BlockStore for LocalDiskStore {
     }
 
     fn on_executor_lost(&self, _sim: &mut Sim, executor: &str) {
+        let executor = Interned::new(executor);
         let mut inner = self.inner.borrow_mut();
-        if let Some(loc) = inner.executors.get_mut(executor) {
+        if let Some(loc) = inner.executors.get_mut(&executor) {
             loc.alive = false;
         }
         // Drop the bytes; metadata stays so reads report ExecutorLost.

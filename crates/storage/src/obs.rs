@@ -17,19 +17,69 @@
 use std::rc::Rc;
 
 use splitserve_des::Sim;
-use splitserve_obs::MetricsRegistry;
+use splitserve_obs::{CounterHandle, HistogramHandle, MetricsRegistry, QuantileHandle};
 use splitserve_rt::Bytes;
 
 use crate::api::{BlockId, BlockStore, ClientLoc, GetCallback, PutCallback, StoreStats};
 use crate::SharedStore;
 
+/// Pre-resolved series for one operation (`put` or `get`): the op runs on
+/// the data path of every task, so its metric keys are built once at wrap
+/// time, not per request.
+#[derive(Debug, Clone)]
+struct OpHandles {
+    seconds_hist: HistogramHandle,
+    seconds_quant: QuantileHandle,
+    ok: CounterHandle,
+    err: CounterHandle,
+    /// `store_bytes_written_total` for puts, `store_bytes_read_total` for
+    /// gets.
+    bytes: CounterHandle,
+}
+
+impl OpHandles {
+    fn resolve(metrics: &MetricsRegistry, kind: &'static str, op: &'static str) -> Self {
+        let labels = [("store", kind), ("op", op)];
+        let bytes_name = match op {
+            "put" => "store_bytes_written_total",
+            _ => "store_bytes_read_total",
+        };
+        OpHandles {
+            seconds_hist: metrics.histogram_handle("store_op_seconds", &labels),
+            seconds_quant: metrics.quantile_handle("store_op_seconds", &labels),
+            ok: metrics.counter_handle(
+                "store_ops_total",
+                &[("store", kind), ("op", op), ("outcome", "ok")],
+            ),
+            err: metrics.counter_handle(
+                "store_ops_total",
+                &[("store", kind), ("op", op), ("outcome", "err")],
+            ),
+            bytes: metrics.counter_handle(bytes_name, &[("store", kind)]),
+        }
+    }
+
+    fn record(&self, secs: f64, ok: bool, bytes: u64) {
+        self.seconds_hist.observe(secs);
+        self.seconds_quant.record(secs);
+        if ok {
+            self.ok.inc();
+            self.bytes.add(bytes);
+        } else {
+            self.err.inc();
+        }
+    }
+}
+
 /// A [`BlockStore`] decorator recording per-op latency and byte counters.
 pub struct InstrumentedStore {
     inner: SharedStore,
-    metrics: MetricsRegistry,
     /// Cached `inner.kind()` so label construction never re-enters the
     /// wrapped store.
     kind: &'static str,
+    put: OpHandles,
+    get: OpHandles,
+    executor_losses: CounterHandle,
 }
 
 impl InstrumentedStore {
@@ -42,8 +92,11 @@ impl InstrumentedStore {
         let kind = inner.kind();
         Rc::new(InstrumentedStore {
             inner,
-            metrics,
             kind,
+            put: OpHandles::resolve(&metrics, kind, "put"),
+            get: OpHandles::resolve(&metrics, kind, "get"),
+            executor_losses: metrics
+                .counter_handle("store_executor_losses_total", &[("store", kind)]),
         })
     }
 }
@@ -59,8 +112,7 @@ impl BlockStore for InstrumentedStore {
 
     fn put(&self, sim: &mut Sim, client: ClientLoc, block: BlockId, data: Bytes, cb: PutCallback) {
         let started = sim.now();
-        let m = self.metrics.clone();
-        let kind = self.kind;
+        let h = self.put.clone();
         let bytes = data.len() as u64;
         self.inner.put(
             sim,
@@ -69,18 +121,7 @@ impl BlockStore for InstrumentedStore {
             data,
             Box::new(move |sim, result| {
                 let secs = sim.now().saturating_since(started).as_secs_f64();
-                let labels = [("store", kind), ("op", "put")];
-                m.observe("store_op_seconds", &labels, secs);
-                m.record_quantile("store_op_seconds", &labels, secs);
-                let outcome = if result.is_ok() { "ok" } else { "err" };
-                m.counter_add(
-                    "store_ops_total",
-                    &[("store", kind), ("op", "put"), ("outcome", outcome)],
-                    1,
-                );
-                if result.is_ok() {
-                    m.counter_add("store_bytes_written_total", &[("store", kind)], bytes);
-                }
+                h.record(secs, result.is_ok(), bytes);
                 cb(sim, result)
             }),
         );
@@ -88,41 +129,22 @@ impl BlockStore for InstrumentedStore {
 
     fn get(&self, sim: &mut Sim, client: ClientLoc, block: BlockId, cb: GetCallback) {
         let started = sim.now();
-        let m = self.metrics.clone();
-        let kind = self.kind;
+        let h = self.get.clone();
         self.inner.get(
             sim,
             client,
             block,
             Box::new(move |sim, result| {
                 let secs = sim.now().saturating_since(started).as_secs_f64();
-                let labels = [("store", kind), ("op", "get")];
-                m.observe("store_op_seconds", &labels, secs);
-                m.record_quantile("store_op_seconds", &labels, secs);
-                let outcome = if result.is_ok() { "ok" } else { "err" };
-                m.counter_add(
-                    "store_ops_total",
-                    &[("store", kind), ("op", "get"), ("outcome", outcome)],
-                    1,
-                );
-                if let Ok(bytes) = &result {
-                    m.counter_add(
-                        "store_bytes_read_total",
-                        &[("store", kind)],
-                        bytes.len() as u64,
-                    );
-                }
+                let bytes = result.as_ref().map(|b| b.len() as u64).unwrap_or(0);
+                h.record(secs, result.is_ok(), bytes);
                 cb(sim, result)
             }),
         );
     }
 
     fn on_executor_lost(&self, sim: &mut Sim, executor: &str) {
-        self.metrics.counter_add(
-            "store_executor_losses_total",
-            &[("store", self.kind)],
-            1,
-        );
+        self.executor_losses.inc();
         self.inner.on_executor_lost(sim, executor)
     }
 
@@ -171,7 +193,7 @@ mod tests {
         store.put(
             &mut sim,
             client,
-            block.clone(),
+            block,
             Bytes::from(vec![7u8; 1024]),
             Box::new(|_, r| r.expect("put ok")),
         );

@@ -188,7 +188,7 @@ mod tests {
         store.put(
             &mut sim,
             ClientLoc::net(nic),
-            block.clone(),
+            block,
             Bytes::from(vec![0u8; 100]),
             Box::new(|_, r| r.expect("put")),
         );
@@ -265,7 +265,7 @@ mod tests {
         store.put(
             &mut sim,
             ClientLoc::net(nic),
-            block.clone(),
+            block,
             Bytes::from_static(b"x"),
             Box::new(|_, r| r.expect("put")),
         );

@@ -269,7 +269,7 @@ mod tests {
         s3.put(
             &mut sim,
             ClientLoc::net(nic),
-            block.clone(),
+            block,
             Bytes::from(vec![0u8; 100]),
             Box::new(|_, r| r.expect("put")),
         );
@@ -342,7 +342,7 @@ mod tests {
         s3.put(
             &mut sim,
             ClientLoc::net(nic),
-            block.clone(),
+            block,
             Bytes::from_static(b"x"),
             Box::new(|_, r| r.expect("put")),
         );

@@ -227,7 +227,7 @@ mod tests {
         sqs.put(
             &mut sim,
             ClientLoc::net(nic),
-            block.clone(),
+            block,
             big,
             Box::new(|_, r| r.expect("put")),
         );
@@ -273,7 +273,7 @@ mod tests {
         sqs.put(
             &mut sim,
             ClientLoc::net(nic),
-            block.clone(),
+            block,
             Bytes::from_static(b"x"),
             Box::new(|_, r| r.expect("put")),
         );

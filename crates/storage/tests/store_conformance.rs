@@ -112,7 +112,7 @@ fn only_local_store_loses_blocks_on_executor_death() {
             store.put(
                 &mut sim,
                 client,
-                block.clone(),
+                block,
                 Bytes::from_static(b"payload"),
                 Box::new(|_, r| {
                     r.expect("put");
