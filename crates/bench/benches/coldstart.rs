@@ -1,0 +1,90 @@
+//! Cold-start policy-plane benchmarks. Run with `cargo bench --bench
+//! coldstart`; one JSON line per benchmark, routed by `scripts/bench.sh`
+//! into `BENCH_coldstart.json`.
+//!
+//! Two questions:
+//!
+//! 1. **What does one policy decision cost?** The `decision_*_1m`
+//!    benchmarks time a million `keepalive_us` calls per policy — the
+//!    call on every container park. `scripts/verify.sh` gates the
+//!    worst policy at ≤100 ns/call: the decision sits on the release
+//!    path of every Lambda the allocator drains, and the hybrid policy
+//!    must answer from its cached windows, not recompute quantiles.
+//! 2. **Does the warm pool hold up under churn?** The `churn_100k_*`
+//!    benchmarks push 100k invoke/release pairs with recurrent idle
+//!    gaps through a full [`WarmPool`] per policy — MRU serve, lazy
+//!    expiry, cap enforcement and the decision/stat logs all included.
+//!
+//! [`WarmPool`]: splitserve_cloud::WarmPool
+
+use splitserve_bench::timing::{bench, black_box};
+use splitserve_cloud::{ColdStartSpec, HybridHistogramSpec, ParkOrigin, WarmPool};
+
+const SAMPLES: usize = 5;
+const DECISION_CALLS: u64 = 1_000_000;
+const CHURN_PAIRS: u64 = 100_000;
+
+fn arms() -> Vec<(&'static str, ColdStartSpec)> {
+    vec![
+        ("fixed", ColdStartSpec::fixed_secs(900)),
+        ("pressure", ColdStartSpec::UnloadOnPressure { cap_mb: 6_144 }),
+        (
+            "hybrid",
+            ColdStartSpec::HybridHistogram(HybridHistogramSpec::default()),
+        ),
+    ]
+}
+
+/// A million park decisions against live policy state. The hybrid arm
+/// is pre-trained with enough samples that it answers from its learned
+/// histogram (the cached-window fast path), with a periodic `record`
+/// mixed in to exercise cache invalidation the way the pool does.
+fn bench_decisions() {
+    for (label, spec) in arms() {
+        let mut policy = spec.build();
+        for i in 0..64 {
+            policy.record(0, Some(30_000_000 + (i % 7) * 1_000_000), i % 4 == 0);
+        }
+        let name = format!("coldstart/decision_{label}_1m");
+        bench(&name, SAMPLES, || {
+            let mut acc = 0u64;
+            for i in 0..DECISION_CALLS {
+                let now = i * 250_000;
+                if i % 1_024 == 0 {
+                    policy.record(0, Some(30_000_000), false);
+                }
+                acc = acc.wrapping_add(policy.keepalive_us(0, now, ParkOrigin::Release));
+            }
+            black_box(acc);
+        });
+    }
+}
+
+/// 100k invoke/release pairs through the full pool: bursts of 8
+/// containers, a recurrent inter-burst gap that defeats nothing, defeats
+/// the fixed window, or trains the histogram — the policies diverge but
+/// every arm does the same pool bookkeeping.
+fn bench_churn() {
+    for (label, spec) in arms() {
+        let name = format!("coldstart/churn_100k_{label}");
+        bench(&name, SAMPLES, || {
+            let mut pool = WarmPool::new(spec.build(), 0, 1_536);
+            let mut t = 0u64;
+            for i in 0..CHURN_PAIRS {
+                pool.invoke(t, (i % 4) as u32, 1_536);
+                t += 500_000;
+                pool.release(t, (i % 4) as u32, 1_536);
+                // Every 8th pair ends a burst: idle out past the short
+                // windows before the next one.
+                t += if i % 8 == 7 { 30_000_000 } else { 50_000 };
+            }
+            pool.finalize(t);
+            black_box(pool.stats());
+        });
+    }
+}
+
+fn main() {
+    bench_decisions();
+    bench_churn();
+}

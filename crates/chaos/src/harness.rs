@@ -85,6 +85,9 @@ impl ChaosTopology {
             lambda_warm_start: Dist::constant(0.1),
             lambda_cold_start: Dist::constant(3.0),
             lambda_net_jitter: Dist::constant(1.0),
+            // The 64-case chaos digest is pinned against the legacy
+            // infinite warm pool.
+            coldstart: splitserve_cloud::ColdStartSpec::forever(),
             ..CloudSpec::default()
         };
         if self.lambda_lifetime_s > 0 {

@@ -7,8 +7,13 @@ use std::rc::Rc;
 use splitserve_des::{Dist, Fabric, LinkId, Sim, SimDuration, SimTime};
 
 use crate::billing::{Category, Charge, Ledger};
+use crate::coldstart::{ColdStartPolicy, ColdStartSpec, PoolDecision, PoolEvent, PoolStats, WarmPool};
 use crate::instance::InstanceType;
 use crate::pricing;
+
+/// Memory size assumed for the containers pre-warmed at simulation start
+/// (the paper's experiments run 1 536 MB executors).
+pub const PREWARMED_LAMBDA_MB: u64 = 1_536;
 
 /// Identifies a VM within a [`Cloud`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -77,6 +82,11 @@ pub struct CloudSpec {
     /// Containers pre-warmed at simulation start (the paper's premise is
     /// warm-start autoscaling).
     pub prewarmed_lambdas: usize,
+    /// Cold-start/keepalive policy governing the warm pool. The default is
+    /// [`ColdStartSpec::fixed_secs`]`(900)` — a 15-minute idle window
+    /// matching observed AWS behaviour; digest-pinned suites opt into the
+    /// legacy infinite pool with [`ColdStartSpec::forever`].
+    pub coldstart: ColdStartSpec,
 }
 
 impl Default for CloudSpec {
@@ -91,6 +101,7 @@ impl Default for CloudSpec {
             lambda_net_bytes_per_sec_at_max: 600.0e6 / 8.0,
             lambda_net_jitter: Dist::log_normal_mean_sd(1.0, 0.25).clamped(0.3, 2.0),
             prewarmed_lambdas: 1_024,
+            coldstart: ColdStartSpec::fixed_secs(900),
         }
     }
 }
@@ -109,6 +120,7 @@ type KillCallback = Box<dyn FnOnce(&mut Sim, LambdaId)>;
 
 struct Lambda {
     memory_mb: u64,
+    func: u32,
     state: LambdaState,
     nic: LinkId,
     started_at: Option<SimTime>,
@@ -120,9 +132,7 @@ struct Inner {
     spec: CloudSpec,
     vms: Vec<Vm>,
     lambdas: Vec<Lambda>,
-    warm_pool: usize,
-    cold_starts: u64,
-    warm_starts: u64,
+    pool: WarmPool,
     ledger: Ledger,
 }
 
@@ -151,24 +161,32 @@ impl std::fmt::Debug for Cloud {
         f.debug_struct("Cloud")
             .field("vms", &inner.vms.len())
             .field("lambdas", &inner.lambdas.len())
-            .field("warm_pool", &inner.warm_pool)
+            .field("warm_pool", &inner.pool.warm_len())
+            .field("policy", &inner.pool.policy_name())
             .field("total_cost", &inner.ledger.total())
             .finish()
     }
 }
 
 impl Cloud {
-    /// Creates a cloud over an existing fabric.
+    /// Creates a cloud over an existing fabric, building the cold-start
+    /// policy from `spec.coldstart`.
     pub fn new(spec: CloudSpec, fabric: Fabric) -> Self {
-        let warm = spec.prewarmed_lambdas;
+        let policy = spec.coldstart.build();
+        Self::with_policy(spec, fabric, policy)
+    }
+
+    /// Creates a cloud running a caller-supplied [`ColdStartPolicy`] —
+    /// the plug-in point for policies beyond the built-in
+    /// [`ColdStartSpec`] variants.
+    pub fn with_policy(spec: CloudSpec, fabric: Fabric, policy: Box<dyn ColdStartPolicy>) -> Self {
+        let pool = WarmPool::new(policy, spec.prewarmed_lambdas, PREWARMED_LAMBDA_MB);
         Cloud {
             inner: Rc::new(RefCell::new(Inner {
                 spec,
                 vms: Vec::new(),
                 lambdas: Vec::new(),
-                warm_pool: warm,
-                cold_starts: 0,
-                warm_starts: 0,
+                pool,
                 ledger: Ledger::new(),
             })),
             fabric,
@@ -317,6 +335,22 @@ impl Cloud {
         on_ready: impl FnOnce(&mut Sim, LambdaId) + 'static,
         on_killed: impl FnOnce(&mut Sim, LambdaId) + 'static,
     ) -> LambdaId {
+        self.invoke_lambda_for(sim, 0, memory_mb, on_ready, on_killed)
+    }
+
+    /// [`Cloud::invoke_lambda`] with an explicit function identity. The
+    /// warm pool is shared across functions (any parked container serves
+    /// any function, matching container-fungible platforms), but per-func
+    /// policies — notably the hybrid histogram — key their idle-time
+    /// statistics and prewarm windows on `func`.
+    pub fn invoke_lambda_for(
+        &self,
+        sim: &mut Sim,
+        func: u32,
+        memory_mb: u64,
+        on_ready: impl FnOnce(&mut Sim, LambdaId) + 'static,
+        on_killed: impl FnOnce(&mut Sim, LambdaId) + 'static,
+    ) -> LambdaId {
         assert!(
             memory_mb <= pricing::LAMBDA_MAX_MEMORY_MB,
             "lambda memory {memory_mb} MB exceeds platform max"
@@ -330,13 +364,11 @@ impl Cloud {
                 pricing::LAMBDA_USD_PER_INVOCATION,
                 "invoke",
             );
-            let warm = inner.warm_pool > 0;
-            if warm {
-                inner.warm_pool -= 1;
-                inner.warm_starts += 1;
-            } else {
-                inner.cold_starts += 1;
-            }
+            // The pool decision is pure virtual-time bookkeeping: exactly
+            // one start sample and one jitter sample are drawn per invoke
+            // regardless of the warm/cold outcome, so policy choice never
+            // shifts the RNG stream or the event queue.
+            let warm = inner.pool.invoke(now.as_micros(), func, memory_mb);
             let d = if warm {
                 inner.spec.lambda_warm_start.clone()
             } else {
@@ -361,6 +393,7 @@ impl Cloud {
             let id = LambdaId(inner.lambdas.len() as u64);
             inner.lambdas.push(Lambda {
                 memory_mb,
+                func,
                 state: LambdaState::Starting,
                 nic,
                 started_at: None,
@@ -428,13 +461,14 @@ impl Cloud {
                     let usd = pricing::lambda_compute_cost(lam.memory_mb, runtime);
                     let ev = lam.kill_event.take();
                     let mem = lam.memory_mb;
+                    let func = lam.func;
                     inner.ledger.charge(
                         now,
                         Category::LambdaCompute,
                         usd,
                         format!("{id} {mem}MB released"),
                     );
-                    inner.warm_pool += 1;
+                    inner.pool.release(now.as_micros(), func, mem);
                     ev
                 }
                 LambdaState::Starting => {
@@ -444,13 +478,15 @@ impl Cloud {
                         lam.memory_mb,
                         pricing::LAMBDA_BILLING_QUANTUM,
                     );
+                    let mem = lam.memory_mb;
+                    let func = lam.func;
                     inner.ledger.charge(
                         now,
                         Category::LambdaCompute,
                         usd,
                         format!("{id} aborted"),
                     );
-                    inner.warm_pool += 1;
+                    inner.pool.release(now.as_micros(), func, mem);
                     None
                 }
                 LambdaState::Released | LambdaState::Killed => None,
@@ -488,8 +524,46 @@ impl Cloud {
 
     /// Counts of (warm, cold) starts so far.
     pub fn start_counts(&self) -> (u64, u64) {
-        let inner = self.inner.borrow();
-        (inner.warm_starts, inner.cold_starts)
+        let s = self.inner.borrow().pool.stats();
+        (s.warm_starts, s.cold_starts)
+    }
+
+    /// Aggregate warm-pool statistics under the active cold-start policy.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.inner.borrow().pool.stats()
+    }
+
+    /// The active cold-start policy's label.
+    pub fn policy_name(&self) -> &'static str {
+        self.inner.borrow().pool.policy_name()
+    }
+
+    /// Containers currently parked warm.
+    pub fn warm_pool_len(&self) -> usize {
+        self.inner.borrow().pool.warm_len()
+    }
+
+    /// Aggregate reserved memory of the warm pool, in MB.
+    pub fn warm_pool_memory_mb(&self) -> u64 {
+        self.inner.borrow().pool.warm_memory_mb()
+    }
+
+    /// The warm-pool input stream so far — what the policy oracle replays.
+    pub fn pool_inputs(&self) -> Vec<PoolEvent> {
+        self.inner.borrow().pool.inputs().to_vec()
+    }
+
+    /// The warm-pool decision log so far — what the policy oracle must
+    /// reproduce bit-for-bit.
+    pub fn pool_decisions(&self) -> Vec<PoolDecision> {
+        self.inner.borrow().pool.decisions().to_vec()
+    }
+
+    /// Sweeps the warm pool to `now` and evicts everything still parked,
+    /// charging its idle memory — called by [`Cloud::shutdown_all`]; safe
+    /// to call again (idempotent).
+    pub fn finalize_pool(&self, now: SimTime) {
+        self.inner.borrow_mut().pool.finalize(now.as_micros());
     }
 
     // ----- Billing ---------------------------------------------------
@@ -570,6 +644,7 @@ impl Cloud {
         for id in lambda_ids {
             self.release_lambda(sim, id);
         }
+        self.finalize_pool(sim.now());
     }
 }
 
@@ -801,5 +876,141 @@ mod tests {
         let mut sim = Sim::new(0);
         let cloud = Cloud::new(quiet_spec(), Fabric::new());
         cloud.invoke_lambda(&mut sim, 4_096, |_, _| {}, |_, _| {});
+    }
+
+    fn all_policy_specs() -> Vec<ColdStartSpec> {
+        vec![
+            ColdStartSpec::forever(),
+            ColdStartSpec::fixed_secs(60),
+            ColdStartSpec::UnloadOnPressure { cap_mb: 8_192 },
+            ColdStartSpec::HybridHistogram(crate::coldstart::HybridHistogramSpec::default()),
+        ]
+    }
+
+    /// A platform-killed container is destroyed, not parked: under every
+    /// policy the next invoke after a lifetime kill must be cold, and the
+    /// kill must leave no trace in the warm pool.
+    #[test]
+    fn killed_container_never_reenters_warm_pool() {
+        for coldstart in all_policy_specs() {
+            let name = coldstart.name();
+            let mut sim = Sim::new(0);
+            let spec = CloudSpec {
+                prewarmed_lambdas: 0,
+                lambda_lifetime: SimDuration::from_secs(5),
+                coldstart,
+                ..quiet_spec()
+            };
+            let cloud = Cloud::new(spec, Fabric::new());
+            let killed = Rc::new(Cell::new(false));
+            let k = Rc::clone(&killed);
+            cloud.invoke_lambda(
+                &mut sim,
+                1_536,
+                |_, _| {}, // never released → lifetime kill at ~8 s
+                move |_, _| k.set(true),
+            );
+            sim.run_until(SimTime::from_secs(20));
+            assert!(killed.get(), "[{name}] lifetime kill must fire");
+            assert_eq!(
+                cloud.warm_pool_len(),
+                0,
+                "[{name}] killed container re-entered the warm pool"
+            );
+            cloud.invoke_lambda(&mut sim, 1_536, |_, _| {}, |_, _| {});
+            sim.run_until(SimTime::from_secs(40));
+            assert_eq!(
+                cloud.start_counts(),
+                (0, 2),
+                "[{name}] start after a kill must be cold"
+            );
+        }
+    }
+
+    /// An invocation aborted while Starting parks its container; if that
+    /// parked container then *expires* before the start event fires, the
+    /// pending `on_ready` must be dropped (the Lambda is Released, not
+    /// resurrected) and the original invoke must stay counted exactly
+    /// once — no double-counted start, no span from beyond the grave.
+    #[test]
+    fn eviction_mid_on_ready_does_not_double_count_starts() {
+        let mut sim = Sim::new(0);
+        let spec = CloudSpec {
+            prewarmed_lambdas: 0,
+            coldstart: ColdStartSpec::Fixed {
+                keepalive_us: 1_000_000,
+            },
+            ..quiet_spec()
+        };
+        let cloud = Cloud::new(spec, Fabric::new());
+        let ready_fired = Rc::new(Cell::new(0u32));
+        let r = Rc::clone(&ready_fired);
+        // Cold start takes 3 s; abort at 0.5 s re-parks the container with
+        // a 1 s keepalive, so it expires at 1.5 s — before the start event
+        // at 3 s.
+        let c = cloud.clone();
+        let id = cloud.invoke_lambda(
+            &mut sim,
+            1_536,
+            move |_, _| r.set(r.get() + 1),
+            |_, _| panic!("never killed"),
+        );
+        sim.schedule_in(SimDuration::from_millis(500), move |sim| {
+            c.release_lambda(sim, id);
+        });
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(cloud.warm_pool_len(), 1, "aborted container parked");
+        // Next invoke at 2 s: the parked container expired at 1.5 s.
+        let r2 = Rc::clone(&ready_fired);
+        let c2 = cloud.clone();
+        cloud.invoke_lambda(
+            &mut sim,
+            1_536,
+            move |sim, id2| {
+                r2.set(r2.get() + 1);
+                c2.release_lambda(sim, id2);
+            },
+            |_, _| panic!("never killed"),
+        );
+        sim.run();
+        assert_eq!(ready_fired.get(), 1, "only the live invoke's on_ready fires");
+        assert_eq!(
+            cloud.start_counts(),
+            (0, 2),
+            "aborted + evicted invoke still counts exactly once, as cold"
+        );
+        let stats = cloud.pool_stats();
+        assert_eq!(stats.evicted_expired, 1);
+        assert_eq!(cloud.lambda_state(id), LambdaState::Released);
+    }
+
+    /// The abort path (release while Starting) parks a container that a
+    /// back-to-back invoke can reuse warm — and reuse must not re-fire
+    /// the aborted invocation's `on_ready`.
+    #[test]
+    fn abort_then_immediate_reinvoke_is_warm_without_resurrection() {
+        let mut sim = Sim::new(0);
+        let spec = CloudSpec {
+            prewarmed_lambdas: 0,
+            ..quiet_spec()
+        };
+        let cloud = Cloud::new(spec, Fabric::new());
+        let first_ready = Rc::new(Cell::new(false));
+        let fr = Rc::clone(&first_ready);
+        let c = cloud.clone();
+        let id = cloud.invoke_lambda(
+            &mut sim,
+            1_536,
+            move |_, _| fr.set(true),
+            |_, _| {},
+        );
+        sim.schedule_in(SimDuration::from_millis(100), move |sim| {
+            c.release_lambda(sim, id);
+            // Warm re-invoke 100 ms after the abort parked the container.
+            c.invoke_lambda(sim, 1_536, |_, _| {}, |_, _| {});
+        });
+        sim.run_until(SimTime::from_secs(10));
+        assert!(!first_ready.get(), "aborted invoke must not come up");
+        assert_eq!(cloud.start_counts(), (1, 1), "abort re-warms the pool");
     }
 }

@@ -39,11 +39,17 @@
 
 mod billing;
 mod cloud;
+pub mod coldstart;
 mod instance;
 mod pricing;
 
 pub use billing::{Category, Charge, Ledger};
-pub use cloud::{Cloud, CloudSpec, LambdaId, LambdaState, VmId, VmState};
+pub use cloud::{Cloud, CloudSpec, LambdaId, LambdaState, VmId, VmState, PREWARMED_LAMBDA_MB};
+pub use coldstart::{
+    ColdStartPolicy, ColdStartSpec, EvictReason, FixedKeepalive, HybridHistogram,
+    HybridHistogramSpec, ParkOrigin, PoolDecision, PoolEvent, PoolStats, UnloadOnPressure,
+    WarmPool, FOREVER_US,
+};
 pub use instance::{
     fewest_instances_for_cores, m4_family, InstanceType, M4_10XLARGE, M4_16XLARGE, M4_2XLARGE,
     M4_4XLARGE, M4_8XLARGE, M4_LARGE, M4_XLARGE,

@@ -1,0 +1,413 @@
+//! Property suites over the cold-start policy plane:
+//!
+//! - **keepalive monotonicity** — on a fixed trace, a longer fixed
+//!   keepalive never produces more cold starts;
+//! - **pressure-cap invariant** — under `UnloadOnPressure` the warm
+//!   pool's aggregate memory never exceeds the cap at any observation
+//!   point;
+//! - **hybrid convergence** — on recurrent idle-time traces the hybrid
+//!   histogram's cold fraction is no worse than a fixed keepalive too
+//!   short for the gap;
+//! - **omniscient lower bound** — a brute-force search over every
+//!   park/evict/serve choice on small traces lower-bounds every real
+//!   policy's cold count.
+
+use splitserve_cloud::{ColdStartSpec, HybridHistogramSpec, PoolEvent, WarmPool};
+use splitserve_rt::check::{self, Gen};
+
+// ---------------------------------------------------------------------
+// Shared trace machinery
+// ---------------------------------------------------------------------
+
+fn drive(spec: &ColdStartSpec, prewarmed: usize, events: &[PoolEvent]) -> WarmPool {
+    let mut pool = WarmPool::new(spec.build(), prewarmed, 1_536);
+    for ev in events {
+        match *ev {
+            PoolEvent::Invoke {
+                at_us,
+                func,
+                memory_mb,
+            } => {
+                pool.invoke(at_us, func, memory_mb);
+            }
+            PoolEvent::Release {
+                at_us,
+                func,
+                memory_mb,
+            } => pool.release(at_us, func, memory_mb),
+            PoolEvent::Finalize { at_us } => pool.finalize(at_us),
+        }
+    }
+    pool
+}
+
+/// A random bursty trace: alternating invoke/release pairs per function
+/// with a mix of short intra-burst and long inter-burst gaps.
+fn bursty_trace(g: &mut Gen) -> Vec<PoolEvent> {
+    let mut t = 0u64;
+    let mut events = Vec::new();
+    let n = g.usize_in(10, 80);
+    let mut outstanding: Vec<(u32, u64)> = Vec::new();
+    for _ in 0..n {
+        t += if g.bool() {
+            g.u64_in(10_000, 3_000_000)
+        } else {
+            g.u64_in(5_000_000, 90_000_000)
+        };
+        let func = g.u64_in(0, 3) as u32;
+        if !outstanding.is_empty() && g.bool() {
+            let idx = g.usize_in(0, outstanding.len());
+            let (f, mem) = outstanding.swap_remove(idx);
+            events.push(PoolEvent::Release {
+                at_us: t,
+                func: f,
+                memory_mb: mem,
+            });
+        } else {
+            let mem = [512u64, 1_024, 1_536, 3_008][g.usize_in(0, 4)];
+            events.push(PoolEvent::Invoke {
+                at_us: t,
+                func,
+                memory_mb: mem,
+            });
+            outstanding.push((func, mem));
+        }
+    }
+    for (f, mem) in outstanding {
+        t += g.u64_in(10_000, 2_000_000);
+        events.push(PoolEvent::Release {
+            at_us: t,
+            func: f,
+            memory_mb: mem,
+        });
+    }
+    events
+}
+
+// ---------------------------------------------------------------------
+// Keepalive monotonicity
+// ---------------------------------------------------------------------
+
+/// On a fixed trace, lengthening a fixed keepalive can only turn cold
+/// starts warm, never the reverse (the MRU pool is inclusive in the
+/// keepalive window, like LRU caches are in capacity).
+#[test]
+fn keepalive_monotonicity() {
+    check::run("keepalive_monotonicity", 96, |g| {
+        let events = bursty_trace(g);
+        let prewarmed = g.usize_in(0, 3);
+        let mut windows: Vec<u64> = (0..4)
+            .map(|_| g.u64_in(100_000, 200_000_000))
+            .collect();
+        windows.sort_unstable();
+        windows.push(u64::MAX); // forever is the longest window of all
+        let colds: Vec<u64> = windows
+            .iter()
+            .map(|k| {
+                drive(
+                    &ColdStartSpec::Fixed { keepalive_us: *k },
+                    prewarmed,
+                    &events,
+                )
+                .stats()
+                .cold_starts
+            })
+            .collect();
+        for w in colds.windows(2) {
+            assert!(
+                w[1] <= w[0],
+                "longer keepalive increased cold starts: {colds:?} for windows {windows:?}"
+            );
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Pressure-cap invariant
+// ---------------------------------------------------------------------
+
+/// Under `UnloadOnPressure`, aggregate warm memory never exceeds the cap
+/// at any point a caller can observe the pool.
+#[test]
+fn pressure_cap_never_exceeded() {
+    check::run("pressure_cap_never_exceeded", 96, |g| {
+        let cap_mb = g.u64_in(256, 16_384);
+        let spec = ColdStartSpec::UnloadOnPressure { cap_mb };
+        let prewarmed = g.usize_in(0, 8);
+        let mut pool = WarmPool::new(spec.build(), prewarmed, 1_536);
+        assert!(
+            pool.warm_memory_mb() <= cap_mb,
+            "cap exceeded at seeding: {} > {cap_mb}",
+            pool.warm_memory_mb()
+        );
+        for ev in bursty_trace(g) {
+            match ev {
+                PoolEvent::Invoke {
+                    at_us,
+                    func,
+                    memory_mb,
+                } => {
+                    pool.invoke(at_us, func, memory_mb);
+                }
+                PoolEvent::Release {
+                    at_us,
+                    func,
+                    memory_mb,
+                } => pool.release(at_us, func, memory_mb),
+                PoolEvent::Finalize { at_us } => pool.finalize(at_us),
+            }
+            assert!(
+                pool.warm_memory_mb() <= cap_mb,
+                "cap exceeded after {ev:?}: {} > {cap_mb}",
+                pool.warm_memory_mb()
+            );
+        }
+        pool.finalize(u64::MAX);
+        assert_eq!(pool.warm_memory_mb(), 0, "finalize must empty the pool");
+    });
+}
+
+// ---------------------------------------------------------------------
+// Hybrid convergence on recurrent traces
+// ---------------------------------------------------------------------
+
+/// A recurrent idle-time trace for one function: `rounds` cycles of
+/// invoke → hold → release → idle `gap_us` → next invoke.
+fn recurrent_trace(func: u32, start_us: u64, gap_us: u64, hold_us: u64, rounds: usize) -> Vec<PoolEvent> {
+    let mut t = start_us;
+    let mut events = Vec::new();
+    for _ in 0..rounds {
+        events.push(PoolEvent::Invoke {
+            at_us: t,
+            func,
+            memory_mb: 1_536,
+        });
+        t += hold_us;
+        events.push(PoolEvent::Release {
+            at_us: t,
+            func,
+            memory_mb: 1_536,
+        });
+        t += gap_us;
+    }
+    events
+}
+
+/// On a recurrent trace whose idle gap exceeds a short fixed keepalive,
+/// the hybrid histogram learns the gap (prewarming just ahead of the
+/// next arrival) and ends with a cold fraction no worse than — and after
+/// warm-up strictly better than — the fixed policy's.
+#[test]
+fn hybrid_converges_to_at_most_fixed_cold_fraction() {
+    check::run("hybrid_beats_short_fixed_on_recurrent", 64, |g| {
+        // Gap far beyond the fixed window, well inside the histogram range.
+        let gap_us = g.u64_in(20_000_000, 200_000_000);
+        let hold_us = g.u64_in(100_000, 5_000_000);
+        let rounds = g.usize_in(20, 40);
+        let fixed_keepalive_secs = g.u64_in(1, 10);
+        let events = recurrent_trace(0, 0, gap_us, hold_us, rounds);
+        let fixed = drive(
+            &ColdStartSpec::fixed_secs(fixed_keepalive_secs),
+            0,
+            &events,
+        )
+        .stats();
+        let hybrid = drive(
+            &ColdStartSpec::HybridHistogram(HybridHistogramSpec {
+                fallback_keepalive_us: fixed_keepalive_secs * 1_000_000,
+                ..HybridHistogramSpec::default()
+            }),
+            0,
+            &events,
+        )
+        .stats();
+        assert!(
+            hybrid.cold_fraction() <= fixed.cold_fraction(),
+            "hybrid {:.3} must not exceed fixed {:.3} (gap {gap_us}us, {rounds} rounds)",
+            hybrid.cold_fraction(),
+            fixed.cold_fraction()
+        );
+        // The gap defeats the fixed window every round; once the histogram
+        // trusts its samples the hybrid must be strictly better.
+        assert_eq!(fixed.cold_starts, rounds as u64, "fixed window always misses");
+        assert!(
+            hybrid.cold_starts < fixed.cold_starts,
+            "hybrid never converged: {} colds in {rounds} rounds",
+            hybrid.cold_starts
+        );
+    });
+}
+
+/// The histogram range in the default spec covers 256 s; gaps beyond it
+/// land out-of-bounds and must push the policy onto its fixed fallback
+/// rather than a garbage window — cold fraction then matches the
+/// fallback exactly.
+#[test]
+fn hybrid_oob_degrades_to_fallback() {
+    check::run("hybrid_oob_degrades_to_fallback", 32, |g| {
+        let spec = HybridHistogramSpec::default();
+        let oob_gap = g.u64_in(
+            spec.bin_us * spec.bins as u64 + 1_000_000,
+            spec.bin_us * spec.bins as u64 * 4,
+        );
+        let rounds = g.usize_in(12, 24);
+        let events = recurrent_trace(0, 0, oob_gap, 1_000_000, rounds);
+        let fallback_secs = 10;
+        let hybrid = drive(
+            &ColdStartSpec::HybridHistogram(HybridHistogramSpec {
+                fallback_keepalive_us: fallback_secs * 1_000_000,
+                ..spec
+            }),
+            0,
+            &events,
+        )
+        .stats();
+        let fixed = drive(&ColdStartSpec::fixed_secs(fallback_secs), 0, &events).stats();
+        assert_eq!(
+            hybrid.cold_starts, fixed.cold_starts,
+            "out-of-bounds histogram must behave exactly like its fallback"
+        );
+        assert_eq!(hybrid.prewarm_starts, 0, "no prewarms from a distrusted histogram");
+    });
+}
+
+// ---------------------------------------------------------------------
+// Omniscient lower bound
+// ---------------------------------------------------------------------
+
+/// Minimal cold-start count over every possible park/evict/serve choice:
+/// exhaustive DFS on a small trace. `cap_mb: None` removes the memory
+/// constraint (the bound for uncapped policies).
+fn omniscient_min_colds(events: &[PoolEvent], cap_mb: Option<u64>) -> u64 {
+    fn dfs(events: &[PoolEvent], pool: &mut Vec<u64>, cap_mb: Option<u64>) -> u64 {
+        let Some((ev, rest)) = events.split_first() else {
+            return 0;
+        };
+        match *ev {
+            PoolEvent::Invoke { .. } => {
+                // Option A: serve cold (keep the pool for later).
+                let mut best = 1 + dfs(rest, pool, cap_mb);
+                // Option B: serve warm with each distinct memory size.
+                let mut tried: Vec<u64> = Vec::new();
+                for i in 0..pool.len() {
+                    let mem = pool[i];
+                    if tried.contains(&mem) {
+                        continue;
+                    }
+                    tried.push(mem);
+                    let removed = pool.swap_remove(i);
+                    best = best.min(dfs(rest, pool, cap_mb));
+                    pool.push(removed);
+                    let last = pool.len() - 1;
+                    pool.swap(i, last);
+                }
+                best
+            }
+            PoolEvent::Release { memory_mb, .. } => {
+                // Option A: drop the returning container.
+                let mut best = dfs(rest, pool, cap_mb);
+                // Option B: park it, then (under a cap) evict any subset
+                // that restores feasibility.
+                pool.push(memory_mb);
+                match cap_mb {
+                    None => best = best.min(dfs(rest, pool, cap_mb)),
+                    Some(cap) => {
+                        if pool.iter().sum::<u64>() <= cap {
+                            best = best.min(dfs(rest, pool, cap_mb));
+                        } else {
+                            // Evict subsets until feasible: enumerate all
+                            // subsets of the (small) pool.
+                            let n = pool.len();
+                            for mask in 0u32..(1 << n) {
+                                let kept: Vec<u64> = (0..n)
+                                    .filter(|i| mask & (1 << i) != 0)
+                                    .map(|i| pool[i])
+                                    .collect();
+                                if kept.iter().sum::<u64>() <= cap {
+                                    let mut sub = kept;
+                                    best = best.min(dfs(rest, &mut sub, cap_mb));
+                                }
+                            }
+                        }
+                    }
+                }
+                pool.pop();
+                best
+            }
+            PoolEvent::Finalize { .. } => dfs(rest, pool, cap_mb),
+        }
+    }
+    dfs(events, &mut Vec::new(), cap_mb)
+}
+
+/// A small random trace (≤ 10 events) keeps the DFS exhaustive.
+fn small_trace(g: &mut Gen) -> Vec<PoolEvent> {
+    let mut t = 0u64;
+    let mut outstanding = 0usize;
+    let n = g.usize_in(2, 10);
+    let mut events = Vec::new();
+    for _ in 0..n {
+        t += g.u64_in(100_000, 60_000_000);
+        let mem = [512u64, 1_536, 3_008][g.usize_in(0, 3)];
+        if outstanding > 0 && g.bool() {
+            events.push(PoolEvent::Release {
+                at_us: t,
+                func: 0,
+                memory_mb: mem,
+            });
+            outstanding -= 1;
+        } else {
+            events.push(PoolEvent::Invoke {
+                at_us: t,
+                func: 0,
+                memory_mb: mem,
+            });
+            outstanding += 1;
+        }
+    }
+    events
+}
+
+/// Every real policy's cold count is lower-bounded by the omniscient
+/// brute force (uncapped bound for uncapped policies, same-cap bound for
+/// the pressure policy), and the legacy forever-pool achieves the
+/// uncapped bound exactly.
+#[test]
+fn omniscient_lower_bound_on_small_traces() {
+    check::run("omniscient_lower_bound", 96, |g| {
+        let events = small_trace(g);
+        let lb = omniscient_min_colds(&events, None);
+
+        let forever = drive(&ColdStartSpec::forever(), 0, &events).stats();
+        assert_eq!(
+            forever.cold_starts, lb,
+            "park-everything-forever must achieve the uncapped optimum"
+        );
+
+        for spec in [
+            ColdStartSpec::fixed_secs(g.u64_in(1, 120)),
+            ColdStartSpec::HybridHistogram(HybridHistogramSpec {
+                min_samples: g.u64_in(2, 8),
+                ..HybridHistogramSpec::default()
+            }),
+        ] {
+            let got = drive(&spec, 0, &events).stats().cold_starts;
+            assert!(
+                got >= lb,
+                "{} beat the omniscient bound: {got} < {lb}",
+                spec.name()
+            );
+        }
+
+        let cap_mb = g.u64_in(512, 8_192);
+        let capped_lb = omniscient_min_colds(&events, Some(cap_mb));
+        assert!(capped_lb >= lb, "a cap can only worsen the optimum");
+        let pressure = drive(&ColdStartSpec::UnloadOnPressure { cap_mb }, 0, &events)
+            .stats()
+            .cold_starts;
+        assert!(
+            pressure >= capped_lb,
+            "unload-on-pressure beat its omniscient bound: {pressure} < {capped_lb}"
+        );
+    });
+}

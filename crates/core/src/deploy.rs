@@ -281,9 +281,18 @@ impl Deployment {
 
     /// The launching facility's core move: bridge a shortfall of `count`
     /// cores with Lambda-based executors *right now* (paper §4.2). Each
-    /// Lambda registers as an executor when its container is ready
-    /// (~100 ms warm); if the platform later kills it (15-minute
-    /// lifetime), the engine sees an abrupt executor loss.
+    /// Lambda registers as an executor when its container is ready; if the
+    /// platform later kills it (the 15-minute *lifetime* limit on a
+    /// running invocation), the engine sees an abrupt executor loss.
+    ///
+    /// Whether a start is ~100 ms warm or multi-second cold is decided by
+    /// the cloud's [`splitserve_cloud::ColdStartPolicy`]: by default
+    /// released containers stay warm for a fixed 15-minute *idle* window
+    /// (matching observed AWS keepalive), with
+    /// [`splitserve_cloud::ColdStartSpec::forever`] as the escape hatch
+    /// the digest-pinned suites use to keep the legacy never-expiring
+    /// pool. Start outcomes land in `lambda_starts_total{start}` and the
+    /// per-policy `lambda_start_seconds` quantile digest.
     pub fn add_lambda_executors(&self, sim: &mut Sim, count: u32) -> Vec<ExecutorId> {
         let memory_mb = self.inner.borrow().lambda_memory_mb;
         let mut ids = Vec::new();
@@ -310,12 +319,18 @@ impl Deployment {
             let span_ready = Rc::clone(&start_span);
             let obs_ready = obs.clone();
             let invoked_at = sim.now();
+            let policy = self.cloud.policy_name();
             let (warm_before, _) = self.cloud.start_counts();
             let lambda = self.cloud.invoke_lambda(
                 sim,
                 memory_mb,
                 move |sim, lambda| {
                     obs_ready.spans.close(span_ready.get(), sim.now());
+                    obs_ready.metrics.record_quantile(
+                        "lambda_start_seconds",
+                        &[("policy", policy)],
+                        sim.now().saturating_since(invoked_at).as_secs_f64(),
+                    );
                     let desc = ExecutorDesc::lambda(
                         exec_ready.as_str(),
                         this_ready.cloud.lambda_nic(lambda),
@@ -390,10 +405,33 @@ impl Deployment {
         }
     }
 
-    /// Ends the run: terminates all VMs and releases all Lambdas so the
-    /// bill is final.
+    /// Ends the run: terminates all VMs, releases all Lambdas, and
+    /// finalizes the warm pool so the bill *and* the cold-start outcome
+    /// metrics are final — `lambda_cold_start_fraction` (gauge),
+    /// `lambda_wasted_memory_seconds_total` (GB·s of idle warm memory,
+    /// gauge) and `lambda_pool_evictions_total{reason}` land on the obs
+    /// registry here, labelled with the active policy.
     pub fn shutdown(&self, sim: &mut Sim) {
         self.cloud.shutdown_all(sim);
+        let stats = self.cloud.pool_stats();
+        let policy = self.cloud.policy_name();
+        let m = &self.engine.obs().metrics;
+        let labels = &[("policy", policy)];
+        m.gauge_set("lambda_cold_start_fraction", labels, stats.cold_fraction());
+        m.gauge_set(
+            "lambda_wasted_memory_seconds_total",
+            labels,
+            stats.wasted_gb_seconds(),
+        );
+        for (reason, n) in [
+            ("expired", stats.evicted_expired),
+            ("pressure", stats.evicted_pressure),
+            ("shutdown", stats.evicted_shutdown),
+        ] {
+            if n > 0 {
+                m.counter_add("lambda_pool_evictions_total", &[("reason", reason)], n);
+            }
+        }
     }
 }
 

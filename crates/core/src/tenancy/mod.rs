@@ -19,6 +19,11 @@
 //!   series.
 //! - [`fleet`] — population builders and the deterministic JSON
 //!   artifact for `examples/tenant_fleet.rs`.
+//! - [`policy_sweep`] — the cold-start policy sweep: the same fleet
+//!   under each [`ColdStartSpec`] arm plus an engine-free recurrent
+//!   microtrace, rendered for `examples/coldstart_sweep.rs`.
+//!
+//! [`ColdStartSpec`]: splitserve_cloud::ColdStartSpec
 //!
 //! [`JobTemplate`]: arrivals::JobTemplate
 //! [`AdmissionController`]: admission::AdmissionController
@@ -29,6 +34,7 @@
 pub mod admission;
 pub mod arrivals;
 pub mod fleet;
+pub mod policy_sweep;
 pub mod server;
 
 pub use admission::{
@@ -41,6 +47,10 @@ pub use arrivals::{
 };
 pub use fleet::{
     class_arrival_spec, default_fleet_jobs, default_tenant_specs, policy_json, render_fleet_json,
+};
+pub use policy_sweep::{
+    coldstart_arms, recurrent_fleet_jobs, recurrent_microtrace, render_coldstart_sweep_json,
+    run_coldstart_sweep, ColdstartArm,
 };
 pub use server::{
     combined_fingerprint, fleet_workload, run_tenant_fleet, run_tenant_fleet_with, tenant_slice,

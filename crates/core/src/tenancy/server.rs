@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use std::hash::Hasher;
 use std::rc::Rc;
 
-use splitserve_cloud::{CloudSpec, InstanceType, M4_4XLARGE, M4_XLARGE};
+use splitserve_cloud::{CloudSpec, ColdStartSpec, InstanceType, PoolStats, M4_4XLARGE, M4_XLARGE};
 use splitserve_des::{Dist, Sim, SimDuration, SimTime};
 use splitserve_engine::{collect_partitions, Dataset, Engine, EngineConfig};
 use splitserve_obs::{BillLedger, SloLedger, TenantId};
@@ -171,6 +171,9 @@ impl TenantFleetConfig {
                 lambda_warm_start: Dist::constant(0.12),
                 lambda_cold_start: Dist::constant(3.0),
                 lambda_net_jitter: Dist::constant(1.0),
+                // The fleet digests are pinned byte-for-byte against the
+                // legacy infinite warm pool; policy sweeps override this.
+                coldstart: ColdStartSpec::forever(),
                 ..CloudSpec::default()
             },
             engine: EngineConfig::default(),
@@ -236,6 +239,11 @@ pub struct FleetOutcome {
     pub cost_usd: f64,
     /// Lambdas the launching facility started (0 without an allocator).
     pub lambdas_launched: u32,
+    /// The cold-start policy the warm pool ran under.
+    pub coldstart_policy: &'static str,
+    /// Warm-pool outcome: warm/cold/prewarm starts, evictions by reason,
+    /// wasted warm memory.
+    pub pool: PoolStats,
 }
 
 impl FleetOutcome {
@@ -561,6 +569,8 @@ pub fn run_tenant_fleet_with(
             .charge(&cfg.settle_tenant, SimTime::from_micros(at), settle, "final");
     }
     let lambdas_launched = ctx.handle.as_ref().map_or(0, |h| h.lambdas_launched());
+    let coldstart_policy = ctx.d.cloud().policy_name();
+    let pool = ctx.d.cloud().pool_stats();
     let ctx = Rc::try_unwrap(ctx)
         .unwrap_or_else(|_| panic!("fleet context still referenced after run"));
     FleetOutcome {
@@ -571,6 +581,8 @@ pub fn run_tenant_fleet_with(
         admission: ctx.ctrl.into_inner().into_log(),
         cost_usd,
         lambdas_launched,
+        coldstart_policy,
+        pool,
     }
 }
 

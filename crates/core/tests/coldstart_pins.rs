@@ -1,0 +1,57 @@
+//! Byte-identity pins for the cold-start policy sweep artifact. The
+//! policy plane claims scheduler-neutrality: it schedules no events and
+//! draws no RNG, so the sweep artifact is a pure function of the config
+//! — including across engine worker-thread counts. Pinned to a hard
+//! xxhash64 constant at both 1 and 4 workers, like `hot_loop_pins.rs`.
+//!
+//! Updating the pin is a deliberate act: rerun with the new value
+//! printed in the assertion message and justify the byte change in
+//! review.
+
+use std::hash::Hasher;
+
+use splitserve::tenancy::{
+    default_tenant_specs, recurrent_fleet_jobs, render_coldstart_sweep_json, run_coldstart_sweep,
+};
+use splitserve_rt::hash::XxHash64;
+
+fn digest(bytes: &str) -> u64 {
+    let mut h = XxHash64::with_seed(0);
+    h.write(bytes.as_bytes());
+    h.finish()
+}
+
+/// The reduced sweep: 4 tenants, 3 bursts of 10 every 40 s, 4-core
+/// pool — small enough for debug-mode CI, big enough that every arm
+/// launches Lambdas. `workers` is rendered as a fixed label so both
+/// counts must produce the same bytes.
+fn sweep_json(workers: usize) -> String {
+    let tenants = default_tenant_specs(4);
+    let jobs = recurrent_fleet_jobs(&tenants, 3, 10, 40);
+    let arms = run_coldstart_sweep(workers, &tenants, &jobs, 4);
+    assert!(
+        arms.iter().all(|a| a.outcome.lambdas_launched > 0),
+        "every arm must exercise the warm pool"
+    );
+    render_coldstart_sweep_json(0, &tenants, jobs.len(), 30, 45, &arms)
+}
+
+#[test]
+fn coldstart_sweep_digest_is_pinned_at_w1_and_w4() {
+    const PIN: u64 = 0x8dfa_c80f_1512_b3a8;
+    let w1 = sweep_json(1);
+    assert_eq!(
+        digest(&w1),
+        PIN,
+        "coldstart sweep artifact drifted at workers=1: digest {:016x} (len {})",
+        digest(&w1),
+        w1.len()
+    );
+    let w4 = sweep_json(4);
+    assert_eq!(
+        digest(&w4),
+        PIN,
+        "coldstart sweep artifact drifted at workers=4: digest {:016x}",
+        digest(&w4)
+    );
+}

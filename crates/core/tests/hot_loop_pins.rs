@@ -82,7 +82,12 @@ fn prometheus_render(workers: usize) -> String {
 
 #[test]
 fn prometheus_exposition_is_pinned_at_w1_and_w4() {
-    const PIN: u64 = 0x8ab2_fd25_5aaf_c7c2;
+    // Re-pinned when the cold-start policy plane landed: `Deployment::
+    // shutdown` now emits `lambda_cold_start_fraction`,
+    // `lambda_wasted_memory_seconds_total`, `lambda_pool_evictions_total`
+    // and the `lambda_start_seconds{policy}` quantile digest, all
+    // sim-derived and worker-count-invariant like the rest.
+    const PIN: u64 = 0x7829_df41_24ce_7f6d;
     let w1 = prometheus_render(1);
     // (`hol_blocking_seconds` is legitimately absent at this scale: the
     // reduced fleet never blocks a queue head, and an unobserved handle

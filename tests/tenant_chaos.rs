@@ -7,12 +7,13 @@
 //! replay clean (kills never violate caps or strict priority).
 
 use splitserve::tenancy::{
-    combined_fingerprint, default_fleet_jobs, default_tenant_specs, fleet_workload,
+    combined_fingerprint, default_fleet_jobs, default_tenant_specs, fleet_workload, policy_json,
     run_tenant_fleet_with, verify_log, FleetJob, FleetOutcome, FleetPolicy, TenantFleetConfig,
     TenantSpec, WorkloadFn,
 };
 use splitserve::ShuffleStoreKind;
-use splitserve_chaos::{inject, FaultPlan};
+use splitserve_chaos::{inject, FaultEvent, FaultPlan};
+use splitserve_cloud::ColdStartSpec;
 use splitserve_storage::{FaultStore, StoreFaults};
 
 /// The fleet under chaos: small enough to sweep 16 plans in a debug-mode
@@ -105,6 +106,80 @@ fn sixteen_seed_sweep_holds_the_differential_oracle() {
     for seed in 0..16 {
         let plan = FaultPlan::generate_in_window(seed, 5_000_000, 90_000_000);
         judge(seed, &plan, &tenants, &jobs, fp_hdfs);
+    }
+}
+
+/// 32-seed determinism sweep across the cold-start policy plane: each
+/// seed draws a chaos plan filtered to kills + capacity churn (the event
+/// classes that reshape the Lambda population mid-run), picks a policy
+/// round-robin, and runs the fleet at 1 and 4 engine worker threads.
+/// The rendered per-policy artifact must be byte-identical and the
+/// warm-pool counters (warm/cold/prewarm starts, evictions, wasted
+/// memory) exactly equal — the policy plane schedules no events and
+/// draws no RNG, so worker count must not leak into a single decision
+/// even while containers are being killed out from under it.
+#[test]
+fn thirty_two_seed_policy_chaos_is_worker_invariant() {
+    let tenants = default_tenant_specs(6);
+    let jobs = default_fleet_jobs(&tenants, 11, 48, 120.0);
+    let specs = [
+        ColdStartSpec::forever(),
+        ColdStartSpec::fixed_secs(15),
+        ColdStartSpec::UnloadOnPressure { cap_mb: 6_144 },
+        ColdStartSpec::parse("hybrid:15").expect("selector"),
+    ];
+    for seed in 0..32u64 {
+        let full = FaultPlan::generate_in_window(seed, 5_000_000, 60_000_000);
+        let events: Vec<FaultEvent> = full
+            .events
+            .into_iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    FaultEvent::Kill { .. }
+                        | FaultEvent::BurstKill { .. }
+                        | FaultEvent::AddLambdas { .. }
+                        | FaultEvent::AddVmCores { .. }
+                )
+            })
+            .collect();
+        let plan = FaultPlan { seed, events };
+        let spec = &specs[(seed as usize) % specs.len()];
+        let run = |workers: usize| {
+            let mut cfg =
+                TenantFleetConfig::for_policy(FleetPolicy::SplitServe, tenants.clone(), 8);
+            cfg.engine.workers = workers;
+            cfg.cloud.coldstart = spec.clone();
+            cfg.cloud.prewarmed_lambdas = 0;
+            let (wl, sink) = fleet_workload(8);
+            let r = run_fleet_guarded(&cfg, &jobs, wl, StoreFaults::new(), Some(&plan));
+            assert_eq!(
+                r.outcomes.len(),
+                jobs.len(),
+                "seed {seed} {} w{workers}: jobs went missing",
+                spec.selector()
+            );
+            verify_log(cfg.slots, &tenants, &r.admission).unwrap_or_else(|e| {
+                panic!("seed {seed} {} w{workers}: admission broke: {e}", spec.selector())
+            });
+            let fp = combined_fingerprint(&sink.borrow());
+            let artifact = policy_json(&r, &tenants, fp);
+            (artifact, r.pool, r.coldstart_policy)
+        };
+        let (a1, pool1, name1) = run(1);
+        let (a4, pool4, name4) = run(4);
+        assert_eq!(name1, spec.name(), "seed {seed}: policy knob did not reach the pool");
+        assert_eq!(name1, name4);
+        assert_eq!(
+            pool1, pool4,
+            "seed {seed} {}: warm-pool counters diverged across worker counts",
+            spec.selector()
+        );
+        assert_eq!(
+            a1, a4,
+            "seed {seed} {}: fleet artifact not byte-identical across worker counts",
+            spec.selector()
+        );
     }
 }
 
